@@ -1,0 +1,86 @@
+// Command dfibench regenerates the tables and figures of the paper's
+// evaluation (§6) on the simulated RDMA fabric.
+//
+// Usage:
+//
+//	dfibench list                 # show available experiment IDs
+//	dfibench fig7a [fig13 ...]    # run selected experiments
+//	dfibench all                  # run the full suite
+//
+// Flags:
+//
+//	-quick   run at reduced scale (seconds instead of minutes)
+//	-seed N  deterministic seed (default 1)
+//
+// All results are virtual-time measurements; see EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dfi/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at reduced scale")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, e := range experiments.All {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if args[0] == "all" {
+		selected = experiments.All
+	} else {
+		for _, id := range args {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dfibench: unknown experiment %q (try 'dfibench list')\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	failed := false
+	for _, e := range selected {
+		start := time.Now()
+		tables, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfibench: %s failed: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("(%s completed in %.1fs wall time)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `dfibench — regenerate the DFI paper's evaluation (SIGMOD 2021)
+
+usage: dfibench [-quick] [-seed N] <experiment-id>... | all | list
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,197 @@
+// Command dfiflow runs one ad-hoc DFI flow on the simulated fabric and
+// prints per-endpoint statistics — a workbench for exploring flow
+// configurations without writing a program.
+//
+// Examples:
+//
+//	dfiflow -type shuffle -sources 4 -targets 8 -tuple 256 -mb 64
+//	dfiflow -type replicate -multicast -targets 8 -tuple 64 -mb 16
+//	dfiflow -type replicate -multicast -ordered -loss 0.02 -mb 4
+//	dfiflow -type combiner -sources 8 -tuple 64 -mb 32
+//	dfiflow -type shuffle -latency -tuple 64 -mb 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dfi/internal/core"
+	"dfi/internal/fabric"
+	"dfi/internal/registry"
+	"dfi/internal/schema"
+	"dfi/internal/sim"
+)
+
+func main() {
+	var (
+		flowType  = flag.String("type", "shuffle", "flow type: shuffle | replicate | combiner")
+		nSources  = flag.Int("sources", 2, "source threads (one node each)")
+		nTargets  = flag.Int("targets", 2, "target threads (one node each; combiner: threads on one node)")
+		tupleSize = flag.Int("tuple", 64, "tuple size in bytes (≥16)")
+		megabytes = flag.Int("mb", 16, "payload volume per source in MiB")
+		latency   = flag.Bool("latency", false, "latency-optimized instead of bandwidth-optimized")
+		multicast = flag.Bool("multicast", false, "replicate flow: use switch multicast")
+		ordered   = flag.Bool("ordered", false, "replicate flow: global ordering (implies -multicast)")
+		loss      = flag.Float64("loss", 0, "multicast loss probability")
+		segments  = flag.Int("segments", 32, "segments per ring")
+		segSize   = flag.Int("segsize", 0, "segment payload size (0 = default)")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		copyData  = flag.Bool("copy", false, "copy payload bytes (slower, validates content paths)")
+		traceOps  = flag.Int("trace", 0, "record fabric operations; print the first N and a summary")
+	)
+	flag.Parse()
+
+	k := sim.New(*seed)
+	k.Deadline = time.Hour
+	fcfg := fabric.DefaultConfig()
+	fcfg.CopyPayload = *copyData
+	fcfg.MulticastLoss = *loss
+	cluster := fabric.NewCluster(k, *nSources+*nTargets, fcfg)
+	var rec *fabric.Recorder
+	if *traceOps > 0 {
+		rec = fabric.NewRecorder(*traceOps)
+		cluster.SetTracer(rec)
+	}
+	reg := registry.New(k)
+
+	sch := schema.MustNew(
+		schema.Column{Name: "key", Type: schema.Int64},
+		schema.Column{Name: "pad", Type: schema.Char(max(8, *tupleSize-8))},
+	)
+
+	spec := core.FlowSpec{Name: "dfiflow", Schema: sch, Options: core.Options{
+		SegmentsPerRing: *segments,
+		SegmentSize:     *segSize,
+	}}
+	if *latency {
+		spec.Options.Optimization = core.OptimizeLatency
+	}
+	switch *flowType {
+	case "shuffle":
+	case "replicate":
+		spec.Type = core.ReplicateFlow
+		spec.Options.Multicast = *multicast || *ordered
+		spec.Options.GlobalOrdering = *ordered
+	case "combiner":
+		spec.Type = core.CombinerFlow
+		spec.Options.Aggregation = core.AggSum
+	default:
+		fmt.Fprintf(os.Stderr, "dfiflow: unknown flow type %q\n", *flowType)
+		os.Exit(2)
+	}
+	for i := 0; i < *nSources; i++ {
+		spec.Sources = append(spec.Sources, core.Endpoint{Node: cluster.Node(i)})
+	}
+	for i := 0; i < *nTargets; i++ {
+		node := cluster.Node(*nSources + i)
+		if spec.Type == core.CombinerFlow {
+			node = cluster.Node(*nSources) // combiner: one target node
+		}
+		spec.Targets = append(spec.Targets, core.Endpoint{Node: node, Thread: i})
+	}
+
+	perSource := (*megabytes << 20) / sch.TupleSize()
+	srcStats := make([]core.SourceStats, *nSources)
+	tgtStats := make([]core.TargetStats, *nTargets)
+	var end sim.Time
+
+	k.Spawn("init", func(p *sim.Proc) {
+		if err := core.FlowInit(p, reg, cluster, spec); err != nil {
+			log.Fatal(err)
+		}
+	})
+	for si := 0; si < *nSources; si++ {
+		si := si
+		k.Spawn(fmt.Sprintf("src%d", si), func(p *sim.Proc) {
+			src, err := core.SourceOpen(p, reg, "dfiflow", si)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tup := sch.NewTuple()
+			rng := p.Rand()
+			for i := 0; i < perSource; i++ {
+				sch.PutInt64(tup, 0, rng.Int63())
+				if err := src.Push(p, tup); err != nil {
+					log.Fatal(err)
+				}
+			}
+			src.Close(p)
+			srcStats[si] = src.Stats()
+		})
+	}
+	for ti := 0; ti < *nTargets; ti++ {
+		ti := ti
+		k.Spawn(fmt.Sprintf("tgt%d", ti), func(p *sim.Proc) {
+			if spec.Type == core.CombinerFlow {
+				ct, err := core.CombinerTargetOpen(p, reg, "dfiflow", ti)
+				if err != nil {
+					log.Fatal(err)
+				}
+				ct.Run(p)
+			} else {
+				tgt, err := core.TargetOpen(p, reg, "dfiflow", ti)
+				if err != nil {
+					log.Fatal(err)
+				}
+				for {
+					if _, _, ok := tgt.ConsumeSegment(p); !ok {
+						break
+					}
+				}
+				tgtStats[ti] = tgt.Stats()
+			}
+			if p.Now() > end {
+				end = p.Now()
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	var pushed, consumed, payload uint64
+	for _, s := range srcStats {
+		pushed += s.TuplesPushed
+		payload += s.PayloadBytes
+	}
+	for _, s := range tgtStats {
+		consumed += s.TuplesConsumed
+	}
+	fmt.Printf("flow: %s %s, %d sources → %d targets, %s tuples, %d MiB/source\n",
+		*flowType, spec.Options.Optimization, *nSources, *nTargets, fmtBytes(sch.TupleSize()), *megabytes)
+	fmt.Printf("virtual runtime: %v\n", end)
+	fmt.Printf("tuples pushed:   %d  (consumed: %d)\n", pushed, consumed)
+	bw := float64(payload) / end.Seconds() / (1 << 30)
+	fmt.Printf("aggregate sender bandwidth: %.2f GiB/s (link speed %.2f GiB/s)\n",
+		bw, fcfg.LinkBandwidth/(1<<30))
+	for si, s := range srcStats {
+		fmt.Printf("  source %d: %s\n", si, s)
+	}
+	for ti, s := range tgtStats {
+		if spec.Type != core.CombinerFlow {
+			fmt.Printf("  target %d: %s\n", ti, s)
+		}
+	}
+	if rec != nil {
+		fmt.Println()
+		rec.Log(os.Stdout)
+		rec.Summary(os.Stdout, 5)
+	}
+}
+
+func fmtBytes(n int) string {
+	if n >= 1<<10 {
+		return fmt.Sprintf("%d KiB", n>>10)
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,12 @@
+// Package dfi is a from-scratch Go reproduction of "DFI: The Data Flow
+// Interface for High-Speed Networks" (Thostrup, Skrzypczak, Jasny,
+// Ziegler, Binnig — SIGMOD 2021), built on a deterministic discrete-event
+// simulation of an RDMA fabric instead of an InfiniBand testbed.
+//
+// See README.md for an overview, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for the paper-vs-measured results.
+// The implementation lives under internal/: the DES kernel (sim), the
+// simulated RDMA fabric (fabric), the DFI flow library itself (core), the
+// mini-MPI baseline (mpi), and the paper's two use cases (join,
+// consensus) plus the evaluation harness (experiments).
+package dfi

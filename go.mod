@@ -1,0 +1,3 @@
+module dfi
+
+go 1.22

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dfi/internal/registry"
+	"dfi/internal/schema"
+	"dfi/internal/sim"
+)
+
+// CombinerTarget is the exit point of a combiner flow (paper §4.2.3): an
+// N:1 shuffle whose target aggregates tuples into groups as they arrive,
+// instead of handing each tuple to the application. The paper notes that
+// with in-network aggregation hardware (e.g. InfiniBand SHARP) the
+// reduction could move into the switch; here it executes on the target
+// thread, whose in-going link therefore caps the flow (Figure 9).
+type CombinerTarget struct {
+	t    *Target
+	agg  AggFunc
+	gcol int
+	vcol int
+
+	groups map[uint64]*aggState
+	node   computeNode
+}
+
+type computeNode interface {
+	Compute(p *sim.Proc, d time.Duration)
+}
+
+type aggState struct {
+	key   uint64
+	value int64
+	count int64
+	init  bool
+}
+
+// AggResult is one aggregated group.
+type AggResult struct {
+	Key   uint64
+	Value int64
+	Count int64
+}
+
+// CombinerTargetOpen attaches to target thread idx of a combiner flow.
+func CombinerTargetOpen(p *sim.Proc, reg *registry.Registry, name string, idx int) (*CombinerTarget, error) {
+	meta := lookupFlow(p, reg, name)
+	if meta.spec.Type != CombinerFlow {
+		return nil, fmt.Errorf("dfi: flow %q is a %s flow, not a combiner flow", name, meta.spec.Type)
+	}
+	t, err := TargetOpen(p, reg, name, idx)
+	if err != nil {
+		return nil, err
+	}
+	o := &meta.spec.Options
+	return &CombinerTarget{
+		t:      t,
+		agg:    o.Aggregation,
+		gcol:   o.GroupCol,
+		vcol:   o.ValueCol,
+		groups: make(map[uint64]*aggState),
+		node:   meta.spec.Targets[idx].Node,
+	}, nil
+}
+
+// Run ingests the whole flow, aggregating every tuple into its group, and
+// returns once all sources have closed. The per-tuple aggregation cost is
+// charged to the target thread.
+func (c *CombinerTarget) Run(p *sim.Proc) {
+	sch := c.t.Schema()
+	ts := sch.TupleSize()
+	aggCost := c.t.spec.Options.AggCost
+	for {
+		data, count, ok := c.t.ConsumeSegment(p)
+		if !ok {
+			return
+		}
+		c.node.Compute(p, time.Duration(count)*aggCost)
+		if !c.t.meta.cluster.Config().CopyPayload {
+			// Payload bytes are not simulated; account the work only.
+			continue
+		}
+		for i := 0; i < count; i++ {
+			tup := schema.Tuple(data[i*ts : (i+1)*ts])
+			c.ingest(sch, tup)
+		}
+	}
+}
+
+func (c *CombinerTarget) ingest(sch *schema.Schema, tup schema.Tuple) {
+	key := sch.KeyUint64(tup, c.gcol)
+	val := sch.Int64(tup, c.vcol)
+	g := c.groups[key]
+	if g == nil {
+		g = &aggState{key: key}
+		c.groups[key] = g
+	}
+	g.count++
+	switch c.agg {
+	case AggSum, AggCount:
+		g.value += val
+	case AggMin:
+		if !g.init || val < g.value {
+			g.value = val
+		}
+	case AggMax:
+		if !g.init || val > g.value {
+			g.value = val
+		}
+	}
+	g.init = true
+}
+
+// Results returns the aggregated groups in ascending key order. For
+// AggCount the Value field carries the group cardinality.
+func (c *CombinerTarget) Results() []AggResult {
+	out := make([]AggResult, 0, len(c.groups))
+	for _, g := range c.groups {
+		v := g.value
+		if c.agg == AggCount {
+			v = g.count
+		}
+		out = append(out, AggResult{Key: g.key, Value: v, Count: g.count})
+	}
+	sortAggResults(out)
+	return out
+}
+
+// sortAggResults orders aggregates by ascending key.
+func sortAggResults(rs []AggResult) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Key < rs[j].Key })
+}
+
+// Consumed returns the number of tuples aggregated.
+func (c *CombinerTarget) Consumed() uint64 { return c.t.Consumed() }
+
+// Free releases the underlying target buffers.
+func (c *CombinerTarget) Free() { c.t.Free() }

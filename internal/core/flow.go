@@ -1,0 +1,409 @@
+// Package core implements DFI — the Data Flow Interface (SIGMOD 2021) —
+// on top of the simulated RDMA fabric in dfi/internal/fabric.
+//
+// Flows encapsulate data movement between thread-level end-points. A flow
+// is created once with FlowInit (publishing its metadata in the central
+// registry), after which source threads attach with SourceOpen and push
+// tuples, and target threads attach with TargetOpen and consume tuples:
+//
+//	spec := core.FlowSpec{
+//	    Name:    "shuffle",
+//	    Sources: []core.Endpoint{{Node: n0, Thread: 0}},
+//	    Targets: []core.Endpoint{{Node: n1, Thread: 0}, {Node: n2, Thread: 0}},
+//	    Schema:  sch,
+//	    ShuffleKey: 0,
+//	}
+//	core.FlowInit(p, reg, cluster, spec)
+//	// on a source thread:           // on a target thread:
+//	src, _ := core.SourceOpen(...)   tgt, _ := core.TargetOpen(...)
+//	src.Push(p, tuple)               for { t, ok := tgt.Consume(p); ... }
+//	src.Close(p)
+//
+// Three flow types are provided (paper Table 1): shuffle flows
+// (1:1, N:1, 1:N, N:M) with key-based, function-based or direct routing;
+// replicate flows (1:N, N:M) with optional switch multicast and global
+// ordering; and combiner flows (N:1) with target-side aggregation.
+// Flows are either bandwidth-optimized (segment batching) or
+// latency-optimized (tuple-sized segments with credit-based flow control).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dfi/internal/fabric"
+	"dfi/internal/registry"
+	"dfi/internal/schema"
+	"dfi/internal/sim"
+)
+
+// FlowType selects one of DFI's three flow types.
+type FlowType uint8
+
+// Flow types (paper Table 1).
+const (
+	ShuffleFlow FlowType = iota
+	ReplicateFlow
+	CombinerFlow
+)
+
+func (t FlowType) String() string {
+	switch t {
+	case ShuffleFlow:
+		return "shuffle"
+	case ReplicateFlow:
+		return "replicate"
+	case CombinerFlow:
+		return "combiner"
+	}
+	return "unknown"
+}
+
+// Optimization selects the declared optimization goal of a flow.
+type Optimization uint8
+
+// Optimization goals (paper §3.1: declarative optimization).
+const (
+	// OptimizeBandwidth batches tuples into large segments for maximal
+	// link utilization.
+	OptimizeBandwidth Optimization = iota
+	// OptimizeLatency transfers each tuple immediately in a tuple-sized
+	// segment under credit-based flow control.
+	OptimizeLatency
+)
+
+func (o Optimization) String() string {
+	if o == OptimizeLatency {
+		return "latency"
+	}
+	return "bandwidth"
+}
+
+// AggFunc enumerates combiner-flow aggregations.
+type AggFunc uint8
+
+// Combiner aggregation functions (paper §4.2.3).
+const (
+	AggSum AggFunc = iota
+	AggCount
+	AggMin
+	AggMax
+)
+
+func (a AggFunc) String() string {
+	switch a {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	}
+	return "unknown"
+}
+
+// Endpoint identifies one flow end-point: a worker thread on a node
+// (the paper's "address|threadID" notation).
+type Endpoint struct {
+	Node   *fabric.Node
+	Thread int
+}
+
+func (e Endpoint) String() string {
+	return fmt.Sprintf("%d|%d", e.Node.ID(), e.Thread)
+}
+
+// RoutingFunc maps a tuple to a target index, enabling application-defined
+// partition functions (range partitioning, radix partitioning, ...).
+type RoutingFunc func(t schema.Tuple) int
+
+// Options carries the declarative per-flow settings of Table 1 plus the
+// tuning knobs the paper exposes (segment size and count, credit
+// threshold).
+type Options struct {
+	Optimization Optimization
+
+	// SegmentSize is the payload capacity of one ring segment in bytes.
+	// Bandwidth-optimized flows default to 8 KiB (the paper's batch size);
+	// latency-optimized flows default to one tuple.
+	SegmentSize int
+
+	// SegmentsPerRing is the number of segments in each target-side ring
+	// (default 32, the paper's default configuration).
+	SegmentsPerRing int
+
+	// SourceSegments is the number of segments in each source-side ring
+	// (default: same as SegmentsPerRing, matching the paper's memory
+	// accounting).
+	SourceSegments int
+
+	// Multicast enables switch-side replication for replicate flows.
+	Multicast bool
+
+	// GlobalOrdering makes all targets of a replicate flow consume tuples
+	// in the same global order (ordered unreliable multicast), using a
+	// tuple sequencer.
+	GlobalOrdering bool
+
+	// NotifyGaps, for globally ordered replicate flows, reports sequence
+	// gaps to the application on Consume instead of requesting
+	// retransmission internally (used by the NOPaxos use case).
+	NotifyGaps bool
+
+	// GapTimeout is how long a target waits on a missing multicast segment
+	// before recovering (NACK or gap notification). Default 20µs.
+	GapTimeout time.Duration
+
+	// Aggregation configures a combiner flow: AggFunc applied to ValueCol,
+	// grouped by GroupCol.
+	Aggregation AggFunc
+	GroupCol    int
+	ValueCol    int
+
+	// CreditThreshold is the remaining-credit level at which a
+	// latency-optimized source refreshes its credit from the target
+	// (default SegmentsPerRing/4).
+	CreditThreshold int
+
+	// Elastic allows sources to join a running flow with AttachSource and
+	// leave with Close; the flow ends once Sealed and all attached
+	// sources closed (extension beyond the paper, see elastic.go).
+	Elastic bool
+
+	// MaxSources bounds the total attachments of an elastic flow (rings
+	// are pre-provisioned per slot; default 2 × initial sources).
+	MaxSources int
+
+	// SourceTimeout enables failure detection at targets (extension
+	// beyond the paper, which names fault tolerance as future work): a
+	// source whose ring shows no new segments for this long while other
+	// rings make progress is declared failed and its ring closed; failed
+	// slots are reported by Target.FailedSources. Zero disables detection.
+	SourceTimeout time.Duration
+
+	// PushCost and ConsumeCost are the per-tuple CPU costs charged at the
+	// source and target (defaults 12ns / 10ns; see DESIGN.md §6). AggCost
+	// is the additional per-tuple aggregation cost of combiner flows.
+	PushCost    time.Duration
+	ConsumeCost time.Duration
+	AggCost     time.Duration
+}
+
+// footerBytes is the per-segment footer: 4B fill count, 1B flags,
+// 3B reserved, 8B sequence number. The footer lies after the payload so the
+// NIC's increasing-address DMA order makes "footer visible" imply "payload
+// complete" (paper §5.2).
+const footerBytes = 16
+
+// ringHeaderBytes precedes each ring: an 8-byte consumed counter (read
+// remotely by latency-optimized sources for credit refresh), padded to a
+// cache line.
+const ringHeaderBytes = 64
+
+// Footer flag bits.
+const (
+	flagConsumable = 1 << 0
+	flagEndOfFlow  = 1 << 1
+)
+
+// FlowSpec declares a flow: its unique name, participating source and
+// target threads, tuple schema, routing, and options.
+type FlowSpec struct {
+	Name string
+
+	// Type selects shuffle (default), replicate, or combiner semantics.
+	Type FlowType
+
+	Sources []Endpoint
+	Targets []Endpoint
+	Schema  *schema.Schema
+
+	// ShuffleKey is the column index whose hashed value routes each tuple
+	// (shuffle flows). Set to -1 when Routing is supplied or when pushes
+	// name targets directly.
+	ShuffleKey int
+
+	// Routing, when non-nil, overrides key-based routing with an
+	// application partition function.
+	Routing RoutingFunc
+
+	Options Options
+}
+
+// flowMeta is the registry entry for an initialized flow.
+type flowMeta struct {
+	spec    FlowSpec
+	cluster *fabric.Cluster
+
+	// elastic is the mutable membership of an elastic flow.
+	elastic *elasticState
+
+	// group is the multicast group of a multicast replicate flow, with one
+	// endpoint per target.
+	group *fabric.MulticastGroup
+
+	// seqMR holds the global tuple-sequencer counter of an ordered
+	// replicate flow (hosted on the first target's node).
+	seqMR *fabric.MemoryRegion
+}
+
+// targetInfo is published by TargetOpen for sources to connect to.
+type targetInfo struct {
+	mr       *fabric.MemoryRegion
+	ringOffs []int // ring base offset per source index
+	geom     ringGeom
+}
+
+// ringGeom captures the layout of one target-side ring.
+type ringGeom struct {
+	segSize int // payload bytes per segment
+	nSegs   int
+}
+
+func (g ringGeom) stride() int  { return g.segSize + footerBytes }
+func (g ringGeom) ringLen() int { return ringHeaderBytes + g.nSegs*g.stride() }
+func (g ringGeom) segOff(i int) int {
+	return ringHeaderBytes + i*g.stride()
+}
+
+// normalize validates the spec and fills defaulted options in place.
+func (s *FlowSpec) normalize() error {
+	if s.Name == "" {
+		return errors.New("dfi: flow name must be non-empty")
+	}
+	if s.Schema == nil {
+		return errors.New("dfi: flow schema required")
+	}
+	if len(s.Targets) == 0 {
+		return errors.New("dfi: flow needs at least one target")
+	}
+	if len(s.Sources) == 0 && !s.Options.Elastic {
+		return errors.New("dfi: flow needs at least one source")
+	}
+	o := &s.Options
+	switch s.Options.Optimization {
+	case OptimizeBandwidth:
+		if o.SegmentSize == 0 {
+			o.SegmentSize = 8 << 10
+		}
+	case OptimizeLatency:
+		if o.SegmentSize == 0 {
+			o.SegmentSize = s.Schema.TupleSize()
+		}
+	}
+	if o.SegmentSize < s.Schema.TupleSize() {
+		return fmt.Errorf("dfi: segment size %d smaller than tuple size %d", o.SegmentSize, s.Schema.TupleSize())
+	}
+	if o.SegmentsPerRing == 0 {
+		o.SegmentsPerRing = 32
+	}
+	if o.SegmentsPerRing < 2 {
+		return errors.New("dfi: at least 2 segments per ring required for pipelining")
+	}
+	if o.SourceSegments == 0 {
+		o.SourceSegments = o.SegmentsPerRing
+	}
+	if o.SourceSegments < 2 {
+		return errors.New("dfi: at least 2 source segments required")
+	}
+	if o.CreditThreshold == 0 {
+		o.CreditThreshold = o.SegmentsPerRing / 4
+	}
+	if o.GapTimeout == 0 {
+		o.GapTimeout = 20 * time.Microsecond
+	}
+	if o.PushCost == 0 {
+		o.PushCost = 12 * time.Nanosecond
+	}
+	if o.ConsumeCost == 0 {
+		o.ConsumeCost = 10 * time.Nanosecond
+	}
+	if o.AggCost == 0 {
+		o.AggCost = 10 * time.Nanosecond
+	}
+	switch s.Options.Optimization {
+	case OptimizeBandwidth, OptimizeLatency:
+	default:
+		return fmt.Errorf("dfi: unknown optimization %d", s.Options.Optimization)
+	}
+	if s.ShuffleKey >= s.Schema.Columns() {
+		return fmt.Errorf("dfi: shuffle key column %d out of range", s.ShuffleKey)
+	}
+	switch s.Type {
+	case ShuffleFlow:
+		if o.Multicast || o.GlobalOrdering {
+			return errors.New("dfi: multicast/ordering are replicate-flow options")
+		}
+		if s.ShuffleKey < 0 && s.Routing == nil {
+			// Allowed: pushes must use PushTo with explicit targets.
+		}
+	case ReplicateFlow:
+		if o.GlobalOrdering && !o.Multicast {
+			return errors.New("dfi: global ordering requires a multicast replicate flow")
+		}
+	case CombinerFlow:
+		// N:1 refers to nodes: multiple target *threads* may share the
+		// single target node (Figure 9 scales them).
+		for _, t := range s.Targets {
+			if t.Node != s.Targets[0].Node {
+				return errors.New("dfi: combiner flow targets must share one node (N:1)")
+			}
+		}
+		if o.Multicast || o.GlobalOrdering {
+			return errors.New("dfi: multicast/ordering are replicate-flow options")
+		}
+		if o.GroupCol < 0 || o.GroupCol >= s.Schema.Columns() ||
+			o.ValueCol < 0 || o.ValueCol >= s.Schema.Columns() {
+			return fmt.Errorf("dfi: combiner group/value column out of range")
+		}
+	default:
+		return fmt.Errorf("dfi: unknown flow type %d", s.Type)
+	}
+	if o.Multicast && s.Type != ReplicateFlow {
+		return errors.New("dfi: multicast requires a replicate flow")
+	}
+	return s.validateElastic()
+}
+
+// FlowInit validates the spec and publishes the flow in the registry,
+// making it available cluster-wide (paper Figure 1, upper half). For
+// multicast replicate flows it also creates the switch multicast group,
+// and for globally ordered flows the tuple-sequencer counter.
+func FlowInit(p *sim.Proc, reg *registry.Registry, cluster *fabric.Cluster, spec FlowSpec) error {
+	if err := spec.normalize(); err != nil {
+		return err
+	}
+	meta := &flowMeta{spec: spec, cluster: cluster}
+	if spec.Options.Elastic {
+		meta.elastic = &elasticState{attached: len(spec.Sources), cond: sim.NewCond(cluster.K)}
+	}
+	if spec.Options.Multicast {
+		nodes := make([]*fabric.Node, len(spec.Targets))
+		for i, t := range spec.Targets {
+			nodes[i] = t.Node
+		}
+		meta.group = cluster.CreateMulticast(nodes...)
+		if spec.Options.GlobalOrdering {
+			meta.seqMR = cluster.RegisterMemory(spec.Targets[0].Node, 8)
+		}
+	}
+	return reg.Publish(p, spec.Name, meta)
+}
+
+// lookupFlow retrieves flow metadata, blocking until the flow is
+// initialized.
+func lookupFlow(p *sim.Proc, reg *registry.Registry, name string) *flowMeta {
+	return reg.WaitFlow(p, name).(*flowMeta)
+}
+
+// routeIndex computes the default key-hash route for a tuple.
+func routeIndex(spec *FlowSpec, t schema.Tuple) int {
+	if spec.Routing != nil {
+		return spec.Routing(t)
+	}
+	key := spec.Schema.KeyUint64(t, spec.ShuffleKey)
+	return int(schema.Hash(key) % uint64(len(spec.Targets)))
+}

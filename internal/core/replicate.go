@@ -1,0 +1,775 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"dfi/internal/fabric"
+	"dfi/internal/registry"
+	"dfi/internal/schema"
+	"dfi/internal/sim"
+)
+
+// Multicast replicate flows (paper §5.4) ride on two-sided unreliable
+// multicast instead of one-sided ring writes:
+//
+//   - Targets pre-populate their receive queues with as many buffers as
+//     the credit score allows; sources track per-target credit from a
+//     back-flow of credit messages, so ordinary sends need no
+//     coordination.
+//   - Segments carry sequence numbers; targets detect losses as gaps and,
+//     after a configurable timeout, request retransmission with a NACK on
+//     a reliable reverse queue pair (or surface the gap to the
+//     application when Options.NotifyGaps is set — the NOPaxos use case).
+//   - Globally ordered flows draw sequence numbers from a tuple sequencer
+//     (an RDMA fetch-and-add counter) and reorder out-of-order arrivals at
+//     the target with a receive list / next list (paper Figure 6).
+//
+// End-of-flow markers and retransmissions travel on the reliable per-pair
+// queue pairs so termination does not depend on lossy multicast.
+
+// Multicast message header: fill(4) flags(1) srcIdx(1) rsvd(2) seq(8).
+const mcHeaderBytes = 16
+
+// Control message (target -> source): kind(1) rsvd(7) value(8).
+const (
+	ctrlBytes  = 16
+	ctrlCredit = 1
+	ctrlNack   = 2
+)
+
+// Gap describes a missing global sequence number surfaced to the
+// application of an ordered replicate flow with NotifyGaps.
+type Gap struct {
+	Seq uint64
+}
+
+// mcQPName returns the registry rendezvous key for the reliable QP between
+// source i and target j of a flow.
+func mcQPName(flow string, i, j int) string {
+	return fmt.Sprintf("%s/mcqp/%d/%d", flow, i, j)
+}
+
+// mcSource is the sending half of a multicast replicate flow.
+type mcSource struct {
+	meta *flowMeta
+	spec *FlowSpec
+	idx  int
+	node *fabric.Node
+
+	group    *fabric.MulticastGroup
+	fqps     []*fabric.QP // reliable QP to each target (source end)
+	ctrlBufs [][]byte     // posted control-recv buffers, recycled by index
+
+	segBuf []byte // current segment: header + payload
+	fill   int
+
+	credit       int // ring size R
+	sentSegs     uint64
+	payloadBytes uint64
+	consumedBy   []uint64 // cumulative segments consumed, per target
+
+	history    map[uint64][]byte
+	histOrder  []uint64
+	seqQP      *fabric.QP // to the sequencer node (ordered flows)
+	closedFlag bool
+
+	// Ordered flows: globally drawn sequence numbers owned by this source
+	// (monotonic), and how many of them each target has processed. Credit
+	// messages carry the target's global progress; the source maps that to
+	// its own outstanding window.
+	ownSeqs []uint64
+	ownIdx  []int
+}
+
+func newMcSource(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (*mcSource, error) {
+	spec := &meta.spec
+	s := &mcSource{
+		meta:       meta,
+		spec:       spec,
+		idx:        idx,
+		node:       spec.Sources[idx].Node,
+		group:      meta.group,
+		credit:     spec.Options.SegmentsPerRing,
+		consumedBy: make([]uint64, len(spec.Targets)),
+		history:    make(map[uint64][]byte),
+		segBuf:     make([]byte, mcHeaderBytes+spec.Options.SegmentSize),
+		ownIdx:     make([]int, len(spec.Targets)),
+	}
+	// Reliable per-target QPs: the source creates the pair and publishes
+	// the target's end for TargetOpen to collect.
+	for j, tgt := range spec.Targets {
+		sq, tq := meta.cluster.CreateQPPair(s.node, tgt.Node)
+		if err := reg.Publish(p, mcQPName(spec.Name, idx, j), tq); err != nil {
+			return nil, err
+		}
+		s.fqps = append(s.fqps, sq)
+		// Post receives for control messages (credits / NACKs).
+		for r := 0; r < 4; r++ {
+			buf := make([]byte, ctrlBytes)
+			s.ctrlBufs = append(s.ctrlBufs, buf)
+			sq.PostRecv(buf, uint64(len(s.ctrlBufs)-1))
+		}
+	}
+	if spec.Options.GlobalOrdering {
+		s.seqQP, _ = meta.cluster.CreateQPPair(s.node, meta.seqMR.Node())
+	}
+	return s, nil
+}
+
+// push appends a tuple, transmitting the segment when full (bandwidth
+// mode) or immediately (latency mode).
+func (s *mcSource) push(p *sim.Proc, t schema.Tuple) {
+	if s.fill+len(t) > s.spec.Options.SegmentSize {
+		s.sendSegment(p, false)
+	}
+	copy(s.segBuf[mcHeaderBytes+s.fill:], t)
+	s.fill += len(t)
+	if s.spec.Options.Optimization == OptimizeLatency {
+		s.sendSegment(p, false)
+	}
+}
+
+func (s *mcSource) flush(p *sim.Proc) {
+	if s.fill > 0 {
+		s.sendSegment(p, false)
+	}
+}
+
+// sendSegment stamps the header, draws a sequence number (global for
+// ordered flows, per-source otherwise), retains the segment for
+// retransmission, and multicasts it.
+func (s *mcSource) sendSegment(p *sim.Proc, end bool) {
+	s.ensureCredit(p)
+	s.drainControl(p)
+
+	var seq uint64
+	if s.spec.Options.GlobalOrdering {
+		// Tuple sequencer: one fetch-and-add round trip per segment
+		// (paper §5.4); with programmable switches this could move into
+		// the network.
+		seq = s.seqQP.FetchAdd(p, fabric.Addr{MR: s.meta.seqMR}, 1)
+		s.ownSeqs = append(s.ownSeqs, seq)
+	} else {
+		seq = s.sentSegs
+	}
+	flags := byte(flagConsumable)
+	if end {
+		flags |= flagEndOfFlow
+	}
+	h := s.segBuf
+	binary.LittleEndian.PutUint32(h[0:4], uint32(s.fill))
+	h[4] = flags
+	h[5] = byte(s.idx)
+	h[6], h[7] = 0, 0
+	binary.LittleEndian.PutUint64(h[8:16], seq)
+
+	msg := make([]byte, mcHeaderBytes+s.fill)
+	copy(msg, s.segBuf[:mcHeaderBytes+s.fill])
+	s.history[seq] = msg
+	s.histOrder = append(s.histOrder, seq)
+	if len(s.histOrder) > 4*s.credit {
+		old := s.histOrder[0]
+		s.histOrder = s.histOrder[1:]
+		delete(s.history, old)
+	}
+
+	s.group.Send(p, s.node, msg, false)
+	s.sentSegs++
+	s.payloadBytes += uint64(s.fill)
+	s.fill = 0
+}
+
+// ensureCredit blocks while any target's outstanding window is full.
+func (s *mcSource) ensureCredit(p *sim.Proc) {
+	for {
+		lag := -1
+		for j := range s.consumedBy {
+			if int(s.sentSegs-s.consumedBy[j]) >= s.credit {
+				lag = j
+				break
+			}
+		}
+		if lag < 0 {
+			return
+		}
+		if c, ok := s.fqps[lag].RecvCQ().WaitTimeout(p, 5*time.Microsecond); ok {
+			s.handleControl(p, lag, c)
+		}
+		s.drainControl(p)
+	}
+}
+
+// drainControl processes pending credit and NACK messages from all
+// targets without blocking.
+func (s *mcSource) drainControl(p *sim.Proc) {
+	for j, qp := range s.fqps {
+		for qp.RecvCQ().Len() > 0 {
+			c, ok := qp.RecvCQ().Poll(p)
+			if !ok {
+				break
+			}
+			s.handleControl(p, j, c)
+		}
+	}
+}
+
+func (s *mcSource) handleControl(p *sim.Proc, target int, c fabric.Completion) {
+	buf := s.ctrlBufs[c.ID]
+	kind := buf[0]
+	value := binary.LittleEndian.Uint64(buf[8:16])
+	s.fqps[target].PostRecv(buf, c.ID) // recycle the buffer
+	switch kind {
+	case ctrlCredit:
+		if s.spec.Options.GlobalOrdering {
+			// value is the target's global progress (next undelivered
+			// sequence); count how many of our own segments lie below it.
+			i := s.ownIdx[target]
+			for i < len(s.ownSeqs) && s.ownSeqs[i] < value {
+				i++
+			}
+			s.ownIdx[target] = i
+			if uint64(i) > s.consumedBy[target] {
+				s.consumedBy[target] = uint64(i)
+			}
+		} else if value > s.consumedBy[target] {
+			s.consumedBy[target] = value
+		}
+	case ctrlNack:
+		if msg, ok := s.history[value]; ok {
+			// Reliable unicast retransmission to the requesting target.
+			s.fqps[target].Send(p, msg, false, 0)
+		}
+	}
+}
+
+// close flushes, sends reliable end markers carrying the per-source
+// segment count, and lingers until every target has consumed everything —
+// serving retransmission requests meanwhile.
+func (s *mcSource) close(p *sim.Proc) {
+	if s.closedFlag {
+		return
+	}
+	s.closedFlag = true
+	s.flush(p)
+	end := make([]byte, mcHeaderBytes)
+	binary.LittleEndian.PutUint32(end[0:4], 0)
+	end[4] = flagConsumable | flagEndOfFlow
+	end[5] = byte(s.idx)
+	binary.LittleEndian.PutUint64(end[8:16], s.sentSegs) // segment count
+	for _, qp := range s.fqps {
+		qp.Send(p, end, false, 0)
+	}
+	for {
+		min := s.sentSegs
+		for _, v := range s.consumedBy {
+			if v < min {
+				min = v
+			}
+		}
+		if min >= s.sentSegs {
+			return
+		}
+		for j, qp := range s.fqps {
+			if c, ok := qp.RecvCQ().WaitTimeout(p, s.spec.Options.GapTimeout); ok {
+				s.handleControl(p, j, c)
+			}
+		}
+		s.drainControl(p)
+	}
+}
+
+func (s *mcSource) free() {}
+
+// mcTarget is the receiving half of a multicast replicate flow.
+type mcTarget struct {
+	meta *flowMeta
+	spec *FlowSpec
+	idx  int
+	node *fabric.Node
+
+	ep   *fabric.McEndpoint
+	tqps []*fabric.QP // reliable QP from each source (target end)
+
+	pool   [][]byte // recycled receive buffers
+	poolMR *fabric.MemoryRegion
+
+	// Per-source protocol state (per-source sequences when unordered).
+	nextSeq   []uint64 // next expected per-source seq (unordered)
+	delivered []uint64 // segments delivered per source
+	endCount  []uint64 // expected per-source count (from end marker)
+	ended     []bool
+	creditAcc []uint64 // segments consumed since last credit msg
+
+	// Ordered-flow state: the "next list" of Figure 6 is the pending map
+	// keyed by global seq; the receive list is the fabric receive queue.
+	nextGlobal uint64
+	pending    map[uint64][]byte
+
+	gapSince   sim.Time // when the current head gap was first observed
+	gapPending bool
+	gap        Gap
+
+	active    []byte
+	segOff    int
+	remaining int
+	tupleSize int
+	done      bool
+}
+
+func newMcTarget(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (*mcTarget, error) {
+	spec := &meta.spec
+	nSrc := len(spec.Sources)
+	R := spec.Options.SegmentsPerRing
+	t := &mcTarget{
+		meta:      meta,
+		spec:      spec,
+		idx:       idx,
+		node:      spec.Targets[idx].Node,
+		ep:        meta.group.Member(idx),
+		nextSeq:   make([]uint64, nSrc),
+		delivered: make([]uint64, nSrc),
+		endCount:  make([]uint64, nSrc),
+		ended:     make([]bool, nSrc),
+		creditAcc: make([]uint64, nSrc),
+		pending:   make(map[uint64][]byte),
+		tupleSize: spec.Schema.TupleSize(),
+	}
+	stride := mcHeaderBytes + spec.Options.SegmentSize
+	// One slab backs all receive buffers (registered for accounting). The
+	// posted queues hold nSrc*R (multicast) + nSrc*(R+2) (reliable path)
+	// buffers at all times; pending reordering and the active segment hold
+	// at most as many again.
+	nBufs := 2*(nSrc*R+nSrc*(R+2)) + 8
+	t.poolMR = meta.cluster.RegisterMemory(t.node, nBufs*stride)
+	slab := t.poolMR.Bytes()
+	for i := 0; i < nBufs; i++ {
+		t.pool = append(t.pool, slab[i*stride:(i+1)*stride])
+	}
+	// Pre-populate the multicast receive queue with the credit score (R
+	// buffers per source).
+	for i := 0; i < nSrc*R; i++ {
+		t.ep.PostRecv(t.takeBuf(), 0)
+	}
+	// Reliable QPs from each source (retransmissions + end markers).
+	for i := 0; i < nSrc; i++ {
+		qp := reg.WaitFlow(p, mcQPName(spec.Name, i, idx)).(*fabric.QP)
+		t.tqps = append(t.tqps, qp)
+		for r := 0; r < R+2; r++ {
+			qp.PostRecv(t.takeBuf(), 0)
+		}
+	}
+	return t, nil
+}
+
+func (t *mcTarget) takeBuf() []byte {
+	if len(t.pool) == 0 {
+		// Pool exhaustion cannot happen within the credit window; guard
+		// against protocol bugs.
+		panic("dfi: multicast receive buffer pool exhausted")
+	}
+	b := t.pool[len(t.pool)-1]
+	t.pool = t.pool[:len(t.pool)-1]
+	return b
+}
+
+func (t *mcTarget) recycle(buf []byte) {
+	t.pool = append(t.pool, buf[:cap(buf)])
+}
+
+// key computes the pending-map key for a segment: the global sequence for
+// ordered flows, or (source, per-source seq) packed otherwise.
+func (t *mcTarget) key(src int, seq uint64) uint64 {
+	if t.spec.Options.GlobalOrdering {
+		return seq
+	}
+	return uint64(src)<<48 | seq
+}
+
+// recvOrigin is a receive queue a buffer can be (re)posted to: either the
+// multicast endpoint or a reliable QP.
+type recvOrigin interface {
+	PostRecv(buf []byte, id uint64)
+}
+
+// ingest processes one received message. The posted-buffer the message
+// arrived in is immediately replaced on its origin queue so the receive
+// windows never shrink (losing posted receives would starve the flow).
+func (t *mcTarget) ingest(p *sim.Proc, buf []byte, bytes int, origin recvOrigin) {
+	origin.PostRecv(t.takeBuf(), 0)
+	h := buf[:mcHeaderBytes]
+	fill := int(binary.LittleEndian.Uint32(h[0:4]))
+	flags := h[4]
+	src := int(h[5])
+	seq := binary.LittleEndian.Uint64(h[8:16])
+	if flags&flagEndOfFlow != 0 && fill == 0 {
+		// End marker: seq carries the source's total segment count.
+		if !t.ended[src] {
+			t.ended[src] = true
+			t.endCount[src] = seq
+		}
+		t.recycle(buf)
+		return
+	}
+	// Duplicate filtering: already delivered or already pending.
+	dup := false
+	if t.spec.Options.GlobalOrdering {
+		dup = seq < t.nextGlobal
+	} else {
+		dup = seq < t.nextSeq[src]
+	}
+	k := t.key(src, seq)
+	if dup {
+		t.recycle(buf)
+		return
+	}
+	if _, exists := t.pending[k]; exists {
+		t.recycle(buf)
+		return
+	}
+	t.pending[k] = buf[:bytes]
+	_ = fill
+}
+
+// poll drains all receive CQs without blocking, ingesting arrivals.
+func (t *mcTarget) poll(p *sim.Proc) bool {
+	got := false
+	for t.ep.RecvCQ().Len() > 0 {
+		c, ok := t.ep.RecvCQ().Poll(p)
+		if !ok {
+			break
+		}
+		t.ingest(p, c.Buf, c.Bytes, t.ep)
+		got = true
+	}
+	for _, qp := range t.tqps {
+		for qp.RecvCQ().Len() > 0 {
+			c, ok := qp.RecvCQ().Poll(p)
+			if !ok {
+				break
+			}
+			t.ingest(p, c.Buf, c.Bytes, qp)
+			got = true
+		}
+	}
+	return got
+}
+
+// sendCredit reports cumulative consumption from src back to it, both as
+// flow-control credit and as the termination handshake.
+func (t *mcTarget) sendCredit(p *sim.Proc, src int, force bool) {
+	batch := uint64(t.spec.Options.SegmentsPerRing / 4)
+	if batch == 0 {
+		batch = 1
+	}
+	if !force && t.creditAcc[src] < batch {
+		return
+	}
+	t.creditAcc[src] = 0
+	if t.spec.Options.GlobalOrdering {
+		t.broadcastProgress(p)
+		return
+	}
+	msg := make([]byte, ctrlBytes)
+	msg[0] = ctrlCredit
+	binary.LittleEndian.PutUint64(msg[8:16], t.delivered[src])
+	t.tqps[src].Send(p, msg, false, 0)
+}
+
+// broadcastProgress tells every source how far the target's global
+// sequence progressed (ordered flows): sources translate this into their
+// own credit, and skipped gaps count as progress.
+func (t *mcTarget) broadcastProgress(p *sim.Proc) {
+	for _, qp := range t.tqps {
+		msg := make([]byte, ctrlBytes)
+		msg[0] = ctrlCredit
+		binary.LittleEndian.PutUint64(msg[8:16], t.nextGlobal)
+		qp.Send(p, msg, false, 0)
+	}
+}
+
+// sendFinalCredit fully acknowledges a source at flow end. For ordered
+// flows with application-level gap handling, skipped sequence numbers are
+// acknowledged as consumed so the source's termination handshake
+// completes.
+func (t *mcTarget) sendFinalCredit(p *sim.Proc, src int) {
+	if t.spec.Options.GlobalOrdering {
+		// Global progress (including ResolveGap skips) already covers the
+		// whole sequence space by the time the flow finishes; just
+		// broadcast it. Forcing nextGlobal forward here would silently
+		// drop other sources' undelivered segments.
+		t.broadcastProgress(p)
+		return
+	}
+	msg := make([]byte, ctrlBytes)
+	msg[0] = ctrlCredit
+	v := t.delivered[src]
+	if t.ended[src] && t.endCount[src] > v {
+		v = t.endCount[src]
+	}
+	binary.LittleEndian.PutUint64(msg[8:16], v)
+	t.tqps[src].Send(p, msg, false, 0)
+}
+
+// sendNack requests retransmission of a missing sequence number. Ordered
+// flows cannot tell which source owns a global sequence number, so the
+// NACK goes to every source; only the owner finds it in its history.
+func (t *mcTarget) sendNack(p *sim.Proc, seq uint64, src int) {
+	msg := make([]byte, ctrlBytes)
+	msg[0] = ctrlNack
+	binary.LittleEndian.PutUint64(msg[8:16], seq)
+	if t.spec.Options.GlobalOrdering {
+		for _, qp := range t.tqps {
+			nack := make([]byte, ctrlBytes)
+			copy(nack, msg)
+			qp.Send(p, nack, false, 0)
+		}
+		return
+	}
+	t.tqps[src].Send(p, msg, false, 0)
+}
+
+// headDeliverable returns the pending segment that must be delivered next:
+// the next global sequence number for ordered flows, or the next
+// per-source sequence scanning sources round-robin otherwise. It also
+// reports whether a *gap* blocks delivery (segments pending or sources
+// still open but the head segment missing).
+func (t *mcTarget) headDeliverable() (buf []byte, src int, ok bool) {
+	if t.spec.Options.GlobalOrdering {
+		if b, exists := t.pending[t.nextGlobal]; exists {
+			return b, int(b[5]), true
+		}
+		return nil, 0, false
+	}
+	for s := range t.nextSeq {
+		if t.ended[s] && t.delivered[s] >= t.endCount[s] {
+			continue
+		}
+		if b, exists := t.pending[t.key(s, t.nextSeq[s])]; exists {
+			return b, s, true
+		}
+	}
+	return nil, 0, false
+}
+
+// finished reports whether every source has ended and all segments were
+// delivered. Ordered flows track progress in global sequence space, so
+// sequence numbers skipped via ResolveGap count as handled.
+func (t *mcTarget) finished() bool {
+	for s := range t.ended {
+		if !t.ended[s] {
+			return false
+		}
+	}
+	if t.spec.Options.GlobalOrdering {
+		return t.nextGlobal >= t.totalExpected()
+	}
+	for s := range t.ended {
+		if t.delivered[s] < t.endCount[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// totalExpected is the global sequence-space size (sum of per-source
+// segment counts); valid once every source has ended.
+func (t *mcTarget) totalExpected() uint64 {
+	var sum uint64
+	for _, c := range t.endCount {
+		sum += c
+	}
+	return sum
+}
+
+// deliver activates a pending segment for consumption.
+func (t *mcTarget) deliver(p *sim.Proc, buf []byte, src int) {
+	seq := binary.LittleEndian.Uint64(buf[8:16])
+	delete(t.pending, t.key(src, seq))
+	if t.spec.Options.GlobalOrdering {
+		t.nextGlobal = seq + 1
+	} else {
+		t.nextSeq[src] = seq + 1
+	}
+	t.delivered[src]++
+	t.creditAcc[src]++
+	t.gapSince = 0
+
+	fill := int(binary.LittleEndian.Uint32(buf[0:4]))
+	count := fill / t.tupleSize
+	t.node.Compute(p, time.Duration(count)*t.spec.Options.ConsumeCost)
+	t.active = buf
+	t.segOff = mcHeaderBytes
+	t.remaining = count
+
+	t.sendCredit(p, src, false)
+	if t.ended[src] && t.delivered[src] >= t.endCount[src] {
+		t.sendFinalCredit(p, src) // termination handshake
+	}
+}
+
+// nextSegment obtains the next in-order segment, handling gap timeouts.
+// It returns false at flow end or when a gap is surfaced (NotifyGaps).
+func (t *mcTarget) nextSegment(p *sim.Proc) bool {
+	if t.active != nil {
+		t.recycle(t.active)
+		t.active = nil
+	}
+	for {
+		t.poll(p)
+		if buf, src, ok := t.headDeliverable(); ok {
+			t.deliver(p, buf, src)
+			return true
+		}
+		if t.finished() {
+			t.done = true
+			for s := range t.ended {
+				t.sendFinalCredit(p, s)
+			}
+			return false
+		}
+		// Head segment missing: a gap if anything newer already arrived or
+		// the owning source has ended.
+		blocked := len(t.pending) > 0 || t.anyEndedWithMissing()
+		if blocked {
+			if t.gapSince == 0 {
+				t.gapSince = p.Now()
+			} else if p.Now()-t.gapSince >= t.spec.Options.GapTimeout {
+				seq, src := t.headMissing()
+				if t.spec.Options.NotifyGaps {
+					t.gapPending = true
+					t.gap = Gap{Seq: seq}
+					t.gapSince = 0
+					return false
+				}
+				t.sendNack(p, seq, src)
+				t.gapSince = p.Now() // restart the timeout for the NACK
+			}
+		}
+		t.waitArrival(p)
+	}
+}
+
+// anyEndedWithMissing reports whether ended sources leave undelivered
+// segments (a tail loss that produces no newer arrivals). For ordered
+// flows the check runs in global sequence space once all sources ended.
+func (t *mcTarget) anyEndedWithMissing() bool {
+	if t.spec.Options.GlobalOrdering {
+		for s := range t.ended {
+			if !t.ended[s] {
+				return false
+			}
+		}
+		return t.nextGlobal < t.totalExpected()
+	}
+	for s := range t.ended {
+		if t.ended[s] && t.delivered[s] < t.endCount[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// headMissing identifies the missing sequence number blocking delivery.
+func (t *mcTarget) headMissing() (seq uint64, src int) {
+	if t.spec.Options.GlobalOrdering {
+		return t.nextGlobal, 0
+	}
+	for s := range t.nextSeq {
+		if t.ended[s] && t.delivered[s] < t.endCount[s] {
+			return t.nextSeq[s], s
+		}
+	}
+	for s := range t.nextSeq {
+		if !t.ended[s] {
+			if _, ok := t.pending[t.key(s, t.nextSeq[s])]; !ok {
+				return t.nextSeq[s], s
+			}
+		}
+	}
+	return 0, 0
+}
+
+// waitArrival blocks briefly for the next message on any receive queue.
+func (t *mcTarget) waitArrival(p *sim.Proc) {
+	d := t.spec.Options.GapTimeout / 4
+	if d <= 0 {
+		d = 5 * time.Microsecond
+	}
+	t.ep.RecvCQ().WaitNonEmpty(p, d)
+}
+
+// consume returns the next tuple in flow order.
+func (t *mcTarget) consume(p *sim.Proc) (schema.Tuple, bool) {
+	if t.done || t.gapPending {
+		return nil, false
+	}
+	for t.remaining == 0 {
+		if !t.nextSegment(p) {
+			return nil, false
+		}
+	}
+	tup := schema.Tuple(t.active[t.segOff : t.segOff+t.tupleSize])
+	t.segOff += t.tupleSize
+	t.remaining--
+	return tup, true
+}
+
+// consumeSegment returns the next whole segment as a raw batch.
+func (t *mcTarget) consumeSegment(p *sim.Proc) ([]byte, int, bool) {
+	if t.done || t.gapPending {
+		return nil, 0, false
+	}
+	if t.remaining > 0 {
+		data, count := t.active[t.segOff:], t.remaining
+		t.segOff += count * t.tupleSize
+		t.remaining = 0
+		return data[:count*t.tupleSize], count, true
+	}
+	if !t.nextSegment(p) {
+		return nil, 0, false
+	}
+	data, count := t.active[t.segOff:t.segOff+t.remaining*t.tupleSize], t.remaining
+	t.segOff += t.remaining * t.tupleSize
+	t.remaining = 0
+	return data, count, true
+}
+
+// pendingGap exposes a surfaced gap (NotifyGaps flows).
+func (t *mcTarget) pendingGap() (Gap, bool) {
+	if !t.gapPending {
+		return Gap{}, false
+	}
+	return t.gap, true
+}
+
+// resolveGap skips past a surfaced gap: the application has agreed (e.g.
+// via NOPaxos gap agreement) to treat the sequence number as a no-op. The
+// skip counts as global progress so source credit keeps flowing.
+func (t *mcTarget) resolveGap(p *sim.Proc) {
+	if !t.gapPending {
+		return
+	}
+	if t.spec.Options.GlobalOrdering {
+		t.nextGlobal = t.gap.Seq + 1
+		t.creditAcc[0]++
+		t.sendCredit(p, 0, true)
+	}
+	t.gapPending = false
+}
+
+// requestGapRetransmit asks the sources to resend a surfaced gap instead
+// of skipping it.
+func (t *mcTarget) requestGapRetransmit(p *sim.Proc) {
+	if !t.gapPending {
+		return
+	}
+	t.sendNack(p, t.gap.Seq, 0)
+	t.gapPending = false
+	t.gapSince = p.Now()
+}
+
+func (t *mcTarget) free() {
+	t.poolMR.Deregister()
+}

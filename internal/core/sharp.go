@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dfi/internal/fabric"
+	"dfi/internal/registry"
+	"dfi/internal/schema"
+	"dfi/internal/sim"
+)
+
+// This file implements the paper's stated avenue of future work for
+// combiner flows (§4.2.3, §5.4): pushing the aggregation *into the
+// network* the way InfiniBand's SHARP protocol does, so the reduction no
+// longer funnels through the in-going link of the target node.
+//
+// The in-network combiner is composed from existing DFI machinery:
+//
+//	sources ──ingest flow──▶ switch reduction engine ──flush flow──▶ target
+//
+// The reduction engine runs on a switch-resident endpoint
+// (fabric.Cluster.NewSwitchNode): every sender is limited only by its own
+// link, and the engine forwards compact partial aggregates to the target
+// at a configurable interval, shrinking the target's ingress traffic from
+// O(tuples) to O(groups).
+//
+// This is an extension beyond the paper's implementation; Table/figure
+// reproductions never use it. The ablation experiment and
+// BenchmarkSharpCombiner quantify its headline effect.
+
+// SharpOptions configures the in-network combiner.
+type SharpOptions struct {
+	// Aggregation, GroupCol and ValueCol mirror combiner-flow options.
+	Aggregation AggFunc
+	GroupCol    int
+	ValueCol    int
+
+	// FlushGroups bounds the reduction engine's table; reaching it (or
+	// flow end) flushes partial aggregates to the target.
+	FlushGroups int
+
+	// SwitchTupleCost models the reduction-engine processing rate per
+	// tuple and port (SHARP ASICs reduce at line rate; default 1ns).
+	SwitchTupleCost time.Duration
+
+	// Ports is the number of parallel reduction engines (SHARP reduces
+	// per ingress port; default: one per source).
+	Ports int
+
+	// SegmentsPerRing sizes the underlying flows' rings.
+	SegmentsPerRing int
+}
+
+// SharpCombiner is an N:1 aggregation whose reduction happens inside the
+// switch. Construct with NewSharpCombiner, attach sources with
+// SourceOpen on the ingest flow name (IngestFlow), and read results from
+// the target with Results after Run completes.
+type SharpCombiner struct {
+	name   string
+	spec   SharpOptions
+	sch    *schema.Schema
+	engine *fabric.Node
+}
+
+// aggTupleSchema is the flush-flow schema: group key, value, count.
+var aggTupleSchema = schema.MustNew(
+	schema.Column{Name: "key", Type: schema.Uint64},
+	schema.Column{Name: "value", Type: schema.Int64},
+	schema.Column{Name: "count", Type: schema.Int64},
+)
+
+// NewSharpCombiner initializes the two underlying flows and spawns the
+// switch reduction engine. Sources attach to the ingest flow (name
+// returned by IngestFlow) exactly like any combiner flow sources.
+func NewSharpCombiner(p *sim.Proc, reg *registry.Registry, cluster *fabric.Cluster,
+	name string, sources []Endpoint, target Endpoint, sch *schema.Schema, opt SharpOptions) (*SharpCombiner, error) {
+
+	if opt.FlushGroups == 0 {
+		opt.FlushGroups = 4096
+	}
+	if opt.SwitchTupleCost == 0 {
+		opt.SwitchTupleCost = time.Nanosecond
+	}
+	if opt.Ports == 0 {
+		opt.Ports = len(sources)
+	}
+	sc := &SharpCombiner{name: name, spec: opt, sch: sch, engine: cluster.NewSwitchNode()}
+
+	// One reduction engine per ingress port: SHARP reduces in parallel at
+	// line rate on every port of the switch.
+	engineEPs := make([]Endpoint, opt.Ports)
+	for i := range engineEPs {
+		engineEPs[i] = Endpoint{Node: sc.engine, Thread: i}
+	}
+	ingest := FlowSpec{
+		Name:    sc.IngestFlow(),
+		Sources: sources,
+		Targets: engineEPs,
+		Schema:  sch,
+		Options: Options{
+			SegmentsPerRing: opt.SegmentsPerRing,
+			ConsumeCost:     opt.SwitchTupleCost, // ASIC-rate ingest
+		},
+	}
+	flush := FlowSpec{
+		Name:    sc.flushFlow(),
+		Sources: engineEPs,
+		Targets: []Endpoint{target},
+		Schema:  aggTupleSchema,
+		Options: Options{SegmentsPerRing: opt.SegmentsPerRing},
+	}
+	if err := FlowInit(p, reg, cluster, ingest); err != nil {
+		return nil, err
+	}
+	if err := FlowInit(p, reg, cluster, flush); err != nil {
+		return nil, err
+	}
+	for port := 0; port < opt.Ports; port++ {
+		port := port
+		p.Spawn(fmt.Sprintf("sharp-engine-%s-%d", name, port), func(ep *sim.Proc) {
+			sc.runEngine(ep, reg, cluster, port)
+		})
+	}
+	return sc, nil
+}
+
+// IngestFlow returns the flow name sources must SourceOpen.
+func (sc *SharpCombiner) IngestFlow() string { return sc.name + "/ingest" }
+
+func (sc *SharpCombiner) flushFlow() string { return sc.name + "/flush" }
+
+// runEngine is one per-port reduction engine: it consumes its share of
+// the ingest flow, reduces tuples at the configured line rate, and
+// flushes partial aggregates to the target.
+func (sc *SharpCombiner) runEngine(p *sim.Proc, reg *registry.Registry, cluster *fabric.Cluster, port int) {
+	in, err := TargetOpen(p, reg, sc.IngestFlow(), port)
+	if err != nil {
+		panic(err)
+	}
+	out, err := SourceOpen(p, reg, sc.flushFlow(), port)
+	if err != nil {
+		panic(err)
+	}
+	groups := make(map[uint64]*aggState, sc.spec.FlushGroups)
+	copyData := cluster.Config().CopyPayload
+	ts := sc.sch.TupleSize()
+
+	flushAll := func() {
+		tup := aggTupleSchema.NewTuple()
+		for key, g := range groups {
+			aggTupleSchema.PutUint64(tup, 0, key)
+			aggTupleSchema.PutInt64(tup, 1, g.value)
+			aggTupleSchema.PutInt64(tup, 2, g.count)
+			if err := out.Push(p, tup); err != nil {
+				panic(err)
+			}
+			delete(groups, key)
+		}
+	}
+	for {
+		data, count, ok := in.ConsumeSegment(p)
+		if !ok {
+			break
+		}
+		sc.engine.Compute(p, time.Duration(count)*sc.spec.SwitchTupleCost)
+		if copyData {
+			for i := 0; i < count; i++ {
+				tup := schema.Tuple(data[i*ts : (i+1)*ts])
+				key := sc.sch.KeyUint64(tup, sc.spec.GroupCol)
+				val := sc.sch.Int64(tup, sc.spec.ValueCol)
+				g := groups[key]
+				if g == nil {
+					g = &aggState{key: key}
+					groups[key] = g
+				}
+				g.count++
+				switch sc.spec.Aggregation {
+				case AggSum, AggCount:
+					g.value += val
+				case AggMin:
+					if !g.init || val < g.value {
+						g.value = val
+					}
+				case AggMax:
+					if !g.init || val > g.value {
+						g.value = val
+					}
+				}
+				g.init = true
+			}
+		}
+		if len(groups) >= sc.spec.FlushGroups {
+			flushAll()
+		}
+	}
+	flushAll()
+	out.Close(p)
+}
+
+// TargetOpenSharp attaches the final aggregation target: it merges the
+// engine's partial aggregates into exact totals.
+func (sc *SharpCombiner) TargetOpenSharp(p *sim.Proc, reg *registry.Registry) (*SharpTarget, error) {
+	t, err := TargetOpen(p, reg, sc.flushFlow(), 0)
+	if err != nil {
+		return nil, err
+	}
+	return &SharpTarget{t: t, agg: sc.spec.Aggregation}, nil
+}
+
+// SharpTarget merges partial aggregates flushed by the reduction engine.
+type SharpTarget struct {
+	t      *Target
+	agg    AggFunc
+	groups map[uint64]*aggState
+}
+
+// Run drains the flush flow, merging partials until flow end.
+func (st *SharpTarget) Run(p *sim.Proc) {
+	st.groups = make(map[uint64]*aggState)
+	for {
+		tup, ok := st.t.Consume(p)
+		if !ok {
+			return
+		}
+		key := aggTupleSchema.Uint64(tup, 0)
+		val := aggTupleSchema.Int64(tup, 1)
+		cnt := aggTupleSchema.Int64(tup, 2)
+		g := st.groups[key]
+		if g == nil {
+			g = &aggState{key: key}
+			st.groups[key] = g
+		}
+		g.count += cnt
+		switch st.agg {
+		case AggSum, AggCount:
+			g.value += val
+		case AggMin:
+			if !g.init || val < g.value {
+				g.value = val
+			}
+		case AggMax:
+			if !g.init || val > g.value {
+				g.value = val
+			}
+		}
+		g.init = true
+	}
+}
+
+// Results returns the merged aggregates (see CombinerTarget.Results).
+func (st *SharpTarget) Results() []AggResult {
+	out := make([]AggResult, 0, len(st.groups))
+	for _, g := range st.groups {
+		v := g.value
+		if st.agg == AggCount {
+			v = g.count
+		}
+		out = append(out, AggResult{Key: g.key, Value: v, Count: g.count})
+	}
+	sortAggResults(out)
+	return out
+}
+
+// Consumed reports the number of partial-aggregate tuples received — the
+// target-ingress traffic the in-network reduction saved is the difference
+// to the raw tuple count.
+func (st *SharpTarget) Consumed() uint64 { return st.t.Consumed() }

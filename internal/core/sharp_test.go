@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dfi/internal/sim"
+)
+
+// runSharp drives an in-network combiner and returns merged results plus
+// the finish time and the flush-flow tuple count.
+func runSharp(t *testing.T, e *env, nSources, perSource, groups int) ([]AggResult, sim.Time, uint64) {
+	t.Helper()
+	var sources []Endpoint
+	for i := 0; i < nSources; i++ {
+		sources = append(sources, Endpoint{Node: e.c.Node(i)})
+	}
+	target := Endpoint{Node: e.c.Node(nSources)}
+	var results []AggResult
+	var finish sim.Time
+	var flushed uint64
+	var sc *SharpCombiner
+	e.k.Spawn("init", func(p *sim.Proc) {
+		var err error
+		sc, err = NewSharpCombiner(p, e.reg, e.c, "sharp", sources, target, kvSchema, SharpOptions{
+			Aggregation: AggSum, GroupCol: 0, ValueCol: 1,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	for si := 0; si < nSources; si++ {
+		si := si
+		e.k.Spawn(fmt.Sprintf("src%d", si), func(p *sim.Proc) {
+			for sc == nil {
+				p.Sleep(time.Microsecond)
+			}
+			src, err := SourceOpen(p, e.reg, sc.IngestFlow(), si)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < perSource; i++ {
+				_ = src.Push(p, mkTuple(int64(i%groups), int64(i)))
+			}
+			src.Close(p)
+		})
+	}
+	e.k.Spawn("tgt", func(p *sim.Proc) {
+		for sc == nil {
+			p.Sleep(time.Microsecond)
+		}
+		st, err := sc.TargetOpenSharp(p, e.reg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		st.Run(p)
+		results = st.Results()
+		finish = p.Now()
+		flushed = st.Consumed()
+	})
+	e.run(t)
+	return results, finish, flushed
+}
+
+func TestSharpCombinerCorrectness(t *testing.T) {
+	e := newEnv(t, 4)
+	const nSources, perSource, groups = 3, 3000, 16
+	results, _, flushed := runSharp(t, e, nSources, perSource, groups)
+	if len(results) != groups {
+		t.Fatalf("%d groups, want %d", len(results), groups)
+	}
+	// Expected per-group sum: each source pushes values i for i%groups==key.
+	want := make(map[uint64]int64)
+	for s := 0; s < nSources; s++ {
+		for i := 0; i < perSource; i++ {
+			want[uint64(i%groups)] += int64(i)
+		}
+	}
+	for _, r := range results {
+		if r.Value != want[r.Key] {
+			t.Fatalf("group %d = %d, want %d", r.Key, r.Value, want[r.Key])
+		}
+	}
+	// In-network reduction: the target ingress saw partial aggregates, not
+	// raw tuples.
+	if flushed >= uint64(nSources*perSource)/4 {
+		t.Fatalf("target received %d tuples for %d raw — reduction did not happen in-network", flushed, nSources*perSource)
+	}
+}
+
+func TestSharpCombinerBeatsEndHostCombinerThroughput(t *testing.T) {
+	// The headline motivation (paper §4.2.3): with many senders and few
+	// groups, the end-host combiner is capped by the target's in-going
+	// link, while the in-network reduction is bounded only by the senders'
+	// own links.
+	mkEnv := func() *env { return newEnv(t, 9) }
+	const perSource = 12000
+	const groups = 64
+
+	// End-host combiner.
+	e1 := mkEnv()
+	var hostEnd sim.Time
+	{
+		var sources []Endpoint
+		for i := 0; i < 8; i++ {
+			sources = append(sources, Endpoint{Node: e1.c.Node(i)})
+		}
+		spec := FlowSpec{
+			Name: "host-comb", Type: CombinerFlow,
+			Sources: sources,
+			Targets: []Endpoint{{Node: e1.c.Node(8)}},
+			Schema:  kvSchema,
+			Options: Options{Aggregation: AggSum, GroupCol: 0, ValueCol: 1},
+		}
+		e1.k.Spawn("init", func(p *sim.Proc) { _ = FlowInit(p, e1.reg, e1.c, spec) })
+		for si := 0; si < 8; si++ {
+			si := si
+			e1.k.Spawn(fmt.Sprintf("s%d", si), func(p *sim.Proc) {
+				src, _ := SourceOpen(p, e1.reg, "host-comb", si)
+				for i := 0; i < perSource; i++ {
+					_ = src.Push(p, mkTuple(int64(i%groups), 1))
+				}
+				src.Close(p)
+			})
+		}
+		e1.k.Spawn("t", func(p *sim.Proc) {
+			ct, _ := CombinerTargetOpen(p, e1.reg, "host-comb", 0)
+			ct.Run(p)
+			hostEnd = p.Now()
+		})
+		e1.run(t)
+	}
+
+	// In-network combiner, same workload.
+	e2 := mkEnv()
+	_, sharpEnd, _ := runSharp(t, e2, 8, perSource, groups)
+
+	if sharpEnd >= hostEnd {
+		t.Fatalf("in-network combiner (%v) not faster than end-host combiner (%v)", sharpEnd, hostEnd)
+	}
+}

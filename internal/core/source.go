@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dfi/internal/fabric"
+	"dfi/internal/registry"
+	"dfi/internal/schema"
+	"dfi/internal/sim"
+)
+
+// chargeBatch is how many per-tuple CPU costs are accumulated before being
+// charged to the virtual clock in one Compute call. Batching keeps the
+// event count independent of tuple count without changing total cost.
+const chargeBatch = 128
+
+// Source is a thread-level entry point into a flow (paper Figure 1). A
+// Source is owned by exactly one simulated process; Push is asynchronous
+// and returns once the tuple is copied into the internal send buffer,
+// which is what enables compute/communication overlap.
+type Source struct {
+	meta *flowMeta
+	spec *FlowSpec
+	idx  int
+	node *fabric.Node
+
+	writers []*ringWriter // one per target (nil entries never occur)
+	mc      *mcSource     // multicast replicate transport, if enabled
+
+	pendingCharge int
+	pushed        uint64
+	closed        bool
+}
+
+// SourceOpen attaches to source slot sourceIdx of the named flow,
+// retrieving the flow metadata from the registry and connecting to every
+// target's ring buffers. It blocks until the flow and all targets are
+// available.
+func SourceOpen(p *sim.Proc, reg *registry.Registry, name string, sourceIdx int) (*Source, error) {
+	meta := lookupFlow(p, reg, name)
+	spec := &meta.spec
+	if sourceIdx < 0 || sourceIdx >= len(spec.Sources) {
+		return nil, fmt.Errorf("dfi: source index %d out of range for flow %q", sourceIdx, name)
+	}
+	s := &Source{meta: meta, spec: spec, idx: sourceIdx, node: spec.Sources[sourceIdx].Node}
+	if spec.Options.Multicast {
+		mc, err := newMcSource(p, reg, meta, sourceIdx)
+		if err != nil {
+			return nil, err
+		}
+		s.mc = mc
+		return s, nil
+	}
+	for t := range spec.Targets {
+		ti := reg.WaitTarget(p, name, t).(*targetInfo)
+		w := newRingWriter(meta.cluster, s.node, ti, ti.ringOffs[sourceIdx], &spec.Options)
+		s.writers = append(s.writers, w)
+	}
+	return s, nil
+}
+
+// Schema returns the flow's tuple schema.
+func (s *Source) Schema() *schema.Schema { return s.spec.Schema }
+
+// Targets returns the number of flow targets.
+func (s *Source) Targets() int { return len(s.spec.Targets) }
+
+// chargePush accounts one tuple's CPU cost, batched for simulation
+// efficiency in bandwidth mode.
+func (s *Source) chargePush(p *sim.Proc) {
+	if s.spec.Options.Optimization == OptimizeLatency {
+		s.node.Compute(p, s.spec.Options.PushCost)
+		return
+	}
+	s.pendingCharge++
+	if s.pendingCharge >= chargeBatch {
+		s.node.Compute(p, time.Duration(s.pendingCharge)*s.spec.Options.PushCost)
+		s.pendingCharge = 0
+	}
+}
+
+// settleCharge flushes any accumulated per-tuple CPU cost.
+func (s *Source) settleCharge(p *sim.Proc) {
+	if s.pendingCharge > 0 {
+		s.node.Compute(p, time.Duration(s.pendingCharge)*s.spec.Options.PushCost)
+		s.pendingCharge = 0
+	}
+}
+
+// Push routes one tuple into the flow. For shuffle and combiner flows the
+// route comes from the shuffle key hash or the flow's RoutingFunc; for
+// replicate flows the tuple goes to every target. Push is non-blocking
+// except for flow control (a saturated ring or exhausted credit).
+func (s *Source) Push(p *sim.Proc, t schema.Tuple) error {
+	if s.closed {
+		return fmt.Errorf("dfi: push on closed source of flow %q", s.spec.Name)
+	}
+	if len(t) != s.spec.Schema.TupleSize() {
+		return fmt.Errorf("dfi: tuple size %d does not match schema size %d", len(t), s.spec.Schema.TupleSize())
+	}
+	s.pushed++
+	s.chargePush(p)
+	switch s.spec.FlowType() {
+	case ReplicateFlow:
+		if s.mc != nil {
+			s.mc.push(p, t)
+			return nil
+		}
+		for _, w := range s.writers {
+			s.pushWriter(p, w, t)
+		}
+		return nil
+	default:
+		return s.PushTo(p, t, routeIndex(s.spec, t))
+	}
+}
+
+// PushTo sends one tuple directly to the target with the given index,
+// bypassing key routing (paper §4.2.1, routing option 3).
+func (s *Source) PushTo(p *sim.Proc, t schema.Tuple, target int) error {
+	if target < 0 || target >= len(s.writers) {
+		return fmt.Errorf("dfi: target %d out of range (%d targets)", target, len(s.writers))
+	}
+	s.pushWriter(p, s.writers[target], t)
+	return nil
+}
+
+func (s *Source) pushWriter(p *sim.Proc, w *ringWriter, t schema.Tuple) {
+	if s.spec.Options.Optimization == OptimizeLatency {
+		w.pushImmediate(p, t)
+	} else {
+		w.push(p, t)
+	}
+}
+
+// Flush pushes out all partially filled segments (bandwidth mode). Tuples
+// already pushed become consumable at their targets even if segments were
+// not full.
+func (s *Source) Flush(p *sim.Proc) {
+	s.settleCharge(p)
+	for _, w := range s.writers {
+		w.flush(p, false)
+	}
+	if s.mc != nil {
+		s.mc.flush(p)
+	}
+}
+
+// Close flushes remaining tuples and propagates the end-of-flow marker to
+// every target. Targets return flow-end from Consume once every source has
+// closed.
+func (s *Source) Close(p *sim.Proc) {
+	if s.closed {
+		return
+	}
+	s.settleCharge(p)
+	for _, w := range s.writers {
+		w.close(p)
+	}
+	if s.mc != nil {
+		s.mc.close(p)
+	}
+	s.closed = true
+}
+
+// Pushed returns the number of tuples pushed so far.
+func (s *Source) Pushed() uint64 { return s.pushed }
+
+// Stalls reports total virtual time the source spent blocked on remote
+// ring space and on local segment reuse (diagnostics).
+func (s *Source) Stalls() (remote, local sim.Time) {
+	for _, w := range s.writers {
+		remote += w.StallRemote
+		local += w.StallLocal
+	}
+	return remote, local
+}
+
+// ProbeStats reports footer-read diagnostics: reads issued, reads that
+// found the probed slot unconsumed, and total randomized backoff time.
+func (s *Source) ProbeStats() (probes, misses int, backoff sim.Time) {
+	for _, w := range s.writers {
+		probes += w.Probes
+		misses += w.ProbeMisses
+		backoff += w.BackoffTime
+	}
+	return
+}
+
+// Free deregisters the source's buffers (after Close).
+func (s *Source) Free() {
+	for _, w := range s.writers {
+		w.free()
+	}
+	if s.mc != nil {
+		s.mc.free()
+	}
+}
+
+// FlowType returns the type declared in the spec. The spec stores it
+// implicitly: combiner flows have an Aggregation target column set via
+// Options and are opened with CombinerTargetOpen; replicate flows are
+// those whose spec was marked by FlowInitReplicate or Options.Multicast.
+func (s *FlowSpec) FlowType() FlowType { return s.Type }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Flow statistics: lightweight counters the library maintains anyway,
+// exposed so applications and benchmarks can attribute time and traffic
+// (the experiments harness and the dfiflow tool build on these).
+
+// SourceStats aggregates a source's counters across its per-target
+// writers.
+type SourceStats struct {
+	// TuplesPushed is the number of tuples accepted by Push.
+	TuplesPushed uint64
+	// SegmentsWritten counts ring segments transferred (all targets).
+	SegmentsWritten uint64
+	// PayloadBytes is the tuple payload volume written (excludes footers
+	// and protocol messages).
+	PayloadBytes uint64
+	// StallRemote is virtual time blocked waiting for remote ring slots.
+	StallRemote time.Duration
+	// StallLocal is virtual time blocked waiting for local segment reuse.
+	StallLocal time.Duration
+	// FooterProbes / ProbeMisses count remote footer READs and those that
+	// found the probed slot still unconsumed.
+	FooterProbes int
+	ProbeMisses  int
+	// Backoff is the cumulative randomized backoff while polling a full
+	// ring.
+	Backoff time.Duration
+}
+
+func (s SourceStats) String() string {
+	return fmt.Sprintf("pushed=%d segments=%d bytes=%d stallRemote=%v stallLocal=%v probes=%d misses=%d backoff=%v",
+		s.TuplesPushed, s.SegmentsWritten, s.PayloadBytes, s.StallRemote, s.StallLocal,
+		s.FooterProbes, s.ProbeMisses, s.Backoff)
+}
+
+// Stats returns the source's counters. Multicast replicate sources report
+// segment counts from their multicast transport.
+func (s *Source) Stats() SourceStats {
+	st := SourceStats{TuplesPushed: s.pushed}
+	for _, w := range s.writers {
+		st.SegmentsWritten += w.written
+		st.PayloadBytes += w.payloadBytes
+		st.StallRemote += w.StallRemote
+		st.StallLocal += w.StallLocal
+		st.FooterProbes += w.Probes
+		st.ProbeMisses += w.ProbeMisses
+		st.Backoff += w.BackoffTime
+	}
+	if s.mc != nil {
+		st.SegmentsWritten += s.mc.sentSegs
+		st.PayloadBytes += s.mc.payloadBytes
+	}
+	return st
+}
+
+// TargetStats aggregates a target's counters.
+type TargetStats struct {
+	// TuplesConsumed is the number of tuples handed to the application.
+	TuplesConsumed uint64
+	// SegmentsConsumed counts ring segments recycled.
+	SegmentsConsumed uint64
+	// FailedSources lists slots declared failed via SourceTimeout.
+	FailedSources []int
+	// Done reports whether FLOW_END was reached.
+	Done bool
+}
+
+func (s TargetStats) String() string {
+	return fmt.Sprintf("consumed=%d segments=%d failed=%v done=%v",
+		s.TuplesConsumed, s.SegmentsConsumed, s.FailedSources, s.Done)
+}
+
+// Stats returns the target's counters.
+func (t *Target) Stats() TargetStats {
+	st := TargetStats{TuplesConsumed: t.consumed, Done: t.done, FailedSources: t.FailedSources()}
+	for _, r := range t.readers {
+		st.SegmentsConsumed += r.consumed
+	}
+	if t.mc != nil {
+		for _, d := range t.mc.delivered {
+			st.SegmentsConsumed += d
+		}
+	}
+	return st
+}

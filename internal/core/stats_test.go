@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"dfi/internal/sim"
+)
+
+func TestFlowStatsAccounting(t *testing.T) {
+	e := newEnv(t, 2)
+	spec := FlowSpec{
+		Name:    "stats",
+		Sources: []Endpoint{{Node: e.c.Node(0)}},
+		Targets: []Endpoint{{Node: e.c.Node(1)}},
+		Schema:  kvSchema,
+	}
+	const n = 3000
+	var ss SourceStats
+	var ts TargetStats
+	e.k.Spawn("init", func(p *sim.Proc) { _ = FlowInit(p, e.reg, e.c, spec) })
+	e.k.Spawn("src", func(p *sim.Proc) {
+		src, _ := SourceOpen(p, e.reg, "stats", 0)
+		for i := 0; i < n; i++ {
+			_ = src.Push(p, mkTuple(int64(i), 0))
+		}
+		src.Close(p)
+		ss = src.Stats()
+	})
+	e.k.Spawn("tgt", func(p *sim.Proc) {
+		tgt, _ := TargetOpen(p, e.reg, "stats", 0)
+		for {
+			if _, ok := tgt.Consume(p); !ok {
+				break
+			}
+		}
+		ts = tgt.Stats()
+	})
+	e.run(t)
+	if ss.TuplesPushed != n {
+		t.Errorf("TuplesPushed = %d", ss.TuplesPushed)
+	}
+	if ss.PayloadBytes != uint64(n*kvSchema.TupleSize()) {
+		t.Errorf("PayloadBytes = %d, want %d", ss.PayloadBytes, n*kvSchema.TupleSize())
+	}
+	wantSegs := uint64(n*kvSchema.TupleSize())/(8<<10) + 1 // + end marker
+	if ss.SegmentsWritten < wantSegs || ss.SegmentsWritten > wantSegs+2 {
+		t.Errorf("SegmentsWritten = %d, want ≈ %d", ss.SegmentsWritten, wantSegs)
+	}
+	if ts.TuplesConsumed != n || !ts.Done {
+		t.Errorf("target stats = %+v", ts)
+	}
+	if ts.SegmentsConsumed != ss.SegmentsWritten {
+		t.Errorf("segments consumed %d != written %d", ts.SegmentsConsumed, ss.SegmentsWritten)
+	}
+	if len(ts.FailedSources) != 0 {
+		t.Errorf("unexpected failures: %v", ts.FailedSources)
+	}
+	if ss.String() == "" || ts.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"dfi/internal/fabric"
+	"dfi/internal/registry"
+	"dfi/internal/schema"
+	"dfi/internal/sim"
+)
+
+// pollTimeout bounds one wait on the target's memory region before the
+// consume loop re-checks all rings (a safety net; commits wake the waiter
+// directly).
+const pollTimeout = 100 * time.Microsecond
+
+// Target is a thread-level exit point of a flow. Each target owns one
+// private ring per source inside a single registered memory region; it
+// consumes segments in ring order per source and round-robins across
+// sources (the nextRing() of paper Figure 4).
+type Target struct {
+	meta *flowMeta
+	spec *FlowSpec
+	idx  int
+	node *fabric.Node
+
+	mr      *fabric.MemoryRegion
+	geom    ringGeom
+	readers []*ringReader
+	cur     int
+
+	// Iteration state over the currently loaded segment.
+	active    *ringReader
+	segData   []byte
+	segOff    int
+	remaining int
+	tupleSize int
+
+	mc *mcTarget // multicast replicate transport, if enabled
+
+	consumed uint64
+	done     bool
+}
+
+// ringReader tracks consumption of one source's ring.
+type ringReader struct {
+	ringOff  int
+	rslot    int
+	consumed uint64 // segments consumed, mirrored into the ring header
+	closed   bool
+
+	// Failure detection (Options.SourceTimeout).
+	lastActivity sim.Time
+	failed       bool
+}
+
+// TargetOpen attaches to target slot targetIdx of the named flow. It
+// allocates the target-side receive buffers (one ring per source) and
+// publishes their addresses for sources to connect. For combiner flows use
+// CombinerTargetOpen instead.
+func TargetOpen(p *sim.Proc, reg *registry.Registry, name string, targetIdx int) (*Target, error) {
+	meta := lookupFlow(p, reg, name)
+	spec := &meta.spec
+	if targetIdx < 0 || targetIdx >= len(spec.Targets) {
+		return nil, fmt.Errorf("dfi: target index %d out of range for flow %q", targetIdx, name)
+	}
+	t := &Target{
+		meta:      meta,
+		spec:      spec,
+		idx:       targetIdx,
+		node:      spec.Targets[targetIdx].Node,
+		tupleSize: spec.Schema.TupleSize(),
+	}
+	if spec.Options.Multicast {
+		mc, err := newMcTarget(p, reg, meta, targetIdx)
+		if err != nil {
+			return nil, err
+		}
+		t.mc = mc
+		return t, nil
+	}
+	t.geom = ringGeom{segSize: spec.Options.SegmentSize, nSegs: spec.Options.SegmentsPerRing}
+	nSources := len(spec.Sources)
+	if spec.Options.Elastic {
+		// Elastic flows pre-provision rings for every possible slot.
+		nSources = spec.Options.MaxSources
+	}
+	t.mr = meta.cluster.RegisterMemory(t.node, nSources*t.geom.ringLen())
+	info := &targetInfo{mr: t.mr, geom: t.geom}
+	for i := 0; i < nSources; i++ {
+		off := i * t.geom.ringLen()
+		info.ringOffs = append(info.ringOffs, off)
+		t.readers = append(t.readers, &ringReader{ringOff: off})
+	}
+	if err := reg.PublishTarget(p, name, targetIdx, info); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Schema returns the flow's tuple schema.
+func (t *Target) Schema() *schema.Schema { return t.spec.Schema }
+
+// footer returns the footer bytes of reader r's current slot.
+func (t *Target) footer(r *ringReader) []byte {
+	off := r.ringOff + t.geom.segOff(r.rslot) + t.geom.segSize
+	return t.mr.Bytes()[off : off+footerBytes]
+}
+
+// payload returns the payload bytes of reader r's current slot.
+func (t *Target) payload(r *ringReader, fill int) []byte {
+	off := r.ringOff + t.geom.segOff(r.rslot)
+	return t.mr.Bytes()[off : off+fill]
+}
+
+// release marks reader r's current slot writable again and advances the
+// ring: the footer flag is cleared (sources verify it with RDMA READs) and
+// the ring-header consumed counter is bumped (latency-mode credit
+// back-channel). Local stores by the owning node are free.
+func (t *Target) release(r *ringReader) {
+	f := t.footer(r)
+	f[4] = 0
+	r.consumed++
+	binary.LittleEndian.PutUint64(t.mr.Bytes()[r.ringOff:r.ringOff+8], r.consumed)
+	r.rslot = (r.rslot + 1) % t.geom.nSegs
+}
+
+// loadSegment makes reader r's current slot the active segment if it is
+// consumable, releasing handled end-markers. It reports whether tuples
+// became available.
+func (t *Target) loadSegment(p *sim.Proc, r *ringReader) bool {
+	f := t.footer(r)
+	if f[4]&flagConsumable == 0 {
+		return false
+	}
+	fill := int(binary.LittleEndian.Uint32(f[0:4]))
+	end := f[4]&flagEndOfFlow != 0
+	if end {
+		r.closed = true
+	}
+	if fill == 0 {
+		r.lastActivity = p.Now()
+		t.release(r)
+		return false
+	}
+	count := fill / t.tupleSize
+	r.lastActivity = p.Now()
+	t.node.Compute(p, time.Duration(count)*t.spec.Options.ConsumeCost)
+	t.active = r
+	t.segData = t.payload(r, fill)
+	t.segOff = 0
+	t.remaining = count
+	return true
+}
+
+// nextSegment scans rings round-robin for a consumable segment, blocking
+// on the memory region while none is available. It returns false when all
+// sources have closed (flow end).
+func (t *Target) nextSegment(p *sim.Proc) bool {
+	if t.active != nil {
+		t.release(t.active)
+		t.active = nil
+	}
+	for {
+		seq := t.mr.CommitSeq()
+		if t.spec.Options.Elastic {
+			loaded, done := t.elasticScan(p)
+			if loaded {
+				return true
+			}
+			if done {
+				t.done = true
+				return false
+			}
+			// Membership changes (attach/seal) are detected within one
+			// poll timeout at most.
+			t.mr.WaitCommit(p, seq, pollTimeout)
+			continue
+		}
+		open := 0
+		for range t.readers {
+			r := t.readers[t.cur]
+			t.cur = (t.cur + 1) % len(t.readers)
+			if r.closed {
+				continue
+			}
+			open++
+			if t.loadSegment(p, r) {
+				return true
+			}
+			// loadSegment may have just closed this ring via an end marker.
+			if r.closed {
+				open--
+			}
+		}
+		if open == 0 {
+			t.done = true
+			return false
+		}
+		t.detectFailures(p, len(t.readers))
+		// Commits that landed while this scan charged CPU bump the
+		// sequence number, so the wait returns immediately — no lost
+		// wake-ups.
+		t.mr.WaitCommit(p, seq, pollTimeout)
+	}
+}
+
+// Consume returns the next tuple from the flow, or ok=false once every
+// source has closed (FLOW_END). The returned tuple is a zero-copy view
+// into the receive ring, valid until the segment is recycled on a later
+// Consume call — process or copy it before draining past the segment.
+func (t *Target) Consume(p *sim.Proc) (schema.Tuple, bool) {
+	if t.mc != nil {
+		tup, ok := t.mc.consume(p)
+		if ok {
+			t.consumed++
+		} else if t.mc.done {
+			t.done = true
+		}
+		return tup, ok
+	}
+	if t.done {
+		return nil, false
+	}
+	for t.remaining == 0 {
+		if !t.nextSegment(p) {
+			return nil, false
+		}
+	}
+	tup := schema.Tuple(t.segData[t.segOff : t.segOff+t.tupleSize])
+	t.segOff += t.tupleSize
+	t.remaining--
+	t.consumed++
+	return tup, true
+}
+
+// ConsumeSegment returns the next whole consumable segment as a raw tuple
+// batch (zero-copy), the higher-throughput interface used by the join
+// implementations. The previous segment is recycled.
+func (t *Target) ConsumeSegment(p *sim.Proc) (data []byte, count int, ok bool) {
+	if t.mc != nil {
+		data, count, ok := t.mc.consumeSegment(p)
+		if ok {
+			t.consumed += uint64(count)
+		} else if t.mc.done {
+			t.done = true
+		}
+		return data, count, ok
+	}
+	if t.done {
+		return nil, 0, false
+	}
+	if t.remaining > 0 {
+		// A partially iterated segment: hand out the rest as a batch.
+		data, count = t.segData[t.segOff:], t.remaining
+		t.segOff = len(t.segData)
+		t.remaining = 0
+		t.consumed += uint64(count)
+		return data, count, true
+	}
+	if !t.nextSegment(p) {
+		return nil, 0, false
+	}
+	data, count = t.segData, t.remaining
+	t.segOff = len(t.segData)
+	t.remaining = 0
+	t.consumed += uint64(count)
+	return data, count, true
+}
+
+// Gap reports a sequence gap detected by an ordered replicate flow with
+// NotifyGaps set; Consume returns ok=false and the application checks
+// PendingGap.
+func (t *Target) PendingGap() (Gap, bool) {
+	if t.mc == nil {
+		return Gap{}, false
+	}
+	return t.mc.pendingGap()
+}
+
+// detectFailures closes rings whose sources have been silent beyond the
+// configured SourceTimeout (failure detection; see Options.SourceTimeout).
+func (t *Target) detectFailures(p *sim.Proc, n int) {
+	timeout := t.spec.Options.SourceTimeout
+	if timeout <= 0 {
+		return
+	}
+	for _, r := range t.readers[:n] {
+		if r.closed {
+			continue
+		}
+		if r.lastActivity == 0 {
+			r.lastActivity = p.Now() // grace period starts at first check
+			continue
+		}
+		if p.Now()-r.lastActivity > timeout {
+			r.closed = true
+			r.failed = true
+		}
+	}
+}
+
+// FailedSources returns the source slots the target declared failed via
+// SourceTimeout, in slot order.
+func (t *Target) FailedSources() []int {
+	var out []int
+	for i, r := range t.readers {
+		if r.failed {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Consumed returns the number of tuples consumed so far.
+func (t *Target) Consumed() uint64 { return t.consumed }
+
+// Done reports whether the flow has ended at this target.
+func (t *Target) Done() bool { return t.done }
+
+// Free deregisters the target's receive buffers (after flow end).
+func (t *Target) Free() {
+	if t.mr != nil {
+		t.mr.Deregister()
+	}
+	if t.mc != nil {
+		t.mc.free()
+	}
+}
+
+// ResolveGap skips a surfaced gap (the application agreed to treat the
+// missing sequence number as a no-op, e.g. after NOPaxos gap agreement).
+func (t *Target) ResolveGap(p *sim.Proc) {
+	if t.mc != nil {
+		t.mc.resolveGap(p)
+	}
+}
+
+// RequestGapRetransmit asks the sources to resend a surfaced gap instead
+// of skipping it; consumption resumes once the segment arrives.
+func (t *Target) RequestGapRetransmit(p *sim.Proc) {
+	if t.mc != nil {
+		t.mc.requestGapRetransmit(p)
+	}
+}

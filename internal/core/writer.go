@@ -1,0 +1,364 @@
+package core
+
+import (
+	"encoding/binary"
+	"time"
+
+	"dfi/internal/fabric"
+	"dfi/internal/sim"
+)
+
+// Completion-ID tag bits distinguishing the writer's work requests on its
+// send CQ.
+const (
+	idFooterRead = 1 << 63
+	idWrapWrite  = 1 << 62
+	idCreditRead = 1 << 61
+)
+
+// ringWriter moves one source's tuples into one target's private ring
+// (paper Figure 4). It implements both optimization modes:
+//
+//   - Bandwidth: tuples batch into 8 KiB segments; each full segment is one
+//     RDMA WRITE whose 16-byte footer (fill count + consumable flag +
+//     sequence number) trails the payload, so the target detects complete
+//     segments without checksums. Writes are signaled only when the local
+//     source ring wraps (selective signaling); remote-slot reuse is
+//     verified with RDMA READs of the next footer, pipelined with writes,
+//     falling back to randomized-backoff polling when the target lags.
+//
+//   - Latency: each tuple is written immediately into a tuple-sized
+//     segment. A credit counter (initialized to the ring size) avoids the
+//     per-write footer check; the source refreshes credit by reading the
+//     target's consumed counter when the local copy drops below the
+//     threshold.
+type ringWriter struct {
+	node    *fabric.Node
+	qp      *fabric.QP
+	remote  *fabric.MemoryRegion
+	ringOff int
+	geom    ringGeom
+	opts    *Options
+
+	local   *fabric.MemoryRegion
+	srcSegs int
+	sslot   int
+	fill    int
+	count   int
+
+	written      uint64 // segments written to the remote ring
+	acked        uint64 // remote segments known to be consumed
+	payloadBytes uint64 // tuple payload volume transferred
+
+	footerBuf     []byte
+	footerPending bool
+	probeWrite    uint64 // ring-write number the in-flight footer read probes
+	completedW    uint64 // writes known complete (from signaled completions)
+	sigEvery      int    // signal every sigEvery-th write
+	seq           uint64
+
+	// Latency mode.
+	credits       int
+	sent          uint64
+	creditBuf     []byte
+	creditPending bool
+
+	closed bool
+
+	// Diagnostics: virtual time spent blocked, by cause.
+	StallRemote sim.Time // waiting for remote ring slots
+	StallLocal  sim.Time // waiting for local segment reuse (wrap signal)
+	Probes      int      // footer reads issued
+	ProbeMisses int      // footer reads that found the slot unconsumed
+	BackoffTime sim.Time
+}
+
+// newRingWriter connects a source thread on node to the ring at ringOff
+// inside the target's memory region.
+func newRingWriter(cluster *fabric.Cluster, node *fabric.Node, ti *targetInfo, ringOff int, opts *Options) *ringWriter {
+	qp, _ := cluster.CreateQPPair(node, ti.mr.Node())
+	w := &ringWriter{
+		node:      node,
+		qp:        qp,
+		remote:    ti.mr,
+		ringOff:   ringOff,
+		geom:      ti.geom,
+		opts:      opts,
+		srcSegs:   opts.SourceSegments,
+		sigEvery:  opts.SourceSegments / 4,
+		credits:   ti.geom.nSegs,
+		footerBuf: make([]byte, footerBytes),
+		creditBuf: make([]byte, 8),
+	}
+	if w.sigEvery < 1 {
+		w.sigEvery = 1
+	}
+	w.local = cluster.RegisterMemory(node, w.srcSegs*w.geom.stride())
+	return w
+}
+
+// free releases the writer's registered memory.
+func (w *ringWriter) free() {
+	w.local.Deregister()
+}
+
+// localSeg returns the current local segment's full-stride buffer.
+func (w *ringWriter) localSeg() []byte {
+	base := w.sslot * w.geom.stride()
+	return w.local.Bytes()[base : base+w.geom.stride()]
+}
+
+// remoteSlotAddr returns the address of remote ring slot i.
+func (w *ringWriter) remoteSlotAddr(i int) fabric.Addr {
+	return fabric.Addr{MR: w.remote, Off: w.ringOff + w.geom.segOff(i)}
+}
+
+// remoteHeaderAddr returns the address of the ring's consumed counter.
+func (w *ringWriter) remoteHeaderAddr() fabric.Addr {
+	return fabric.Addr{MR: w.remote, Off: w.ringOff}
+}
+
+// push appends one tuple to the current segment, flushing when full.
+// Bandwidth mode only; per-tuple CPU cost is charged in bulk at flush.
+func (w *ringWriter) push(p *sim.Proc, tuple []byte) {
+	if w.fill+len(tuple) > w.geom.segSize {
+		w.flush(p, false)
+	}
+	if w.node.Cluster().Config().CopyPayload {
+		copy(w.localSeg()[w.fill:], tuple)
+	}
+	w.fill += len(tuple)
+	w.count++
+}
+
+// pushImmediate transfers one tuple right away (latency mode): a full
+// segment write under credit flow control.
+func (w *ringWriter) pushImmediate(p *sim.Proc, tuple []byte) {
+	w.ensureCredit(p)
+	w.drainCQ(p)
+	w.waitLocalSlot(p)
+
+	seg := w.localSeg()
+	if w.node.Cluster().Config().CopyPayload {
+		copy(seg, tuple)
+	}
+	w.writeSegment(p, len(tuple), flagConsumable)
+	w.credits--
+	w.sent++
+	if w.credits <= w.opts.CreditThreshold && !w.creditPending {
+		w.qp.Read(p, w.creditBuf, w.remoteHeaderAddr(), true, idCreditRead)
+		w.creditPending = true
+	}
+}
+
+// ensureCredit blocks until at least one credit is available, reading the
+// target's consumed counter as needed.
+func (w *ringWriter) ensureCredit(p *sim.Proc) {
+	for w.credits <= 0 {
+		if !w.creditPending {
+			w.qp.Read(p, w.creditBuf, w.remoteHeaderAddr(), true, idCreditRead)
+			w.creditPending = true
+		}
+		w.handleCompletion(p, w.qp.SendCQ().Wait(p))
+		if w.credits <= 0 && !w.creditPending {
+			w.backoff(p)
+		}
+	}
+}
+
+// flush transfers the current (possibly partial) segment; end marks the
+// flow-end segment. Bandwidth mode.
+func (w *ringWriter) flush(p *sim.Proc, end bool) {
+	if w.fill == 0 && !end {
+		return
+	}
+	w.drainCQ(p)
+	w.ensureRemoteWritable(p)
+	w.waitLocalSlot(p)
+
+	flags := byte(flagConsumable)
+	if end {
+		flags |= flagEndOfFlow
+	}
+	w.writeSegment(p, w.fill, flags)
+
+	// Pipeline: while the segment is in flight, learn about the oldest
+	// outstanding remote slot so the next flush need not wait.
+	if int(w.written-w.acked) >= w.geom.nSegs-2 && !w.footerPending {
+		w.postFooterRead(p)
+	}
+}
+
+// writeSegment stamps the footer of the current local segment and issues
+// the RDMA WRITE(s) to the next remote slot, advancing ring positions.
+// fill is the valid payload size.
+func (w *ringWriter) writeSegment(p *sim.Proc, fill int, flags byte) {
+	seg := w.localSeg()
+	footer := seg[w.geom.segSize:]
+	binary.LittleEndian.PutUint32(footer[0:4], uint32(fill))
+	footer[4] = flags
+	footer[5], footer[6], footer[7] = 0, 0, 0
+	binary.LittleEndian.PutUint64(footer[8:16], w.seq)
+	w.seq++
+
+	slot := int(w.written % uint64(w.geom.nSegs))
+	// Selective signaling: every sigEvery-th write carries a completion so
+	// the local-ring watermark advances in quarter-ring steps and the
+	// pipeline never drains fully (paper §5.2 signals once per ring
+	// wrap-around; quarter-ring granularity keeps the same amortization
+	// while avoiding a full-stop at each wrap).
+	signaled := int(w.written%uint64(w.sigEvery)) == w.sigEvery-1
+	id := uint64(idWrapWrite) | w.written
+	if fill >= w.geom.segSize*3/4 || fill == 0 {
+		// Mostly full (or pure end-marker): one full-stride write; the
+		// footer is the CommitTail so it lands strictly last.
+		w.qp.Write(p, seg, w.remoteSlotAddr(slot), fabric.WriteOptions{
+			Signaled: signaled, ID: id, CommitTail: footerBytes,
+		})
+	} else {
+		// Sparse final segment: write the payload, then the footer as a
+		// separate (ordered) WRITE so only fill+16 bytes cross the wire.
+		w.qp.Write(p, seg[:fill], w.remoteSlotAddr(slot), fabric.WriteOptions{})
+		fAddr := w.remoteSlotAddr(slot)
+		fAddr.Off += w.geom.segSize
+		w.qp.Write(p, footer, fAddr, fabric.WriteOptions{
+			Signaled: signaled, ID: id, CommitTail: footerBytes,
+		})
+	}
+	w.written++
+	w.payloadBytes += uint64(fill)
+	w.sslot = (w.sslot + 1) % w.srcSegs
+	w.fill, w.count = 0, 0
+}
+
+// ensureRemoteWritable blocks until the next remote slot is reusable,
+// reading its footer and polling with a small random backoff while the
+// target lags (paper §5.2).
+func (w *ringWriter) ensureRemoteWritable(p *sim.Proc) {
+	start := p.Now()
+	defer func() { w.StallRemote += p.Now() - start }()
+	for int(w.written-w.acked) >= w.geom.nSegs {
+		if w.footerPending {
+			w.handleCompletion(p, w.qp.SendCQ().Wait(p))
+			continue
+		}
+		w.postFooterRead(p)
+	}
+}
+
+// postFooterRead issues an asynchronous READ of an outstanding remote
+// slot's footer. Because the target consumes its ring in order, a cleared
+// consumable flag at read-ahead distance d proves the d+1 oldest
+// outstanding segments were all consumed — so probing half a window ahead
+// reclaims many slots per round trip instead of one, keeping the source
+// pipelined even when the ring runs full.
+func (w *ringWriter) postFooterRead(p *sim.Proc) {
+	outstanding := w.written - w.acked
+	ahead := uint64(w.geom.nSegs / 2)
+	if outstanding == 0 {
+		return
+	}
+	if ahead > outstanding-1 {
+		ahead = outstanding - 1
+	}
+	w.probeWrite = w.acked + ahead
+	slot := int(w.probeWrite % uint64(w.geom.nSegs))
+	addr := w.remoteSlotAddr(slot)
+	addr.Off += w.geom.segSize
+	w.qp.Read(p, w.footerBuf, addr, true, idFooterRead)
+	w.footerPending = true
+	w.Probes++
+}
+
+// waitLocalSlot blocks until the local segment about to be filled is no
+// longer referenced by an in-flight WRITE: write number `written` reuses
+// the slot of write `written − srcSegs`, which must have completed. The
+// watermark advances through the periodic signaled completions (QP
+// completions are ordered, so completion of write k proves all writes
+// ≤ k are done).
+func (w *ringWriter) waitLocalSlot(p *sim.Proc) {
+	if w.written < uint64(w.srcSegs) {
+		return
+	}
+	needed := w.written - uint64(w.srcSegs) + 1
+	if w.completedW >= needed {
+		return
+	}
+	start := p.Now()
+	for w.completedW < needed {
+		w.handleCompletion(p, w.qp.SendCQ().Wait(p))
+	}
+	w.StallLocal += p.Now() - start
+}
+
+// drainCQ consumes available completions without blocking.
+func (w *ringWriter) drainCQ(p *sim.Proc) {
+	for w.qp.SendCQ().Len() > 0 {
+		c, ok := w.qp.SendCQ().Poll(p)
+		if !ok {
+			return
+		}
+		w.handleCompletion(p, c)
+	}
+}
+
+// handleCompletion dispatches one CQ entry.
+func (w *ringWriter) handleCompletion(p *sim.Proc, c fabric.Completion) {
+	switch {
+	case c.ID&idFooterRead != 0:
+		w.footerPending = false
+		// A cleared consumable flag alone is ambiguous: the probe travels
+		// on the fast control lane and can overtake the (bulk-lane) WRITE
+		// it is probing, observing the stale footer of the previous lap.
+		// The footer's sequence number pins the observation to the probed
+		// write: flags clear AND seq matching means the target really
+		// consumed it — and, consuming in ring order, everything older.
+		seq := binary.LittleEndian.Uint64(w.footerBuf[8:16])
+		if w.footerBuf[4]&flagConsumable == 0 && seq == w.probeWrite {
+			w.acked = w.probeWrite + 1
+		} else if int(w.written-w.acked) >= w.geom.nSegs {
+			// Still unconsumed and we are blocked: back off before
+			// re-reading so a slow target is not flooded with READs.
+			w.ProbeMisses++
+			w.backoff(p)
+			w.postFooterRead(p)
+		}
+	case c.ID&idCreditRead != 0:
+		w.creditPending = false
+		consumed := binary.LittleEndian.Uint64(w.creditBuf)
+		w.credits = w.geom.nSegs - int(w.sent-consumed)
+	case c.ID&idWrapWrite != 0:
+		done := c.ID &^ (idWrapWrite | idFooterRead | idCreditRead)
+		if done+1 > w.completedW {
+			w.completedW = done + 1
+		}
+	}
+}
+
+// backoff sleeps a small randomized interval (0.5µs–2µs).
+func (w *ringWriter) backoff(p *sim.Proc) {
+	d := 500*time.Nanosecond + time.Duration(p.Rand().Int63n(int64(1500*time.Nanosecond)))
+	w.BackoffTime += d
+	p.Sleep(d)
+}
+
+// close flushes remaining tuples and writes the end-of-flow marker.
+func (w *ringWriter) close(p *sim.Proc) {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	if w.opts.Optimization == OptimizeLatency {
+		w.ensureCredit(p)
+		w.waitLocalSlot(p)
+		w.writeSegment(p, 0, flagConsumable|flagEndOfFlow)
+		w.credits--
+		w.sent++
+		return
+	}
+	w.flush(p, false) // remaining tuples
+	w.drainCQ(p)
+	w.ensureRemoteWritable(p)
+	w.waitLocalSlot(p)
+	w.writeSegment(p, 0, flagConsumable|flagEndOfFlow)
+}

@@ -1,0 +1,354 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dfi/internal/core"
+	"dfi/internal/join"
+	"dfi/internal/sim"
+)
+
+// Ablation experiments for the design choices DESIGN.md calls out. These
+// go beyond the paper's figures: they isolate the contribution of
+// individual mechanisms in the flow implementation.
+
+func init() {
+	All = append(All,
+		Experiment{"abl-ordering", "Ablation: ordering-guarantee overhead of replicate flows", RunAblationOrdering},
+		Experiment{"abl-credit", "Ablation: latency-flow credit threshold", RunAblationCredit},
+		Experiment{"abl-multicast", "Ablation: multicast vs naive replication latency by fan-out", RunAblationMulticast},
+		Experiment{"abl-sharp", "Extension: in-network (SHARP-style) combiner aggregation", RunAblationSharp},
+		Experiment{"abl-skew", "Ablation: key skew sensitivity of the distributed joins", RunAblationSkew},
+	)
+}
+
+// RunAblationOrdering measures what the global-ordering guarantee costs a
+// replicate flow: the tuple sequencer adds a fetch-and-add round trip per
+// segment and targets must reorder (paper §5.4).
+func RunAblationOrdering(opt Options) ([]Table, error) {
+	t := Table{
+		ID:      "abl-ordering",
+		Title:   "Replicate flow (2 sources → 3 targets): unordered vs globally ordered",
+		Columns: []string{"variant", "runtime", "per-tuple overhead"},
+		Notes:   []string{"the sequencer costs one fetch-and-add round trip per segment (paper §5.4)"},
+	}
+	n := 4000
+	if opt.Quick {
+		n = 800
+	}
+	var base time.Duration
+	for _, ordered := range []bool{false, true} {
+		d, err := replicateOrderedRuntime(opt.Seed, n, ordered)
+		if err != nil {
+			return nil, err
+		}
+		label := "unordered"
+		overhead := "-"
+		if ordered {
+			label = "globally ordered"
+			overhead = fmtDur(time.Duration(int64(d-base) / int64(2*n)))
+		} else {
+			base = d
+		}
+		t.AddRow(label, fmtDur(d), overhead)
+	}
+	return []Table{t}, nil
+}
+
+func replicateOrderedRuntime(seed int64, perSource int, ordered bool) (time.Duration, error) {
+	k, c, reg := newBWEnv(seed, 5)
+	sch := padSchema(64)
+	spec := core.FlowSpec{
+		Name: "abl-ord",
+		Type: core.ReplicateFlow,
+		Sources: []core.Endpoint{
+			{Node: c.Node(0)}, {Node: c.Node(1)},
+		},
+		Targets: []core.Endpoint{
+			{Node: c.Node(2)}, {Node: c.Node(3)}, {Node: c.Node(4)},
+		},
+		Schema: sch,
+		Options: core.Options{
+			Optimization:   core.OptimizeLatency,
+			Multicast:      true,
+			GlobalOrdering: ordered,
+		},
+	}
+	var end sim.Time
+	k.Spawn("init", func(p *sim.Proc) {
+		if err := core.FlowInit(p, reg, c, spec); err != nil {
+			panic(err)
+		}
+	})
+	for si := 0; si < 2; si++ {
+		si := si
+		k.Spawn(fmt.Sprintf("s%d", si), func(p *sim.Proc) {
+			src, err := core.SourceOpen(p, reg, "abl-ord", si)
+			if err != nil {
+				panic(err)
+			}
+			tup := sch.NewTuple()
+			for i := 0; i < perSource; i++ {
+				if err := src.Push(p, tup); err != nil {
+					panic(err)
+				}
+			}
+			src.Close(p)
+		})
+	}
+	for ti := 0; ti < 3; ti++ {
+		ti := ti
+		k.Spawn(fmt.Sprintf("t%d", ti), func(p *sim.Proc) {
+			tgt, err := core.TargetOpen(p, reg, "abl-ord", ti)
+			if err != nil {
+				panic(err)
+			}
+			for {
+				if _, ok := tgt.Consume(p); !ok {
+					break
+				}
+			}
+			if p.Now() > end {
+				end = p.Now()
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		return 0, err
+	}
+	return end, nil
+}
+
+// RunAblationCredit sweeps the latency-flow credit-refresh threshold: too
+// low and the source stalls waiting for credit; too high and it wastes
+// refresh reads.
+func RunAblationCredit(opt Options) ([]Table, error) {
+	t := Table{
+		ID:      "abl-credit",
+		Title:   "Latency-optimized 1:1 flow: credit threshold vs streaming runtime (ring = 32)",
+		Columns: []string{"threshold", "runtime", "relative"},
+	}
+	n := 20000
+	if opt.Quick {
+		n = 4000
+	}
+	var base time.Duration
+	for _, thr := range []int{1, 4, 8, 16, 24} {
+		d, err := creditThresholdRuntime(opt.Seed, n, thr)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = d
+		}
+		t.AddRow(fmt.Sprintf("%d", thr), fmtDur(d), fmt.Sprintf("%+.1f%%", (float64(d)/float64(base)-1)*100))
+	}
+	return []Table{t}, nil
+}
+
+func creditThresholdRuntime(seed int64, n, threshold int) (time.Duration, error) {
+	k, c, reg := newBWEnv(seed, 2)
+	sch := padSchema(64)
+	spec := core.FlowSpec{
+		Name:    "abl-credit",
+		Sources: []core.Endpoint{{Node: c.Node(0)}},
+		Targets: []core.Endpoint{{Node: c.Node(1)}},
+		Schema:  sch,
+		Options: core.Options{
+			Optimization:    core.OptimizeLatency,
+			CreditThreshold: threshold,
+		},
+	}
+	var end sim.Time
+	k.Spawn("init", func(p *sim.Proc) {
+		if err := core.FlowInit(p, reg, c, spec); err != nil {
+			panic(err)
+		}
+	})
+	k.Spawn("src", func(p *sim.Proc) {
+		src, err := core.SourceOpen(p, reg, "abl-credit", 0)
+		if err != nil {
+			panic(err)
+		}
+		tup := sch.NewTuple()
+		for i := 0; i < n; i++ {
+			if err := src.Push(p, tup); err != nil {
+				panic(err)
+			}
+		}
+		src.Close(p)
+	})
+	k.Spawn("tgt", func(p *sim.Proc) {
+		tgt, err := core.TargetOpen(p, reg, "abl-credit", 0)
+		if err != nil {
+			panic(err)
+		}
+		for {
+			if _, ok := tgt.Consume(p); !ok {
+				break
+			}
+		}
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		return 0, err
+	}
+	return end, nil
+}
+
+// RunAblationMulticast contrasts naive one-sided replication with switch
+// multicast across fan-outs: the naive variant's reply time grows with
+// the fan-out; multicast stays flat.
+func RunAblationMulticast(opt Options) ([]Table, error) {
+	t := Table{
+		ID:      "abl-multicast",
+		Title:   "Replicated 64 B request, median time until all targets replied",
+		Columns: []string{"fan-out", "naive", "multicast", "multicast advantage"},
+	}
+	iters := 150
+	if opt.Quick {
+		iters = 40
+	}
+	for _, n := range []int{1, 2, 4, 8, 12} {
+		naive, err := replicateRoundTrip(opt.Seed, 64, n, iters, false)
+		if err != nil {
+			return nil, err
+		}
+		mc, err := replicateRoundTrip(opt.Seed, 64, n, iters, true)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("1:%d", n), fmtDur(naive), fmtDur(mc),
+			fmt.Sprintf("%.2fx", float64(naive)/float64(mc)))
+	}
+	return []Table{t}, nil
+}
+
+// RunAblationSharp quantifies the in-network aggregation extension: the
+// end-host combiner is capped at the target's in-going link, while the
+// switch-resident reduction engine is bounded only by the senders' links
+// (§4.2.3's SHARP discussion, implemented here as an extension).
+func RunAblationSharp(opt Options) ([]Table, error) {
+	t := Table{
+		ID:      "abl-sharp",
+		Title:   "Combiner (8:1, SUM, 64 B tuples): end-host vs in-network reduction",
+		Columns: []string{"variant", "aggregated sender BW"},
+		Notes: []string{
+			"extension beyond the paper: §4.2.3 names SHARP-style in-network aggregation as future work",
+		},
+	}
+	volume := int64(8 << 20)
+	if opt.Quick {
+		volume = 2 << 20
+	}
+	host, err := combinerSenderBW(opt.Seed, 64, 4, volume)
+	if err != nil {
+		return nil, err
+	}
+	sharp, err := sharpSenderBW(opt.Seed, 64, volume)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("end-host combiner (4 target threads)", gibps(host))
+	t.AddRow("in-network reduction engine", gibps(sharp))
+	t.Notes = append(t.Notes, fmt.Sprintf("in-network speedup: %.2fx", sharp/host))
+	return []Table{t}, nil
+}
+
+// RunAblationSkew measures how zipfian foreign-key skew (a hot partition)
+// degrades the DFI and MPI radix joins — the skew sensitivity the paper's
+// §2.3 attributes to bulk-synchronous shuffles. DFI's streaming shuffle
+// degrades too (the hot worker still bottlenecks) but keeps its edge.
+func RunAblationSkew(opt Options) ([]Table, error) {
+	t := Table{
+		ID:      "abl-skew",
+		Title:   "Radix join under zipfian key skew (4 nodes × 2 workers)",
+		Columns: []string{"skew (zipf s)", "DFI total", "MPI total", "MPI/DFI"},
+	}
+	cfg := join.DefaultConfig()
+	cfg.Seed = opt.Seed
+	cfg.Nodes, cfg.WorkersPerNode = 4, 2
+	cfg.InnerTuples, cfg.OuterTuples = 160_000, 320_000
+	if opt.Quick {
+		cfg.InnerTuples, cfg.OuterTuples = 40_000, 80_000
+	}
+	for _, skew := range []float64{0, 1.2, 1.5, 2.0} {
+		c := cfg
+		c.ZipfSkew = skew
+		dfi, err := join.RunDFIRadix(c)
+		if err != nil {
+			return nil, err
+		}
+		mpiPT, err := join.RunMPIRadix(c)
+		if err != nil {
+			return nil, err
+		}
+		label := "uniform"
+		if skew > 0 {
+			label = fmt.Sprintf("%.1f", skew)
+		}
+		t.AddRow(label, fmtDur(dfi.Total), fmtDur(mpiPT.Total),
+			fmt.Sprintf("%.2fx", float64(mpiPT.Total)/float64(dfi.Total)))
+	}
+	return []Table{t}, nil
+}
+
+func sharpSenderBW(seed int64, tupleSize int, volumePerSource int64) (float64, error) {
+	k, c, reg := newBWEnv(seed, 9)
+	sch := padSchema(tupleSize)
+	var sources []core.Endpoint
+	for n := 0; n < 8; n++ {
+		sources = append(sources, core.Endpoint{Node: c.Node(n)})
+	}
+	target := core.Endpoint{Node: c.Node(8)}
+	perSource := int(volumePerSource) / sch.TupleSize()
+	var end sim.Time
+	var sc *core.SharpCombiner
+	k.Spawn("init", func(p *sim.Proc) {
+		var err error
+		sc, err = core.NewSharpCombiner(p, reg, c, "abl-sharp", sources, target, sch, core.SharpOptions{
+			Aggregation: core.AggSum, GroupCol: 0, ValueCol: 0,
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+	for si := range sources {
+		si := si
+		k.Spawn(fmt.Sprintf("s%d", si), func(p *sim.Proc) {
+			for sc == nil {
+				p.Yield()
+			}
+			src, err := core.SourceOpen(p, reg, sc.IngestFlow(), si)
+			if err != nil {
+				panic(err)
+			}
+			tup := sch.NewTuple()
+			rng := p.Rand()
+			for i := 0; i < perSource; i++ {
+				sch.PutInt64(tup, 0, rng.Int63n(4096))
+				if err := src.Push(p, tup); err != nil {
+					panic(err)
+				}
+			}
+			src.Close(p)
+		})
+	}
+	k.Spawn("tgt", func(p *sim.Proc) {
+		for sc == nil {
+			p.Yield()
+		}
+		st, err := sc.TargetOpenSharp(p, reg)
+		if err != nil {
+			panic(err)
+		}
+		st.Run(p)
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		return 0, err
+	}
+	total := int64(len(sources)) * int64(perSource) * int64(sch.TupleSize())
+	return bw(total, end), nil
+}

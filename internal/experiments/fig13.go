@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dfi/internal/join"
+)
+
+// joinCfg returns the Figure 13/14 join configuration (paper inputs
+// scaled 1000×: 2.56M ⨝ 2.56M instead of 2.56B ⨝ 2.56B).
+func joinCfg(opt Options) join.Config {
+	cfg := join.DefaultConfig()
+	cfg.Seed = opt.Seed
+	if opt.Quick {
+		cfg.Nodes = 4
+		cfg.WorkersPerNode = 2
+		cfg.InnerTuples = 160_000
+		cfg.OuterTuples = 160_000
+	}
+	return cfg
+}
+
+// joinRow renders one join variant's phase breakdown.
+func joinRow(name string, pt join.PhaseTimes) []string {
+	cell := func(d time.Duration) string {
+		if d == 0 {
+			return "-"
+		}
+		return fmtDur(d)
+	}
+	return []string{
+		name,
+		cell(pt.Histogram),
+		cell(pt.NetworkPartition),
+		cell(pt.SyncBarrier),
+		cell(pt.NetworkReplicate),
+		cell(pt.LocalPartition),
+		cell(pt.BuildProbe),
+		fmtDur(pt.Total),
+		fmt.Sprintf("%d", pt.Matches),
+	}
+}
+
+var joinColumns = []string{
+	"variant", "histogram", "net shuffle", "barrier", "net replicate",
+	"local part", "build+probe", "total", "matches",
+}
+
+// RunFig13 reproduces Figure 13: the distributed radix join on 8 nodes ×
+// 8 workers, DFI vs the MPI baseline, with the per-phase breakdown. DFI
+// wins by omitting the histogram pass and the post-shuffle barrier and by
+// overlapping the shuffle with local processing.
+func RunFig13(opt Options) ([]Table, error) {
+	cfg := joinCfg(opt)
+	t := Table{
+		ID:      "fig13",
+		Title:   fmt.Sprintf("Distributed radix join, %d nodes × %d workers, %.2gM ⨝ %.2gM tuples", cfg.Nodes, cfg.WorkersPerNode, float64(cfg.InnerTuples)/1e6, float64(cfg.OuterTuples)/1e6),
+		Columns: joinColumns,
+		Notes: []string{
+			"paper (2.56B ⨝ 2.56B): MPI ≈ 2.4s vs DFI ≈ 1.7s — DFI has no histogram/barrier phases",
+			"DFI phase columns are per-worker CPU times that overlap with the shuffle; they need not sum to the total",
+		},
+	}
+	mpiPT, err := join.RunMPIRadix(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig13 mpi: %w", err)
+	}
+	dfiPT, err := join.RunDFIRadix(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig13 dfi: %w", err)
+	}
+	t.Rows = append(t.Rows, joinRow("MPI radix join", mpiPT), joinRow("DFI radix join", dfiPT))
+	t.Notes = append(t.Notes, fmt.Sprintf("speedup: DFI is %.2fx faster", float64(mpiPT.Total)/float64(dfiPT.Total)))
+	return []Table{t}, nil
+}
+
+// RunFig14 reproduces Figure 14: join adaptability with a 1000× smaller
+// inner relation. Swapping the inner-table shuffle flow for a replicate
+// flow (fragment-and-replicate join) avoids shuffling the big outer table
+// and cuts the runtime further.
+func RunFig14(opt Options) ([]Table, error) {
+	cfg := joinCfg(opt)
+	cfg.InnerTuples = cfg.OuterTuples / 1000
+	t := Table{
+		ID:      "fig14",
+		Title:   fmt.Sprintf("Join adaptability, %.3gk ⨝ %.3gM tuples", float64(cfg.InnerTuples)/1e3, float64(cfg.OuterTuples)/1e6),
+		Columns: joinColumns,
+		Notes:   []string{"paper: the replicate join reduces the DFI radix join runtime by another ~20%"},
+	}
+	mpiPT, err := join.RunMPIRadix(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig14 mpi: %w", err)
+	}
+	dfiPT, err := join.RunDFIRadix(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig14 dfi: %w", err)
+	}
+	repPT, err := join.RunDFIReplicateJoin(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig14 replicate: %w", err)
+	}
+	t.Rows = append(t.Rows,
+		joinRow("MPI radix join", mpiPT),
+		joinRow("DFI radix join", dfiPT),
+		joinRow("DFI replicate join", repPT),
+	)
+	t.Notes = append(t.Notes, fmt.Sprintf("replicate vs DFI radix: %.1f%% faster",
+		(1-float64(repPT.Total)/float64(dfiPT.Total))*100))
+	return []Table{t}, nil
+}

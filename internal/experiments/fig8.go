@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dfi/internal/core"
+	"dfi/internal/fabric"
+	"dfi/internal/registry"
+	"dfi/internal/sim"
+)
+
+// replicateReceiverBW measures the aggregated receiver bandwidth of a 1:8
+// replicate flow (naive one-sided or multicast) with the given number of
+// source threads.
+func replicateReceiverBW(seed int64, threads, targetsN, tupleSize int, volumePerThread int64, multicast bool) (float64, error) {
+	k, c, reg := newBWEnv(seed, targetsN+1)
+	sch := padSchema(tupleSize)
+	var sources, targets []core.Endpoint
+	for th := 0; th < threads; th++ {
+		sources = append(sources, core.Endpoint{Node: c.Node(0), Thread: th})
+	}
+	for n := 0; n < targetsN; n++ {
+		targets = append(targets, core.Endpoint{Node: c.Node(n + 1)})
+	}
+	spec := core.FlowSpec{
+		Name: "rep-bw", Type: core.ReplicateFlow,
+		Sources: sources, Targets: targets, Schema: sch,
+		Options: core.Options{Multicast: multicast},
+	}
+	perSource := int(volumePerThread) / sch.TupleSize()
+	var finish sim.Time
+
+	k.Spawn("init", func(p *sim.Proc) {
+		if err := core.FlowInit(p, reg, c, spec); err != nil {
+			panic(err)
+		}
+	})
+	for si := range sources {
+		si := si
+		k.Spawn(fmt.Sprintf("src%d", si), func(p *sim.Proc) {
+			src, err := core.SourceOpen(p, reg, "rep-bw", si)
+			if err != nil {
+				panic(err)
+			}
+			tup := sch.NewTuple()
+			for i := 0; i < perSource; i++ {
+				if err := src.Push(p, tup); err != nil {
+					panic(err)
+				}
+			}
+			src.Close(p)
+		})
+	}
+	for ti := range targets {
+		ti := ti
+		k.Spawn(fmt.Sprintf("tgt%d", ti), func(p *sim.Proc) {
+			tgt, err := core.TargetOpen(p, reg, "rep-bw", ti)
+			if err != nil {
+				panic(err)
+			}
+			for {
+				if _, _, ok := tgt.ConsumeSegment(p); !ok {
+					break
+				}
+			}
+			if p.Now() > finish {
+				finish = p.Now()
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		return 0, err
+	}
+	delivered := int64(threads) * int64(perSource) * int64(sch.TupleSize()) * int64(targetsN)
+	return bw(delivered, finish), nil
+}
+
+// RunFig8a reproduces Figure 8a: naive one-sided replication (1:8) is
+// capped by the sender's outgoing link.
+func RunFig8a(opt Options) ([]Table, error) {
+	return replicateBWTable("fig8a",
+		"Replicate flow aggregated receiver bandwidth, naive one-sided (1:8)",
+		[]string{"paper: limited by the sender's 11.64 GiB/s link"},
+		false, opt)
+}
+
+// RunFig8b reproduces Figure 8b: with switch multicast the aggregate
+// receiver bandwidth exceeds the sender link several times over, and
+// extra source threads do not help.
+func RunFig8b(opt Options) ([]Table, error) {
+	return replicateBWTable("fig8b",
+		"Replicate flow aggregated receiver bandwidth, multicast (1:8)",
+		[]string{"paper: up to 64 GiB/s — far beyond the 11.64 GiB/s sender link; more threads do not help"},
+		true, opt)
+}
+
+func replicateBWTable(id, title string, notes []string, multicast bool, opt Options) ([]Table, error) {
+	t := Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"tuple size", "1 thread", "2 threads", "4 threads"},
+		Notes:   notes,
+	}
+	volume := int64(16 << 20)
+	if opt.Quick {
+		volume = 2 << 20
+	}
+	for _, size := range []int{64, 256, 1024} {
+		row := []string{sizeLabel(size)}
+		for _, threads := range []int{1, 2, 4} {
+			v, err := replicateReceiverBW(opt.Seed, threads, 8, size, volume/int64(threads), multicast)
+			if err != nil {
+				return nil, fmt.Errorf("%s size=%d threads=%d: %w", id, size, threads, err)
+			}
+			row = append(row, gibps(v))
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}, nil
+}
+
+// RunFig8c reproduces Figure 8c: the time for one request replicated to N
+// targets to be acknowledged by all of them, naive vs multicast.
+func RunFig8c(opt Options) ([]Table, error) {
+	t := Table{
+		ID:      "fig8c",
+		Title:   "Replicate flow median latency until all targets replied (1:N)",
+		Columns: []string{"tuple size", "naive N=1", "naive N=8", "multicast N=1", "multicast N=8"},
+		Notes:   []string{"paper: naive wins at N=1 but degrades with N; multicast stays nearly flat"},
+	}
+	iters := 150
+	if opt.Quick {
+		iters = 30
+	}
+	for _, size := range []int{16, 64, 256, 1024, 4096} {
+		row := []string{sizeLabel(size)}
+		for _, mc := range []bool{false, true} {
+			for _, n := range []int{1, 8} {
+				m, err := replicateRoundTrip(opt.Seed, size, n, iters, mc)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmtDur(m))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}, nil
+}
+
+// replicateRoundTrip measures the median time from replicating one
+// request to N targets until replies from all N arrived.
+func replicateRoundTrip(seed int64, size, n, iters int, multicast bool) (time.Duration, error) {
+	k := sim.New(seed)
+	k.Deadline = time.Minute
+	cfg := fabric.DefaultConfig()
+	c := fabric.NewCluster(k, n+1, cfg)
+	reg := registry.New(k)
+	sch := padSchema(size)
+
+	servers := make([]core.Endpoint, n)
+	for i := range servers {
+		servers[i] = core.Endpoint{Node: c.Node(i + 1)}
+	}
+	client := []core.Endpoint{{Node: c.Node(0)}}
+	req := core.FlowSpec{
+		Name: "rep-req", Type: core.ReplicateFlow,
+		Sources: client, Targets: servers, Schema: sch,
+		Options: core.Options{Optimization: core.OptimizeLatency, Multicast: multicast},
+	}
+	ack := core.FlowSpec{
+		Name: "rep-ack", Sources: servers, Targets: client, Schema: sch,
+		Options: core.Options{Optimization: core.OptimizeLatency},
+	}
+	var rtts []time.Duration
+	k.Spawn("init", func(p *sim.Proc) {
+		if err := core.FlowInit(p, reg, c, req); err != nil {
+			panic(err)
+		}
+		if err := core.FlowInit(p, reg, c, ack); err != nil {
+			panic(err)
+		}
+	})
+	k.Spawn("client", func(p *sim.Proc) {
+		src, err := core.SourceOpen(p, reg, "rep-req", 0)
+		if err != nil {
+			panic(err)
+		}
+		tgt, err := core.TargetOpen(p, reg, "rep-ack", 0)
+		if err != nil {
+			panic(err)
+		}
+		tup := sch.NewTuple()
+		for i := 0; i < iters; i++ {
+			start := p.Now()
+			if err := src.Push(p, tup); err != nil {
+				panic(err)
+			}
+			for got := 0; got < n; got++ {
+				if _, ok := tgt.Consume(p); !ok {
+					panic("ack flow ended early")
+				}
+			}
+			rtts = append(rtts, p.Now()-start)
+		}
+		src.Close(p)
+		for {
+			if _, ok := tgt.Consume(p); !ok {
+				break
+			}
+		}
+	})
+	for i := 0; i < n; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("server%d", i), func(p *sim.Proc) {
+			tgt, err := core.TargetOpen(p, reg, "rep-req", i)
+			if err != nil {
+				panic(err)
+			}
+			src, err := core.SourceOpen(p, reg, "rep-ack", i)
+			if err != nil {
+				panic(err)
+			}
+			for {
+				tup, ok := tgt.Consume(p)
+				if !ok {
+					break
+				}
+				if err := src.Push(p, tup); err != nil {
+					panic(err)
+				}
+			}
+			src.Close(p)
+		})
+	}
+	if err := k.Run(); err != nil {
+		return 0, err
+	}
+	return median(rtts), nil
+}
+
+// RunFig9 reproduces Figure 9: a combiner flow (8 sender nodes into one
+// target node) with SUM aggregation. With one target thread the
+// aggregation CPU limits throughput; with 2–4 threads the target's
+// in-going link becomes the cap.
+func RunFig9(opt Options) ([]Table, error) {
+	t := Table{
+		ID:      "fig9",
+		Title:   "Combiner flow (8:1) with SUM aggregation: aggregated sender bandwidth",
+		Columns: []string{"tuple size", "1 target thread", "2 target threads", "4 target threads"},
+		Notes:   []string{"paper: 2 and 4 threads are limited by the target's in-going link"},
+	}
+	volume := int64(8 << 20)
+	if opt.Quick {
+		volume = 1 << 20
+	}
+	for _, size := range []int{64, 256, 1024} {
+		row := []string{sizeLabel(size)}
+		for _, threads := range []int{1, 2, 4} {
+			v, err := combinerSenderBW(opt.Seed, size, threads, volume)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 size=%d threads=%d: %w", size, threads, err)
+			}
+			row = append(row, gibps(v))
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}, nil
+}
+
+// combinerSenderBW drives 8 sender nodes into a combiner flow with the
+// given number of target threads and returns aggregated sender bandwidth.
+func combinerSenderBW(seed int64, tupleSize, targetThreads int, volumePerSource int64) (float64, error) {
+	k, c, reg := newBWEnv(seed, 9)
+	sch := padSchema(tupleSize)
+	var sources, targets []core.Endpoint
+	for n := 0; n < 8; n++ {
+		sources = append(sources, core.Endpoint{Node: c.Node(n)})
+	}
+	for th := 0; th < targetThreads; th++ {
+		targets = append(targets, core.Endpoint{Node: c.Node(8), Thread: th})
+	}
+	spec := core.FlowSpec{
+		Name: "comb-bw", Type: core.CombinerFlow,
+		Sources: sources, Targets: targets, Schema: sch,
+		Options: core.Options{Aggregation: core.AggSum, GroupCol: 0, ValueCol: 0},
+	}
+	perSource := int(volumePerSource) / sch.TupleSize()
+	var drainEnd sim.Time
+	k.Spawn("init", func(p *sim.Proc) {
+		if err := core.FlowInit(p, reg, c, spec); err != nil {
+			panic(err)
+		}
+	})
+	for si := range sources {
+		si := si
+		k.Spawn(fmt.Sprintf("src%d", si), func(p *sim.Proc) {
+			src, err := core.SourceOpen(p, reg, "comb-bw", si)
+			if err != nil {
+				panic(err)
+			}
+			tup := sch.NewTuple()
+			rng := p.Rand()
+			for i := 0; i < perSource; i++ {
+				sch.PutInt64(tup, 0, rng.Int63n(4096))
+				if err := src.Push(p, tup); err != nil {
+					panic(err)
+				}
+			}
+			src.Close(p)
+		})
+	}
+	for ti := range targets {
+		ti := ti
+		k.Spawn(fmt.Sprintf("comb%d", ti), func(p *sim.Proc) {
+			ct, err := core.CombinerTargetOpen(p, reg, "comb-bw", ti)
+			if err != nil {
+				panic(err)
+			}
+			ct.Run(p)
+			if p.Now() > drainEnd {
+				drainEnd = p.Now()
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		return 0, err
+	}
+	total := int64(len(sources)) * int64(perSource) * int64(sch.TupleSize())
+	return bw(total, drainEnd), nil
+}

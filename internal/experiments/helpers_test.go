@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{2 * time.Second, "2s"},
+		{1500 * time.Millisecond, "1.5s"},
+		{250 * time.Millisecond, "250ms"},
+		{3 * time.Microsecond, "3µs"},
+		{500 * time.Nanosecond, "500ns"},
+	}
+	for _, c := range cases {
+		if got := fmtDur(c.d); got != c.want {
+			t.Errorf("fmtDur(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	if sizeLabel(64) != "64 B" || sizeLabel(16<<10) != "16 KiB" || sizeLabel(2<<20) != "2 MiB" {
+		t.Fatalf("sizeLabel: %q %q %q", sizeLabel(64), sizeLabel(16<<10), sizeLabel(2<<20))
+	}
+}
+
+func TestMedian(t *testing.T) {
+	ds := []time.Duration{5, 1, 3}
+	if median(ds) != 3 {
+		t.Fatalf("median = %v", median(ds))
+	}
+	if median(nil) != 0 {
+		t.Fatal("median(nil) != 0")
+	}
+	// Input must not be reordered.
+	if ds[0] != 5 {
+		t.Fatal("median mutated its input")
+	}
+}
+
+func TestBw(t *testing.T) {
+	if bw(1<<30, time.Second) != float64(1<<30) {
+		t.Fatalf("bw = %v", bw(1<<30, time.Second))
+	}
+	if bw(100, 0) != 0 {
+		t.Fatal("bw with zero duration should be 0")
+	}
+}
+
+func TestGibps(t *testing.T) {
+	if gibps(float64(1<<30)) != "1.00 GiB/s" {
+		t.Fatalf("gibps = %q", gibps(float64(1<<30)))
+	}
+}
+
+func TestPadSchemaSizes(t *testing.T) {
+	for _, size := range []int{16, 64, 256, 1024, 16384} {
+		if got := padSchema(size).TupleSize(); got != size {
+			t.Fatalf("padSchema(%d).TupleSize() = %d", size, got)
+		}
+	}
+	if padSchema(8).TupleSize() != 16 {
+		t.Fatal("sub-minimum size not clamped")
+	}
+}
+
+func TestSegFor(t *testing.T) {
+	if segFor(64) != 8<<10 || segFor(16<<10) != 16<<10 {
+		t.Fatalf("segFor: %d %d", segFor(64), segFor(16<<10))
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"time"
+
+	"dfi/internal/core"
+)
+
+// Exported single-point measurement entry points used by the repository's
+// top-level testing.B benchmarks (bench_test.go), one per figure. Each
+// returns the headline metric of its figure at one representative
+// parameter point.
+
+// MeasureShuffleBandwidth returns the 1:8 shuffle sender bandwidth
+// (bytes/s) for the given source-thread count and tuple size (Fig. 7a).
+func MeasureShuffleBandwidth(seed int64, threads, tupleSize int, volumePerThread int64) (float64, error) {
+	k, c, reg := newBWEnv(seed, 9)
+	var sources, targets []core.Endpoint
+	for th := 0; th < threads; th++ {
+		sources = append(sources, core.Endpoint{Node: c.Node(0), Thread: th})
+	}
+	for n := 0; n < 8; n++ {
+		targets = append(targets, core.Endpoint{Node: c.Node(n + 1)})
+	}
+	return shuffleSenderBW(seed, c, k, reg, sources, targets, tupleSize, volumePerThread, 32)
+}
+
+// MeasureShuffleRTT returns the median shuffle round-trip time over n
+// target servers (Fig. 7b), and the raw-verb ping-pong baseline.
+func MeasureShuffleRTT(seed int64, size, n, iters int) (dfi, raw time.Duration, err error) {
+	raw, err = rawVerbPingPong(seed, size, iters)
+	if err != nil {
+		return 0, 0, err
+	}
+	dfi, err = shuffleRoundTrip(seed, size, n, iters)
+	return dfi, raw, err
+}
+
+// MeasureScaleOut returns the aggregated N:N shuffle bandwidth (bytes/s)
+// for the given server and per-server thread counts (Fig. 7c).
+func MeasureScaleOut(seed int64, servers, threads int, volumePerSource int64, segs int) (float64, error) {
+	k, c, reg := newBWEnv(seed, servers)
+	var sources, targets []core.Endpoint
+	for n := 0; n < servers; n++ {
+		for th := 0; th < threads; th++ {
+			sources = append(sources, core.Endpoint{Node: c.Node(n), Thread: th})
+			targets = append(targets, core.Endpoint{Node: c.Node(n), Thread: th})
+		}
+	}
+	return shuffleSenderBW(seed, c, k, reg, sources, targets, 1024, volumePerSource, segs)
+}
+
+// MeasureFlowMemory returns the per-node registered ring memory of an N:N
+// shuffle configuration (§6.1.4).
+func MeasureFlowMemory(seed int64, servers, threads, segs int) (int64, error) {
+	return measureFlowMemory(seed, servers, threads, segs)
+}
+
+// MeasureReplicateBandwidth returns the aggregated receiver bandwidth of
+// a 1:8 replicate flow (Figs. 8a/8b).
+func MeasureReplicateBandwidth(seed int64, threads, tupleSize int, volumePerThread int64, multicast bool) (float64, error) {
+	return replicateReceiverBW(seed, threads, 8, tupleSize, volumePerThread, multicast)
+}
+
+// MeasureReplicateRTT returns the median time for one replicated request
+// to be acknowledged by all n targets (Fig. 8c).
+func MeasureReplicateRTT(seed int64, size, n, iters int, multicast bool) (time.Duration, error) {
+	return replicateRoundTrip(seed, size, n, iters, multicast)
+}
+
+// MeasureCombinerBandwidth returns the aggregated sender bandwidth of an
+// 8:1 combiner flow with SUM aggregation (Fig. 9).
+func MeasureCombinerBandwidth(seed int64, tupleSize, targetThreads int, volumePerSource int64) (float64, error) {
+	return combinerSenderBW(seed, tupleSize, targetThreads, volumePerSource)
+}
+
+// MeasureDFIPointToPoint returns the virtual runtime of a threads-wide
+// point-to-point transfer over a DFI flow (Figs. 10a/10b).
+func MeasureDFIPointToPoint(seed int64, size, threads int, volume int64, latencyOpt bool) (time.Duration, error) {
+	mode := core.OptimizeBandwidth
+	if latencyOpt {
+		mode = core.OptimizeLatency
+	}
+	return dfiP2PRuntime(seed, size, threads, volume, mode)
+}
+
+// MeasureMPIPointToPoint returns the virtual runtime of the MPI
+// equivalent (Figs. 10a/10b); multiProcess selects ranks over threads.
+func MeasureMPIPointToPoint(seed int64, size, threads int, volume int64, multiProcess bool) (time.Duration, error) {
+	return mpiP2PRuntime(seed, size, threads, volume, multiProcess)
+}
+
+// MeasureStreamShuffle returns the runtime of the 8:8 streaming DFI
+// shuffle (Figs. 11/12); stragglerScale < 1 slows node 0.
+func MeasureStreamShuffle(seed int64, size int, volumePerNode int64, stragglerScale float64) (time.Duration, error) {
+	return dfiStreamShuffle(seed, 8, size, volumePerNode, stragglerScale)
+}
+
+// MeasureMiniBatchAlltoall returns the runtime of the MPI mini-batch
+// collective shuffle (Fig. 11).
+func MeasureMiniBatchAlltoall(seed int64, size int, volumePerNode int64) (time.Duration, error) {
+	return mpiMiniBatchShuffle(seed, 8, size, volumePerNode)
+}
+
+// MeasureBatchedAlltoall returns the runtime of the MPI batched shuffle
+// with an optional straggler (Fig. 12).
+func MeasureBatchedAlltoall(seed int64, size int, volumePerNode int64, stragglerScale float64) (time.Duration, error) {
+	return mpiBatchedShuffle(seed, 8, size, volumePerNode, stragglerScale)
+}
+
+// MeasureSharpCombiner returns the aggregated sender bandwidth (bytes/s)
+// of the in-network (SHARP-style) combiner extension.
+func MeasureSharpCombiner(seed int64, tupleSize int, volumePerSource int64) (float64, error) {
+	return sharpSenderBW(seed, tupleSize, volumePerSource)
+}

@@ -1,0 +1,131 @@
+package fabric
+
+import (
+	"dfi/internal/sim"
+)
+
+// MulticastGroup models InfiniBand unreliable-datagram multicast with
+// switch-side replication: a sender serializes a message once on its own
+// link; the switch fans it out to every member's receive link in parallel.
+//
+// As with real UD multicast, delivery is unreliable: a message arriving at
+// a member with no posted receive is dropped, and loss can additionally be
+// injected with Config.MulticastLoss. Reliability (credits, NACKs,
+// sequence numbers) is the responsibility of the layer above — DFI's
+// replicate flow implements it.
+type MulticastGroup struct {
+	c       *Cluster
+	members []*McEndpoint
+}
+
+// McEndpoint is one member's attachment to a multicast group: a receive
+// queue and a completion queue.
+type McEndpoint struct {
+	group *MulticastGroup
+	node  *Node
+	recvq []RecvWR
+	rcq   *CQ
+
+	// Drops counts messages lost at this endpoint (no posted receive or
+	// injected loss).
+	Drops int64
+}
+
+// CreateMulticast builds a multicast group over the given member nodes and
+// returns one endpoint per member, in order.
+func (c *Cluster) CreateMulticast(members ...*Node) *MulticastGroup {
+	g := &MulticastGroup{c: c}
+	for _, n := range members {
+		g.members = append(g.members, &McEndpoint{group: g, node: n, rcq: c.NewCQ()})
+	}
+	return g
+}
+
+// Member returns the endpoint of member i.
+func (g *MulticastGroup) Member(i int) *McEndpoint { return g.members[i] }
+
+// Members returns the number of group members.
+func (g *MulticastGroup) Members() int { return len(g.members) }
+
+// EndpointFor returns the endpoint attached to node n, or nil.
+func (g *MulticastGroup) EndpointFor(n *Node) *McEndpoint {
+	for _, ep := range g.members {
+		if ep.node == n {
+			return ep
+		}
+	}
+	return nil
+}
+
+// PostRecv posts a receive buffer at the endpoint. Unlike RC queue pairs,
+// a UD message that finds no posted receive is dropped, so the layer above
+// must pre-populate the queue (DFI sizes it by its credit score).
+func (ep *McEndpoint) PostRecv(buf []byte, id uint64) {
+	ep.recvq = append(ep.recvq, RecvWR{Buf: buf, ID: id})
+}
+
+// RecvCQ returns the endpoint's receive completion queue.
+func (ep *McEndpoint) RecvCQ() *CQ { return ep.rcq }
+
+// Node returns the endpoint's node.
+func (ep *McEndpoint) Node() *Node { return ep.node }
+
+// Send multicasts src from the given node to every member endpoint
+// (including the sender's own endpoint if it is a member, unless
+// excludeSelf). The sender's link is used exactly once; replication
+// happens in the switch, which is why replicate-flow bandwidth can exceed
+// the sender's link speed (Figure 8b in the paper).
+func (g *MulticastGroup) Send(p *sim.Proc, from *Node, src []byte, excludeSelf bool) {
+	cfg := &g.c.cfg
+	from.Compute(p, cfg.PostOverhead)
+
+	k := g.c.K
+	ser := cfg.serialization(len(src))
+	txStart, txEnd := from.reserveTx(k.Now()+cfg.NICStartup, ser)
+	from.bytesTx += int64(len(src))
+	from.msgsTx++
+
+	var staged []byte
+	k.At(txEnd, func() {
+		staged = make([]byte, len(src))
+		copy(staged, src)
+	})
+
+	arriveSwitch := txStart + cfg.Propagation + cfg.SwitchDelay
+	for _, ep := range g.members {
+		ep := ep
+		if excludeSelf && ep.node == from {
+			continue
+		}
+		g.c.trace(OpSend, from, ep.node, len(src), k.Now(), arriveSwitch+ser)
+		if ep.node == from {
+			// Loopback delivery does not traverse the switch twice; model
+			// it as arriving after the local serialization only.
+			g.deliver(ep, txEnd, ser, &staged)
+			continue
+		}
+		g.deliver(ep, arriveSwitch, ser, &staged)
+	}
+}
+
+// deliver schedules arrival of a staged message at one endpoint.
+func (g *MulticastGroup) deliver(ep *McEndpoint, from sim.Time, ser sim.Time, staged *[]byte) {
+	cfg := &g.c.cfg
+	k := g.c.K
+	_, rxEnd := ep.node.reserveRx(from, ser)
+	k.At(rxEnd, func() {
+		if cfg.MulticastLoss > 0 && k.Rand().Float64() < cfg.MulticastLoss {
+			ep.Drops++
+			return
+		}
+		if len(ep.recvq) == 0 {
+			ep.Drops++ // UD: no posted receive, packet lost
+			return
+		}
+		wr := ep.recvq[0]
+		ep.recvq = ep.recvq[1:]
+		n := copy(wr.Buf, *staged)
+		ep.node.bytesRx += int64(n)
+		ep.rcq.push(Completion{ID: wr.ID, Op: OpRecv, Bytes: n, Buf: wr.Buf})
+	})
+}

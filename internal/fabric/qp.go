@@ -1,0 +1,526 @@
+package fabric
+
+import (
+	"time"
+
+	"dfi/internal/sim"
+)
+
+// OpKind identifies the verb that produced a completion.
+type OpKind uint8
+
+// Verb kinds reported in completions.
+const (
+	OpWrite OpKind = iota
+	OpRead
+	OpSend
+	OpRecv
+	OpFetchAdd
+	OpCompareSwap
+)
+
+func (o OpKind) String() string {
+	switch o {
+	case OpWrite:
+		return "WRITE"
+	case OpRead:
+		return "READ"
+	case OpSend:
+		return "SEND"
+	case OpRecv:
+		return "RECV"
+	case OpFetchAdd:
+		return "FETCH_ADD"
+	case OpCompareSwap:
+		return "CMP_SWAP"
+	}
+	return "UNKNOWN"
+}
+
+// Completion is one completion-queue entry.
+type Completion struct {
+	ID    uint64
+	Op    OpKind
+	Bytes int
+	// Value carries the returned old value for atomics, or the sender's
+	// WR id for received messages.
+	Value uint64
+	// Buf is the posted receive buffer a RECV completion delivered into.
+	Buf []byte
+}
+
+// CQ is a completion queue. Entries are appended by the fabric at
+// completion time; processes drain them with Poll or Wait.
+type CQ struct {
+	cfg     *Config
+	entries []Completion
+	cond    *sim.Cond
+}
+
+// NewCQ creates a completion queue on the cluster.
+func (c *Cluster) NewCQ() *CQ {
+	return &CQ{cfg: &c.cfg, cond: sim.NewCond(c.K)}
+}
+
+// push appends an entry and wakes waiters. Called from event context.
+func (cq *CQ) push(e Completion) {
+	cq.entries = append(cq.entries, e)
+	cq.cond.Broadcast()
+}
+
+// Poll drains one completion without blocking, charging one poll cost.
+func (cq *CQ) Poll(p *sim.Proc) (Completion, bool) {
+	p.Sleep(cq.cfg.PollCost)
+	if len(cq.entries) == 0 {
+		return Completion{}, false
+	}
+	e := cq.entries[0]
+	cq.entries = cq.entries[1:]
+	return e, true
+}
+
+// Wait blocks until a completion is available and returns it.
+func (cq *CQ) Wait(p *sim.Proc) Completion {
+	p.Sleep(cq.cfg.PollCost)
+	for len(cq.entries) == 0 {
+		cq.cond.Wait(p)
+		p.Sleep(cq.cfg.PollCost)
+	}
+	e := cq.entries[0]
+	cq.entries = cq.entries[1:]
+	return e
+}
+
+// WaitTimeout blocks until a completion is available or d elapses,
+// reporting whether a completion was returned.
+func (cq *CQ) WaitTimeout(p *sim.Proc, d time.Duration) (Completion, bool) {
+	p.Sleep(cq.cfg.PollCost)
+	deadline := p.Now() + d
+	for len(cq.entries) == 0 {
+		remain := deadline - p.Now()
+		if remain <= 0 {
+			return Completion{}, false
+		}
+		if !cq.cond.WaitTimeout(p, remain) && len(cq.entries) == 0 {
+			return Completion{}, false
+		}
+		p.Sleep(cq.cfg.PollCost)
+	}
+	e := cq.entries[0]
+	cq.entries = cq.entries[1:]
+	return e, true
+}
+
+// WaitNonEmpty blocks until the queue holds at least one completion or d
+// elapses, without consuming anything. It reports whether a completion is
+// available.
+func (cq *CQ) WaitNonEmpty(p *sim.Proc, d time.Duration) bool {
+	p.Sleep(cq.cfg.PollCost)
+	deadline := p.Now() + d
+	for len(cq.entries) == 0 {
+		remain := deadline - p.Now()
+		if remain <= 0 {
+			return false
+		}
+		if !cq.cond.WaitTimeout(p, remain) && len(cq.entries) == 0 {
+			return false
+		}
+		p.Sleep(cq.cfg.PollCost)
+	}
+	return true
+}
+
+// Len returns the number of pending completions.
+func (cq *CQ) Len() int { return len(cq.entries) }
+
+// RecvWR is a posted receive buffer.
+type RecvWR struct {
+	Buf []byte
+	ID  uint64
+}
+
+// arrival is a two-sided message that reached a QP before a receive was
+// posted (RC queues it rather than dropping).
+type arrival struct {
+	data []byte
+	id   uint64
+}
+
+// QP is one endpoint of a reliable connection between two nodes. Verbs are
+// issued by processes running on the owner node; Peer returns the other
+// endpoint.
+type QP struct {
+	c     *Cluster
+	owner *Node
+	peer  *QP
+
+	scq *CQ // send-side completions (WRITE/READ/SEND/atomics)
+	rcq *CQ // receive-side completions (matched RECVs)
+
+	recvq   []RecvWR
+	arrived []arrival
+	nextID  uint64
+}
+
+// CreateQPPair connects nodes a and b with a reliable connection and
+// returns the two endpoints.
+func (c *Cluster) CreateQPPair(a, b *Node) (*QP, *QP) {
+	qa := &QP{c: c, owner: a, scq: c.NewCQ(), rcq: c.NewCQ()}
+	qb := &QP{c: c, owner: b, scq: c.NewCQ(), rcq: c.NewCQ()}
+	qa.peer, qb.peer = qb, qa
+	return qa, qb
+}
+
+// Owner returns the node this endpoint belongs to.
+func (q *QP) Owner() *Node { return q.owner }
+
+// Peer returns the opposite endpoint.
+func (q *QP) Peer() *QP { return q.peer }
+
+// SendCQ returns the endpoint's send completion queue.
+func (q *QP) SendCQ() *CQ { return q.scq }
+
+// RecvCQ returns the endpoint's receive completion queue.
+func (q *QP) RecvCQ() *CQ { return q.rcq }
+
+// PostedRecvs returns the number of posted, unmatched receive buffers.
+func (q *QP) PostedRecvs() int { return len(q.recvq) }
+
+// WriteOptions controls an RDMA WRITE work request.
+type WriteOptions struct {
+	// Signaled requests a completion entry in the sender's CQ once the
+	// local buffer may be reused.
+	Signaled bool
+	// ID tags the completion.
+	ID uint64
+	// CommitTail is the number of trailing bytes committed strictly after
+	// the rest of the payload, modelling the NIC's increasing-address DMA
+	// order. DFI passes its footer size here.
+	CommitTail int
+}
+
+// Write posts a one-sided RDMA WRITE of src into dst on the peer node. It
+// returns after the posting cost; the transfer proceeds asynchronously.
+// The source buffer must not be modified until a signaled completion for
+// this or a later WR on the same QP has been observed (exactly the
+// selective-signaling contract real verbs impose).
+func (q *QP) Write(p *sim.Proc, src []byte, dst Addr, opts WriteOptions) {
+	cfg := &q.c.cfg
+	if dst.MR.node != q.peer.owner {
+		panic("fabric: WRITE destination MR not on peer node")
+	}
+	dst.slice(len(src)) // bounds-check now
+	q.owner.Compute(p, cfg.PostOverhead)
+
+	k := q.c.K
+	ser := cfg.serialization(len(src))
+	startup := cfg.NICStartup
+	if len(src) <= cfg.InlineThreshold && cfg.InlineSaving < startup {
+		startup -= cfg.InlineSaving
+	}
+	_, txEnd, rxEnd := q.c.reservePath(q.owner, q.peer.owner, k.Now()+startup, ser)
+
+	q.owner.bytesTx += int64(len(src))
+	q.owner.msgsTx++
+	q.peer.owner.bytesRx += int64(len(src))
+	q.c.trace(OpWrite, q.owner, q.peer.owner, len(src), k.Now(), rxEnd)
+
+	// The NIC finishes DMA-reading the source at txEnd: snapshot then.
+	// Payload body commits just before the tail; tail commits last.
+	tail := opts.CommitTail
+	if tail > len(src) {
+		tail = len(src)
+	}
+	body := len(src) - tail
+	var staged []byte
+	k.At(txEnd, func() {
+		staged = q.stage(src, body, tail)
+	})
+	if tail > 0 && body > 0 {
+		bodyAt := rxEnd - cfg.serialization(tail)
+		if bodyAt <= txEnd {
+			bodyAt = txEnd + 1
+		}
+		k.At(bodyAt, func() {
+			if q.c.cfg.CopyPayload {
+				copy(dst.slice(body), staged[:body])
+			}
+		})
+	}
+	k.At(rxEnd, func() {
+		if q.c.cfg.CopyPayload && body > 0 && tail == 0 {
+			copy(dst.slice(body), staged[:body])
+		}
+		if tail > 0 {
+			copy(dst.MR.buf[dst.Off+body:dst.Off+body+tail], staged[body:])
+		}
+		dst.MR.notify()
+	})
+	if opts.Signaled {
+		// RC semantics: the completion is generated once the responder's
+		// ACK returns, i.e. after remote delivery plus the return hop.
+		n := len(src)
+		ackAt := rxEnd + cfg.Propagation + cfg.SwitchDelay + cfg.CompletionDelay
+		k.At(ackAt, func() {
+			q.scq.push(Completion{ID: opts.ID, Op: OpWrite, Bytes: n})
+		})
+	}
+}
+
+// stage snapshots the bytes the NIC would have DMA-read. With payload
+// copying disabled only the tail (protocol metadata) is retained.
+func (q *QP) stage(src []byte, body, tail int) []byte {
+	if q.c.cfg.CopyPayload {
+		s := make([]byte, len(src))
+		copy(s, src)
+		return s
+	}
+	s := make([]byte, len(src))
+	copy(s[body:], src[body:])
+	return s
+}
+
+// Read posts a one-sided RDMA READ of len(dst) bytes from src on the peer
+// node into dst, returning after the posting cost. A signaled completion
+// indicates dst holds the data.
+//
+// Small reads (≤ ControlBytes) travel on the control lane: like
+// InfiniBand's service levels, they bypass the bulk-data FIFO so a footer
+// probe or credit refresh is not queued behind megabytes of in-flight
+// segments. Their (negligible) bytes still count toward the statistics.
+func (q *QP) Read(p *sim.Proc, dst []byte, src Addr, signaled bool, id uint64) {
+	cfg := &q.c.cfg
+	if src.MR.node != q.peer.owner {
+		panic("fabric: READ source MR not on peer node")
+	}
+	src.slice(len(dst))
+	q.owner.Compute(p, cfg.PostOverhead)
+
+	k := q.c.K
+	const reqBytes = 16
+	serReq := cfg.serialization(reqBytes)
+	serResp := cfg.serialization(len(dst))
+	var respStart, rxEnd sim.Time
+	if len(dst) <= ControlBytes {
+		hop := cfg.Propagation + cfg.SwitchDelay
+		reqRxEnd := k.Now() + cfg.NICStartup + serReq + hop
+		respStart = reqRxEnd + cfg.NICStartup
+		rxEnd = respStart + serResp + hop
+	} else {
+		var reqRxEnd sim.Time
+		_, _, reqRxEnd = q.c.reservePath(q.owner, q.peer.owner, k.Now()+cfg.NICStartup, serReq)
+		// Response: remote NIC DMA-reads memory and serializes on its TX link.
+		respStart, _, rxEnd = q.c.reservePath(q.peer.owner, q.owner, reqRxEnd+cfg.NICStartup, serResp)
+	}
+
+	q.owner.msgsTx++
+	q.owner.bytesRx += int64(len(dst))
+	q.peer.owner.bytesTx += int64(len(dst))
+	q.c.trace(OpRead, q.owner, q.peer.owner, len(dst), k.Now(), rxEnd)
+
+	var staged []byte
+	k.At(respStart, func() {
+		staged = make([]byte, len(dst))
+		copy(staged, src.slice(len(dst)))
+	})
+	n := len(dst)
+	k.At(rxEnd, func() {
+		copy(dst, staged)
+		if signaled {
+			q.scq.push(Completion{ID: id, Op: OpRead, Bytes: n})
+		}
+	})
+}
+
+// ReadSync performs a signaled READ and blocks until it completes,
+// returning the round-trip time. Any completions already pending on the
+// send CQ are drained to the caller via the discard list semantics; callers
+// that interleave ReadSync with other signaled WRs should use Read+Wait
+// directly.
+func (q *QP) ReadSync(p *sim.Proc, dst []byte, src Addr) time.Duration {
+	start := p.Now()
+	q.nextID++
+	id := q.nextID | 1<<63
+	q.Read(p, dst, src, true, id)
+	for {
+		c := q.scq.Wait(p)
+		if c.ID == id {
+			break
+		}
+		// Preserve unrelated completions (e.g. signaled writes).
+		q.scq.entries = append(q.scq.entries, c)
+	}
+	return p.Now() - start
+}
+
+// FetchAdd atomically adds delta to the 8-byte counter at dst on the peer
+// node and returns the previous value. It blocks the caller for the full
+// round trip (the paper's tuple sequencer uses it synchronously). Remote
+// atomics to the same NIC serialize, which models sequencer contention.
+func (q *QP) FetchAdd(p *sim.Proc, dst Addr, delta uint64) uint64 {
+	cfg := &q.c.cfg
+	if dst.MR.node != q.peer.owner {
+		panic("fabric: atomic destination MR not on peer node")
+	}
+	b := dst.slice(8)
+	q.owner.Compute(p, cfg.PostOverhead)
+
+	k := q.c.K
+	const atomicBytes = 16
+	ser := cfg.serialization(atomicBytes)
+	hop := cfg.Propagation + cfg.SwitchDelay
+	arrive := k.Now() + cfg.NICStartup + ser + hop // control lane
+
+	// Serialize concurrent atomics at the responder NIC.
+	execStart := arrive
+	if q.peer.owner.atomicFreeAt > execStart {
+		execStart = q.peer.owner.atomicFreeAt
+	}
+	execEnd := execStart + cfg.AtomicRemoteCost
+	q.peer.owner.atomicFreeAt = execEnd
+	q.peer.owner.atomicsRx++
+
+	arriveResp := execEnd + ser + hop // control lane
+	q.owner.msgsTx++
+
+	q.c.trace(OpFetchAdd, q.owner, q.peer.owner, 8, k.Now(), execEnd)
+	var old uint64
+	k.At(execEnd, func() {
+		old = le64(b)
+		putLE64(b, old+delta)
+		dst.MR.notify()
+	})
+	done := sim.NewCond(k)
+	k.At(arriveResp, done.Broadcast)
+	done.Wait(p)
+	return old
+}
+
+// CompareSwap atomically replaces the 8-byte value at dst with swap if it
+// equals expect, returning the previous value.
+func (q *QP) CompareSwap(p *sim.Proc, dst Addr, expect, swap uint64) uint64 {
+	cfg := &q.c.cfg
+	if dst.MR.node != q.peer.owner {
+		panic("fabric: atomic destination MR not on peer node")
+	}
+	b := dst.slice(8)
+	q.owner.Compute(p, cfg.PostOverhead)
+
+	k := q.c.K
+	const atomicBytes = 16
+	ser := cfg.serialization(atomicBytes)
+	hop := cfg.Propagation + cfg.SwitchDelay
+	arrive := k.Now() + cfg.NICStartup + ser + hop // control lane
+	execStart := arrive
+	if q.peer.owner.atomicFreeAt > execStart {
+		execStart = q.peer.owner.atomicFreeAt
+	}
+	execEnd := execStart + cfg.AtomicRemoteCost
+	q.peer.owner.atomicFreeAt = execEnd
+	q.peer.owner.atomicsRx++
+	arriveResp := execEnd + ser + hop // control lane
+	q.owner.msgsTx++
+
+	q.c.trace(OpCompareSwap, q.owner, q.peer.owner, 8, k.Now(), execEnd)
+	var old uint64
+	k.At(execEnd, func() {
+		old = le64(b)
+		if old == expect {
+			putLE64(b, swap)
+		}
+		dst.MR.notify()
+	})
+	done := sim.NewCond(k)
+	k.At(arriveResp, done.Broadcast)
+	done.Wait(p)
+	return old
+}
+
+// PostRecv posts a receive buffer for two-sided communication. If a
+// message already arrived unmatched (RC queues them), it is delivered
+// immediately.
+func (q *QP) PostRecv(buf []byte, id uint64) {
+	if len(q.arrived) > 0 {
+		a := q.arrived[0]
+		q.arrived = q.arrived[1:]
+		n := copy(buf, a.data)
+		q.rcq.push(Completion{ID: id, Op: OpRecv, Bytes: n, Value: a.id, Buf: buf})
+		return
+	}
+	q.recvq = append(q.recvq, RecvWR{Buf: buf, ID: id})
+}
+
+// Send posts a two-sided SEND of src to the peer endpoint. The message is
+// delivered into the peer's next posted receive buffer; with reliable
+// connections an early message waits for a receive to be posted.
+func (q *QP) Send(p *sim.Proc, src []byte, signaled bool, id uint64) {
+	cfg := &q.c.cfg
+	q.owner.Compute(p, cfg.PostOverhead)
+
+	k := q.c.K
+	ser := cfg.serialization(len(src))
+	startup := cfg.NICStartup
+	if len(src) <= cfg.InlineThreshold && cfg.InlineSaving < startup {
+		startup -= cfg.InlineSaving
+	}
+	_, txEnd, rxEnd := q.c.reservePath(q.owner, q.peer.owner, k.Now()+startup, ser)
+
+	q.owner.bytesTx += int64(len(src))
+	q.owner.msgsTx++
+	q.peer.owner.bytesRx += int64(len(src))
+	q.c.trace(OpSend, q.owner, q.peer.owner, len(src), k.Now(), rxEnd)
+
+	var staged []byte
+	k.At(txEnd, func() {
+		staged = make([]byte, len(src))
+		if q.c.cfg.CopyPayload {
+			copy(staged, src)
+		} else {
+			// Timing-only mode: keep the leading bytes (message headers)
+			// so protocol metadata survives, drop the payload copy.
+			n := len(src)
+			if n > 64 {
+				n = 64
+			}
+			copy(staged[:n], src[:n])
+		}
+	})
+	k.At(rxEnd, func() {
+		peer := q.peer
+		if len(peer.recvq) > 0 {
+			wr := peer.recvq[0]
+			peer.recvq = peer.recvq[1:]
+			n := copy(wr.Buf, staged)
+			peer.rcq.push(Completion{ID: wr.ID, Op: OpRecv, Bytes: n, Value: id, Buf: wr.Buf})
+		} else {
+			peer.arrived = append(peer.arrived, arrival{data: staged, id: id})
+		}
+	})
+	if signaled {
+		n := len(src)
+		ackAt := rxEnd + cfg.Propagation + cfg.SwitchDelay + cfg.CompletionDelay
+		k.At(ackAt, func() {
+			q.scq.push(Completion{ID: id, Op: OpSend, Bytes: n})
+		})
+	}
+}
+
+// le64 and putLE64 are little-endian 8-byte codecs used across the fabric
+// and the DFI ring protocol.
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,118 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Tracing: an optional hook observing every verb the fabric executes,
+// with a bundled recorder that renders op logs and per-pair traffic
+// summaries. Used by cmd/dfiflow -trace and by tests that assert on
+// wire-level behaviour.
+
+// TraceOp is one observed verb execution.
+type TraceOp struct {
+	Kind    OpKind
+	From    int // node id
+	To      int // node id
+	Bytes   int
+	Posted  time.Duration // when the work request was posted
+	Arrived time.Duration // when it was delivered / executed remotely
+}
+
+// Tracer observes fabric operations. Implementations must not block (they
+// run inline with verb posting).
+type Tracer interface {
+	Trace(op TraceOp)
+}
+
+// SetTracer installs a tracer on the cluster (nil disables tracing).
+func (c *Cluster) SetTracer(t Tracer) { c.tracer = t }
+
+// trace reports an op to the installed tracer, if any.
+func (c *Cluster) trace(kind OpKind, from, to *Node, bytes int, posted, arrived time.Duration) {
+	if c.tracer == nil {
+		return
+	}
+	c.tracer.Trace(TraceOp{
+		Kind: kind, From: from.id, To: to.id, Bytes: bytes,
+		Posted: posted, Arrived: arrived,
+	})
+}
+
+// Recorder is a Tracer that accumulates operations in memory.
+type Recorder struct {
+	Ops []TraceOp
+	// Cap bounds the retained op log (0 = unlimited); aggregate counters
+	// keep counting past it.
+	Cap int
+
+	total      int
+	totalBytes int64
+	byKind     map[OpKind]int
+	byPair     map[[2]int]int64 // bytes by (from, to)
+}
+
+// NewRecorder returns an empty recorder retaining at most cap ops.
+func NewRecorder(cap int) *Recorder {
+	return &Recorder{Cap: cap, byKind: make(map[OpKind]int), byPair: make(map[[2]int]int64)}
+}
+
+// Trace implements Tracer.
+func (r *Recorder) Trace(op TraceOp) {
+	r.total++
+	r.totalBytes += int64(op.Bytes)
+	r.byKind[op.Kind]++
+	r.byPair[[2]int{op.From, op.To}] += int64(op.Bytes)
+	if r.Cap == 0 || len(r.Ops) < r.Cap {
+		r.Ops = append(r.Ops, op)
+	}
+}
+
+// Total returns the number of traced operations.
+func (r *Recorder) Total() int { return r.total }
+
+// Summary renders aggregate counters: ops by kind and the top traffic
+// pairs.
+func (r *Recorder) Summary(w io.Writer, topPairs int) {
+	fmt.Fprintf(w, "traced %d operations, %d payload bytes\n", r.total, r.totalBytes)
+	kinds := make([]OpKind, 0, len(r.byKind))
+	for k := range r.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-10s %d\n", k, r.byKind[k])
+	}
+	type pair struct {
+		from, to int
+		bytes    int64
+	}
+	pairs := make([]pair, 0, len(r.byPair))
+	for p, b := range r.byPair {
+		pairs = append(pairs, pair{p[0], p[1], b})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].bytes > pairs[j].bytes })
+	if topPairs > len(pairs) {
+		topPairs = len(pairs)
+	}
+	if topPairs > 0 {
+		fmt.Fprintf(w, "top traffic pairs:\n")
+		for _, p := range pairs[:topPairs] {
+			fmt.Fprintf(w, "  node%d → node%d  %d bytes\n", p.from, p.to, p.bytes)
+		}
+	}
+}
+
+// Log renders the retained op log, one line per operation.
+func (r *Recorder) Log(w io.Writer) {
+	for _, op := range r.Ops {
+		fmt.Fprintf(w, "%-12v %-10s node%d → node%d  %6d B  (delivered %v)\n",
+			op.Posted, op.Kind, op.From, op.To, op.Bytes, op.Arrived)
+	}
+	if r.total > len(r.Ops) {
+		fmt.Fprintf(w, "… %d further operations (log capped)\n", r.total-len(r.Ops))
+	}
+}

@@ -1,0 +1,85 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"dfi/internal/sim"
+)
+
+func TestRecorderAggregatesAndCaps(t *testing.T) {
+	k, c := testCluster(t, 3)
+	rec := NewRecorder(2)
+	c.SetTracer(rec)
+	qp, _ := c.CreateQPPair(c.Node(0), c.Node(1))
+	mr := c.RegisterMemory(c.Node(1), 1024)
+	k.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			qp.Write(p, make([]byte, 100), Addr{MR: mr}, WriteOptions{})
+		}
+		buf := make([]byte, 16)
+		qp.ReadSync(p, buf, Addr{MR: mr})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", rec.Total())
+	}
+	if len(rec.Ops) != 2 {
+		t.Fatalf("retained %d ops, cap 2", len(rec.Ops))
+	}
+	var sb strings.Builder
+	rec.Summary(&sb, 3)
+	out := sb.String()
+	for _, want := range []string{"traced 6 operations", "WRITE", "READ", "node0 → node1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	rec.Log(&sb)
+	if !strings.Contains(sb.String(), "further operations (log capped)") {
+		t.Fatalf("log missing cap notice:\n%s", sb.String())
+	}
+}
+
+func TestTracerObservesAtomicsAndSends(t *testing.T) {
+	k, c := testCluster(t, 2)
+	rec := NewRecorder(0)
+	c.SetTracer(rec)
+	qa, qb := c.CreateQPPair(c.Node(0), c.Node(1))
+	mr := c.RegisterMemory(c.Node(1), 8)
+	qb.PostRecv(make([]byte, 8), 0)
+	k.Spawn("p", func(p *sim.Proc) {
+		qa.FetchAdd(p, Addr{MR: mr}, 1)
+		qa.CompareSwap(p, Addr{MR: mr}, 1, 2)
+		qa.Send(p, []byte("hi"), false, 0)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[OpKind]int{}
+	for _, op := range rec.Ops {
+		kinds[op.Kind]++
+		if op.Arrived < op.Posted {
+			t.Fatalf("op delivered before posted: %+v", op)
+		}
+	}
+	if kinds[OpFetchAdd] != 1 || kinds[OpCompareSwap] != 1 || kinds[OpSend] != 1 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestNoTracerNoOverheadPath(t *testing.T) {
+	// Without a tracer installed, verbs must work unchanged (nil hook).
+	k, c := testCluster(t, 2)
+	qp, _ := c.CreateQPPair(c.Node(0), c.Node(1))
+	mr := c.RegisterMemory(c.Node(1), 64)
+	k.Spawn("p", func(p *sim.Proc) {
+		qp.Write(p, make([]byte, 8), Addr{MR: mr}, WriteOptions{})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package join
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPartitionOfCoversAllPartitions(t *testing.T) {
+	const parts = 16
+	seen := make([]int, parts)
+	for k := int64(0); k < 100_000; k++ {
+		p := partitionOf(k, parts)
+		if p < 0 || p >= parts {
+			t.Fatalf("partition %d out of range", p)
+		}
+		seen[p]++
+	}
+	for i, c := range seen {
+		if c < 100_000/parts/2 {
+			t.Fatalf("partition %d underfilled: %d", i, c)
+		}
+	}
+}
+
+func TestPhaseTimesString(t *testing.T) {
+	pt := PhaseTimes{Matches: 42}
+	s := pt.String()
+	for _, want := range []string{"matches=42", "total="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestStragglerSlowsJoin(t *testing.T) {
+	cfg := smallCfg()
+	cfg.InnerTuples, cfg.OuterTuples = 20_000, 20_000
+	base, err := RunDFIRadix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.StragglerNode = 0
+	cfg.StragglerScale = 0.25
+	slow, err := RunDFIRadix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Total <= base.Total {
+		t.Fatalf("straggler run %v not slower than baseline %v", slow.Total, base.Total)
+	}
+	if slow.Matches != base.Matches {
+		t.Fatalf("straggler changed the result: %d vs %d", slow.Matches, base.Matches)
+	}
+}
+
+func TestJoinDeterministicAcrossRuns(t *testing.T) {
+	cfg := smallCfg()
+	cfg.InnerTuples, cfg.OuterTuples = 20_000, 20_000
+	a, err := RunDFIRadix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDFIRadix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total || a.Matches != b.Matches {
+		t.Fatalf("nondeterministic join: %v vs %v", a, b)
+	}
+}
+
+func TestUnevenWorkerSplit(t *testing.T) {
+	// Tuple counts that do not divide evenly across nodes/workers must
+	// still join completely.
+	cfg := smallCfg()
+	cfg.Nodes = 3
+	cfg.WorkersPerNode = 2
+	cfg.InnerTuples = 10_007 // prime
+	cfg.OuterTuples = 9_001
+	pt, err := RunDFIRadix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Matches != uint64(cfg.OuterTuples) {
+		t.Fatalf("matches = %d, want %d", pt.Matches, cfg.OuterTuples)
+	}
+}
+
+func TestSkewedJoinStillCorrect(t *testing.T) {
+	cfg := smallCfg()
+	cfg.InnerTuples, cfg.OuterTuples = 20_000, 30_000
+	cfg.ZipfSkew = 1.4
+	dfi, err := RunDFIRadix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfi.Matches != uint64(cfg.OuterTuples) {
+		t.Fatalf("matches = %d, want %d", dfi.Matches, cfg.OuterTuples)
+	}
+	mpi, err := RunMPIRadix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpi.Matches != uint64(cfg.OuterTuples) {
+		t.Fatalf("MPI matches = %d, want %d", mpi.Matches, cfg.OuterTuples)
+	}
+}
+
+func TestSkewSlowsBothJoins(t *testing.T) {
+	// A hot partition bottlenecks one worker; the join must get slower
+	// than the uniform run for both variants (the paper's §2.3 skew
+	// discussion).
+	cfg := smallCfg()
+	cfg.InnerTuples, cfg.OuterTuples = 20_000, 60_000
+	uniform, err := RunDFIRadix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ZipfSkew = 1.8
+	skewed, err := RunDFIRadix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewed.Total <= uniform.Total {
+		t.Fatalf("skewed %v not slower than uniform %v", skewed.Total, uniform.Total)
+	}
+}

@@ -1,0 +1,147 @@
+package join
+
+import (
+	"testing"
+)
+
+// smallCfg is a scaled-down join configuration that keeps tests fast while
+// exercising multiple nodes, workers, ring wraps and both relations.
+func smallCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.WorkersPerNode = 2
+	cfg.InnerTuples = 40_000
+	cfg.OuterTuples = 60_000
+	return cfg
+}
+
+func TestDFIRadixJoinCorrectness(t *testing.T) {
+	cfg := smallCfg()
+	pt, err := RunDFIRadix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Matches != uint64(cfg.OuterTuples) {
+		t.Fatalf("matches = %d, want %d (every outer tuple has exactly one partner)", pt.Matches, cfg.OuterTuples)
+	}
+	if pt.Histogram != 0 || pt.SyncBarrier != 0 {
+		t.Error("DFI join must not have histogram or barrier phases")
+	}
+	if pt.Total <= 0 || pt.NetworkPartition <= 0 || pt.BuildProbe <= 0 {
+		t.Fatalf("missing phases: %v", pt)
+	}
+}
+
+func TestMPIRadixJoinCorrectness(t *testing.T) {
+	cfg := smallCfg()
+	pt, err := RunMPIRadix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Matches != uint64(cfg.OuterTuples) {
+		t.Fatalf("matches = %d, want %d", pt.Matches, cfg.OuterTuples)
+	}
+	if pt.Histogram <= 0 || pt.SyncBarrier <= 0 {
+		t.Fatalf("MPI join must pay histogram and barrier phases: %v", pt)
+	}
+}
+
+func TestReplicateJoinCorrectness(t *testing.T) {
+	cfg := smallCfg()
+	cfg.InnerTuples = 1000 // small inner table, as in Figure 14
+	pt, err := RunDFIReplicateJoin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Matches != uint64(cfg.OuterTuples) {
+		t.Fatalf("matches = %d, want %d", pt.Matches, cfg.OuterTuples)
+	}
+	if pt.NetworkReplicate <= 0 {
+		t.Fatalf("replicate phase missing: %v", pt)
+	}
+}
+
+func TestDFIBeatsMPIOnRadixJoin(t *testing.T) {
+	// The paper's Figure 13 headline: DFI's radix join runs faster because
+	// it avoids the histogram pass and the post-shuffle barrier.
+	cfg := smallCfg()
+	dfi, err := RunDFIRadix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpiPt, err := RunMPIRadix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfi.Total >= mpiPt.Total {
+		t.Fatalf("DFI total %v not faster than MPI total %v", dfi.Total, mpiPt.Total)
+	}
+}
+
+func TestReplicateJoinBeatsRadixOnSmallInner(t *testing.T) {
+	// Figure 14: with a small inner relation, fragment-and-replicate
+	// avoids shuffling the big outer table and wins.
+	cfg := smallCfg()
+	cfg.InnerTuples = 1000
+	cfg.OuterTuples = 200_000
+	radix, err := RunDFIRadix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunDFIReplicateJoin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total >= radix.Total {
+		t.Fatalf("replicate join %v not faster than radix join %v", rep.Total, radix.Total)
+	}
+}
+
+func TestWorkloadGeneration(t *testing.T) {
+	cfg := smallCfg()
+	w := generate(cfg, 1)
+	seen := make(map[int64]bool, cfg.InnerTuples)
+	for _, chunk := range w.innerChunk {
+		for _, k := range chunk {
+			if seen[k] {
+				t.Fatalf("duplicate inner key %d", k)
+			}
+			seen[k] = true
+		}
+	}
+	if len(seen) != cfg.InnerTuples {
+		t.Fatalf("inner keys: %d, want %d", len(seen), cfg.InnerTuples)
+	}
+	outer := 0
+	for _, chunk := range w.outerChunk {
+		for _, k := range chunk {
+			if k < 0 || k >= int64(cfg.InnerTuples) {
+				t.Fatalf("outer key %d out of range", k)
+			}
+		}
+		outer += len(chunk)
+	}
+	if outer != cfg.OuterTuples {
+		t.Fatalf("outer tuples: %d, want %d", outer, cfg.OuterTuples)
+	}
+	// Determinism.
+	w2 := generate(cfg, 1)
+	for n := range w.outerChunk {
+		for i := range w.outerChunk[n] {
+			if w.outerChunk[n][i] != w2.outerChunk[n][i] {
+				t.Fatal("workload generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestSliceCoversChunk(t *testing.T) {
+	chunk := make([]int64, 103)
+	total := 0
+	for wk := 0; wk < 4; wk++ {
+		total += len(slice(chunk, wk, 4))
+	}
+	if total != len(chunk) {
+		t.Fatalf("slices cover %d of %d", total, len(chunk))
+	}
+}

@@ -1,0 +1,159 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dfi/internal/sim"
+)
+
+// procT aliases the simulated-process type for the collective signatures.
+type procT = sim.Proc
+
+// The remaining collectives the paper lists in §2.2 ("scatter, gather,
+// broadcast or reduce and all to all"). All of them follow MPI's
+// bulk-synchronous semantics: entry barrier, exchange, exit barrier — the
+// blocking behaviour §2.3 identifies as the obstacle to
+// compute/communication overlap.
+
+// Bcast distributes buf from root to every rank; each rank (including
+// root) receives the root's buffer as the return value. All ranks must
+// call it collectively.
+func (r *Rank) Bcast(p *procT, tag uint64, root int, buf []byte) []byte {
+	r.enter(p)
+	r.node.Compute(p, r.w.cfg.CollectiveSetup)
+	r.w.barrier.Await(p)
+	var out []byte
+	if r.id == root {
+		// Binomial-tree broadcast is the common implementation; with our
+		// fat-tree fabric a flat fan-out has the same critical path shape.
+		for dst := range r.w.ranks {
+			if dst != root {
+				r.sendRaw(p, dst, tag, buf)
+			}
+		}
+		out = buf
+	} else {
+		out = r.Recv(p, root, tag)
+	}
+	r.w.barrier.Await(p)
+	return out
+}
+
+// Scatter splits root's parts across the ranks: rank i receives
+// parts[i]. Non-root callers pass nil.
+func (r *Rank) Scatter(p *procT, tag uint64, root int, parts [][]byte) []byte {
+	r.enter(p)
+	r.node.Compute(p, r.w.cfg.CollectiveSetup)
+	r.w.barrier.Await(p)
+	var out []byte
+	if r.id == root {
+		if len(parts) != len(r.w.ranks) {
+			panic("mpi: Scatter needs one part per rank")
+		}
+		for dst := range r.w.ranks {
+			if dst != root {
+				r.sendRaw(p, dst, tag, parts[dst])
+			}
+		}
+		out = parts[root]
+	} else {
+		out = r.Recv(p, root, tag)
+	}
+	r.w.barrier.Await(p)
+	return out
+}
+
+// Gather collects each rank's buf at root: root receives one slice per
+// rank (its own included); other ranks receive nil.
+func (r *Rank) Gather(p *procT, tag uint64, root int, buf []byte) [][]byte {
+	r.enter(p)
+	r.node.Compute(p, r.w.cfg.CollectiveSetup)
+	r.w.barrier.Await(p)
+	var out [][]byte
+	if r.id == root {
+		out = make([][]byte, len(r.w.ranks))
+		out[root] = buf
+		for src := range r.w.ranks {
+			if src != root {
+				out[src] = r.Recv(p, src, tag)
+			}
+		}
+	} else {
+		r.sendRaw(p, root, tag, buf)
+	}
+	r.w.barrier.Await(p)
+	return out
+}
+
+// ReduceOp is a reduction operator over int64 vectors.
+type ReduceOp func(acc, v int64) int64
+
+// Standard reduction operators.
+var (
+	OpSum ReduceOp = func(a, v int64) int64 { return a + v }
+	OpMin ReduceOp = func(a, v int64) int64 {
+		if v < a {
+			return v
+		}
+		return a
+	}
+	OpMax ReduceOp = func(a, v int64) int64 {
+		if v > a {
+			return v
+		}
+		return a
+	}
+)
+
+// Reduce combines each rank's int64 vector element-wise at root with the
+// given operator; root receives the reduced vector, others nil. Vectors
+// must have equal length on all ranks.
+func (r *Rank) Reduce(p *procT, tag uint64, root int, vec []int64, op ReduceOp) []int64 {
+	r.enter(p)
+	r.node.Compute(p, r.w.cfg.CollectiveSetup)
+	r.w.barrier.Await(p)
+	var out []int64
+	if r.id == root {
+		out = append([]int64(nil), vec...)
+		for src := range r.w.ranks {
+			if src == root {
+				continue
+			}
+			payload := r.Recv(p, src, tag)
+			if len(payload) != 8*len(vec) {
+				panic(fmt.Sprintf("mpi: Reduce length mismatch from rank %d", src))
+			}
+			for i := range out {
+				out[i] = op(out[i], int64(binary.LittleEndian.Uint64(payload[i*8:])))
+			}
+		}
+	} else {
+		payload := make([]byte, 8*len(vec))
+		for i, v := range vec {
+			binary.LittleEndian.PutUint64(payload[i*8:], uint64(v))
+		}
+		r.sendRaw(p, root, tag, payload)
+	}
+	r.w.barrier.Await(p)
+	return out
+}
+
+// Allreduce is Reduce followed by Bcast of the result, as MPI implements
+// it semantically: every rank receives the reduced vector.
+func (r *Rank) Allreduce(p *procT, tag uint64, vec []int64, op ReduceOp) []int64 {
+	out := r.Reduce(p, tag, 0, vec, op)
+	var payload []byte
+	if r.id == 0 {
+		payload = make([]byte, 8*len(vec))
+		for i, v := range out {
+			binary.LittleEndian.PutUint64(payload[i*8:], uint64(v))
+		}
+	}
+	payload = r.Bcast(p, tag+1, 0, payload)
+	res := make([]int64, len(vec))
+	for i := range res {
+		res[i] = int64(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	return res
+}

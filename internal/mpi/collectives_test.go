@@ -1,0 +1,132 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dfi/internal/sim"
+)
+
+// runCollective spawns one proc per rank executing fn.
+func runCollective(t *testing.T, n int, fn func(p *sim.Proc, rank int, w *World)) {
+	t.Helper()
+	k, w := newWorld(t, n)
+	for i := 0; i < n; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("r%d", i), func(p *sim.Proc) { fn(p, i, w) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	const n = 4
+	got := make([][]byte, n)
+	runCollective(t, n, func(p *sim.Proc, rank int, w *World) {
+		var buf []byte
+		if rank == 2 {
+			buf = []byte("broadcast-me")
+		}
+		got[rank] = w.Rank(rank).Bcast(p, 9, 2, buf)
+	})
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(got[i], []byte("broadcast-me")) {
+			t.Fatalf("rank %d got %q", i, got[i])
+		}
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	const n = 4
+	gathered := make([][][]byte, n)
+	runCollective(t, n, func(p *sim.Proc, rank int, w *World) {
+		var parts [][]byte
+		if rank == 0 {
+			parts = make([][]byte, n)
+			for i := range parts {
+				parts[i] = []byte(fmt.Sprintf("part-%d", i))
+			}
+		}
+		mine := w.Rank(rank).Scatter(p, 1, 0, parts)
+		if string(mine) != fmt.Sprintf("part-%d", rank) {
+			t.Errorf("rank %d scattered %q", rank, mine)
+		}
+		gathered[rank] = w.Rank(rank).Gather(p, 2, 0, mine)
+	})
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("part-%d", i)
+		if string(gathered[0][i]) != want {
+			t.Fatalf("gather slot %d = %q, want %q", i, gathered[0][i], want)
+		}
+	}
+	if gathered[1] != nil {
+		t.Fatal("non-root rank received a gather result")
+	}
+}
+
+func TestReduceSumMinMax(t *testing.T) {
+	const n = 3
+	cases := []struct {
+		op   ReduceOp
+		want []int64
+	}{
+		{OpSum, []int64{0 + 10 + 20, 1 + 11 + 21}},
+		{OpMin, []int64{0, 1}},
+		{OpMax, []int64{20, 21}},
+	}
+	for ci, c := range cases {
+		c := c
+		var got []int64
+		runCollective(t, n, func(p *sim.Proc, rank int, w *World) {
+			vec := []int64{int64(rank * 10), int64(rank*10 + 1)}
+			res := w.Rank(rank).Reduce(p, uint64(ci), 0, vec, c.op)
+			if rank == 0 {
+				got = res
+			} else if res != nil {
+				t.Errorf("non-root received reduce result")
+			}
+		})
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Fatalf("case %d: got %v want %v", ci, got, c.want)
+			}
+		}
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	const n = 4
+	got := make([][]int64, n)
+	runCollective(t, n, func(p *sim.Proc, rank int, w *World) {
+		got[rank] = w.Rank(rank).Allreduce(p, 50, []int64{int64(rank + 1)}, OpSum)
+	})
+	for i := 0; i < n; i++ {
+		if got[i][0] != 1+2+3+4 {
+			t.Fatalf("rank %d allreduce = %v", i, got[i])
+		}
+	}
+}
+
+func TestCollectivesAreBulkSynchronous(t *testing.T) {
+	// No rank may leave a Bcast before the slowest rank entered it.
+	const n = 3
+	var doneAt [n]sim.Time
+	runCollective(t, n, func(p *sim.Proc, rank int, w *World) {
+		if rank == 1 {
+			p.Sleep(5_000_000) // 5ms straggler
+		}
+		var buf []byte
+		if rank == 0 {
+			buf = []byte("x")
+		}
+		w.Rank(rank).Bcast(p, 3, 0, buf)
+		doneAt[rank] = p.Now()
+	})
+	for i, ts := range doneAt {
+		if ts < 5_000_000 {
+			t.Fatalf("rank %d left the collective at %v, before the straggler arrived", i, ts)
+		}
+	}
+}

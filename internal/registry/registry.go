@@ -1,0 +1,104 @@
+// Package registry implements DFI's central flow-metadata registry
+// (paper §3.2): flows publish their metadata on initialization, and
+// sources/targets retrieve it before use. In a deployment this service runs
+// on a master node; lookups happen only at flow setup, never on the data
+// path, so the registry charges an optional fixed RPC delay rather than
+// modelling full network messages.
+package registry
+
+import (
+	"fmt"
+	"time"
+
+	"dfi/internal/sim"
+)
+
+// Registry is the central metadata store. One instance serves a cluster.
+type Registry struct {
+	k        *sim.Kernel
+	cond     *sim.Cond
+	flows    map[string]*entry
+	RPCDelay time.Duration // charged to every remote lookup/publish
+}
+
+type entry struct {
+	meta    any
+	targets map[int]any
+}
+
+// New creates an empty registry bound to k.
+func New(k *sim.Kernel) *Registry {
+	return &Registry{k: k, cond: sim.NewCond(k), flows: make(map[string]*entry)}
+}
+
+// Publish registers flow metadata under a unique name. Publishing a name
+// twice is an error (flow names identify flows cluster-wide).
+func (r *Registry) Publish(p *sim.Proc, name string, meta any) error {
+	p.Sleep(r.RPCDelay)
+	if _, dup := r.flows[name]; dup {
+		return fmt.Errorf("registry: flow %q already published", name)
+	}
+	r.flows[name] = &entry{meta: meta, targets: make(map[int]any)}
+	r.cond.Broadcast()
+	return nil
+}
+
+// Lookup returns the metadata for name without blocking.
+func (r *Registry) Lookup(p *sim.Proc, name string) (any, bool) {
+	p.Sleep(r.RPCDelay)
+	e, ok := r.flows[name]
+	if !ok {
+		return nil, false
+	}
+	return e.meta, true
+}
+
+// WaitFlow blocks until the named flow has been published and returns its
+// metadata.
+func (r *Registry) WaitFlow(p *sim.Proc, name string) any {
+	p.Sleep(r.RPCDelay)
+	for {
+		if e, ok := r.flows[name]; ok {
+			return e.meta
+		}
+		r.cond.Wait(p)
+	}
+}
+
+// PublishTarget registers per-target connection info (e.g. ring-buffer
+// addresses) for target idx of the named flow. The flow must exist.
+func (r *Registry) PublishTarget(p *sim.Proc, name string, idx int, info any) error {
+	p.Sleep(r.RPCDelay)
+	e, ok := r.flows[name]
+	if !ok {
+		return fmt.Errorf("registry: flow %q not published", name)
+	}
+	if _, dup := e.targets[idx]; dup {
+		return fmt.Errorf("registry: flow %q target %d already published", name, idx)
+	}
+	e.targets[idx] = info
+	r.cond.Broadcast()
+	return nil
+}
+
+// WaitTarget blocks until target idx of the named flow has published its
+// info and returns it.
+func (r *Registry) WaitTarget(p *sim.Proc, name string, idx int) any {
+	p.Sleep(r.RPCDelay)
+	for {
+		if e, ok := r.flows[name]; ok {
+			if info, ok := e.targets[idx]; ok {
+				return info
+			}
+		}
+		r.cond.Wait(p)
+	}
+}
+
+// Remove deletes a flow's metadata (used by tests and flow teardown).
+func (r *Registry) Remove(name string) {
+	delete(r.flows, name)
+}
+
+// Flows returns the number of published flows.
+func (r *Registry) Flows() int { return len(r.flows) }

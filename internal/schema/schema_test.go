@@ -1,0 +1,217 @@
+package schema
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func kvSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustNew(Column{"key", Int64}, Column{"value", Int64})
+}
+
+func TestOffsetsAndSize(t *testing.T) {
+	s := MustNew(
+		Column{"a", Int32},
+		Column{"b", Int64},
+		Column{"c", Char(10)},
+		Column{"d", Float64},
+	)
+	wantOff := []int{0, 4, 12, 22}
+	for i, w := range wantOff {
+		if s.Offset(i) != w {
+			t.Errorf("offset[%d] = %d, want %d", i, s.Offset(i), w)
+		}
+	}
+	if s.TupleSize() != 30 {
+		t.Errorf("size = %d, want 30", s.TupleSize())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := New(Column{"", Int32}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New(Column{"a", Int32}, Column{"a", Int64}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := New(Column{"c", Char(0)}); err == nil {
+		t.Error("zero-width char accepted")
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	s := kvSchema(t)
+	if s.ColumnIndex("value") != 1 {
+		t.Errorf("index(value) = %d", s.ColumnIndex("value"))
+	}
+	if s.ColumnIndex("missing") != -1 {
+		t.Error("missing column should be -1")
+	}
+}
+
+func TestRoundTripAccessors(t *testing.T) {
+	s := MustNew(
+		Column{"i32", Int32},
+		Column{"i64", Int64},
+		Column{"u32", Uint32},
+		Column{"u64", Uint64},
+		Column{"f", Float64},
+		Column{"c", Char(4)},
+	)
+	tp := s.NewTuple()
+	s.PutInt32(tp, 0, -7)
+	s.PutInt64(tp, 1, -1<<40)
+	s.PutUint32(tp, 2, 0xDEADBEEF)
+	s.PutUint64(tp, 3, 1<<63)
+	s.PutFloat64(tp, 4, math.Pi)
+	copy(s.Bytes(tp, 5), "abcd")
+
+	if s.Int32(tp, 0) != -7 || s.Int64(tp, 1) != -1<<40 ||
+		s.Uint32(tp, 2) != 0xDEADBEEF || s.Uint64(tp, 3) != 1<<63 ||
+		s.Float64(tp, 4) != math.Pi || string(s.Bytes(tp, 5)) != "abcd" {
+		t.Fatalf("round trip failed: %v", tp)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := kvSchema(t)
+	f := func(k, v int64) bool {
+		tp := s.NewTuple()
+		s.PutInt64(tp, 0, k)
+		s.PutInt64(tp, 1, v)
+		return s.Int64(tp, 0) == k && s.Int64(tp, 1) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyUint64Widening(t *testing.T) {
+	s := MustNew(Column{"k32", Int32}, Column{"k64", Uint64}, Column{"name", Char(8)})
+	tp := s.NewTuple()
+	s.PutInt32(tp, 0, 1234)
+	s.PutUint64(tp, 1, 987654321)
+	copy(s.Bytes(tp, 2), "shuffled")
+	if s.KeyUint64(tp, 0) != 1234 {
+		t.Errorf("k32 key = %d", s.KeyUint64(tp, 0))
+	}
+	if s.KeyUint64(tp, 1) != 987654321 {
+		t.Errorf("k64 key = %d", s.KeyUint64(tp, 1))
+	}
+	if s.KeyUint64(tp, 2) == 0 {
+		t.Error("char key hashed to zero (suspicious)")
+	}
+}
+
+func TestHashDistributesUniformly(t *testing.T) {
+	const targets = 8
+	const n = 100000
+	var counts [targets]int
+	for i := 0; i < n; i++ {
+		counts[Hash(uint64(i))%targets]++
+	}
+	for i, c := range counts {
+		ratio := float64(c) / (n / targets)
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Errorf("bucket %d has %d (ratio %.3f)", i, c, ratio)
+		}
+	}
+}
+
+func TestHashIsDeterministicAndSpreading(t *testing.T) {
+	f := func(k uint64) bool {
+		return Hash(k) == Hash(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential keys should not map to sequential buckets.
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if Hash(i)%8 == Hash(i+1)%8 {
+			same++
+		}
+	}
+	if same > 400 {
+		t.Errorf("sequential keys too correlated: %d/1000", same)
+	}
+}
+
+func TestTypeStringAndSize(t *testing.T) {
+	cases := []struct {
+		ty   Type
+		str  string
+		size int
+	}{
+		{Int32, "int32", 4},
+		{Int64, "int64", 8},
+		{Uint32, "uint32", 4},
+		{Uint64, "uint64", 8},
+		{Float64, "float64", 8},
+		{Char(16), "char(16)", 16},
+	}
+	for _, c := range cases {
+		if c.ty.String() != c.str || c.ty.Size() != c.size {
+			t.Errorf("%v: String=%q Size=%d", c.ty, c.ty.String(), c.ty.Size())
+		}
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := kvSchema(t)
+	if got := s.String(); got != "{key int64, value int64}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestAllKindsRoundTripProperty(t *testing.T) {
+	s := MustNew(
+		Column{"a", Int32}, Column{"b", Int64}, Column{"c", Uint32},
+		Column{"d", Uint64}, Column{"e", Float64}, Column{"f", Char(12)},
+	)
+	f := func(a int32, b int64, c uint32, d uint64, e float64, raw [12]byte) bool {
+		tp := s.NewTuple()
+		s.PutInt32(tp, 0, a)
+		s.PutInt64(tp, 1, b)
+		s.PutUint32(tp, 2, c)
+		s.PutUint64(tp, 3, d)
+		s.PutFloat64(tp, 4, e)
+		copy(s.Bytes(tp, 5), raw[:])
+		if s.Int32(tp, 0) != a || s.Int64(tp, 1) != b || s.Uint32(tp, 2) != c ||
+			s.Uint64(tp, 3) != d {
+			return false
+		}
+		// NaN != NaN; compare bit patterns.
+		if math.Float64bits(s.Float64(tp, 4)) != math.Float64bits(e) {
+			return false
+		}
+		got := s.Bytes(tp, 5)
+		for i := range raw {
+			if got[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyUint64MatchesAccessors(t *testing.T) {
+	s := MustNew(Column{"u64", Uint64}, Column{"f", Float64})
+	f := func(u uint64, fl float64) bool {
+		tp := s.NewTuple()
+		s.PutUint64(tp, 0, u)
+		s.PutFloat64(tp, 1, fl)
+		return s.KeyUint64(tp, 0) == u && s.KeyUint64(tp, 1) == math.Float64bits(fl)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,288 @@
+// Package sim implements a deterministic discrete-event simulation (DES)
+// kernel with cooperatively scheduled processes.
+//
+// The kernel maintains a virtual clock and an event heap. Exactly one
+// goroutine — either the scheduler or a single simulated process — runs at
+// any moment, handing control back and forth over unbuffered channels
+// ("baton passing"). This makes the simulation deterministic for a given
+// seed and spawn order, and lets event callbacks mutate shared simulation
+// state (e.g. simulated RDMA memory regions) without locks.
+//
+// Processes are ordinary functions of the form func(*Proc). Inside a
+// process, blocking operations (Sleep, channel operations, resource
+// acquisition, condition waits) advance virtual time; plain Go code runs
+// instantaneously in virtual time.
+//
+// The kernel is the substrate for the simulated RDMA fabric
+// (dfi/internal/fabric) on which the DFI flow implementation runs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is a point on the virtual clock, expressed as the duration since the
+// start of the simulation.
+type Time = time.Duration
+
+// event is a scheduled callback. Events with equal timestamps fire in the
+// order they were scheduled (seq breaks ties), which keeps runs
+// reproducible.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+// Kernel is a discrete-event simulation instance. Create one with New, spawn
+// processes with Spawn, then call Run.
+type Kernel struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	yield   chan struct{} // process -> scheduler handoff
+	running *Proc
+	rng     *rand.Rand
+
+	parked  map[*Proc]struct{} // processes blocked on a primitive
+	nlive   int                // spawned minus exited
+	failure error              // first process panic, surfaced by Run
+
+	// MaxEvents aborts Run with an error after this many events, guarding
+	// against livelocks (e.g. an unbounded poll loop). Zero means no limit.
+	MaxEvents uint64
+	// Deadline aborts Run once the virtual clock passes it. Zero means no
+	// limit.
+	Deadline Time
+
+	nevents uint64
+}
+
+// New returns a kernel whose random source is seeded with seed. Two kernels
+// constructed with the same seed and driven by the same program execute
+// identically.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		yield:     make(chan struct{}),
+		rng:       rand.New(rand.NewSource(seed)),
+		parked:    make(map[*Proc]struct{}),
+		MaxEvents: 2_000_000_000,
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Events returns the number of events processed so far.
+func (k *Kernel) Events() uint64 { return k.nevents }
+
+// Rand returns the kernel's deterministic random source. It must only be
+// used from scheduler or process context (never from other goroutines).
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// at schedules fn to run in scheduler context at time t (clamped to now).
+func (k *Kernel) at(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run in scheduler context after d has elapsed on the
+// virtual clock. fn must not block; it may resume processes, fire
+// conditions, and mutate simulation state.
+func (k *Kernel) After(d Time, fn func()) {
+	k.at(k.now+d, fn)
+}
+
+// At schedules fn to run in scheduler context at absolute virtual time t
+// (clamped to the present). Like After, fn must not block.
+func (k *Kernel) At(t Time, fn func()) {
+	k.at(t, fn)
+}
+
+// Spawn creates a new process executing fn and schedules it to start at the
+// current virtual time. It may be called before Run or from a running
+// process or event callback.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.nlive++
+	go func() {
+		<-p.resume // wait for first scheduling
+		defer func() {
+			if r := recover(); r != nil {
+				if k.failure == nil {
+					k.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+				}
+			}
+			p.exited = true
+			k.nlive--
+			k.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	k.at(k.now, func() { k.switchTo(p) })
+}
+
+// switchTo transfers control to p and blocks until p parks or exits. Must be
+// called from scheduler context.
+func (k *Kernel) switchTo(p *Proc) {
+	if p.exited {
+		return
+	}
+	k.running = p
+	p.resume <- struct{}{}
+	<-k.yield
+	k.running = nil
+}
+
+// ready schedules p to resume at the current virtual time. gen guards
+// against stale wake-ups: the wake is dropped unless p is still parked in
+// the same park generation.
+func (k *Kernel) ready(p *Proc, gen uint64) {
+	k.at(k.now, func() {
+		if p.exited || !p.parkedFlag || p.parkGen != gen {
+			return
+		}
+		p.parkedFlag = false
+		delete(k.parked, p)
+		k.switchTo(p)
+	})
+}
+
+// Run processes events until none remain, a process panics, MaxEvents is
+// exceeded, or the Deadline passes. It returns an error describing abnormal
+// termination; a deadlock (live processes parked with no pending events) is
+// reported with the parked process names.
+func (k *Kernel) Run() error {
+	for len(k.events) > 0 {
+		if k.failure != nil {
+			return k.failure
+		}
+		if k.MaxEvents > 0 && k.nevents >= k.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v (possible livelock)", k.MaxEvents, k.now)
+		}
+		e := heap.Pop(&k.events).(*event)
+		if k.Deadline > 0 && e.at > k.Deadline {
+			return fmt.Errorf("sim: deadline %v exceeded (t=%v)", k.Deadline, e.at)
+		}
+		k.now = e.at
+		k.nevents++
+		e.fn()
+	}
+	if k.failure != nil {
+		return k.failure
+	}
+	if k.nlive > 0 {
+		names := make([]string, 0, len(k.parked))
+		for p := range k.parked {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("sim: deadlock at t=%v: %d live processes, parked: %v", k.now, k.nlive, names)
+	}
+	return nil
+}
+
+// Proc is a simulated process (the unit of thread-centric execution). All
+// methods must be called from the process's own goroutine while it is the
+// running process.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+
+	parkedFlag bool
+	parkGen    uint64
+	exited     bool
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (p *Proc) Rand() *rand.Rand { return p.k.rng }
+
+// Spawn starts a child process at the current virtual time.
+func (p *Proc) Spawn(name string, fn func(*Proc)) { p.k.Spawn(name, fn) }
+
+// checkRunning panics if p is not the currently executing process; calling
+// kernel primitives from the wrong goroutine would corrupt the simulation.
+func (p *Proc) checkRunning() {
+	if p.k.running != p {
+		panic(fmt.Sprintf("sim: process %q invoked a blocking primitive while not running", p.name))
+	}
+}
+
+// park blocks the process until woken via Kernel.ready with the returned
+// generation. Callers must have registered themselves with a waker first.
+func (p *Proc) park() {
+	p.checkRunning()
+	p.parkedFlag = true
+	p.parkGen++
+	p.k.parked[p] = struct{}{}
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// wake returns a closure that resumes the process from its current park
+// generation; the closure is safe to call from scheduler or process context
+// and is a no-op if the process was already woken.
+func (p *Proc) wakeFunc() func() {
+	k, gen := p.k, p.parkGen+1 // generation the upcoming park will use
+	return func() { k.ready(p, gen) }
+}
+
+// Sleep advances the process's virtual time by d. Negative or zero d is a
+// no-op (the process keeps running without yielding the clock).
+func (p *Proc) Sleep(d Time) {
+	p.checkRunning()
+	if d <= 0 {
+		return
+	}
+	wake := p.wakeFunc()
+	p.k.at(p.k.now+d, wake)
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting other events
+// scheduled for this instant run first.
+func (p *Proc) Yield() {
+	p.checkRunning()
+	wake := p.wakeFunc()
+	p.k.at(p.k.now, wake)
+	p.park()
+}

@@ -1,0 +1,173 @@
+// Package stats provides a log-bucketed duration histogram for latency
+// recording — constant memory regardless of sample count, with quantile
+// estimation bounded by the bucket resolution (≤ ~2.4% relative error).
+// The consensus load generator records per-request latencies with it.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// bucketsPerOctave subdivides each power of two; 32 sub-buckets bound the
+// relative quantile error to 2^(1/32) − 1 ≈ 2.2%.
+const bucketsPerOctave = 32
+
+// maxOctaves covers 1 ns .. ~9 s.
+const maxOctaves = 33
+
+// Histogram accumulates durations in logarithmic buckets.
+type Histogram struct {
+	counts [maxOctaves * bucketsPerOctave]uint64
+	n      uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d < time.Nanosecond {
+		return 0
+	}
+	f := float64(d.Nanoseconds())
+	idx := int(math.Log2(f) * bucketsPerOctave)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len((&Histogram{}).counts) {
+		idx = len((&Histogram{}).counts) - 1
+	}
+	return idx
+}
+
+// bucketValue returns a representative duration for bucket i (geometric
+// midpoint of the bucket's range).
+func bucketValue(i int) time.Duration {
+	lo := math.Exp2(float64(i) / bucketsPerOctave)
+	hi := math.Exp2(float64(i+1) / bucketsPerOctave)
+	return time.Duration(math.Sqrt(lo * hi))
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.counts[bucketOf(d)]++
+	h.n++
+	h.sum += d
+	if h.n == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Min and Max return the exact extremes of the recorded samples.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Mean returns the exact arithmetic mean.
+func (h *Histogram) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.n)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) within the bucket
+// resolution. The estimate is clamped to the exact [Min, Max] range.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(q * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			v := bucketValue(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds another histogram's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if o.n > 0 {
+		if h.n == 0 || o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// Reset clears all samples.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Fprint renders a compact summary plus an ASCII bar chart of the
+// occupied region.
+func (h *Histogram) Fprint(w io.Writer, bars int) {
+	fmt.Fprintf(w, "n=%d min=%v p50=%v p95=%v p99=%v max=%v mean=%v\n",
+		h.n, h.min, h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.max, h.Mean())
+	if h.n == 0 || bars <= 0 {
+		return
+	}
+	lo, hi := -1, -1
+	var peak uint64
+	for i, c := range h.counts {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+			if c > peak {
+				peak = c
+			}
+		}
+	}
+	span := hi - lo + 1
+	group := (span + bars - 1) / bars
+	for b := lo; b <= hi; b += group {
+		var sum uint64
+		for i := b; i < b+group && i <= hi; i++ {
+			sum += h.counts[i]
+		}
+		width := int(float64(sum) / float64(peak*uint64(group)) * 40)
+		fmt.Fprintf(w, "%12v %s %d\n", bucketValue(b).Round(10*time.Nanosecond),
+			strings.Repeat("#", width), sum)
+	}
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram not zeroed: %v %v %v", h.Count(), h.Mean(), h.Quantile(0.5))
+	}
+}
+
+func TestExactStatsTracked(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []time.Duration{3 * time.Microsecond, time.Microsecond, 9 * time.Microsecond} {
+		h.Record(d)
+	}
+	if h.Min() != time.Microsecond || h.Max() != 9*time.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Mean() != (13*time.Microsecond)/3 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestQuantileAccuracyAgainstExactSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	var all []time.Duration
+	for i := 0; i < 20000; i++ {
+		// Log-uniform between 100ns and 10ms.
+		d := time.Duration(100 * rng.ExpFloat64() * float64(time.Microsecond))
+		if d < 1 {
+			d = 1
+		}
+		h.Record(d)
+		all = append(all, d)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+		exact := all[int(q*float64(len(all)))]
+		est := h.Quantile(q)
+		rel := float64(est-exact) / float64(exact)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.05 {
+			t.Fatalf("q=%.2f: est %v vs exact %v (%.1f%% error)", q, est, exact, rel*100)
+		}
+	}
+}
+
+func TestQuantileMonotonicProperty(t *testing.T) {
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, s := range samples {
+			h.Record(time.Duration(s%10_000_000) + 1)
+		}
+		last := time.Duration(0)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+			v := h.Quantile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return h.Quantile(0) == h.Min() && h.Quantile(1) == h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 100; i++ {
+		a.Record(time.Duration(i) * time.Microsecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Record(time.Duration(i) * time.Microsecond)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if a.Min() != time.Microsecond || a.Max() != 200*time.Microsecond {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	med := a.Quantile(0.5)
+	if med < 90*time.Microsecond || med > 115*time.Microsecond {
+		t.Fatalf("merged median = %v", med)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestFprint(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Duration(1+i%7) * time.Microsecond)
+	}
+	var sb strings.Builder
+	h.Fprint(&sb, 8)
+	out := sb.String()
+	for _, want := range []string{"n=1000", "p95=", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package ycsb generates YCSB-style key-value workloads (Cooper et al.,
+// SoCC 2010). The paper's consensus experiment (§6.3.2) uses the
+// read-dominated workload: 95% reads, 5% writes, 64-byte requests.
+package ycsb
+
+import "math/rand"
+
+// Op is a key-value operation kind.
+type Op uint8
+
+// Operation kinds.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// Generator produces a deterministic stream of operations.
+type Generator struct {
+	ReadFraction float64
+	KeySpace     uint64
+
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewReadDominated returns the paper's read-dominated workload (95/5)
+// over the given key space with zipfian key popularity (YCSB default,
+// theta 0.99 ~ s=1.01 approximation).
+func NewReadDominated(keySpace uint64, seed int64) *Generator {
+	return New(0.95, keySpace, seed)
+}
+
+// New builds a generator with the given read fraction.
+func New(readFraction float64, keySpace uint64, seed int64) *Generator {
+	rng := rand.New(rand.NewSource(seed))
+	return &Generator{
+		ReadFraction: readFraction,
+		KeySpace:     keySpace,
+		rng:          rng,
+		zipf:         rand.NewZipf(rng, 1.01, 1, keySpace-1),
+	}
+}
+
+// Next returns the next operation and key.
+func (g *Generator) Next() (Op, uint64) {
+	op := OpRead
+	if g.rng.Float64() >= g.ReadFraction {
+		op = OpWrite
+	}
+	return op, g.zipf.Uint64()
+}
+
+// NextUniform returns the next operation with a uniformly random key.
+func (g *Generator) NextUniform() (Op, uint64) {
+	op := OpRead
+	if g.rng.Float64() >= g.ReadFraction {
+		op = OpWrite
+	}
+	return op, g.rng.Uint64() % g.KeySpace
+}

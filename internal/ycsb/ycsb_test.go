@@ -1,0 +1,68 @@
+package ycsb
+
+import "testing"
+
+func TestReadFractionRespected(t *testing.T) {
+	g := NewReadDominated(1000, 1)
+	const n = 100000
+	reads := 0
+	for i := 0; i < n; i++ {
+		op, key := g.Next()
+		if op == OpRead {
+			reads++
+		}
+		if key >= 1000 {
+			t.Fatalf("key %d out of key space", key)
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.94 || frac > 0.96 {
+		t.Fatalf("read fraction %.3f, want ≈ 0.95", frac)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a, b := New(0.5, 100, 7), New(0.5, 100, 7)
+	for i := 0; i < 1000; i++ {
+		opA, keyA := a.Next()
+		opB, keyB := b.Next()
+		if opA != opB || keyA != keyB {
+			t.Fatal("generators with equal seeds diverged")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewReadDominated(10000, 3)
+	counts := map[uint64]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		_, key := g.Next()
+		counts[key]++
+	}
+	// Zipfian: the hottest key should be far above uniform expectation.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 10*n/10000 {
+		t.Fatalf("hottest key %d hits; distribution looks uniform", max)
+	}
+}
+
+func TestUniformCoversKeySpace(t *testing.T) {
+	g := New(1.0, 16, 5)
+	seen := map[uint64]bool{}
+	for i := 0; i < 2000; i++ {
+		_, key := g.NextUniform()
+		if key >= 16 {
+			t.Fatalf("key %d out of range", key)
+		}
+		seen[key] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("covered %d of 16 keys", len(seen))
+	}
+}
