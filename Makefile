@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all build vet test race check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fast feedback: skip the long experiment sweeps.
+test:
+	$(GO) test -short ./...
+
+# Full suite under the race detector (CI entry point).
+race:
+	$(GO) test -race ./...
+
+check: build vet race

@@ -9,6 +9,8 @@
 //	dfiflow -type replicate -multicast -ordered -loss 0.02 -mb 4
 //	dfiflow -type combiner -sources 8 -tuple 64 -mb 32
 //	dfiflow -type shuffle -latency -tuple 64 -mb 1
+//	dfiflow -faults drop-write=0.01,delay=1us,jitter=3us -retransmit 50us -mb 4
+//	dfiflow -faults crash=1@500us -retransmit 40us -srctimeout 300us -mb 1
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"dfi/internal/core"
@@ -41,6 +45,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		copyData  = flag.Bool("copy", false, "copy payload bytes (slower, validates content paths)")
 		traceOps  = flag.Int("trace", 0, "record fabric operations; print the first N and a summary")
+		faults    = flag.String("faults", "", "fault plan, e.g. drop-write=0.01,delay=1us,jitter=3us,dup=0.05,reorder=0.1,crash=1@500us")
+		retrans   = flag.Duration("retransmit", 0, "enable source-side loss recovery with this stall timeout")
+		srcTime   = flag.Duration("srctimeout", 0, "target-side failure detection: declare a source failed after this silence")
 	)
 	flag.Parse()
 
@@ -49,6 +56,14 @@ func main() {
 	fcfg := fabric.DefaultConfig()
 	fcfg.CopyPayload = *copyData
 	fcfg.MulticastLoss = *loss
+	if *faults != "" {
+		fp, err := parseFaults(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfiflow: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		fcfg.Faults = fp
+	}
 	cluster := fabric.NewCluster(k, *nSources+*nTargets, fcfg)
 	var rec *fabric.Recorder
 	if *traceOps > 0 {
@@ -63,8 +78,10 @@ func main() {
 	)
 
 	spec := core.FlowSpec{Name: "dfiflow", Schema: sch, Options: core.Options{
-		SegmentsPerRing: *segments,
-		SegmentSize:     *segSize,
+		SegmentsPerRing:   *segments,
+		SegmentSize:       *segSize,
+		RetransmitTimeout: *retrans,
+		SourceTimeout:     *srcTime,
 	}}
 	if *latency {
 		spec.Options.Optimization = core.OptimizeLatency
@@ -115,10 +132,20 @@ func main() {
 			for i := 0; i < perSource; i++ {
 				sch.PutInt64(tup, 0, rng.Int63())
 				if err := src.Push(p, tup); err != nil {
-					log.Fatal(err)
+					// Expected under an injected crash: report, stop pushing.
+					if *faults == "" {
+						log.Fatal(err)
+					}
+					fmt.Printf("source %d: push: %v\n", si, err)
+					break
 				}
 			}
-			src.Close(p)
+			if err := src.Close(p); err != nil {
+				if *faults == "" {
+					log.Fatal(err)
+				}
+				fmt.Printf("source %d: close: %v\n", si, err)
+			}
 			srcStats[si] = src.Stats()
 		})
 	}
@@ -140,6 +167,9 @@ func main() {
 					if _, _, ok := tgt.ConsumeSegment(p); !ok {
 						break
 					}
+				}
+				if failed := tgt.FailedSources(); len(failed) > 0 {
+					fmt.Printf("target %d: sources declared failed: %v\n", ti, failed)
 				}
 				tgtStats[ti] = tgt.Stats()
 			}
@@ -180,6 +210,59 @@ func main() {
 		rec.Log(os.Stdout)
 		rec.Summary(os.Stdout, 5)
 	}
+}
+
+// parseFaults builds a fabric.FaultPlan from a comma-separated key=value
+// spec. Probabilities: drop-write, drop-read, drop-send, drop-atomic, dup,
+// reorder. Durations: delay, jitter. Crashes: crash=NODE@TIME (repeatable).
+func parseFaults(spec string) (*fabric.FaultPlan, error) {
+	fp := &fabric.FaultPlan{}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("%q: want key=value", field)
+		}
+		prob := func() (float64, error) { return strconv.ParseFloat(val, 64) }
+		var err error
+		switch key {
+		case "drop-write":
+			fp.DropWrite, err = prob()
+		case "drop-read":
+			fp.DropRead, err = prob()
+		case "drop-send":
+			fp.DropSend, err = prob()
+		case "drop-atomic":
+			fp.DropAtomic, err = prob()
+		case "dup":
+			fp.Duplicate, err = prob()
+		case "reorder":
+			fp.Reorder, err = prob()
+		case "delay":
+			fp.Delay, err = time.ParseDuration(val)
+		case "jitter":
+			fp.DelayJitter, err = time.ParseDuration(val)
+		case "crash":
+			node, at, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("%q: want crash=NODE@TIME", field)
+			}
+			var id int
+			if id, err = strconv.Atoi(node); err != nil {
+				break
+			}
+			var t time.Duration
+			if t, err = time.ParseDuration(at); err != nil {
+				break
+			}
+			fp.CrashNode(id, t)
+		default:
+			return nil, fmt.Errorf("unknown fault key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%q: %v", field, err)
+		}
+	}
+	return fp, nil
 }
 
 func fmtBytes(n int) string {

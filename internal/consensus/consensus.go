@@ -59,6 +59,20 @@ type Config struct {
 	// Without it, DFI's replicate flow recovers losses transparently.
 	GapAgreement bool
 
+	// CrashFollower / CrashAfterProposals emulate a follower replica
+	// crashing mid-run (Multi-Paxos only): follower CrashFollower stops
+	// participating — no more votes, no more consumption — after handling
+	// CrashAfterProposals proposals. Zero CrashAfterProposals disables the
+	// crash. Commits proceed on the surviving majority.
+	CrashFollower       int
+	CrashAfterProposals int
+
+	// FailureTimeout bounds how long the protocol flows wait on a silent
+	// peer before declaring it failed (plumbed into the flows'
+	// SourceTimeout/RetransmitTimeout). Required when a crash is
+	// configured; zero keeps all waits unbounded (failure-free operation).
+	FailureTimeout time.Duration
+
 	Seed int64
 }
 

@@ -21,6 +21,10 @@ import (
 //
 // The leader executes a request once a majority of replicas (itself plus
 // two of four followers) has voted for it.
+//
+// With CrashAfterProposals set, follower CrashFollower falls silent after
+// that many proposals; FailureTimeout-bounded flow waits let the leader
+// declare it failed and commit on the surviving majority.
 func RunMultiPaxos(cfg Config) (Result, error) {
 	k, c := buildEnv(cfg)
 	reg := registry.New(k)
@@ -42,17 +46,30 @@ func RunMultiPaxos(cfg Config) (Result, error) {
 		Targets: []core.Endpoint{{Node: leaderNode, Thread: 0}},
 		Schema:  RequestSchema, Options: lat,
 	}
+	// FailureTimeout bounds the waits on the two flows a crashed follower
+	// can stall: the leader's propose stream (per-target credit) and the
+	// leader-side vote collection (a silent voter must not hold the flow
+	// open forever). The two detectors are coupled: while the propose flow
+	// waits out a dead target (up to RetransmitTimeout·(MaxRetransmits+1)),
+	// no proposals reach the healthy followers, so their vote rings fall
+	// silent through no fault of their own. The vote-side timeout must
+	// out-wait the propose-side declaration or the leader would declare
+	// every starved voter failed.
+	proposeOpts := core.Options{Optimization: core.OptimizeLatency, Multicast: true,
+		RetransmitTimeout: cfg.FailureTimeout, MaxRetransmits: 2}
+	voteOpts := lat
+	voteOpts.SourceTimeout = 6 * cfg.FailureTimeout
 	f2 := core.FlowSpec{
 		Name: "paxos-propose", Type: core.ReplicateFlow,
 		Sources: []core.Endpoint{{Node: leaderNode, Thread: 0}},
 		Targets: followerEPs,
 		Schema:  RequestSchema,
-		Options: core.Options{Optimization: core.OptimizeLatency, Multicast: true},
+		Options: proposeOpts,
 	}
 	f3 := core.FlowSpec{
 		Name: "paxos-vote", Sources: followerEPs,
 		Targets: []core.Endpoint{{Node: leaderNode, Thread: 1}},
-		Schema:  VoteSchema, Options: lat,
+		Schema:  VoteSchema, Options: voteOpts,
 	}
 	f4 := core.FlowSpec{
 		Name:       "paxos-response",
@@ -126,6 +143,7 @@ func RunMultiPaxos(cfg Config) (Result, error) {
 				panic(err)
 			}
 			vote := VoteSchema.NewTuple()
+			handled := 0
 			for {
 				tup, ok := in.Consume(p)
 				if !ok {
@@ -136,6 +154,14 @@ func RunMultiPaxos(cfg Config) (Result, error) {
 				VoteSchema.PutInt64(vote, 1, int64(fi))
 				if err := out.Push(p, vote); err != nil {
 					panic(err)
+				}
+				handled++
+				if cfg.CrashAfterProposals > 0 && fi == cfg.CrashFollower &&
+					handled >= cfg.CrashAfterProposals {
+					// Crash: fall silent without closing either flow. The
+					// leader must detect the silence via FailureTimeout on
+					// both the propose and vote sides.
+					return
 				}
 			}
 			out.Close(p)

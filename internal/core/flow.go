@@ -184,6 +184,23 @@ type Options struct {
 	// slots are reported by Target.FailedSources. Zero disables detection.
 	SourceTimeout time.Duration
 
+	// RetransmitTimeout enables source-side loss recovery (extension
+	// beyond the paper): a writer blocked for this long on remote ring
+	// space, credit, or delivery confirmation resynchronizes against the
+	// ring-header consumed counter and retransmits every written but
+	// unconsumed segment still resident in its local ring. Zero (the
+	// default) keeps the writer's waits unbounded, which is correct on a
+	// fault-free fabric. When set, SourceSegments is raised to at least
+	// SegmentsPerRing+1 so the retransmit window never leaves the local
+	// ring, and Close only returns once every segment was confirmed
+	// consumed (or the flow is declared broken).
+	RetransmitTimeout time.Duration
+
+	// MaxRetransmits bounds consecutive recovery rounds that make no
+	// progress before the writer gives up with ErrFlowBroken (default 8
+	// when RetransmitTimeout is set).
+	MaxRetransmits int
+
 	// PushCost and ConsumeCost are the per-tuple CPU costs charged at the
 	// source and target (defaults 12ns / 10ns; see DESIGN.md §6). AggCost
 	// is the additional per-tuple aggregation cost of combiner flows.
@@ -191,6 +208,12 @@ type Options struct {
 	ConsumeCost time.Duration
 	AggCost     time.Duration
 }
+
+// ErrFlowBroken reports that a flow endpoint gave up after bounded
+// recovery: the peer is unreachable (e.g. crashed) or made no progress
+// through MaxRetransmits consecutive recovery rounds. Returned wrapped,
+// so test with errors.Is.
+var ErrFlowBroken = errors.New("dfi: flow broken")
 
 // footerBytes is the per-segment footer: 4B fill count, 1B flags,
 // 3B reserved, 8B sequence number. The footer lies after the payload so the
@@ -311,6 +334,21 @@ func (s *FlowSpec) normalize() error {
 	}
 	if o.CreditThreshold == 0 {
 		o.CreditThreshold = o.SegmentsPerRing / 4
+	}
+	if o.RetransmitTimeout > 0 {
+		if o.MaxRetransmits == 0 {
+			o.MaxRetransmits = 8
+		}
+		if o.SourceSegments < o.SegmentsPerRing+1 {
+			// The retransmit window spans every unconsumed remote slot;
+			// those segments must still be resident locally. The +1 keeps
+			// the segment currently being filled out of that window: the
+			// flush-time guard only proves acked ≥ written − SegmentsPerRing,
+			// so with equal ring sizes the next fill could overwrite an
+			// unacked segment and a later retransmission would resend new
+			// tuples under the old sequence number.
+			o.SourceSegments = o.SegmentsPerRing + 1
+		}
 	}
 	if o.GapTimeout == 0 {
 		o.GapTimeout = 20 * time.Microsecond

@@ -75,6 +75,17 @@ type mcSource struct {
 	seqQP      *fabric.QP // to the sequencer node (ordered flows)
 	closedFlag bool
 
+	// Target-failure detection (enabled by Options.RetransmitTimeout): a
+	// target whose credit stream stalls past failAfter while it gates the
+	// source is declared failed and excluded from flow control and the
+	// termination handshake. The staleness clock starts when the target
+	// begins gating (gating flips on, lastAdvance resets): a caught-up
+	// target sends no credit while the source is idle, so time since its
+	// last advance says nothing about its health.
+	failedTgt   []bool
+	lastAdvance []sim.Time
+	gating      []bool
+
 	// Ordered flows: globally drawn sequence numbers owned by this source
 	// (monotonic), and how many of them each target has processed. Credit
 	// messages carry the target's global progress; the source maps that to
@@ -86,16 +97,19 @@ type mcSource struct {
 func newMcSource(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (*mcSource, error) {
 	spec := &meta.spec
 	s := &mcSource{
-		meta:       meta,
-		spec:       spec,
-		idx:        idx,
-		node:       spec.Sources[idx].Node,
-		group:      meta.group,
-		credit:     spec.Options.SegmentsPerRing,
-		consumedBy: make([]uint64, len(spec.Targets)),
-		history:    make(map[uint64][]byte),
-		segBuf:     make([]byte, mcHeaderBytes+spec.Options.SegmentSize),
-		ownIdx:     make([]int, len(spec.Targets)),
+		meta:        meta,
+		spec:        spec,
+		idx:         idx,
+		node:        spec.Sources[idx].Node,
+		group:       meta.group,
+		credit:      spec.Options.SegmentsPerRing,
+		consumedBy:  make([]uint64, len(spec.Targets)),
+		history:     make(map[uint64][]byte),
+		segBuf:      make([]byte, mcHeaderBytes+spec.Options.SegmentSize),
+		ownIdx:      make([]int, len(spec.Targets)),
+		failedTgt:   make([]bool, len(spec.Targets)),
+		lastAdvance: make([]sim.Time, len(spec.Targets)),
+		gating:      make([]bool, len(spec.Targets)),
 	}
 	// Reliable per-target QPs: the source creates the pair and publishes
 	// the target's end for TargetOpen to collect.
@@ -118,31 +132,58 @@ func newMcSource(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (
 	return s, nil
 }
 
+// failAfter returns how long a target's credit stream may gate the source
+// before the target is declared failed (0 disables, keeping the legacy
+// unbounded waits).
+func (s *mcSource) failAfter() time.Duration {
+	if s.spec.Options.RetransmitTimeout <= 0 {
+		return 0
+	}
+	return s.spec.Options.RetransmitTimeout * time.Duration(s.spec.Options.MaxRetransmits+1)
+}
+
+// allTargetsFailed reports whether no live target remains.
+func (s *mcSource) allTargetsFailed() bool {
+	for _, f := range s.failedTgt {
+		if !f {
+			return false
+		}
+	}
+	return true
+}
+
 // push appends a tuple, transmitting the segment when full (bandwidth
 // mode) or immediately (latency mode).
-func (s *mcSource) push(p *sim.Proc, t schema.Tuple) {
+func (s *mcSource) push(p *sim.Proc, t schema.Tuple) error {
 	if s.fill+len(t) > s.spec.Options.SegmentSize {
-		s.sendSegment(p, false)
+		if err := s.sendSegment(p, false); err != nil {
+			return err
+		}
 	}
 	copy(s.segBuf[mcHeaderBytes+s.fill:], t)
 	s.fill += len(t)
 	if s.spec.Options.Optimization == OptimizeLatency {
-		s.sendSegment(p, false)
+		return s.sendSegment(p, false)
 	}
+	return nil
 }
 
-func (s *mcSource) flush(p *sim.Proc) {
+func (s *mcSource) flush(p *sim.Proc) error {
 	if s.fill > 0 {
-		s.sendSegment(p, false)
+		return s.sendSegment(p, false)
 	}
+	return nil
 }
 
 // sendSegment stamps the header, draws a sequence number (global for
 // ordered flows, per-source otherwise), retains the segment for
 // retransmission, and multicasts it.
-func (s *mcSource) sendSegment(p *sim.Proc, end bool) {
+func (s *mcSource) sendSegment(p *sim.Proc, end bool) error {
 	s.ensureCredit(p)
 	s.drainControl(p)
+	if s.allTargetsFailed() {
+		return fmt.Errorf("%w: every replicate target stopped responding", ErrFlowBroken)
+	}
 
 	var seq uint64
 	if s.spec.Options.GlobalOrdering {
@@ -179,13 +220,21 @@ func (s *mcSource) sendSegment(p *sim.Proc, end bool) {
 	s.sentSegs++
 	s.payloadBytes += uint64(s.fill)
 	s.fill = 0
+	return nil
 }
 
-// ensureCredit blocks while any target's outstanding window is full.
+// ensureCredit blocks while any live target's outstanding window is full.
+// With RetransmitTimeout set, a target whose credit gates the source past
+// failAfter is declared failed and excluded — a crashed target must not
+// wedge the surviving replicas.
 func (s *mcSource) ensureCredit(p *sim.Proc) {
+	failAfter := s.failAfter()
 	for {
 		lag := -1
 		for j := range s.consumedBy {
+			if s.failedTgt[j] {
+				continue
+			}
 			if int(s.sentSegs-s.consumedBy[j]) >= s.credit {
 				lag = j
 				break
@@ -193,6 +242,15 @@ func (s *mcSource) ensureCredit(p *sim.Proc) {
 		}
 		if lag < 0 {
 			return
+		}
+		now := p.Now()
+		if !s.gating[lag] {
+			s.gating[lag] = true
+			s.lastAdvance[lag] = now
+		}
+		if failAfter > 0 && now-s.lastAdvance[lag] > failAfter {
+			s.failedTgt[lag] = true
+			continue
 		}
 		if c, ok := s.fqps[lag].RecvCQ().WaitTimeout(p, 5*time.Microsecond); ok {
 			s.handleControl(p, lag, c)
@@ -232,9 +290,11 @@ func (s *mcSource) handleControl(p *sim.Proc, target int, c fabric.Completion) {
 			s.ownIdx[target] = i
 			if uint64(i) > s.consumedBy[target] {
 				s.consumedBy[target] = uint64(i)
+				s.noteAdvance(p, target)
 			}
 		} else if value > s.consumedBy[target] {
 			s.consumedBy[target] = value
+			s.noteAdvance(p, target)
 		}
 	case ctrlNack:
 		if msg, ok := s.history[value]; ok {
@@ -244,15 +304,28 @@ func (s *mcSource) handleControl(p *sim.Proc, target int, c fabric.Completion) {
 	}
 }
 
+// noteAdvance records consumption progress by a target (failure-detection
+// bookkeeping): the staleness clock resets and any future gate episode
+// restarts its grace period.
+func (s *mcSource) noteAdvance(p *sim.Proc, target int) {
+	s.gating[target] = false
+	s.lastAdvance[target] = p.Now()
+}
+
 // close flushes, sends reliable end markers carrying the per-source
-// segment count, and lingers until every target has consumed everything —
-// serving retransmission requests meanwhile.
-func (s *mcSource) close(p *sim.Proc) {
+// segment count, and lingers until every live target has consumed
+// everything — serving retransmission requests meanwhile. With
+// RetransmitTimeout set the linger is bounded per target: one that stops
+// acknowledging is declared failed, and close reports it with an
+// ErrFlowBroken-wrapped error instead of hanging.
+func (s *mcSource) close(p *sim.Proc) error {
 	if s.closedFlag {
-		return
+		return nil
 	}
 	s.closedFlag = true
-	s.flush(p)
+	if err := s.flush(p); err != nil {
+		return err
+	}
 	end := make([]byte, mcHeaderBytes)
 	binary.LittleEndian.PutUint32(end[0:4], 0)
 	end[4] = flagConsumable | flagEndOfFlow
@@ -261,23 +334,48 @@ func (s *mcSource) close(p *sim.Proc) {
 	for _, qp := range s.fqps {
 		qp.Send(p, end, false, 0)
 	}
+	failAfter := s.failAfter()
+	for j := range s.lastAdvance {
+		s.gating[j] = true
+		s.lastAdvance[j] = p.Now() // grace restarts at close
+	}
 	for {
-		min := s.sentSegs
-		for _, v := range s.consumedBy {
-			if v < min {
-				min = v
+		pending := false
+		for j, v := range s.consumedBy {
+			if s.failedTgt[j] {
+				continue
+			}
+			if v < s.sentSegs {
+				if failAfter > 0 && p.Now()-s.lastAdvance[j] > failAfter {
+					s.failedTgt[j] = true
+					continue
+				}
+				pending = true
 			}
 		}
-		if min >= s.sentSegs {
-			return
+		if !pending {
+			break
 		}
 		for j, qp := range s.fqps {
+			if s.failedTgt[j] {
+				continue
+			}
 			if c, ok := qp.RecvCQ().WaitTimeout(p, s.spec.Options.GapTimeout); ok {
 				s.handleControl(p, j, c)
 			}
 		}
 		s.drainControl(p)
 	}
+	var failed []int
+	for j, f := range s.failedTgt {
+		if f {
+			failed = append(failed, j)
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%w: replicate targets %v stopped responding", ErrFlowBroken, failed)
+	}
+	return nil
 }
 
 func (s *mcSource) free() {}
@@ -310,6 +408,16 @@ type mcTarget struct {
 	gapSince   sim.Time // when the current head gap was first observed
 	gapPending bool
 	gap        Gap
+	gapNacks   int // unanswered NACK rounds for the current head gap
+
+	// Source-failure detection (Options.SourceTimeout), mirroring the
+	// ring-transport detectFailures: a source that goes silent past the
+	// timeout is declared failed and treated as ended at its delivered
+	// count; ordered flows additionally skip its unanswerable gaps once
+	// NACK rounds go unanswered.
+	heard     []bool
+	lastHeard []sim.Time
+	failedSrc []bool
 
 	active    []byte
 	segOff    int
@@ -335,6 +443,9 @@ func newMcTarget(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (
 		creditAcc: make([]uint64, nSrc),
 		pending:   make(map[uint64][]byte),
 		tupleSize: spec.Schema.TupleSize(),
+		heard:     make([]bool, nSrc),
+		lastHeard: make([]sim.Time, nSrc),
+		failedSrc: make([]bool, nSrc),
 	}
 	stride := mcHeaderBytes + spec.Options.SegmentSize
 	// One slab backs all receive buffers (registered for accounting). The
@@ -403,6 +514,10 @@ func (t *mcTarget) ingest(p *sim.Proc, buf []byte, bytes int, origin recvOrigin)
 	flags := h[4]
 	src := int(h[5])
 	seq := binary.LittleEndian.Uint64(h[8:16])
+	if src >= 0 && src < len(t.heard) {
+		t.heard[src] = true
+		t.lastHeard[src] = p.Now()
+	}
 	if flags&flagEndOfFlow != 0 && fill == 0 {
 		// End marker: seq carries the source's total segment count.
 		if !t.ended[src] {
@@ -595,6 +710,7 @@ func (t *mcTarget) deliver(p *sim.Proc, buf []byte, src int) {
 	t.delivered[src]++
 	t.creditAcc[src]++
 	t.gapSince = 0
+	t.gapNacks = 0
 
 	fill := int(binary.LittleEndian.Uint32(buf[0:4]))
 	count := fill / t.tupleSize
@@ -609,6 +725,67 @@ func (t *mcTarget) deliver(p *sim.Proc, buf []byte, src int) {
 	}
 }
 
+// detectFailures declares silent sources failed (Options.SourceTimeout),
+// treating them as ended at their delivered count. Undeliverable pending
+// segments of a failed unordered source are discarded (their predecessors
+// died with the source's retransmission history).
+func (t *mcTarget) detectFailures(p *sim.Proc) {
+	timeout := t.spec.Options.SourceTimeout
+	if timeout <= 0 {
+		return
+	}
+	for s := range t.ended {
+		if t.ended[s] || t.failedSrc[s] {
+			continue
+		}
+		if !t.heard[s] {
+			t.heard[s] = true
+			t.lastHeard[s] = p.Now() // grace period starts at first check
+			continue
+		}
+		if p.Now()-t.lastHeard[s] <= timeout {
+			continue
+		}
+		t.failedSrc[s] = true
+		t.ended[s] = true
+		t.endCount[s] = t.delivered[s]
+		if !t.spec.Options.GlobalOrdering {
+			for k, b := range t.pending {
+				if int(k>>48) == s {
+					delete(t.pending, k)
+					t.recycle(b)
+				}
+			}
+		}
+	}
+}
+
+// anyFailed reports whether any source was declared failed.
+func (t *mcTarget) anyFailed() bool {
+	for _, f := range t.failedSrc {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
+// failedSources lists failed source slots in slot order.
+func (t *mcTarget) failedSources() []int {
+	var out []int
+	for s, f := range t.failedSrc {
+		if f {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// gapNackLimit is how many unanswered NACK rounds an ordered flow tolerates
+// before a head gap owned by a failed source is skipped (nobody holds the
+// retransmission history of a crashed source).
+const gapNackLimit = 3
+
 // nextSegment obtains the next in-order segment, handling gap timeouts.
 // It returns false at flow end or when a gap is surfaced (NotifyGaps).
 func (t *mcTarget) nextSegment(p *sim.Proc) bool {
@@ -618,6 +795,7 @@ func (t *mcTarget) nextSegment(p *sim.Proc) bool {
 	}
 	for {
 		t.poll(p)
+		t.detectFailures(p)
 		if buf, src, ok := t.headDeliverable(); ok {
 			t.deliver(p, buf, src)
 			return true
@@ -643,7 +821,18 @@ func (t *mcTarget) nextSegment(p *sim.Proc) bool {
 					t.gapSince = 0
 					return false
 				}
+				if t.spec.Options.GlobalOrdering && t.gapNacks >= gapNackLimit && t.anyFailed() {
+					// The gap's owner crashed: no NACK will ever be
+					// answered. Skip the sequence number and record the
+					// skip as progress so credit keeps flowing.
+					t.nextGlobal = seq + 1
+					t.gapNacks = 0
+					t.gapSince = 0
+					t.broadcastProgress(p)
+					continue
+				}
 				t.sendNack(p, seq, src)
+				t.gapNacks++
 				t.gapSince = p.Now() // restart the timeout for the NACK
 			}
 		}

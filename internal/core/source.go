@@ -104,14 +104,20 @@ func (s *Source) Push(p *sim.Proc, t schema.Tuple) error {
 	switch s.spec.FlowType() {
 	case ReplicateFlow:
 		if s.mc != nil {
-			s.mc.push(p, t)
-			return nil
+			return s.mc.push(p, t)
 		}
 		for _, w := range s.writers {
-			s.pushWriter(p, w, t)
+			if err := s.pushWriter(p, w, t); err != nil {
+				return err
+			}
 		}
 		return nil
 	default:
+		if s.spec.Routing == nil && s.spec.ShuffleKey < 0 {
+			// normalize allows this configuration for PushTo-only flows;
+			// letting it reach routeIndex would panic on column -1.
+			return fmt.Errorf("dfi: flow %q declares no routing (ShuffleKey -1 and no RoutingFunc); use PushTo", s.spec.Name)
+		}
 		return s.PushTo(p, t, routeIndex(s.spec, t))
 	}
 }
@@ -122,46 +128,58 @@ func (s *Source) PushTo(p *sim.Proc, t schema.Tuple, target int) error {
 	if target < 0 || target >= len(s.writers) {
 		return fmt.Errorf("dfi: target %d out of range (%d targets)", target, len(s.writers))
 	}
-	s.pushWriter(p, s.writers[target], t)
-	return nil
+	return s.pushWriter(p, s.writers[target], t)
 }
 
-func (s *Source) pushWriter(p *sim.Proc, w *ringWriter, t schema.Tuple) {
+func (s *Source) pushWriter(p *sim.Proc, w *ringWriter, t schema.Tuple) error {
 	if s.spec.Options.Optimization == OptimizeLatency {
-		w.pushImmediate(p, t)
-	} else {
-		w.push(p, t)
+		return w.pushImmediate(p, t)
 	}
+	return w.push(p, t)
 }
 
 // Flush pushes out all partially filled segments (bandwidth mode). Tuples
 // already pushed become consumable at their targets even if segments were
-// not full.
-func (s *Source) Flush(p *sim.Proc) {
+// not full. A non-nil error (ErrFlowBroken) means a target became
+// unreachable and bounded recovery gave up.
+func (s *Source) Flush(p *sim.Proc) error {
 	s.settleCharge(p)
 	for _, w := range s.writers {
-		w.flush(p, false)
+		if err := w.flush(p, false); err != nil {
+			return err
+		}
 	}
 	if s.mc != nil {
-		s.mc.flush(p)
+		return s.mc.flush(p)
 	}
+	return nil
 }
 
 // Close flushes remaining tuples and propagates the end-of-flow marker to
 // every target. Targets return flow-end from Consume once every source has
-// closed.
-func (s *Source) Close(p *sim.Proc) {
+// closed. With Options.RetransmitTimeout set, a nil return additionally
+// certifies that every target consumed the full stream; ErrFlowBroken
+// reports an unreachable or stuck target.
+func (s *Source) Close(p *sim.Proc) error {
 	if s.closed {
-		return
+		return nil
 	}
 	s.settleCharge(p)
+	var firstErr error
 	for _, w := range s.writers {
-		w.close(p)
+		// Close every writer even after an error: surviving targets still
+		// deserve their end-of-flow marker.
+		if err := w.close(p); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	if s.mc != nil {
-		s.mc.close(p)
+		if err := s.mc.close(p); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	s.closed = true
+	return firstErr
 }
 
 // Pushed returns the number of tuples pushed so far.

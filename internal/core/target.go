@@ -51,7 +51,11 @@ type ringReader struct {
 	consumed uint64 // segments consumed, mirrored into the ring header
 	closed   bool
 
-	// Failure detection (Options.SourceTimeout).
+	// Failure detection (Options.SourceTimeout). hasActivity
+	// distinguishes "never heard from" (grace period pending) from a ring
+	// legitimately active at virtual time zero — sim.Time starts at 0, so
+	// lastActivity alone cannot encode "unset".
+	hasActivity  bool
 	lastActivity sim.Time
 	failed       bool
 }
@@ -135,17 +139,27 @@ func (t *Target) loadSegment(p *sim.Proc, r *ringReader) bool {
 	if f[4]&flagConsumable == 0 {
 		return false
 	}
+	// The footer sequence number must match this lap's expected segment.
+	// A mismatch means the slot holds stale data from a previous lap —
+	// typically a retransmission or fault-injected duplicate of a segment
+	// already consumed — which must not be consumed twice. The slot stays
+	// blocked until the writer's current-lap WRITE overwrites it.
+	if seq := binary.LittleEndian.Uint64(f[8:16]); seq != r.consumed {
+		return false
+	}
 	fill := int(binary.LittleEndian.Uint32(f[0:4]))
 	end := f[4]&flagEndOfFlow != 0
 	if end {
 		r.closed = true
 	}
 	if fill == 0 {
+		r.hasActivity = true
 		r.lastActivity = p.Now()
 		t.release(r)
 		return false
 	}
 	count := fill / t.tupleSize
+	r.hasActivity = true
 	r.lastActivity = p.Now()
 	t.node.Compute(p, time.Duration(count)*t.spec.Options.ConsumeCost)
 	t.active = r
@@ -270,8 +284,8 @@ func (t *Target) ConsumeSegment(p *sim.Proc) (data []byte, count int, ok bool) {
 	return data, count, true
 }
 
-// Gap reports a sequence gap detected by an ordered replicate flow with
-// NotifyGaps set; Consume returns ok=false and the application checks
+// PendingGap reports a sequence gap detected by an ordered replicate flow
+// with NotifyGaps set; Consume returns ok=false and the application checks
 // PendingGap.
 func (t *Target) PendingGap() (Gap, bool) {
 	if t.mc == nil {
@@ -291,8 +305,13 @@ func (t *Target) detectFailures(p *sim.Proc, n int) {
 		if r.closed {
 			continue
 		}
-		if r.lastActivity == 0 {
-			r.lastActivity = p.Now() // grace period starts at first check
+		if !r.hasActivity {
+			// Grace period starts at the first check. (Checked with an
+			// explicit flag: virtual time starts at 0, so a ring that was
+			// genuinely active at t=0 would otherwise restart its grace
+			// period here and escape detection.)
+			r.hasActivity = true
+			r.lastActivity = p.Now()
 			continue
 		}
 		if p.Now()-r.lastActivity > timeout {
@@ -303,8 +322,12 @@ func (t *Target) detectFailures(p *sim.Proc, n int) {
 }
 
 // FailedSources returns the source slots the target declared failed via
-// SourceTimeout, in slot order.
+// SourceTimeout, in slot order. Covers both transports: ring readers and
+// the multicast replicate path.
 func (t *Target) FailedSources() []int {
+	if t.mc != nil {
+		return t.mc.failedSources()
+	}
 	var out []int
 	for i, r := range t.readers {
 		if r.failed {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"fmt"
 	"time"
 
 	"dfi/internal/fabric"
@@ -71,6 +72,7 @@ type ringWriter struct {
 	Probes      int      // footer reads issued
 	ProbeMisses int      // footer reads that found the slot unconsumed
 	BackoffTime sim.Time
+	Retransmits int // segments rewritten by loss recovery
 }
 
 // newRingWriter connects a source thread on node to the ring at ringOff
@@ -120,23 +122,30 @@ func (w *ringWriter) remoteHeaderAddr() fabric.Addr {
 
 // push appends one tuple to the current segment, flushing when full.
 // Bandwidth mode only; per-tuple CPU cost is charged in bulk at flush.
-func (w *ringWriter) push(p *sim.Proc, tuple []byte) {
+func (w *ringWriter) push(p *sim.Proc, tuple []byte) error {
 	if w.fill+len(tuple) > w.geom.segSize {
-		w.flush(p, false)
+		if err := w.flush(p, false); err != nil {
+			return err
+		}
 	}
 	if w.node.Cluster().Config().CopyPayload {
 		copy(w.localSeg()[w.fill:], tuple)
 	}
 	w.fill += len(tuple)
 	w.count++
+	return nil
 }
 
 // pushImmediate transfers one tuple right away (latency mode): a full
 // segment write under credit flow control.
-func (w *ringWriter) pushImmediate(p *sim.Proc, tuple []byte) {
-	w.ensureCredit(p)
+func (w *ringWriter) pushImmediate(p *sim.Proc, tuple []byte) error {
+	if err := w.ensureCredit(p); err != nil {
+		return err
+	}
 	w.drainCQ(p)
-	w.waitLocalSlot(p)
+	if err := w.waitLocalSlot(p); err != nil {
+		return err
+	}
 
 	seg := w.localSeg()
 	if w.node.Cluster().Config().CopyPayload {
@@ -149,32 +158,79 @@ func (w *ringWriter) pushImmediate(p *sim.Proc, tuple []byte) {
 		w.qp.Read(p, w.creditBuf, w.remoteHeaderAddr(), true, idCreditRead)
 		w.creditPending = true
 	}
+	return nil
 }
 
 // ensureCredit blocks until at least one credit is available, reading the
-// target's consumed counter as needed.
-func (w *ringWriter) ensureCredit(p *sim.Proc) {
+// target's consumed counter as needed. With RetransmitTimeout set, a stall
+// triggers resync-and-retransmit (the credit counter stalls exactly when a
+// segment the target needs next was lost).
+func (w *ringWriter) ensureCredit(p *sim.Proc) error {
+	rounds := 0
+	lastProgress := p.Now()
 	for w.credits <= 0 {
 		if !w.creditPending {
 			w.qp.Read(p, w.creditBuf, w.remoteHeaderAddr(), true, idCreditRead)
 			w.creditPending = true
 		}
-		w.handleCompletion(p, w.qp.SendCQ().Wait(p))
-		if w.credits <= 0 && !w.creditPending {
-			w.backoff(p)
+		if w.opts.RetransmitTimeout <= 0 {
+			w.handleCompletion(p, w.qp.SendCQ().Wait(p))
+			if w.credits <= 0 && !w.creditPending {
+				w.backoff(p)
+			}
+			continue
+		}
+		c, ok := w.qp.SendCQ().WaitTimeout(p, w.opts.RetransmitTimeout)
+		if ok {
+			before := w.credits
+			w.handleCompletion(p, c)
+			if w.credits > before {
+				lastProgress = p.Now()
+				rounds = 0
+			}
+			if w.credits > 0 {
+				break
+			}
+			if p.Now()-lastProgress <= w.opts.RetransmitTimeout {
+				if !w.creditPending {
+					w.backoff(p)
+				}
+				continue
+			}
+			// Credit READs answer but the counter is stuck: the target is
+			// blocked on a segment that was lost. Fall through to recovery.
+		}
+		w.creditPending = false
+		before := w.credits
+		if err := w.recover(p); err != nil {
+			return err
+		}
+		lastProgress = p.Now()
+		if w.credits <= before {
+			rounds++
+			if rounds > w.opts.MaxRetransmits {
+				return fmt.Errorf("%w: no credit after %d recovery rounds", ErrFlowBroken, rounds-1)
+			}
+		} else {
+			rounds = 0
 		}
 	}
+	return nil
 }
 
 // flush transfers the current (possibly partial) segment; end marks the
 // flow-end segment. Bandwidth mode.
-func (w *ringWriter) flush(p *sim.Proc, end bool) {
+func (w *ringWriter) flush(p *sim.Proc, end bool) error {
 	if w.fill == 0 && !end {
-		return
+		return nil
 	}
 	w.drainCQ(p)
-	w.ensureRemoteWritable(p)
-	w.waitLocalSlot(p)
+	if err := w.ensureRemoteWritable(p); err != nil {
+		return err
+	}
+	if err := w.waitLocalSlot(p); err != nil {
+		return err
+	}
 
 	flags := byte(flagConsumable)
 	if end {
@@ -187,6 +243,7 @@ func (w *ringWriter) flush(p *sim.Proc, end bool) {
 	if int(w.written-w.acked) >= w.geom.nSegs-2 && !w.footerPending {
 		w.postFooterRead(p)
 	}
+	return nil
 }
 
 // writeSegment stamps the footer of the current local segment and issues
@@ -209,9 +266,13 @@ func (w *ringWriter) writeSegment(p *sim.Proc, fill int, flags byte) {
 	// while avoiding a full-stop at each wrap).
 	signaled := int(w.written%uint64(w.sigEvery)) == w.sigEvery-1
 	id := uint64(idWrapWrite) | w.written
-	if fill >= w.geom.segSize*3/4 || fill == 0 {
+	if fill >= w.geom.segSize*3/4 || fill == 0 || w.opts.RetransmitTimeout > 0 {
 		// Mostly full (or pure end-marker): one full-stride write; the
-		// footer is the CommitTail so it lands strictly last.
+		// footer is the CommitTail so it lands strictly last. Retransmitting
+		// flows always take this path: loss recovery relies on the footer
+		// certifying exactly the payload it travelled with, and a split
+		// write could lose the payload yet land the footer, exposing a
+		// stale segment body as valid.
 		w.qp.Write(p, seg, w.remoteSlotAddr(slot), fabric.WriteOptions{
 			Signaled: signaled, ID: id, CommitTail: footerBytes,
 		})
@@ -233,17 +294,54 @@ func (w *ringWriter) writeSegment(p *sim.Proc, fill int, flags byte) {
 
 // ensureRemoteWritable blocks until the next remote slot is reusable,
 // reading its footer and polling with a small random backoff while the
-// target lags (paper §5.2).
-func (w *ringWriter) ensureRemoteWritable(p *sim.Proc) {
+// target lags (paper §5.2). With RetransmitTimeout set, a stalled probe
+// pipeline (lost probe, lost probe response, or a lost WRITE the target is
+// stuck waiting for) triggers resync-and-retransmit instead of a hang.
+func (w *ringWriter) ensureRemoteWritable(p *sim.Proc) error {
 	start := p.Now()
 	defer func() { w.StallRemote += p.Now() - start }()
+	rounds := 0
+	lastProgress := p.Now()
 	for int(w.written-w.acked) >= w.geom.nSegs {
-		if w.footerPending {
+		if !w.footerPending {
+			w.postFooterRead(p)
+			continue
+		}
+		if w.opts.RetransmitTimeout <= 0 {
 			w.handleCompletion(p, w.qp.SendCQ().Wait(p))
 			continue
 		}
-		w.postFooterRead(p)
+		c, ok := w.qp.SendCQ().WaitTimeout(p, w.opts.RetransmitTimeout)
+		if ok {
+			before := w.acked
+			w.handleCompletion(p, c)
+			if w.acked > before {
+				lastProgress = p.Now()
+				rounds = 0
+			}
+			if p.Now()-lastProgress <= w.opts.RetransmitTimeout {
+				continue
+			}
+			// Probes keep answering but the watermark is stuck: the
+			// target is blocked on a lost segment, which no amount of
+			// probing reveals. Fall through to recovery.
+		}
+		w.footerPending = false // abandon the (presumed lost) probe
+		before := w.acked
+		if err := w.recover(p); err != nil {
+			return err
+		}
+		lastProgress = p.Now()
+		if w.acked == before {
+			rounds++
+			if rounds > w.opts.MaxRetransmits {
+				return fmt.Errorf("%w: remote ring full, no progress after %d recovery rounds", ErrFlowBroken, rounds-1)
+			}
+		} else {
+			rounds = 0
+		}
 	}
+	return nil
 }
 
 // postFooterRead issues an asynchronous READ of an outstanding remote
@@ -276,19 +374,35 @@ func (w *ringWriter) postFooterRead(p *sim.Proc) {
 // watermark advances through the periodic signaled completions (QP
 // completions are ordered, so completion of write k proves all writes
 // ≤ k are done).
-func (w *ringWriter) waitLocalSlot(p *sim.Proc) {
+func (w *ringWriter) waitLocalSlot(p *sim.Proc) error {
 	if w.written < uint64(w.srcSegs) {
-		return
+		return nil
 	}
 	needed := w.written - uint64(w.srcSegs) + 1
 	if w.completedW >= needed {
-		return
+		return nil
 	}
 	start := p.Now()
+	defer func() { w.StallLocal += p.Now() - start }()
+	rounds := 0
 	for w.completedW < needed {
-		w.handleCompletion(p, w.qp.SendCQ().Wait(p))
+		if w.opts.RetransmitTimeout <= 0 {
+			w.handleCompletion(p, w.qp.SendCQ().Wait(p))
+			continue
+		}
+		c, ok := w.qp.SendCQ().WaitTimeout(p, w.opts.RetransmitTimeout)
+		if ok {
+			w.handleCompletion(p, c)
+			continue
+		}
+		// Completions only vanish when an endpoint crashed; retrying
+		// cannot help, but give the fabric MaxRetransmits grace rounds.
+		rounds++
+		if rounds > w.opts.MaxRetransmits {
+			return fmt.Errorf("%w: write completion overdue after %d rounds (peer crashed?)", ErrFlowBroken, rounds-1)
+		}
 	}
-	w.StallLocal += p.Now() - start
+	return nil
 }
 
 // drainCQ consumes available completions without blocking.
@@ -315,7 +429,11 @@ func (w *ringWriter) handleCompletion(p *sim.Proc, c fabric.Completion) {
 		// consumed it — and, consuming in ring order, everything older.
 		seq := binary.LittleEndian.Uint64(w.footerBuf[8:16])
 		if w.footerBuf[4]&flagConsumable == 0 && seq == w.probeWrite {
-			w.acked = w.probeWrite + 1
+			// Never regress: a stale probe completing after a recover()
+			// resync may report an older watermark.
+			if w.probeWrite+1 > w.acked {
+				w.acked = w.probeWrite + 1
+			}
 		} else if int(w.written-w.acked) >= w.geom.nSegs {
 			// Still unconsumed and we are blocked: back off before
 			// re-reading so a slow target is not flooded with READs.
@@ -327,6 +445,11 @@ func (w *ringWriter) handleCompletion(p *sim.Proc, c fabric.Completion) {
 		w.creditPending = false
 		consumed := binary.LittleEndian.Uint64(w.creditBuf)
 		w.credits = w.geom.nSegs - int(w.sent-consumed)
+		// The ring-header consumed counter is authoritative in both
+		// modes; fold it into the acked watermark (never regressing).
+		if consumed > w.acked && consumed <= w.written {
+			w.acked = consumed
+		}
 	case c.ID&idWrapWrite != 0:
 		done := c.ID &^ (idWrapWrite | idFooterRead | idCreditRead)
 		if done+1 > w.completedW {
@@ -342,23 +465,134 @@ func (w *ringWriter) backoff(p *sim.Proc) {
 	p.Sleep(d)
 }
 
-// close flushes remaining tuples and writes the end-of-flow marker.
-func (w *ringWriter) close(p *sim.Proc) {
+// recover resynchronizes the writer against the authoritative ring-header
+// consumed counter and retransmits every written-but-unconsumed segment
+// still resident in the local ring. Retransmission is idempotent: the
+// target's footer sequence check ignores segments it already consumed, so
+// rewriting a merely-slow (rather than lost) segment is harmless. Only
+// called with RetransmitTimeout > 0.
+func (w *ringWriter) recover(p *sim.Proc) error {
+	// 1. Resync: read the consumed counter, bounded, retrying lost READs.
+	for attempt := 0; ; attempt++ {
+		w.qp.Read(p, w.creditBuf, w.remoteHeaderAddr(), true, idCreditRead)
+		w.creditPending = true
+		for w.creditPending {
+			c, ok := w.qp.SendCQ().WaitTimeout(p, w.opts.RetransmitTimeout)
+			if !ok {
+				break
+			}
+			w.handleCompletion(p, c)
+		}
+		if !w.creditPending {
+			break
+		}
+		w.creditPending = false
+		if attempt >= w.opts.MaxRetransmits {
+			return fmt.Errorf("%w: target unreachable (%d consumed-counter reads unanswered)", ErrFlowBroken, attempt+1)
+		}
+	}
+	consumed := binary.LittleEndian.Uint64(w.creditBuf)
+	if consumed > w.written {
+		return fmt.Errorf("%w: target consumed %d of %d written segments (ring corrupt)", ErrFlowBroken, consumed, w.written)
+	}
+	if consumed > w.acked {
+		w.acked = consumed
+	}
+	// 2. Retransmit the unconsumed window. normalize guarantees
+	// srcSegs ≥ nSegs, so written − acked ≤ nSegs keeps it resident.
+	if w.written-w.acked > uint64(w.srcSegs) {
+		return fmt.Errorf("%w: unconsumed segment %d already left the local ring", ErrFlowBroken, w.acked)
+	}
+	for n := w.acked; n < w.written; n++ {
+		lbase := int(n%uint64(w.srcSegs)) * w.geom.stride()
+		seg := w.local.Bytes()[lbase : lbase+w.geom.stride()]
+		rslot := int(n % uint64(w.geom.nSegs))
+		w.qp.Write(p, seg, w.remoteSlotAddr(rslot), fabric.WriteOptions{CommitTail: footerBytes})
+		w.Retransmits++
+	}
+	return nil
+}
+
+// confirmDelivered blocks until the target consumed everything written
+// (acked == written), recovering lost segments on the way. Called from
+// close when RetransmitTimeout is set, so a successful Close certifies
+// delivery of the whole stream including the end-of-flow marker.
+func (w *ringWriter) confirmDelivered(p *sim.Proc) error {
+	rounds := 0
+	lastProgress := p.Now()
+	for w.acked < w.written {
+		if !w.footerPending && w.opts.Optimization == OptimizeBandwidth {
+			w.postFooterRead(p)
+		}
+		c, ok := w.qp.SendCQ().WaitTimeout(p, w.opts.RetransmitTimeout)
+		if ok {
+			before := w.acked
+			w.handleCompletion(p, c)
+			if w.acked > before {
+				lastProgress = p.Now()
+				rounds = 0
+			}
+			if p.Now()-lastProgress <= w.opts.RetransmitTimeout {
+				continue
+			}
+			// Completions flow but the watermark is stuck (lost segment
+			// blocking the target): fall through to recovery.
+		}
+		w.footerPending = false
+		before := w.acked
+		if err := w.recover(p); err != nil {
+			return err
+		}
+		lastProgress = p.Now()
+		if w.acked == before {
+			rounds++
+			if rounds > w.opts.MaxRetransmits {
+				return fmt.Errorf("%w: %d segments unconfirmed after %d recovery rounds",
+					ErrFlowBroken, w.written-w.acked, rounds-1)
+			}
+		} else {
+			rounds = 0
+		}
+	}
+	return nil
+}
+
+// close flushes remaining tuples and writes the end-of-flow marker. With
+// RetransmitTimeout set it additionally confirms the whole stream was
+// consumed, retransmitting losses.
+func (w *ringWriter) close(p *sim.Proc) error {
 	if w.closed {
-		return
+		return nil
 	}
 	w.closed = true
 	if w.opts.Optimization == OptimizeLatency {
-		w.ensureCredit(p)
-		w.waitLocalSlot(p)
+		if err := w.ensureCredit(p); err != nil {
+			return err
+		}
+		if err := w.waitLocalSlot(p); err != nil {
+			return err
+		}
 		w.writeSegment(p, 0, flagConsumable|flagEndOfFlow)
 		w.credits--
 		w.sent++
-		return
+		if w.opts.RetransmitTimeout > 0 {
+			return w.confirmDelivered(p)
+		}
+		return nil
 	}
-	w.flush(p, false) // remaining tuples
+	if err := w.flush(p, false); err != nil { // remaining tuples
+		return err
+	}
 	w.drainCQ(p)
-	w.ensureRemoteWritable(p)
-	w.waitLocalSlot(p)
+	if err := w.ensureRemoteWritable(p); err != nil {
+		return err
+	}
+	if err := w.waitLocalSlot(p); err != nil {
+		return err
+	}
 	w.writeSegment(p, 0, flagConsumable|flagEndOfFlow)
+	if w.opts.RetransmitTimeout > 0 {
+		return w.confirmDelivered(p)
+	}
+	return nil
 }

@@ -65,6 +65,12 @@ type Config struct {
 
 	// Seed seeds the loss-injection and backoff randomness via the kernel.
 	Seed int64
+
+	// Faults, when non-nil, makes the fabric misbehave according to the
+	// plan: probabilistic verb drops, extra delivery delay and jitter,
+	// duplication, reordering, link flaps, and whole-node crashes. See
+	// fault.go for the exact semantics. Nil injects nothing.
+	Faults *FaultPlan
 }
 
 // DefaultConfig returns the calibrated cost model described in DESIGN.md §6.

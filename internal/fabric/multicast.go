@@ -97,27 +97,31 @@ func (g *MulticastGroup) Send(p *sim.Proc, from *Node, src []byte, excludeSelf b
 		if excludeSelf && ep.node == from {
 			continue
 		}
-		g.c.trace(OpSend, from, ep.node, len(src), k.Now(), arriveSwitch+ser)
+		// Each member's delivery draws its own fault verdict (real UD
+		// multicast loss is per receive port, not per message).
+		fv := g.c.fault(OpSend, from, ep.node, arriveSwitch+ser)
+		disp := Delivered
+		if fv.drop {
+			disp = Dropped
+		}
+		g.c.trace(OpSend, from, ep.node, len(src), k.Now(), arriveSwitch+ser+fv.delay, disp)
 		if ep.node == from {
 			// Loopback delivery does not traverse the switch twice; model
 			// it as arriving after the local serialization only.
-			g.deliver(ep, txEnd, ser, &staged)
+			g.deliver(ep, txEnd, ser, &staged, fv)
 			continue
 		}
-		g.deliver(ep, arriveSwitch, ser, &staged)
+		g.deliver(ep, arriveSwitch, ser, &staged, fv)
 	}
 }
 
-// deliver schedules arrival of a staged message at one endpoint.
-func (g *MulticastGroup) deliver(ep *McEndpoint, from sim.Time, ser sim.Time, staged *[]byte) {
+// deliver schedules arrival of a staged message at one endpoint under the
+// fault verdict fv.
+func (g *MulticastGroup) deliver(ep *McEndpoint, from sim.Time, ser sim.Time, staged *[]byte, fv verdict) {
 	cfg := &g.c.cfg
 	k := g.c.K
 	_, rxEnd := ep.node.reserveRx(from, ser)
-	k.At(rxEnd, func() {
-		if cfg.MulticastLoss > 0 && k.Rand().Float64() < cfg.MulticastLoss {
-			ep.Drops++
-			return
-		}
+	arrive := func() {
 		if len(ep.recvq) == 0 {
 			ep.Drops++ // UD: no posted receive, packet lost
 			return
@@ -127,5 +131,15 @@ func (g *MulticastGroup) deliver(ep *McEndpoint, from sim.Time, ser sim.Time, st
 		n := copy(wr.Buf, *staged)
 		ep.node.bytesRx += int64(n)
 		ep.rcq.push(Completion{ID: wr.ID, Op: OpRecv, Bytes: n, Buf: wr.Buf})
+	}
+	k.At(rxEnd+fv.delay, func() {
+		if fv.drop || (cfg.MulticastLoss > 0 && k.Rand().Float64() < cfg.MulticastLoss) {
+			ep.Drops++
+			return
+		}
+		arrive()
 	})
+	if fv.duplicate {
+		k.At(rxEnd+fv.delay+cfg.Faults.dupDelay(), arrive)
+	}
 }

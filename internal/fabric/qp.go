@@ -160,6 +160,13 @@ type QP struct {
 	recvq   []RecvWR
 	arrived []arrival
 	nextID  uint64
+
+	// RC connections never reorder: fault-injected delay and jitter shift
+	// deliveries but must preserve this QP's wire order. lastCommit is the
+	// latest scheduled WRITE commit, lastArrive the latest scheduled SEND
+	// delivery; later operations are clamped behind them.
+	lastCommit sim.Time
+	lastArrive sim.Time
 }
 
 // CreateQPPair connects nodes a and b with a reliable connection and
@@ -220,10 +227,8 @@ func (q *QP) Write(p *sim.Proc, src []byte, dst Addr, opts WriteOptions) {
 	}
 	_, txEnd, rxEnd := q.c.reservePath(q.owner, q.peer.owner, k.Now()+startup, ser)
 
-	q.owner.bytesTx += int64(len(src))
-	q.owner.msgsTx++
-	q.peer.owner.bytesRx += int64(len(src))
-	q.c.trace(OpWrite, q.owner, q.peer.owner, len(src), k.Now(), rxEnd)
+	fv := q.c.fault(OpWrite, q.owner, q.peer.owner, rxEnd)
+	deliverAt := rxEnd + fv.delay
 
 	// The NIC finishes DMA-reading the source at txEnd: snapshot then.
 	// Payload body commits just before the tail; tail commits last.
@@ -232,35 +237,81 @@ func (q *QP) Write(p *sim.Proc, src []byte, dst Addr, opts WriteOptions) {
 		tail = len(src)
 	}
 	body := len(src) - tail
+
+	// RC connections deliver WRITEs in posting order: fault delay may push
+	// a write later, but it must never let its stores interleave with (or
+	// precede) those of an earlier write on the same QP — otherwise a
+	// jitter-delayed retransmission overtaken by a later lap could leave
+	// one segment's payload under another's footer. Clamp this write's
+	// whole commit window (body included) behind the previous tail.
+	if !fv.drop {
+		earliest := deliverAt
+		if tail > 0 && body > 0 {
+			earliest -= cfg.serialization(tail)
+		}
+		if earliest <= q.lastCommit {
+			deliverAt += q.lastCommit + 1 - earliest
+		}
+	}
+
+	q.owner.bytesTx += int64(len(src))
+	q.owner.msgsTx++
+	q.peer.owner.bytesRx += int64(len(src))
+	disp := Delivered
+	if fv.drop {
+		disp = Dropped
+	}
+	q.c.trace(OpWrite, q.owner, q.peer.owner, len(src), k.Now(), deliverAt, disp)
 	var staged []byte
 	k.At(txEnd, func() {
 		staged = q.stage(src, body, tail)
 	})
-	if tail > 0 && body > 0 {
-		bodyAt := rxEnd - cfg.serialization(tail)
-		if bodyAt <= txEnd {
-			bodyAt = txEnd + 1
+	// commit schedules the remote memory commit of the staged bytes with
+	// delivery finishing at `at` (body strictly before tail, as the NIC's
+	// increasing-address DMA order demands — fault delay shifts both).
+	commit := func(at sim.Time) {
+		if tail > 0 && body > 0 {
+			bodyAt := at - cfg.serialization(tail)
+			if bodyAt <= txEnd {
+				bodyAt = txEnd + 1
+			}
+			k.At(bodyAt, func() {
+				if q.c.cfg.CopyPayload {
+					copy(dst.slice(body), staged[:body])
+				}
+			})
 		}
-		k.At(bodyAt, func() {
-			if q.c.cfg.CopyPayload {
+		k.At(at, func() {
+			if q.c.cfg.CopyPayload && body > 0 && tail == 0 {
 				copy(dst.slice(body), staged[:body])
 			}
+			if tail > 0 {
+				copy(dst.MR.buf[dst.Off+body:dst.Off+body+tail], staged[body:])
+			}
+			dst.MR.notify()
 		})
 	}
-	k.At(rxEnd, func() {
-		if q.c.cfg.CopyPayload && body > 0 && tail == 0 {
-			copy(dst.slice(body), staged[:body])
+	if !fv.drop {
+		commit(deliverAt)
+		q.lastCommit = deliverAt
+		if fv.duplicate {
+			dupAt := deliverAt + q.c.cfg.Faults.dupDelay()
+			if tail > 0 && body > 0 && dupAt-cfg.serialization(tail) <= q.lastCommit {
+				dupAt = q.lastCommit + cfg.serialization(tail) + 1
+			}
+			q.c.trace(OpWrite, q.owner, q.peer.owner, len(src), k.Now(), dupAt, Injected)
+			commit(dupAt)
+			q.lastCommit = dupAt
 		}
-		if tail > 0 {
-			copy(dst.MR.buf[dst.Off+body:dst.Off+body+tail], staged[body:])
-		}
-		dst.MR.notify()
-	})
-	if opts.Signaled {
+	}
+	if opts.Signaled && !fv.dropCompletion {
 		// RC semantics: the completion is generated once the responder's
 		// ACK returns, i.e. after remote delivery plus the return hop.
+		// (A probabilistically dropped WRITE still completes — the loss is
+		// modelled above the reliability layer; see fault.go. Only crashed
+		// endpoints suppress completions.)
 		n := len(src)
-		ackAt := rxEnd + cfg.Propagation + cfg.SwitchDelay + cfg.CompletionDelay
+		ackAt := deliverAt + cfg.Propagation + cfg.SwitchDelay + cfg.CompletionDelay
 		k.At(ackAt, func() {
 			q.scq.push(Completion{ID: opts.ID, Op: OpWrite, Bytes: n})
 		})
@@ -313,18 +364,30 @@ func (q *QP) Read(p *sim.Proc, dst []byte, src Addr, signaled bool, id uint64) {
 		respStart, _, rxEnd = q.c.reservePath(q.peer.owner, q.owner, reqRxEnd+cfg.NICStartup, serResp)
 	}
 
+	fv := q.c.fault(OpRead, q.owner, q.peer.owner, rxEnd)
+	deliverAt := rxEnd + fv.delay
+
 	q.owner.msgsTx++
 	q.owner.bytesRx += int64(len(dst))
 	q.peer.owner.bytesTx += int64(len(dst))
-	q.c.trace(OpRead, q.owner, q.peer.owner, len(dst), k.Now(), rxEnd)
+	disp := Delivered
+	if fv.drop {
+		disp = Dropped
+	}
+	q.c.trace(OpRead, q.owner, q.peer.owner, len(dst), k.Now(), deliverAt, disp)
 
+	// A dropped READ loses the response, and with it the completion: the
+	// caller must recover with a timed wait and reissue.
+	if fv.drop {
+		return
+	}
 	var staged []byte
 	k.At(respStart, func() {
 		staged = make([]byte, len(dst))
 		copy(staged, src.slice(len(dst)))
 	})
 	n := len(dst)
-	k.At(rxEnd, func() {
+	k.At(deliverAt, func() {
 		copy(dst, staged)
 		if signaled {
 			q.scq.push(Completion{ID: id, Op: OpRead, Bytes: n})
@@ -371,6 +434,16 @@ func (q *QP) FetchAdd(p *sim.Proc, dst Addr, delta uint64) uint64 {
 	hop := cfg.Propagation + cfg.SwitchDelay
 	arrive := k.Now() + cfg.NICStartup + ser + hop // control lane
 
+	fv := q.c.fault(OpFetchAdd, q.owner, q.peer.owner, arrive)
+	if fv.dropCompletion {
+		// One endpoint is crashed: the atomic never executes. Model the
+		// QP error completion as a fixed stall returning zero.
+		q.c.trace(OpFetchAdd, q.owner, q.peer.owner, 8, k.Now(), k.Now()+crashAtomicPenalty, Dropped)
+		p.Sleep(crashAtomicPenalty)
+		return 0
+	}
+	arrive += fv.delay
+
 	// Serialize concurrent atomics at the responder NIC.
 	execStart := arrive
 	if q.peer.owner.atomicFreeAt > execStart {
@@ -381,9 +454,14 @@ func (q *QP) FetchAdd(p *sim.Proc, dst Addr, delta uint64) uint64 {
 	q.peer.owner.atomicsRx++
 
 	arriveResp := execEnd + ser + hop // control lane
+	if fv.drop {
+		// "Dropped" atomics are transport retries: the op executes exactly
+		// once, the caller just pays an extra round trip for the redo.
+		arriveResp += ser + hop + ser + hop
+	}
 	q.owner.msgsTx++
 
-	q.c.trace(OpFetchAdd, q.owner, q.peer.owner, 8, k.Now(), execEnd)
+	q.c.trace(OpFetchAdd, q.owner, q.peer.owner, 8, k.Now(), execEnd, Delivered)
 	var old uint64
 	k.At(execEnd, func() {
 		old = le64(b)
@@ -411,6 +489,16 @@ func (q *QP) CompareSwap(p *sim.Proc, dst Addr, expect, swap uint64) uint64 {
 	ser := cfg.serialization(atomicBytes)
 	hop := cfg.Propagation + cfg.SwitchDelay
 	arrive := k.Now() + cfg.NICStartup + ser + hop // control lane
+
+	fv := q.c.fault(OpCompareSwap, q.owner, q.peer.owner, arrive)
+	if fv.dropCompletion {
+		// Crashed endpoint: see FetchAdd.
+		q.c.trace(OpCompareSwap, q.owner, q.peer.owner, 8, k.Now(), k.Now()+crashAtomicPenalty, Dropped)
+		p.Sleep(crashAtomicPenalty)
+		return 0
+	}
+	arrive += fv.delay
+
 	execStart := arrive
 	if q.peer.owner.atomicFreeAt > execStart {
 		execStart = q.peer.owner.atomicFreeAt
@@ -419,9 +507,12 @@ func (q *QP) CompareSwap(p *sim.Proc, dst Addr, expect, swap uint64) uint64 {
 	q.peer.owner.atomicFreeAt = execEnd
 	q.peer.owner.atomicsRx++
 	arriveResp := execEnd + ser + hop // control lane
+	if fv.drop {
+		arriveResp += ser + hop + ser + hop // transport retry, see FetchAdd
+	}
 	q.owner.msgsTx++
 
-	q.c.trace(OpCompareSwap, q.owner, q.peer.owner, 8, k.Now(), execEnd)
+	q.c.trace(OpCompareSwap, q.owner, q.peer.owner, 8, k.Now(), execEnd, Delivered)
 	var old uint64
 	k.At(execEnd, func() {
 		old = le64(b)
@@ -465,10 +556,29 @@ func (q *QP) Send(p *sim.Proc, src []byte, signaled bool, id uint64) {
 	}
 	_, txEnd, rxEnd := q.c.reservePath(q.owner, q.peer.owner, k.Now()+startup, ser)
 
+	fv := q.c.fault(OpSend, q.owner, q.peer.owner, rxEnd)
+	deliverAt := rxEnd + fv.delay
+	if fv.drop && !fv.dropCompletion {
+		// RC queue pairs are hardware-reliable: a lost SEND packet is
+		// retransmitted by the NIC and surfaces as extra latency, not as
+		// message loss. Only UD multicast (MulticastGroup.Send) and
+		// crashed endpoints genuinely lose SENDs.
+		deliverAt += ser + 2*(cfg.Propagation+cfg.SwitchDelay)
+		fv.drop = false
+	}
+	// RC SENDs arrive in posting order (see the WRITE ordering clamp).
+	if !fv.drop && deliverAt <= q.lastArrive {
+		deliverAt = q.lastArrive + 1
+	}
+
 	q.owner.bytesTx += int64(len(src))
 	q.owner.msgsTx++
 	q.peer.owner.bytesRx += int64(len(src))
-	q.c.trace(OpSend, q.owner, q.peer.owner, len(src), k.Now(), rxEnd)
+	disp := Delivered
+	if fv.drop {
+		disp = Dropped
+	}
+	q.c.trace(OpSend, q.owner, q.peer.owner, len(src), k.Now(), deliverAt, disp)
 
 	var staged []byte
 	k.At(txEnd, func() {
@@ -485,7 +595,7 @@ func (q *QP) Send(p *sim.Proc, src []byte, signaled bool, id uint64) {
 			copy(staged[:n], src[:n])
 		}
 	})
-	k.At(rxEnd, func() {
+	deliver := func() {
 		peer := q.peer
 		if len(peer.recvq) > 0 {
 			wr := peer.recvq[0]
@@ -495,10 +605,22 @@ func (q *QP) Send(p *sim.Proc, src []byte, signaled bool, id uint64) {
 		} else {
 			peer.arrived = append(peer.arrived, arrival{data: staged, id: id})
 		}
-	})
-	if signaled {
+	}
+	if !fv.drop {
+		k.At(deliverAt, deliver)
+		q.lastArrive = deliverAt
+		if fv.duplicate {
+			dupAt := deliverAt + q.c.cfg.Faults.dupDelay()
+			q.c.trace(OpSend, q.owner, q.peer.owner, len(src), k.Now(), dupAt, Injected)
+			k.At(dupAt, deliver)
+			q.lastArrive = dupAt
+		}
+	}
+	if signaled && !fv.dropCompletion {
+		// Like WRITE: a probabilistically dropped SEND still completes
+		// locally; only crashed endpoints go silent.
 		n := len(src)
-		ackAt := rxEnd + cfg.Propagation + cfg.SwitchDelay + cfg.CompletionDelay
+		ackAt := deliverAt + cfg.Propagation + cfg.SwitchDelay + cfg.CompletionDelay
 		k.At(ackAt, func() {
 			q.scq.push(Completion{ID: id, Op: OpSend, Bytes: n})
 		})

@@ -10,7 +10,35 @@ import (
 // Tracing: an optional hook observing every verb the fabric executes,
 // with a bundled recorder that renders op logs and per-pair traffic
 // summaries. Used by cmd/dfiflow -trace and by tests that assert on
-// wire-level behaviour.
+// wire-level behaviour. With a FaultPlan installed, traced ops carry a
+// Disposition so loss and injected duplicates are visible to tooling.
+
+// Disposition classifies how the fabric handled a traced operation.
+type Disposition uint8
+
+// Dispositions.
+const (
+	// Delivered is the healthy outcome: the op reached its destination.
+	Delivered Disposition = iota
+	// Dropped means the fault plan discarded the op's remote effect
+	// (probabilistic drop, link flap, or a crashed endpoint).
+	Dropped
+	// Injected marks a duplicate delivery fabricated by the fault plan;
+	// the original op was traced separately as Delivered.
+	Injected
+)
+
+func (d Disposition) String() string {
+	switch d {
+	case Delivered:
+		return "delivered"
+	case Dropped:
+		return "DROPPED"
+	case Injected:
+		return "injected"
+	}
+	return "unknown"
+}
 
 // TraceOp is one observed verb execution.
 type TraceOp struct {
@@ -20,6 +48,9 @@ type TraceOp struct {
 	Bytes   int
 	Posted  time.Duration // when the work request was posted
 	Arrived time.Duration // when it was delivered / executed remotely
+	// Disposition reports the fate of the op under the fault plan
+	// (Delivered when fault-free).
+	Disposition Disposition
 }
 
 // Tracer observes fabric operations. Implementations must not block (they
@@ -32,13 +63,13 @@ type Tracer interface {
 func (c *Cluster) SetTracer(t Tracer) { c.tracer = t }
 
 // trace reports an op to the installed tracer, if any.
-func (c *Cluster) trace(kind OpKind, from, to *Node, bytes int, posted, arrived time.Duration) {
+func (c *Cluster) trace(kind OpKind, from, to *Node, bytes int, posted, arrived time.Duration, disp Disposition) {
 	if c.tracer == nil {
 		return
 	}
 	c.tracer.Trace(TraceOp{
 		Kind: kind, From: from.id, To: to.id, Bytes: bytes,
-		Posted: posted, Arrived: arrived,
+		Posted: posted, Arrived: arrived, Disposition: disp,
 	})
 }
 
@@ -49,10 +80,18 @@ type Recorder struct {
 	// keep counting past it.
 	Cap int
 
-	total      int
-	totalBytes int64
-	byKind     map[OpKind]int
-	byPair     map[[2]int]int64 // bytes by (from, to)
+	// WireOverheadBytes, when set (normally from Config.WireOverheadBytes),
+	// lets Summary additionally report on-the-wire volume including
+	// per-message framing overhead.
+	WireOverheadBytes int
+
+	total        int
+	messageBytes int64 // message bytes: tuple payload plus protocol footers/headers
+	dropped      int
+	droppedBytes int64
+	injected     int
+	byKind       map[OpKind]int
+	byPair       map[[2]int]int64 // bytes by (from, to)
 }
 
 // NewRecorder returns an empty recorder retaining at most cap ops.
@@ -63,9 +102,16 @@ func NewRecorder(cap int) *Recorder {
 // Trace implements Tracer.
 func (r *Recorder) Trace(op TraceOp) {
 	r.total++
-	r.totalBytes += int64(op.Bytes)
+	r.messageBytes += int64(op.Bytes)
 	r.byKind[op.Kind]++
 	r.byPair[[2]int{op.From, op.To}] += int64(op.Bytes)
+	switch op.Disposition {
+	case Dropped:
+		r.dropped++
+		r.droppedBytes += int64(op.Bytes)
+	case Injected:
+		r.injected++
+	}
 	if r.Cap == 0 || len(r.Ops) < r.Cap {
 		r.Ops = append(r.Ops, op)
 	}
@@ -74,10 +120,33 @@ func (r *Recorder) Trace(op TraceOp) {
 // Total returns the number of traced operations.
 func (r *Recorder) Total() int { return r.total }
 
-// Summary renders aggregate counters: ops by kind and the top traffic
-// pairs.
+// Dropped returns the number of traced operations the fault plan
+// discarded.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// Injected returns the number of duplicate deliveries the fault plan
+// fabricated.
+func (r *Recorder) Injected() int { return r.injected }
+
+// MessageBytes returns the cumulative message bytes traced. This counts
+// everything a message carries above the wire framing — tuple payload
+// *and* protocol metadata (segment footers, credit/NACK control messages)
+// — so it over-reports pure tuple payload; flow-level payload accounting
+// lives in core.SourceStats.PayloadBytes.
+func (r *Recorder) MessageBytes() int64 { return r.messageBytes }
+
+// Summary renders aggregate counters: ops by kind, loss under the fault
+// plan, and the top traffic pairs.
 func (r *Recorder) Summary(w io.Writer, topPairs int) {
-	fmt.Fprintf(w, "traced %d operations, %d payload bytes\n", r.total, r.totalBytes)
+	fmt.Fprintf(w, "traced %d operations, %d message bytes (payload + protocol metadata)\n", r.total, r.messageBytes)
+	if r.WireOverheadBytes > 0 {
+		wire := r.messageBytes + int64(r.total)*int64(r.WireOverheadBytes)
+		fmt.Fprintf(w, "  ≈%d wire bytes incl. %d B/message framing overhead\n", wire, r.WireOverheadBytes)
+	}
+	if r.dropped > 0 || r.injected > 0 {
+		fmt.Fprintf(w, "  faults: %d dropped (%d bytes), %d duplicate deliveries injected\n",
+			r.dropped, r.droppedBytes, r.injected)
+	}
 	kinds := make([]OpKind, 0, len(r.byKind))
 	for k := range r.byKind {
 		kinds = append(kinds, k)
@@ -109,8 +178,12 @@ func (r *Recorder) Summary(w io.Writer, topPairs int) {
 // Log renders the retained op log, one line per operation.
 func (r *Recorder) Log(w io.Writer) {
 	for _, op := range r.Ops {
-		fmt.Fprintf(w, "%-12v %-10s node%d → node%d  %6d B  (delivered %v)\n",
-			op.Posted, op.Kind, op.From, op.To, op.Bytes, op.Arrived)
+		mark := ""
+		if op.Disposition != Delivered {
+			mark = "  [" + op.Disposition.String() + "]"
+		}
+		fmt.Fprintf(w, "%-12v %-10s node%d → node%d  %6d B  (delivered %v)%s\n",
+			op.Posted, op.Kind, op.From, op.To, op.Bytes, op.Arrived, mark)
 	}
 	if r.total > len(r.Ops) {
 		fmt.Fprintf(w, "… %d further operations (log capped)\n", r.total-len(r.Ops))
