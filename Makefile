@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check
+.PHONY: all build vet test race check chaos
 
 all: check
 
@@ -17,5 +17,18 @@ test:
 # Full suite under the race detector (CI entry point).
 race:
 	$(GO) test -race ./...
+
+# Fault-injection matrix: the chaos, crash, lifecycle/lease/eviction and
+# registry-failover suites under the race detector, swept over several
+# deterministic seeds (DFI_CHAOS_SEED is read by the core test env;
+# -count=1 defeats caching so every seed really runs).
+CHAOS_SEEDS ?= 11 1 7 42
+chaos:
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "== chaos seed $$seed =="; \
+		DFI_CHAOS_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'Chaos|Crash|Lifecycle|Lease|Evict|Replicated|Remove|Promise|Accept|Ballot' \
+			./internal/core/ ./internal/registry/ ./internal/consensus/... || exit 1; \
+	done
 
 check: build vet race

@@ -11,9 +11,17 @@
 //	dfiflow -type shuffle -latency -tuple 64 -mb 1
 //	dfiflow -faults drop-write=0.01,delay=1us,jitter=3us -retransmit 50us -mb 4
 //	dfiflow -faults crash=1@500us -retransmit 40us -srctimeout 300us -mb 1
+//	dfiflow -lease 100us -faults crash=5@500us -sources 4 -targets 4 -mb 2
+//	dfiflow -lease 100us -evict 1@300us -targets 4 -mb 2
+//	dfiflow -replicas 3 -faults reg-crash-master=5us,reg-drop=0.1 -mb 1
+//
+// The process exits non-zero when any endpoint reports ErrFlowBroken
+// (a flow that could not be completed or repaired), so fault scenarios
+// are scriptable.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -48,6 +56,9 @@ func main() {
 		faults    = flag.String("faults", "", "fault plan, e.g. drop-write=0.01,delay=1us,jitter=3us,dup=0.05,reorder=0.1,crash=1@500us")
 		retrans   = flag.Duration("retransmit", 0, "enable source-side loss recovery with this stall timeout")
 		srcTime   = flag.Duration("srctimeout", 0, "target-side failure detection: declare a source failed after this silence")
+		lease     = flag.Duration("lease", 0, "lease-based membership: endpoint lease TTL (0 = disabled)")
+		evictSpec = flag.String("evict", "", "administratively evict targets, e.g. 1@300us,2@400us")
+		replicas  = flag.Int("replicas", 0, "replicate the registry over this many consensus replicas (odd, ≥3; 0 = standalone)")
 	)
 	flag.Parse()
 
@@ -70,7 +81,27 @@ func main() {
 		rec = fabric.NewRecorder(*traceOps)
 		cluster.SetTracer(rec)
 	}
-	reg := registry.New(k)
+	var reg *registry.Registry
+	if *replicas > 0 {
+		var err error
+		reg, err = registry.NewReplicated(k, registry.ReplicaConfig{
+			Replicas: *replicas,
+			Faults:   fcfg.Faults,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfiflow: -replicas: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		reg = registry.New(k)
+		reg.UseFaults(fcfg.Faults)
+	}
+
+	evictions, err := parseEvictions(*evictSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfiflow: -evict: %v\n", err)
+		os.Exit(2)
+	}
 
 	sch := schema.MustNew(
 		schema.Column{Name: "key", Type: schema.Int64},
@@ -82,6 +113,7 @@ func main() {
 		SegmentSize:       *segSize,
 		RetransmitTimeout: *retrans,
 		SourceTimeout:     *srcTime,
+		LeaseTTL:          *lease,
 	}}
 	if *latency {
 		spec.Options.Optimization = core.OptimizeLatency
@@ -114,12 +146,34 @@ func main() {
 	srcStats := make([]core.SourceStats, *nSources)
 	tgtStats := make([]core.TargetStats, *nTargets)
 	var end sim.Time
+	// Endpoint errors stop the endpoint but not the run when faults or
+	// evictions were injected; ErrFlowBroken turns into a non-zero exit.
+	injected := *faults != "" || *evictSpec != ""
+	brokenFlow := false
+	epDied := func(kind string, idx int, err error) {
+		if !injected {
+			log.Fatal(err)
+		}
+		if errors.Is(err, core.ErrFlowBroken) {
+			brokenFlow = true
+		}
+		fmt.Printf("%s %d: %v\n", kind, idx, err)
+	}
 
 	k.Spawn("init", func(p *sim.Proc) {
 		if err := core.FlowInit(p, reg, cluster, spec); err != nil {
 			log.Fatal(err)
 		}
 	})
+	for _, ev := range evictions {
+		ev := ev
+		k.Spawn(fmt.Sprintf("evict%d", ev.target), func(p *sim.Proc) {
+			p.Sleep(ev.at)
+			if err := reg.Evict(p, "dfiflow", registry.RoleTarget, ev.target); err != nil {
+				fmt.Printf("evict target %d: %v\n", ev.target, err)
+			}
+		})
+	}
 	for si := 0; si < *nSources; si++ {
 		si := si
 		k.Spawn(fmt.Sprintf("src%d", si), func(p *sim.Proc) {
@@ -133,18 +187,12 @@ func main() {
 				sch.PutInt64(tup, 0, rng.Int63())
 				if err := src.Push(p, tup); err != nil {
 					// Expected under an injected crash: report, stop pushing.
-					if *faults == "" {
-						log.Fatal(err)
-					}
-					fmt.Printf("source %d: push: %v\n", si, err)
+					epDied("source", si, fmt.Errorf("push: %w", err))
 					break
 				}
 			}
 			if err := src.Close(p); err != nil {
-				if *faults == "" {
-					log.Fatal(err)
-				}
-				fmt.Printf("source %d: close: %v\n", si, err)
+				epDied("source", si, fmt.Errorf("close: %w", err))
 			}
 			srcStats[si] = src.Stats()
 		})
@@ -170,6 +218,9 @@ func main() {
 				}
 				if failed := tgt.FailedSources(); len(failed) > 0 {
 					fmt.Printf("target %d: sources declared failed: %v\n", ti, failed)
+				}
+				if tgt.Evicted() {
+					fmt.Printf("target %d: evicted from the flow membership\n", ti)
 				}
 				tgtStats[ti] = tgt.Stats()
 			}
@@ -205,16 +256,55 @@ func main() {
 			fmt.Printf("  target %d: %s\n", ti, s)
 		}
 	}
+	if *replicas > 0 {
+		fmt.Printf("registry: %d replicas, master=%d ballot=%d elections=%d\n",
+			reg.Replicas(), reg.Master(), reg.Ballot(), reg.Elections())
+	}
 	if rec != nil {
 		fmt.Println()
 		rec.Log(os.Stdout)
 		rec.Summary(os.Stdout, 5)
 	}
+	if brokenFlow {
+		os.Exit(1)
+	}
+}
+
+// eviction is one parsed -evict entry: evict the target slot at the
+// virtual time.
+type eviction struct {
+	target int
+	at     time.Duration
+}
+
+// parseEvictions parses the -evict flag: comma-separated TARGET@TIME.
+func parseEvictions(spec string) ([]eviction, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []eviction
+	for _, field := range strings.Split(spec, ",") {
+		idx, at, ok := strings.Cut(strings.TrimSpace(field), "@")
+		if !ok {
+			return nil, fmt.Errorf("%q: want TARGET@TIME", field)
+		}
+		target, err := strconv.Atoi(idx)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %v", field, err)
+		}
+		t, err := time.ParseDuration(at)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %v", field, err)
+		}
+		out = append(out, eviction{target: target, at: t})
+	}
+	return out, nil
 }
 
 // parseFaults builds a fabric.FaultPlan from a comma-separated key=value
 // spec. Probabilities: drop-write, drop-read, drop-send, drop-atomic, dup,
-// reorder. Durations: delay, jitter. Crashes: crash=NODE@TIME (repeatable).
+// reorder, reg-drop. Durations: delay, jitter, reg-delay, reg-jitter,
+// reg-crash-master. Crashes: crash=NODE@TIME (repeatable).
 func parseFaults(spec string) (*fabric.FaultPlan, error) {
 	fp := &fabric.FaultPlan{}
 	for _, field := range strings.Split(spec, ",") {
@@ -241,6 +331,14 @@ func parseFaults(spec string) (*fabric.FaultPlan, error) {
 			fp.Delay, err = time.ParseDuration(val)
 		case "jitter":
 			fp.DelayJitter, err = time.ParseDuration(val)
+		case "reg-drop":
+			fp.RegistryDrop, err = prob()
+		case "reg-delay":
+			fp.RegistryDelay, err = time.ParseDuration(val)
+		case "reg-jitter":
+			fp.RegistryJitter, err = time.ParseDuration(val)
+		case "reg-crash-master":
+			fp.RegistryCrashMaster, err = time.ParseDuration(val)
 		case "crash":
 			node, at, ok := strings.Cut(val, "@")
 			if !ok {

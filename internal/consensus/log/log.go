@@ -1,0 +1,87 @@
+// Package log implements the acceptor state machine of a Multi-Paxos
+// replicated log: ballots, promises, and per-slot accepts with ballot
+// fencing. It is the storage half of the protocol that
+// dfi/internal/consensus builds from DFI flows (paper §6.3); here it is
+// factored out as a plain state machine so the flow registry can run
+// replicated over the same log without dragging a data-plane dependency
+// into the control plane (registry → consensus/log only; the driving
+// RPCs are simulated by the caller).
+//
+// The usual Multi-Paxos specialization applies: one master holds a
+// ballot promised by a majority and skips Phase 1 for subsequent slots,
+// running only Accept rounds. A new master (after a crash) runs Promise
+// on a higher ballot first; acceptors that promised it then reject — by
+// ballot comparison — every in-flight Accept of the deposed master,
+// which is the fencing that keeps a stale master from committing.
+package log
+
+// Entry is one accepted log slot: the command (an opaque id chosen by
+// the caller) and the ballot it was accepted under.
+type Entry struct {
+	Ballot uint64
+	Cmd    uint64
+}
+
+// Acceptor is one replica's acceptor state: the highest ballot promised
+// and the highest-ballot entry accepted per slot. The zero ballot is
+// reserved (never promised), so ballots start at 1.
+type Acceptor struct {
+	id       int
+	promised uint64
+	accepted map[int]Entry
+}
+
+// NewAcceptor returns an empty acceptor with the given replica id.
+func NewAcceptor(id int) *Acceptor {
+	return &Acceptor{id: id, accepted: make(map[int]Entry)}
+}
+
+// ID returns the replica id.
+func (a *Acceptor) ID() int { return a.id }
+
+// Promised returns the highest ballot this acceptor has promised.
+func (a *Acceptor) Promised() uint64 { return a.promised }
+
+// Promise asks the acceptor to join ballot b (Phase 1). On success the
+// acceptor will reject every Accept below b, and returns the first slot
+// past its accepted log — the new master must not place fresh commands
+// below it, or it could overwrite choices a prior master already got
+// accepted by a majority.
+func (a *Acceptor) Promise(b uint64) (ok bool, next int) {
+	if b <= a.promised {
+		return false, 0
+	}
+	a.promised = b
+	for slot := range a.accepted {
+		if slot+1 > next {
+			next = slot + 1
+		}
+	}
+	return true, next
+}
+
+// Accept asks the acceptor to accept cmd at slot under ballot b
+// (Phase 2). Fencing: an acceptor that promised a higher ballot rejects,
+// so a deposed master cannot commit. An accept at the promised ballot
+// (or above — the acceptor promotes its promise, per the standard
+// optimization) overwrites any lower-ballot entry at the slot.
+func (a *Acceptor) Accept(b uint64, slot int, cmd uint64) bool {
+	if b < a.promised {
+		return false
+	}
+	a.promised = b
+	if e, ok := a.accepted[slot]; ok && e.Ballot > b {
+		return false
+	}
+	a.accepted[slot] = Entry{Ballot: b, Cmd: cmd}
+	return true
+}
+
+// Accepted returns the entry accepted at slot, if any.
+func (a *Acceptor) Accepted(slot int) (Entry, bool) {
+	e, ok := a.accepted[slot]
+	return e, ok
+}
+
+// Len returns the number of accepted slots.
+func (a *Acceptor) Len() int { return len(a.accepted) }

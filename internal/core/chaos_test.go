@@ -513,7 +513,7 @@ func TestChaosWriterAckNeverPassesConsumption(t *testing.T) {
 	// never overtake what the target actually released — otherwise the
 	// writer would overwrite an unconsumed slot.
 	e := newEnv(t, 2, withFaults(&fabric.FaultPlan{
-		DropWrite:   0.02,
+		DropWrite:   0.06,
 		Delay:       time.Microsecond,
 		DelayJitter: 4 * time.Microsecond,
 		Reorder:     0.3,
@@ -593,6 +593,206 @@ func TestChaosWriterAckNeverPassesConsumption(t *testing.T) {
 	}
 	if w.Retransmits == 0 {
 		t.Error("no retransmissions occurred; loss recovery was not exercised")
+	}
+}
+
+func TestChaosElasticAttachUnderFaults(t *testing.T) {
+	// Sources attach to a *running* elastic flow while WRITE loss and
+	// jitter are active: retransmission must recover the late joiners'
+	// streams exactly like the initial source's, and the sealed flow ends
+	// with every tuple delivered exactly once.
+	rec := fabric.NewRecorder(0)
+	e := newEnv(t, 4, withFaults(&fabric.FaultPlan{
+		DropWrite:   0.05,
+		Delay:       time.Microsecond,
+		DelayJitter: 3 * time.Microsecond,
+	}))
+	e.c.SetTracer(rec)
+	spec := FlowSpec{
+		Name:    "chaos-elastic",
+		Sources: []Endpoint{{Node: e.c.Node(0)}},
+		Targets: []Endpoint{{Node: e.c.Node(3)}},
+		Schema:  kvSchema,
+		Options: Options{
+			Elastic:           true,
+			MaxSources:        3,
+			SegmentSize:       512,
+			SegmentsPerRing:   8,
+			RetransmitTimeout: 50 * time.Microsecond,
+		},
+	}
+	const perSource = 1500
+	got := make(map[int64]bool)
+	e.k.Spawn("init", func(p *sim.Proc) {
+		if err := FlowInit(p, e.reg, e.c, spec); err != nil {
+			t.Error(err)
+		}
+	})
+	push := func(p *sim.Proc, src *Source, base int64) {
+		for i := int64(0); i < perSource; i++ {
+			if err := src.Push(p, mkTuple(base+i, 0)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := src.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}
+	e.k.Spawn("initial-src", func(p *sim.Proc) {
+		src, err := SourceOpen(p, e.reg, spec.Name, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		push(p, src, 0)
+	})
+	for j := 1; j <= 2; j++ {
+		j := j
+		e.k.Spawn(fmt.Sprintf("late-src%d", j), func(p *sim.Proc) {
+			p.Sleep(time.Duration(j) * 40 * time.Microsecond)
+			src, err := AttachSource(p, e.reg, spec.Name, Endpoint{Node: e.c.Node(j)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			push(p, src, int64(j)*perSource)
+		})
+	}
+	e.k.Spawn("sealer", func(p *sim.Proc) {
+		p.Sleep(200 * time.Microsecond)
+		if err := Seal(p, e.reg, spec.Name); err != nil {
+			t.Error(err)
+		}
+	})
+	e.k.Spawn("tgt", func(p *sim.Proc) {
+		tgt, err := TargetOpen(p, e.reg, spec.Name, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			tup, ok := tgt.Consume(p)
+			if !ok {
+				return
+			}
+			k := kvSchema.Int64(tup, 0)
+			if got[k] {
+				t.Errorf("duplicate tuple %d", k)
+			}
+			got[k] = true
+		}
+	})
+	e.run(t)
+	if len(got) != 3*perSource {
+		t.Fatalf("delivered %d unique tuples, want %d", len(got), 3*perSource)
+	}
+	if rec.Dropped() == 0 {
+		t.Fatal("no operations were dropped; the chaos plan did not engage")
+	}
+}
+
+func TestChaosElasticSealRacesSourceCrash(t *testing.T) {
+	// A late-attached source's node crashes right around the Seal. The
+	// sealed flow must not hang waiting on the corpse: SourceTimeout
+	// closes its ring, the slot is reported failed, and the initial
+	// source's complete stream still arrives exactly once.
+	plan := (&fabric.FaultPlan{}).CrashNode(1, 250*time.Microsecond)
+	e := newEnv(t, 3, withFaults(plan))
+	spec := FlowSpec{
+		Name:    "elastic-seal-crash",
+		Sources: []Endpoint{{Node: e.c.Node(0)}},
+		Targets: []Endpoint{{Node: e.c.Node(2)}},
+		Schema:  kvSchema,
+		Options: Options{
+			Elastic:           true,
+			MaxSources:        2,
+			SegmentSize:       256,
+			SegmentsPerRing:   8,
+			SourceTimeout:     200 * time.Microsecond,
+			RetransmitTimeout: 40 * time.Microsecond,
+		},
+	}
+	const perSource = 1500
+	got := make(map[int64]bool)
+	var failed []int
+	var crashedErr error
+	e.k.Spawn("init", func(p *sim.Proc) {
+		if err := FlowInit(p, e.reg, e.c, spec); err != nil {
+			t.Error(err)
+		}
+	})
+	e.k.Spawn("initial-src", func(p *sim.Proc) {
+		src, err := SourceOpen(p, e.reg, spec.Name, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := int64(0); i < perSource; i++ {
+			if err := src.Push(p, mkTuple(i, 2*i)); err != nil {
+				t.Errorf("healthy source push: %v", err)
+				return
+			}
+			p.Sleep(200 * time.Nanosecond)
+		}
+		if err := src.Close(p); err != nil {
+			t.Errorf("healthy source close: %v", err)
+		}
+	})
+	e.k.Spawn("doomed-src", func(p *sim.Proc) {
+		p.Sleep(40 * time.Microsecond)
+		src, err := AttachSource(p, e.reg, spec.Name, Endpoint{Node: e.c.Node(1)})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := int64(0); i < perSource; i++ {
+			if err := src.Push(p, mkTuple(perSource+i, 0)); err != nil {
+				crashedErr = err // node crash: verbs go silent
+				return
+			}
+			p.Sleep(200 * time.Nanosecond)
+		}
+	})
+	e.k.Spawn("sealer", func(p *sim.Proc) {
+		p.Sleep(250 * time.Microsecond) // the same instant the node dies
+		if err := Seal(p, e.reg, spec.Name); err != nil {
+			t.Error(err)
+		}
+	})
+	e.k.Spawn("tgt", func(p *sim.Proc) {
+		tgt, err := TargetOpen(p, e.reg, spec.Name, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			tup, ok := tgt.Consume(p)
+			if !ok {
+				break
+			}
+			k := kvSchema.Int64(tup, 0)
+			if got[k] {
+				t.Errorf("duplicate tuple %d", k)
+			}
+			got[k] = true
+		}
+		failed = tgt.FailedSources()
+	})
+	e.run(t)
+	if crashedErr == nil {
+		t.Fatal("crashed source reported no error")
+	}
+	if !errors.Is(crashedErr, ErrFlowBroken) {
+		t.Fatalf("crashed source error %v, want ErrFlowBroken", crashedErr)
+	}
+	if len(failed) != 1 || failed[0] != 1 {
+		t.Fatalf("failed sources %v, want [1]", failed)
+	}
+	for i := int64(0); i < perSource; i++ {
+		if !got[i] {
+			t.Fatalf("healthy source tuple %d missing", i)
+		}
 	}
 }
 

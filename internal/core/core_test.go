@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -26,9 +28,21 @@ type env struct {
 // their own kernels.
 func newTestRegistry(k *sim.Kernel) *registry.Registry { return registry.New(k) }
 
+// testSeed returns the kernel seed for the suite. DFI_CHAOS_SEED
+// overrides the default so `make chaos` can sweep a seed matrix over the
+// fault-injection tests without recompiling.
+func testSeed() int64 {
+	if s := os.Getenv("DFI_CHAOS_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return 11
+}
+
 func newEnv(t *testing.T, nodes int, mut ...func(*fabric.Config)) *env {
 	t.Helper()
-	k := sim.New(11)
+	k := sim.New(testSeed())
 	k.Deadline = 30 * time.Second
 	k.MaxEvents = 50_000_000
 	cfg := fabric.DefaultConfig()
@@ -473,7 +487,10 @@ func TestDuplicateFlowNameRejected(t *testing.T) {
 		if err := FlowInit(p, e.reg, e.c, spec); err == nil {
 			t.Error("duplicate flow name accepted")
 		}
+		e.reg.Remove(p, "dup")
+		if err := FlowInit(p, e.reg, e.c, spec); err != nil {
+			t.Errorf("re-init after Remove failed: %v", err)
+		}
 	})
 	e.run(t)
-	e.reg.Remove("dup")
 }

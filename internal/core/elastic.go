@@ -71,10 +71,23 @@ func AttachSource(p *sim.Proc, reg *registry.Registry, name string, ep Endpoint)
 	es.cond.Broadcast() // wake targets polling membership
 
 	s := &Source{meta: meta, spec: spec, idx: idx, node: ep.Node}
+	if err := s.acquireSourceLease(p, reg, name); err != nil {
+		return nil, err
+	}
 	for t := range spec.Targets {
-		ti := reg.WaitTarget(p, name, t).(*targetInfo)
+		info, evicted := reg.WaitTargetLive(p, name, t)
+		if evicted {
+			s.writers = append(s.writers, nil)
+			continue
+		}
+		ti := info.(*targetInfo)
 		w := newRingWriter(meta.cluster, s.node, ti, ti.ringOffs[idx], &spec.Options)
+		tidx := t
+		w.evicted = func() bool { return s.mem != nil && s.mem.TargetEvicted(tidx) }
 		s.writers = append(s.writers, w)
+	}
+	if err := s.initMembership(reg, name); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

@@ -201,6 +201,24 @@ type Options struct {
 	// when RetransmitTimeout is set).
 	MaxRetransmits int
 
+	// LeaseTTL enables lease-based membership (control-plane failure
+	// model, see docs/PROTOCOL.md): every endpoint acquires a registry
+	// lease at open and renews it on a background tick (TTL/3). A lease
+	// unrenewed for LeaseTTL moves the endpoint to Suspect, and after a
+	// further SuspectGrace to Evicted, bumping the flow epoch. Sources
+	// re-route an evicted target's key range over the survivors (shuffle/
+	// combiner) or drop the dead leg (replicate); targets close the rings
+	// of evicted sources. Zero (the default) disables leases. Setting
+	// LeaseTTL defaults RetransmitTimeout to LeaseTTL/2 — rerouting
+	// drains the dead writer's unconsumed window from its local ring, so
+	// the resident retransmit window is required. Not supported on
+	// multicast replicate flows (see ROADMAP).
+	LeaseTTL time.Duration
+
+	// SuspectGrace is how long a Suspect endpoint may stay unrenewed
+	// before eviction (default LeaseTTL).
+	SuspectGrace time.Duration
+
 	// PushCost and ConsumeCost are the per-tuple CPU costs charged at the
 	// source and target (defaults 12ns / 10ns; see DESIGN.md §6). AggCost
 	// is the additional per-tuple aggregation cost of combiner flows.
@@ -334,6 +352,22 @@ func (s *FlowSpec) normalize() error {
 	}
 	if o.CreditThreshold == 0 {
 		o.CreditThreshold = o.SegmentsPerRing / 4
+	}
+	if o.LeaseTTL > 0 {
+		if o.Multicast {
+			return errors.New("dfi: leases are not supported on multicast replicate flows")
+		}
+		if o.SuspectGrace <= 0 {
+			o.SuspectGrace = o.LeaseTTL
+		}
+		if o.RetransmitTimeout <= 0 {
+			// Rerouting rides on the recovery machinery: bounded waits to
+			// escape a dead target, and a resident local window to drain
+			// its unconsumed segments from. Half the TTL keeps recovery
+			// probing faster than the control plane detects, so a merely
+			// slow target is retransmitted to before it can be suspected.
+			o.RetransmitTimeout = o.LeaseTTL / 2
+		}
 	}
 	if o.RetransmitTimeout > 0 {
 		if o.MaxRetransmits == 0 {

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dfi/internal/fabric"
+	"dfi/internal/registry"
+	"dfi/internal/schema"
+	"dfi/internal/sim"
+)
+
+// Flow lifecycle: the data-plane half of the control-plane failure model
+// (docs/PROTOCOL.md, "Control-plane failure model"). The registry keeps
+// an epoch-versioned membership record per flow (dfi/internal/registry);
+// this file wires the record into sources and targets:
+//
+//   - endpoints of a flow with Options.LeaseTTL hold registry leases,
+//     renewed by a per-endpoint heartbeat process that exits with the
+//     endpoint (or with its node's crash, letting the lease expire);
+//   - sources cache the membership epoch and, whenever it moves, fold
+//     the new membership in: writers to evicted targets are abandoned,
+//     their unconsumed window harvested from the local ring and
+//     re-pushed over the survivors (rehash for key routing, a
+//     deterministic fold otherwise);
+//   - targets close the rings of evicted sources (so flow end does not
+//     wait on a corpse) and stop consuming when evicted themselves.
+//
+// Epoch checks are plain pointer reads on paths the endpoints poll
+// anyway, so a flow whose membership never changes behaves — event for
+// event — like one with no membership at all.
+
+// heartbeatDivisor sets the lease renewal interval to TTL/3: two renewal
+// losses in a row still keep the lease alive.
+const heartbeatDivisor = 3
+
+// spawnLeaseHeartbeat renews the endpoint's registry lease on a
+// background tick until the endpoint finishes (closed reports true; the
+// lease is then released), its node crashes (the renewals stop and the
+// lease expires toward eviction), or the registry fences the renewal
+// (the endpoint was already evicted). The process self-terminates in
+// every case — the discrete-event kernel only ends its run when no
+// events remain, so an immortal ticker would hang every simulation.
+func spawnLeaseHeartbeat(p *sim.Proc, reg *registry.Registry, node *fabric.Node, flow string, role registry.Role, idx int, ttl time.Duration, closed func() bool) {
+	iv := ttl / heartbeatDivisor
+	if iv <= 0 {
+		iv = ttl
+	}
+	p.Spawn(fmt.Sprintf("lease:%s:%s%d", flow, role, idx), func(hp *sim.Proc) {
+		for {
+			hp.Sleep(iv)
+			if node.Crashed(hp.Now()) {
+				return
+			}
+			if closed() {
+				reg.ReleaseLease(hp, flow, role, idx)
+				return
+			}
+			if err := reg.RenewLease(hp, flow, role, idx); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// acquireSourceLease sets up the lease + heartbeat for a source slot.
+func (s *Source) acquireSourceLease(p *sim.Proc, reg *registry.Registry, name string) error {
+	o := &s.spec.Options
+	if o.LeaseTTL <= 0 {
+		return nil
+	}
+	if err := reg.AcquireLease(p, name, registry.RoleSource, s.idx, o.LeaseTTL, o.SuspectGrace); err != nil {
+		return err
+	}
+	spawnLeaseHeartbeat(p, reg, s.node, name, registry.RoleSource, s.idx, o.LeaseTTL,
+		func() bool { return s.closed })
+	return nil
+}
+
+// initMembership caches the flow's membership record and builds the
+// survivor routing table; called once the writers are connected. Targets
+// already evicted at open (nil writers) start out routed around.
+func (s *Source) initMembership(reg *registry.Registry, name string) error {
+	s.mem = reg.MembershipOf(name)
+	if s.mem == nil {
+		return nil
+	}
+	s.epoch = s.mem.Epoch()
+	s.evictedIdx = make([]bool, len(s.writers))
+	s.alive = s.alive[:0]
+	for i, w := range s.writers {
+		s.evictedIdx[i] = w == nil || s.mem.TargetEvicted(i)
+		if w != nil && w.dead {
+			s.evictedIdx[i] = true
+		}
+		if !s.evictedIdx[i] {
+			s.alive = append(s.alive, i)
+		}
+	}
+	if len(s.alive) == 0 {
+		return fmt.Errorf("%w: every target of flow %q is evicted", ErrFlowBroken, name)
+	}
+	return nil
+}
+
+// remap maps a tuple's declared route onto a live writer: the declared
+// index when its target survives; otherwise the evicted target's key
+// range is rehashed over the survivors (key-routed flows) or folded onto
+// them deterministically (custom routing and PushTo). Every source
+// computes the same remap from the same membership record, so a key
+// keeps hitting one target per epoch.
+func (s *Source) remap(t schema.Tuple, idx int) int {
+	if !s.evictedIdx[idx] {
+		return idx
+	}
+	if s.spec.Routing == nil && s.spec.ShuffleKey >= 0 && t != nil {
+		key := s.spec.Schema.KeyUint64(t, s.spec.ShuffleKey)
+		return s.alive[int(schema.Hash(key)%uint64(len(s.alive)))]
+	}
+	return s.alive[idx%len(s.alive)]
+}
+
+// pendingTuple is one harvested tuple awaiting re-push: the payload (a
+// view into the dead writer's local ring, stable until Free) and the
+// slot it was originally routed to.
+type pendingTuple struct {
+	data []byte
+	from int
+}
+
+// syncEpoch folds control-plane membership changes into the source: it
+// refreshes the survivor table, abandons writers whose targets were
+// evicted, and re-pushes their harvested unconsumed window over the
+// survivors. A no-op (one integer compare) while the epoch is unchanged.
+// Returns ErrFlowBroken when no target survives, or when this source
+// was itself evicted (epoch fencing: its peers have moved on).
+func (s *Source) syncEpoch(p *sim.Proc) error {
+	if s.mem == nil || s.mem.Epoch() == s.epoch {
+		return nil
+	}
+	var pending []pendingTuple
+	for {
+		s.epoch = s.mem.Epoch()
+		if s.mem.SourceEvicted(s.idx) {
+			return fmt.Errorf("%w: source %d was evicted from flow %q (epoch %d)",
+				ErrFlowBroken, s.idx, s.spec.Name, s.epoch)
+		}
+		// Survivor table first: harvested tuples re-route over the
+		// post-eviction membership.
+		s.alive = s.alive[:0]
+		for i, w := range s.writers {
+			s.evictedIdx[i] = w == nil || s.mem.TargetEvicted(i)
+			if !s.evictedIdx[i] {
+				s.alive = append(s.alive, i)
+			}
+		}
+		if len(s.alive) == 0 {
+			return fmt.Errorf("%w: every target of flow %q evicted (epoch %d)", ErrFlowBroken, s.spec.Name, s.epoch)
+		}
+		// Harvest writers that died this epoch. Replicate legs are
+		// dropped rather than drained: every survivor already receives
+		// its own copy of the stream.
+		for i, w := range s.writers {
+			if w == nil || w.dead || !s.evictedIdx[i] {
+				continue
+			}
+			for _, data := range w.abandon(s.spec.Schema.TupleSize()) {
+				pending = append(pending, pendingTuple{data: data, from: i})
+			}
+		}
+		if s.spec.FlowType() == ReplicateFlow {
+			pending = nil
+		}
+		for len(pending) > 0 {
+			err := s.repush(p, schema.Tuple(pending[0].data), pending[0].from)
+			if errors.Is(err, errEvicted) {
+				break // another eviction mid-drain: re-sync, keep the tail
+			}
+			if err != nil {
+				return err
+			}
+			pending = pending[1:]
+			s.rerouted++
+		}
+		if len(pending) == 0 && s.mem.Epoch() == s.epoch {
+			return nil
+		}
+	}
+}
+
+// repush routes one harvested tuple to a surviving writer. During Close,
+// survivors that already sent FLOW_END cannot take tuples anymore; the
+// re-push then folds onto any still-open survivor (phase ordering makes
+// this rare: end markers only go out once every live writer drained).
+func (s *Source) repush(p *sim.Proc, t schema.Tuple, from int) error {
+	w := s.writers[s.remap(t, from)]
+	if w.closed || w.dead {
+		w = nil
+		for _, i := range s.alive {
+			if cw := s.writers[i]; !cw.closed && !cw.dead {
+				w = cw
+				break
+			}
+		}
+		if w == nil {
+			return fmt.Errorf("%w: no open target left for rerouted tuples of flow %q", ErrFlowBroken, s.spec.Name)
+		}
+	}
+	return s.pushWriter(p, w, t)
+}
+
+// Rerouted returns the number of tuples re-pushed to surviving targets
+// after evictions.
+func (s *Source) Rerouted() uint64 { return s.rerouted }
+
+// Epoch returns the last membership epoch the source has folded in.
+func (s *Source) Epoch() uint64 { return s.epoch }
+
+// --- Target side ---------------------------------------------------
+
+// acquireTargetLease sets up the lease + heartbeat for a target slot.
+func (t *Target) acquireTargetLease(p *sim.Proc, reg *registry.Registry, name string) error {
+	o := &t.spec.Options
+	if o.LeaseTTL <= 0 {
+		return nil
+	}
+	if err := reg.AcquireLease(p, name, registry.RoleTarget, t.idx, o.LeaseTTL, o.SuspectGrace); err != nil {
+		return err
+	}
+	spawnLeaseHeartbeat(p, reg, t.node, name, registry.RoleTarget, t.idx, o.LeaseTTL,
+		func() bool { return t.done || t.evicted })
+	return nil
+}
+
+// syncMembership folds membership changes into the target's ring state:
+// rings of evicted sources are closed (reported like SourceTimeout
+// failures, so FailedSources covers both detectors), and a target that
+// was itself evicted stops consuming. Reports whether the target is
+// evicted. A no-op (one integer compare) while the epoch is unchanged.
+func (t *Target) syncMembership() bool {
+	if t.mem == nil {
+		return false
+	}
+	e := t.mem.Epoch()
+	if e == t.epoch {
+		return t.evicted
+	}
+	t.epoch = e
+	if t.mem.TargetEvicted(t.idx) {
+		t.evicted = true
+		return true
+	}
+	for i, r := range t.readers {
+		if !r.closed && t.mem.SourceEvicted(i) {
+			r.closed = true
+			r.failed = true
+		}
+	}
+	return false
+}
+
+// Evicted reports whether the control plane evicted this target from the
+// flow membership (its key range has been rehashed over the survivors).
+func (t *Target) Evicted() bool { return t.evicted }

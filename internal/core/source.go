@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -25,8 +26,21 @@ type Source struct {
 	idx  int
 	node *fabric.Node
 
-	writers []*ringWriter // one per target (nil entries never occur)
-	mc      *mcSource     // multicast replicate transport, if enabled
+	// writers holds one ring writer per target. An entry is nil only
+	// when its target was already evicted from the flow membership at
+	// open time; such slots are routed around from the start.
+	writers []*ringWriter
+	mc      *mcSource // multicast replicate transport, if enabled
+
+	// Control-plane membership (see lifecycle.go). mem is the flow's
+	// epoch-versioned record (nil for multicast transports); epoch is the
+	// last value folded in; alive/evictedIdx are the survivor routing
+	// table of that epoch.
+	mem        *registry.Membership
+	epoch      uint64
+	alive      []int
+	evictedIdx []bool
+	rerouted   uint64
 
 	pendingCharge int
 	pushed        uint64
@@ -52,10 +66,23 @@ func SourceOpen(p *sim.Proc, reg *registry.Registry, name string, sourceIdx int)
 		s.mc = mc
 		return s, nil
 	}
+	if err := s.acquireSourceLease(p, reg, name); err != nil {
+		return nil, err
+	}
 	for t := range spec.Targets {
-		ti := reg.WaitTarget(p, name, t).(*targetInfo)
+		info, evicted := reg.WaitTargetLive(p, name, t)
+		if evicted {
+			s.writers = append(s.writers, nil)
+			continue
+		}
+		ti := info.(*targetInfo)
 		w := newRingWriter(meta.cluster, s.node, ti, ti.ringOffs[sourceIdx], &spec.Options)
+		tidx := t
+		w.evicted = func() bool { return s.mem != nil && s.mem.TargetEvicted(tidx) }
 		s.writers = append(s.writers, w)
+	}
+	if err := s.initMembership(reg, name); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -106,12 +133,7 @@ func (s *Source) Push(p *sim.Proc, t schema.Tuple) error {
 		if s.mc != nil {
 			return s.mc.push(p, t)
 		}
-		for _, w := range s.writers {
-			if err := s.pushWriter(p, w, t); err != nil {
-				return err
-			}
-		}
-		return nil
+		return s.pushReplicate(p, t)
 	default:
 		if s.spec.Routing == nil && s.spec.ShuffleKey < 0 {
 			// normalize allows this configuration for PushTo-only flows;
@@ -122,13 +144,54 @@ func (s *Source) Push(p *sim.Proc, t schema.Tuple) error {
 	}
 }
 
+// pushReplicate copies one tuple to every live ring-replicate leg. A leg
+// whose target gets evicted mid-push is dropped — the survivors carry
+// their own complete copies — and the dead writer's buffered window is
+// discarded by syncEpoch rather than drained.
+func (s *Source) pushReplicate(p *sim.Proc, t schema.Tuple) error {
+	if err := s.syncEpoch(p); err != nil {
+		return err
+	}
+	for _, w := range s.writers {
+		if w == nil || w.dead {
+			continue
+		}
+		err := s.pushWriter(p, w, t)
+		if errors.Is(err, errEvicted) {
+			if err := s.syncEpoch(p); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // PushTo sends one tuple directly to the target with the given index,
-// bypassing key routing (paper §4.2.1, routing option 3).
+// bypassing key routing (paper §4.2.1, routing option 3). When the named
+// target has been evicted from the flow membership the tuple is remapped
+// onto a survivor (see lifecycle.go).
 func (s *Source) PushTo(p *sim.Proc, t schema.Tuple, target int) error {
 	if target < 0 || target >= len(s.writers) {
 		return fmt.Errorf("dfi: target %d out of range (%d targets)", target, len(s.writers))
 	}
-	return s.pushWriter(p, s.writers[target], t)
+	if s.mem == nil {
+		return s.pushWriter(p, s.writers[target], t)
+	}
+	for {
+		if err := s.syncEpoch(p); err != nil {
+			return err
+		}
+		err := s.pushWriter(p, s.writers[s.remap(t, target)], t)
+		if !errors.Is(err, errEvicted) {
+			return err
+		}
+		// The routed target died mid-push (the tuple was not appended):
+		// fold the eviction in and re-route.
+	}
 }
 
 func (s *Source) pushWriter(p *sim.Proc, w *ringWriter, t schema.Tuple) error {
@@ -144,15 +207,31 @@ func (s *Source) pushWriter(p *sim.Proc, w *ringWriter, t schema.Tuple) error {
 // unreachable and bounded recovery gave up.
 func (s *Source) Flush(p *sim.Proc) error {
 	s.settleCharge(p)
-	for _, w := range s.writers {
-		if err := w.flush(p, false); err != nil {
-			return err
-		}
-	}
 	if s.mc != nil {
 		return s.mc.flush(p)
 	}
-	return nil
+	for {
+		if err := s.syncEpoch(p); err != nil {
+			return err
+		}
+		again := false
+		for _, w := range s.writers {
+			if w == nil || w.dead {
+				continue
+			}
+			err := w.flush(p, false)
+			if errors.Is(err, errEvicted) {
+				again = true
+				break
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if !again {
+			return nil
+		}
+	}
 }
 
 // Close flushes remaining tuples and propagates the end-of-flow marker to
@@ -166,16 +245,97 @@ func (s *Source) Close(p *sim.Proc) error {
 	}
 	s.settleCharge(p)
 	var firstErr error
-	for _, w := range s.writers {
-		// Close every writer even after an error: surviving targets still
-		// deserve their end-of-flow marker.
-		if err := w.close(p); err != nil && firstErr == nil {
+	record := func(err error) {
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	if s.mc != nil {
-		if err := s.mc.close(p); err != nil && firstErr == nil {
-			firstErr = err
+		record(s.mc.close(p))
+		s.closed = true
+		return firstErr
+	}
+	if s.mem == nil || (s.epoch == 0 && s.mem.Epoch() == 0 && s.spec.Options.LeaseTTL == 0) {
+		// Quiescent control plane: the original per-writer close order,
+		// kept so flows without leases or evictions time exactly as
+		// before. An administrative eviction racing this close drops to
+		// the phased path below.
+		evictedMid := false
+		for _, w := range s.writers {
+			err := w.close(p)
+			if errors.Is(err, errEvicted) {
+				evictedMid = true
+				break
+			}
+			// Close every writer even after an error: surviving targets
+			// still deserve their end-of-flow marker.
+			record(err)
+		}
+		if !evictedMid {
+			s.closed = true
+			return firstErr
+		}
+	}
+	// Phased close under a live membership. Phase 1 drains and confirms
+	// every live writer, folding in evictions (and re-routing their
+	// harvest) until a round completes with the membership unchanged —
+	// only then is no tuple left that an eviction could strand.
+	maxRounds := len(s.writers) + 2
+	for round := 0; ; round++ {
+		if err := s.syncEpoch(p); err != nil {
+			record(err)
+			s.closed = true
+			return firstErr
+		}
+		again := false
+		for _, w := range s.writers {
+			if w == nil || w.dead || w.closed {
+				continue
+			}
+			err := w.finish(p)
+			if errors.Is(err, errEvicted) {
+				again = true
+				break
+			}
+			if err != nil {
+				// This leg is broken beyond recovery; do not stall on it
+				// again in phase 2.
+				record(err)
+				w.dead = true
+			}
+		}
+		if !again {
+			break
+		}
+		if round >= maxRounds {
+			record(fmt.Errorf("%w: close did not stabilize after %d membership changes", ErrFlowBroken, round))
+			break
+		}
+	}
+	// Phase 2: the end-of-flow markers.
+	for round := 0; ; round++ {
+		if err := s.syncEpoch(p); err != nil {
+			record(err)
+			break
+		}
+		again := false
+		for _, w := range s.writers {
+			if w == nil || w.dead || w.closed {
+				continue
+			}
+			err := w.end(p)
+			if errors.Is(err, errEvicted) {
+				again = true // fold in on the next round; nothing to drain here
+				continue
+			}
+			record(err)
+		}
+		if !again {
+			break
+		}
+		if round >= maxRounds {
+			record(fmt.Errorf("%w: close did not stabilize after %d membership changes", ErrFlowBroken, round))
+			break
 		}
 	}
 	s.closed = true
@@ -189,6 +349,9 @@ func (s *Source) Pushed() uint64 { return s.pushed }
 // ring space and on local segment reuse (diagnostics).
 func (s *Source) Stalls() (remote, local sim.Time) {
 	for _, w := range s.writers {
+		if w == nil {
+			continue
+		}
 		remote += w.StallRemote
 		local += w.StallLocal
 	}
@@ -199,6 +362,9 @@ func (s *Source) Stalls() (remote, local sim.Time) {
 // found the probed slot unconsumed, and total randomized backoff time.
 func (s *Source) ProbeStats() (probes, misses int, backoff sim.Time) {
 	for _, w := range s.writers {
+		if w == nil {
+			continue
+		}
 		probes += w.Probes
 		misses += w.ProbeMisses
 		backoff += w.BackoffTime
@@ -209,6 +375,9 @@ func (s *Source) ProbeStats() (probes, misses int, backoff sim.Time) {
 // Free deregisters the source's buffers (after Close).
 func (s *Source) Free() {
 	for _, w := range s.writers {
+		if w == nil {
+			continue
+		}
 		w.free()
 	}
 	if s.mc != nil {

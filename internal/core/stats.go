@@ -30,19 +30,34 @@ type SourceStats struct {
 	// Backoff is the cumulative randomized backoff while polling a full
 	// ring.
 	Backoff time.Duration
+	// Retransmits counts segments rewritten by loss recovery.
+	Retransmits int
+	// Rerouted counts tuples re-pushed to surviving targets after a
+	// membership eviction (see lifecycle.go).
+	Rerouted uint64
 }
 
 func (s SourceStats) String() string {
-	return fmt.Sprintf("pushed=%d segments=%d bytes=%d stallRemote=%v stallLocal=%v probes=%d misses=%d backoff=%v",
+	out := fmt.Sprintf("pushed=%d segments=%d bytes=%d stallRemote=%v stallLocal=%v probes=%d misses=%d backoff=%v",
 		s.TuplesPushed, s.SegmentsWritten, s.PayloadBytes, s.StallRemote, s.StallLocal,
 		s.FooterProbes, s.ProbeMisses, s.Backoff)
+	if s.Retransmits > 0 {
+		out += fmt.Sprintf(" retransmits=%d", s.Retransmits)
+	}
+	if s.Rerouted > 0 {
+		out += fmt.Sprintf(" rerouted=%d", s.Rerouted)
+	}
+	return out
 }
 
 // Stats returns the source's counters. Multicast replicate sources report
 // segment counts from their multicast transport.
 func (s *Source) Stats() SourceStats {
-	st := SourceStats{TuplesPushed: s.pushed}
+	st := SourceStats{TuplesPushed: s.pushed, Rerouted: s.rerouted}
 	for _, w := range s.writers {
+		if w == nil {
+			continue
+		}
 		st.SegmentsWritten += w.written
 		st.PayloadBytes += w.payloadBytes
 		st.StallRemote += w.StallRemote
@@ -50,6 +65,7 @@ func (s *Source) Stats() SourceStats {
 		st.FooterProbes += w.Probes
 		st.ProbeMisses += w.ProbeMisses
 		st.Backoff += w.BackoffTime
+		st.Retransmits += w.Retransmits
 	}
 	if s.mc != nil {
 		st.SegmentsWritten += s.mc.sentSegs

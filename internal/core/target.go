@@ -40,6 +40,12 @@ type Target struct {
 
 	mc *mcTarget // multicast replicate transport, if enabled
 
+	// Control-plane membership (see lifecycle.go): the flow's record,
+	// the last epoch folded in, and whether this target was evicted.
+	mem     *registry.Membership
+	epoch   uint64
+	evicted bool
+
 	consumed uint64
 	done     bool
 }
@@ -97,6 +103,13 @@ func TargetOpen(p *sim.Proc, reg *registry.Registry, name string, targetIdx int)
 		off := i * t.geom.ringLen()
 		info.ringOffs = append(info.ringOffs, off)
 		t.readers = append(t.readers, &ringReader{ringOff: off})
+	}
+	t.mem = reg.MembershipOf(name)
+	if t.mem != nil {
+		t.epoch = t.mem.Epoch()
+	}
+	if err := t.acquireTargetLease(p, reg, name); err != nil {
+		return nil, err
 	}
 	if err := reg.PublishTarget(p, name, targetIdx, info); err != nil {
 		return nil, err
@@ -178,6 +191,12 @@ func (t *Target) nextSegment(p *sim.Proc) bool {
 		t.active = nil
 	}
 	for {
+		if t.syncMembership() {
+			// Evicted from the membership: the survivors have taken over
+			// this target's key range; stop consuming.
+			t.done = true
+			return false
+		}
 		seq := t.mr.CommitSeq()
 		if t.spec.Options.Elastic {
 			loaded, done := t.elasticScan(p)

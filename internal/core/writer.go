@@ -2,12 +2,20 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
 	"dfi/internal/fabric"
 	"dfi/internal/sim"
 )
+
+// errEvicted reports that the writer's target was evicted from the flow
+// membership while the writer was working or blocked. It is an internal
+// control signal — the source catches it, re-routes the writer's
+// unconsumed window over the survivors, and continues — and is never
+// returned to applications.
+var errEvicted = errors.New("dfi: target evicted")
 
 // Completion-ID tag bits distinguishing the writer's work requests on its
 // send CQ.
@@ -66,6 +74,14 @@ type ringWriter struct {
 
 	closed bool
 
+	// Control plane. evicted (set by the source when the flow has a
+	// membership record) reports whether this writer's target has been
+	// evicted; every bounded wait polls it so eviction wins over the
+	// slower ErrFlowBroken give-up. dead latches the eviction once the
+	// source has harvested the writer's unconsumed window.
+	evicted func() bool
+	dead    bool
+
 	// Diagnostics: virtual time spent blocked, by cause.
 	StallRemote sim.Time // waiting for remote ring slots
 	StallLocal  sim.Time // waiting for local segment reuse (wrap signal)
@@ -104,6 +120,54 @@ func (w *ringWriter) free() {
 	w.local.Deregister()
 }
 
+// checkAbort lets a blocked writer escape when the control plane evicted
+// its target: the wait can never be satisfied, and the source will
+// re-route the unconsumed window instead of waiting out ErrFlowBroken.
+func (w *ringWriter) checkAbort() error {
+	if w.dead {
+		return errEvicted
+	}
+	if w.evicted != nil && w.evicted() {
+		return errEvicted
+	}
+	return nil
+}
+
+// abandon latches the writer dead (its target was evicted) and harvests
+// every tuple not yet known consumed: the written-but-unacked window
+// still resident in the local ring, plus the partial segment being
+// filled. The source re-pushes the harvest to surviving targets. The
+// harvest errs toward duplication — tuples the dead target consumed
+// between its last acknowledgment and its eviction are re-delivered to
+// a survivor (the cross-boundary at-least-once documented in
+// docs/PROTOCOL.md) — while delivery among survivors stays exactly-once.
+func (w *ringWriter) abandon(tupleSize int) [][]byte {
+	w.dead = true
+	var out [][]byte
+	lo := w.acked
+	if w.written-lo > uint64(w.srcSegs) {
+		// Should be unreachable when the resident-window invariant holds
+		// (normalize forces SourceSegments ≥ SegmentsPerRing+1 whenever
+		// recovery is on); harvest what is still resident.
+		lo = w.written - uint64(w.srcSegs)
+	}
+	for n := lo; n < w.written; n++ {
+		lbase := int(n%uint64(w.srcSegs)) * w.geom.stride()
+		seg := w.local.Bytes()[lbase : lbase+w.geom.stride()]
+		footer := seg[w.geom.segSize:]
+		fill := int(binary.LittleEndian.Uint32(footer[0:4]))
+		for off := 0; off+tupleSize <= fill; off += tupleSize {
+			out = append(out, seg[off:off+tupleSize])
+		}
+	}
+	seg := w.localSeg()
+	for off := 0; off+tupleSize <= w.fill; off += tupleSize {
+		out = append(out, seg[off:off+tupleSize])
+	}
+	w.fill, w.count = 0, 0
+	return out
+}
+
 // localSeg returns the current local segment's full-stride buffer.
 func (w *ringWriter) localSeg() []byte {
 	base := w.sslot * w.geom.stride()
@@ -123,6 +187,9 @@ func (w *ringWriter) remoteHeaderAddr() fabric.Addr {
 // push appends one tuple to the current segment, flushing when full.
 // Bandwidth mode only; per-tuple CPU cost is charged in bulk at flush.
 func (w *ringWriter) push(p *sim.Proc, tuple []byte) error {
+	if err := w.checkAbort(); err != nil {
+		return err
+	}
 	if w.fill+len(tuple) > w.geom.segSize {
 		if err := w.flush(p, false); err != nil {
 			return err
@@ -139,6 +206,9 @@ func (w *ringWriter) push(p *sim.Proc, tuple []byte) error {
 // pushImmediate transfers one tuple right away (latency mode): a full
 // segment write under credit flow control.
 func (w *ringWriter) pushImmediate(p *sim.Proc, tuple []byte) error {
+	if err := w.checkAbort(); err != nil {
+		return err
+	}
 	if err := w.ensureCredit(p); err != nil {
 		return err
 	}
@@ -169,6 +239,9 @@ func (w *ringWriter) ensureCredit(p *sim.Proc) error {
 	rounds := 0
 	lastProgress := p.Now()
 	for w.credits <= 0 {
+		if err := w.checkAbort(); err != nil {
+			return err
+		}
 		if !w.creditPending {
 			w.qp.Read(p, w.creditBuf, w.remoteHeaderAddr(), true, idCreditRead)
 			w.creditPending = true
@@ -303,6 +376,9 @@ func (w *ringWriter) ensureRemoteWritable(p *sim.Proc) error {
 	rounds := 0
 	lastProgress := p.Now()
 	for int(w.written-w.acked) >= w.geom.nSegs {
+		if err := w.checkAbort(); err != nil {
+			return err
+		}
 		if !w.footerPending {
 			w.postFooterRead(p)
 			continue
@@ -386,6 +462,9 @@ func (w *ringWriter) waitLocalSlot(p *sim.Proc) error {
 	defer func() { w.StallLocal += p.Now() - start }()
 	rounds := 0
 	for w.completedW < needed {
+		if err := w.checkAbort(); err != nil {
+			return err
+		}
 		if w.opts.RetransmitTimeout <= 0 {
 			w.handleCompletion(p, w.qp.SendCQ().Wait(p))
 			continue
@@ -474,6 +553,9 @@ func (w *ringWriter) backoff(p *sim.Proc) {
 func (w *ringWriter) recover(p *sim.Proc) error {
 	// 1. Resync: read the consumed counter, bounded, retrying lost READs.
 	for attempt := 0; ; attempt++ {
+		if err := w.checkAbort(); err != nil {
+			return err
+		}
 		w.qp.Read(p, w.creditBuf, w.remoteHeaderAddr(), true, idCreditRead)
 		w.creditPending = true
 		for w.creditPending {
@@ -521,6 +603,9 @@ func (w *ringWriter) confirmDelivered(p *sim.Proc) error {
 	rounds := 0
 	lastProgress := p.Now()
 	for w.acked < w.written {
+		if err := w.checkAbort(); err != nil {
+			return err
+		}
 		if !w.footerPending && w.opts.Optimization == OptimizeBandwidth {
 			w.postFooterRead(p)
 		}
@@ -591,6 +676,69 @@ func (w *ringWriter) close(p *sim.Proc) error {
 		return err
 	}
 	w.writeSegment(p, 0, flagConsumable|flagEndOfFlow)
+	if w.opts.RetransmitTimeout > 0 {
+		return w.confirmDelivered(p)
+	}
+	return nil
+}
+
+// finish is the first half of a phased close (sources with a live
+// membership record use finish-all-then-end-all instead of per-writer
+// close): flush the remaining tuples and confirm delivery, but do not
+// write the end marker yet. Splitting matters under eviction — the
+// harvest of a writer that dies during phase 1 is re-pushed to
+// survivors, which must therefore not have sent FLOW_END yet.
+func (w *ringWriter) finish(p *sim.Proc) error {
+	if err := w.checkAbort(); err != nil {
+		return err
+	}
+	if w.opts.Optimization == OptimizeLatency {
+		if w.opts.RetransmitTimeout > 0 {
+			return w.confirmDelivered(p)
+		}
+		return nil
+	}
+	if err := w.flush(p, false); err != nil {
+		return err
+	}
+	if w.opts.RetransmitTimeout > 0 {
+		return w.confirmDelivered(p)
+	}
+	return nil
+}
+
+// end is the second half of a phased close: write the end-of-flow
+// marker and confirm it. Only called once no live writer has anything
+// left to drain (finish reached quiescence), so a late eviction here
+// can no longer lose tuples.
+func (w *ringWriter) end(p *sim.Proc) error {
+	if w.closed {
+		return nil
+	}
+	if err := w.checkAbort(); err != nil {
+		return err
+	}
+	w.closed = true
+	if w.opts.Optimization == OptimizeLatency {
+		if err := w.ensureCredit(p); err != nil {
+			return err
+		}
+		if err := w.waitLocalSlot(p); err != nil {
+			return err
+		}
+		w.writeSegment(p, 0, flagConsumable|flagEndOfFlow)
+		w.credits--
+		w.sent++
+	} else {
+		w.drainCQ(p)
+		if err := w.ensureRemoteWritable(p); err != nil {
+			return err
+		}
+		if err := w.waitLocalSlot(p); err != nil {
+			return err
+		}
+		w.writeSegment(p, 0, flagConsumable|flagEndOfFlow)
+	}
 	if w.opts.RetransmitTimeout > 0 {
 		return w.confirmDelivered(p)
 	}

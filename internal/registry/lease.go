@@ -1,0 +1,290 @@
+package registry
+
+import (
+	"fmt"
+	"time"
+
+	"dfi/internal/sim"
+)
+
+// Lease-based flow membership (control-plane failure model).
+//
+// Every published flow carries an epoch-versioned Membership record. An
+// endpoint that opts into leases (core.Options.LeaseTTL) acquires one at
+// open and renews it on a background tick; an endpoint whose lease
+// expires — crash, partition, wedged process — moves to Suspect when the
+// TTL runs out and to Evicted after a further grace period. Eviction
+// bumps the flow epoch; data-plane endpoints compare their cached epoch
+// against the record on their normal wait paths and fold the new
+// membership in (re-routing around evicted targets, closing rings of
+// evicted sources). Endpoints may also be evicted administratively with
+// Evict, which takes effect at the next epoch immediately.
+//
+// Timers are kernel callbacks, not processes: each (re)arm bumps a
+// generation counter and schedules one expiry check that no-ops when the
+// generation moved on. A quiescent flow therefore leaves no pending
+// events behind once its endpoints release their leases, which is what
+// keeps the discrete-event kernel's run loop terminating.
+
+// Role distinguishes the two endpoint kinds in a membership record.
+type Role uint8
+
+// Endpoint roles.
+const (
+	RoleSource Role = iota
+	RoleTarget
+)
+
+func (r Role) String() string {
+	if r == RoleTarget {
+		return "target"
+	}
+	return "source"
+}
+
+// EndpointState is the lease state of one endpoint slot.
+type EndpointState uint8
+
+// Lease states. Slots that never acquired a lease are Active (membership
+// is advisory until an endpoint opts in).
+const (
+	StateActive EndpointState = iota
+	StateSuspect
+	StateEvicted
+	StateLeft // released voluntarily (graceful close)
+)
+
+func (s EndpointState) String() string {
+	switch s {
+	case StateSuspect:
+		return "suspect"
+	case StateEvicted:
+		return "evicted"
+	case StateLeft:
+		return "left"
+	}
+	return "active"
+}
+
+// epKey identifies one endpoint slot within a flow.
+type epKey struct {
+	role Role
+	idx  int
+}
+
+// lease is the registry-side state of one endpoint slot.
+type lease struct {
+	state EndpointState
+	ttl   time.Duration
+	grace time.Duration
+	gen   uint64 // bumped on every (re)arm/cancel; pending timers check it
+}
+
+// Membership is the epoch-versioned membership record of one flow. The
+// pointer handed out by MembershipOf stays valid for the flow's lifetime
+// (client-side cache semantics); reading it is free, like reading any
+// local cache — endpoints learn of changes by comparing Epoch against
+// the value they acted on last.
+type Membership struct {
+	r    *Registry
+	flow string
+
+	epoch uint64
+	eps   map[epKey]*lease
+}
+
+func newMembership(r *Registry, flow string) *Membership {
+	return &Membership{r: r, flow: flow, eps: make(map[epKey]*lease)}
+}
+
+// Epoch returns the record's current epoch. It starts at 0 and is bumped
+// by every eviction.
+func (m *Membership) Epoch() uint64 { return m.epoch }
+
+// State returns the lease state of an endpoint slot (Active when the
+// slot never acquired a lease).
+func (m *Membership) State(role Role, idx int) EndpointState {
+	if l, ok := m.eps[epKey{role, idx}]; ok {
+		return l.state
+	}
+	return StateActive
+}
+
+// Evicted reports whether the endpoint slot has been evicted.
+func (m *Membership) Evicted(role Role, idx int) bool {
+	return m.State(role, idx) == StateEvicted
+}
+
+// TargetEvicted reports whether target slot idx has been evicted.
+func (m *Membership) TargetEvicted(idx int) bool { return m.Evicted(RoleTarget, idx) }
+
+// SourceEvicted reports whether source slot idx has been evicted.
+func (m *Membership) SourceEvicted(idx int) bool { return m.Evicted(RoleSource, idx) }
+
+// EvictedTargets returns the evicted target slots in ascending order.
+func (m *Membership) EvictedTargets() []int {
+	var out []int
+	for k, l := range m.eps {
+		if k.role == RoleTarget && l.state == StateEvicted {
+			out = append(out, k.idx)
+		}
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; the set is tiny
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// arm schedules the lease's expiry check. Renewals re-arm by bumping the
+// generation, which orphans the previously scheduled check.
+func (m *Membership) arm(k epKey, l *lease) {
+	l.gen++
+	gen := l.gen
+	m.r.k.After(l.ttl, func() { m.expire(k, gen) })
+}
+
+// expire moves an unrenewed Active lease to Suspect and starts the grace
+// timer toward eviction.
+func (m *Membership) expire(k epKey, gen uint64) {
+	l := m.eps[k]
+	if l == nil || l.gen != gen || l.state != StateActive {
+		return
+	}
+	l.state = StateSuspect
+	m.r.cond.Broadcast()
+	m.r.k.After(l.grace, func() { m.evictExpired(k, gen) })
+}
+
+// evictExpired evicts a lease still Suspect when its grace period ends.
+func (m *Membership) evictExpired(k epKey, gen uint64) {
+	l := m.eps[k]
+	if l == nil || l.gen != gen || l.state != StateSuspect {
+		return
+	}
+	m.evict(k, l)
+}
+
+// evict moves a slot to Evicted and bumps the flow epoch. Waiters on the
+// registry condition (WaitTargetLive, data-plane epoch checks via
+// broadcast-coupled conds) observe the new epoch.
+func (m *Membership) evict(k epKey, l *lease) {
+	l.state = StateEvicted
+	m.epoch++
+	m.r.cond.Broadcast()
+}
+
+// membership returns the record for a published flow.
+func (r *Registry) membership(flow string) (*Membership, bool) {
+	e, ok := r.flows[flow]
+	if !ok {
+		return nil, false
+	}
+	return e.mem, true
+}
+
+// MembershipOf returns the flow's membership record, or nil if the flow
+// is not published. The record is the client-side cached view: reading
+// it costs nothing (endpoints poll Epoch on their normal wait paths),
+// while the mutating lease calls below are real RPCs.
+func (r *Registry) MembershipOf(name string) *Membership {
+	m, _ := r.membership(name)
+	return m
+}
+
+// AcquireLease grants the endpoint slot a lease with the given TTL and
+// Suspect grace period (grace defaults to ttl when zero). Acquiring is
+// fenced: a slot that was already evicted cannot re-acquire — the epoch
+// that evicted it has been observed by its peers, so the endpoint must
+// re-attach under a fresh slot instead (see ROADMAP).
+func (r *Registry) AcquireLease(p *sim.Proc, flow string, role Role, idx int, ttl, grace time.Duration) error {
+	r.rpc(p)
+	m, ok := r.membership(flow)
+	if !ok {
+		return fmt.Errorf("registry: flow %q not published", flow)
+	}
+	if ttl <= 0 {
+		return fmt.Errorf("registry: lease TTL must be positive")
+	}
+	if grace <= 0 {
+		grace = ttl
+	}
+	k := epKey{role, idx}
+	l := m.eps[k]
+	if l == nil {
+		l = &lease{}
+		m.eps[k] = l
+	}
+	if l.state == StateEvicted {
+		return fmt.Errorf("registry: %s %d of flow %q was evicted (epoch %d)", role, idx, flow, m.epoch)
+	}
+	l.state = StateActive
+	l.ttl, l.grace = ttl, grace
+	m.arm(k, l)
+	return nil
+}
+
+// RenewLease refreshes the endpoint's lease, rescuing a Suspect slot
+// back to Active. Renewing an evicted lease fails (epoch fencing): the
+// eviction is already visible to peers and cannot be taken back.
+func (r *Registry) RenewLease(p *sim.Proc, flow string, role Role, idx int) error {
+	r.rpc(p)
+	m, ok := r.membership(flow)
+	if !ok {
+		return fmt.Errorf("registry: flow %q not published", flow)
+	}
+	k := epKey{role, idx}
+	l := m.eps[k]
+	if l == nil || l.state == StateLeft {
+		return fmt.Errorf("registry: %s %d of flow %q holds no lease", role, idx, flow)
+	}
+	if l.state == StateEvicted {
+		return fmt.Errorf("registry: %s %d of flow %q was evicted (epoch %d)", role, idx, flow, m.epoch)
+	}
+	l.state = StateActive
+	m.arm(k, l)
+	return nil
+}
+
+// ReleaseLease gives the lease up voluntarily (graceful close). The slot
+// moves to Left without an epoch bump: peers need no rerouting for an
+// endpoint that finished its part of the flow protocol.
+func (r *Registry) ReleaseLease(p *sim.Proc, flow string, role Role, idx int) {
+	r.rpc(p)
+	m, ok := r.membership(flow)
+	if !ok {
+		return
+	}
+	l := m.eps[epKey{role, idx}]
+	if l == nil || l.state == StateEvicted {
+		return
+	}
+	l.gen++ // orphan any pending expiry check
+	l.state = StateLeft
+}
+
+// Evict administratively removes an endpoint from the flow at the next
+// epoch, without waiting out lease timers (operator action, or a peer
+// with out-of-band failure evidence). Idempotent. Replicated registries
+// commit the eviction through the consensus log like any mutation.
+func (r *Registry) Evict(p *sim.Proc, flow string, role Role, idx int) error {
+	return r.invoke(p, func() error {
+		m, ok := r.membership(flow)
+		if !ok {
+			return fmt.Errorf("registry: flow %q not published", flow)
+		}
+		k := epKey{role, idx}
+		l := m.eps[k]
+		if l == nil {
+			l = &lease{}
+			m.eps[k] = l
+		}
+		if l.state == StateEvicted {
+			return nil
+		}
+		l.gen++ // orphan any pending expiry check
+		m.evict(k, l)
+		return nil
+	})
+}

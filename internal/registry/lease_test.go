@@ -1,0 +1,195 @@
+package registry
+
+import (
+	"testing"
+	"time"
+
+	"dfi/internal/sim"
+)
+
+const (
+	ttl   = 100 * time.Microsecond
+	grace = 50 * time.Microsecond
+)
+
+func leaseEnv(t *testing.T) (*sim.Kernel, *Registry) {
+	t.Helper()
+	k := sim.New(1)
+	r := New(k)
+	k.Spawn("publish", func(p *sim.Proc) {
+		if err := r.Publish(p, "f", nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return k, r
+}
+
+func TestLeaseExpiryEvicts(t *testing.T) {
+	k, r := leaseEnv(t)
+	k.Spawn("p", func(p *sim.Proc) {
+		if err := r.AcquireLease(p, "f", RoleTarget, 0, ttl, grace); err != nil {
+			t.Fatal(err)
+		}
+		m := r.MembershipOf("f")
+		if m == nil || m.Epoch() != 0 {
+			t.Fatal("membership missing or epoch nonzero at acquire")
+		}
+		// Unrenewed: Active through the TTL, then Suspect through the
+		// grace period, then Evicted with an epoch bump.
+		p.Sleep(ttl + grace/2)
+		if st := m.State(RoleTarget, 0); st != StateSuspect {
+			t.Fatalf("state after TTL = %v, want suspect", st)
+		}
+		if m.Epoch() != 0 {
+			t.Error("suspect bumped the epoch")
+		}
+		p.Sleep(grace)
+		if !m.TargetEvicted(0) {
+			t.Fatal("unrenewed lease not evicted after grace")
+		}
+		if m.Epoch() != 1 {
+			t.Fatalf("epoch = %d, want 1", m.Epoch())
+		}
+		if got := m.EvictedTargets(); len(got) != 1 || got[0] != 0 {
+			t.Fatalf("EvictedTargets = %v", got)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaseRenewalKeepsActive(t *testing.T) {
+	k, r := leaseEnv(t)
+	k.Spawn("p", func(p *sim.Proc) {
+		if err := r.AcquireLease(p, "f", RoleSource, 2, ttl, grace); err != nil {
+			t.Fatal(err)
+		}
+		m := r.MembershipOf("f")
+		for i := 0; i < 10; i++ {
+			p.Sleep(ttl / 2)
+			if err := r.RenewLease(p, "f", RoleSource, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := m.State(RoleSource, 2); st != StateActive {
+			t.Fatalf("state = %v, want active across 10 renewals", st)
+		}
+		if m.Epoch() != 0 {
+			t.Fatalf("epoch = %d, want 0", m.Epoch())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuspectRescuedByRenewal(t *testing.T) {
+	k, r := leaseEnv(t)
+	k.Spawn("p", func(p *sim.Proc) {
+		if err := r.AcquireLease(p, "f", RoleTarget, 1, ttl, grace); err != nil {
+			t.Fatal(err)
+		}
+		m := r.MembershipOf("f")
+		p.Sleep(ttl + grace/2) // past TTL, inside grace: Suspect
+		if st := m.State(RoleTarget, 1); st != StateSuspect {
+			t.Fatalf("state = %v, want suspect", st)
+		}
+		if err := r.RenewLease(p, "f", RoleTarget, 1); err != nil {
+			t.Fatalf("renewal of a suspect lease failed: %v", err)
+		}
+		// The rescue must also cancel the pending eviction timer.
+		p.Sleep(grace)
+		if st := m.State(RoleTarget, 1); st != StateActive {
+			t.Fatalf("state = %v, want active after rescue", st)
+		}
+		if m.Epoch() != 0 {
+			t.Fatalf("epoch = %d after rescue, want 0", m.Epoch())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseLeavesWithoutEpochBump(t *testing.T) {
+	k, r := leaseEnv(t)
+	k.Spawn("p", func(p *sim.Proc) {
+		if err := r.AcquireLease(p, "f", RoleSource, 0, ttl, grace); err != nil {
+			t.Fatal(err)
+		}
+		m := r.MembershipOf("f")
+		r.ReleaseLease(p, "f", RoleSource, 0)
+		if st := m.State(RoleSource, 0); st != StateLeft {
+			t.Fatalf("state = %v, want left", st)
+		}
+		// The orphaned expiry timer must not fire an eviction later.
+		p.Sleep(2 * (ttl + grace))
+		if st := m.State(RoleSource, 0); st != StateLeft {
+			t.Fatalf("state = %v after timers, want left", st)
+		}
+		if m.Epoch() != 0 {
+			t.Fatalf("epoch = %d, want 0 (graceful leave)", m.Epoch())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdministrativeEvictIdempotent(t *testing.T) {
+	k, r := leaseEnv(t)
+	k.Spawn("p", func(p *sim.Proc) {
+		m := r.MembershipOf("f")
+		// Evict works on a slot that never held a lease (operator action
+		// against a node that never came up).
+		if err := r.Evict(p, "f", RoleTarget, 3); err != nil {
+			t.Fatal(err)
+		}
+		if !m.TargetEvicted(3) || m.Epoch() != 1 {
+			t.Fatalf("state = %v epoch = %d", m.State(RoleTarget, 3), m.Epoch())
+		}
+		if err := r.Evict(p, "f", RoleTarget, 3); err != nil {
+			t.Fatal(err)
+		}
+		if m.Epoch() != 1 {
+			t.Fatalf("re-evict bumped epoch to %d", m.Epoch())
+		}
+		if err := r.Evict(p, "missing", RoleTarget, 0); err == nil {
+			t.Error("evict on unpublished flow accepted")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictedSlotIsFenced(t *testing.T) {
+	k, r := leaseEnv(t)
+	k.Spawn("p", func(p *sim.Proc) {
+		if err := r.AcquireLease(p, "f", RoleTarget, 0, ttl, grace); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Evict(p, "f", RoleTarget, 0); err != nil {
+			t.Fatal(err)
+		}
+		// Epoch fencing: the eviction is visible to peers and cannot be
+		// taken back by the (possibly merely slow) endpoint.
+		if err := r.RenewLease(p, "f", RoleTarget, 0); err == nil {
+			t.Error("renewal of an evicted lease accepted")
+		}
+		if err := r.AcquireLease(p, "f", RoleTarget, 0, ttl, grace); err == nil {
+			t.Error("re-acquire of an evicted slot accepted")
+		}
+		// A pending expiry from the pre-eviction lease must not fire on
+		// the fenced slot (generation was bumped).
+		p.Sleep(2 * (ttl + grace))
+		m := r.MembershipOf("f")
+		if m.Epoch() != 1 {
+			t.Fatalf("epoch = %d, want 1", m.Epoch())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,48 +4,127 @@
 // on a master node; lookups happen only at flow setup, never on the data
 // path, so the registry charges an optional fixed RPC delay rather than
 // modelling full network messages.
+//
+// Beyond the paper, the registry carries the control-plane failure model
+// (see lease.go): every flow has an epoch-versioned membership record
+// whose leases detect crashed endpoints, and the registry itself can run
+// replicated over a Multi-Paxos log with master failover (replicated.go).
+// Registry RPCs can be delayed or dropped via fabric.FaultPlan's
+// Registry* knobs; a dropped RPC costs the client a retry timeout.
 package registry
 
 import (
 	"fmt"
 	"time"
 
+	"dfi/internal/fabric"
 	"dfi/internal/sim"
 )
 
-// Registry is the central metadata store. One instance serves a cluster.
+// Registry is the client handle to the metadata store. One instance
+// serves a cluster; New builds a standalone (single-master, non-fault-
+// tolerant) registry, NewReplicated one backed by a replicated log.
 type Registry struct {
 	k        *sim.Kernel
 	cond     *sim.Cond
 	flows    map[string]*entry
 	RPCDelay time.Duration // charged to every remote lookup/publish
+
+	// RetryTimeout is how long a client waits before retrying a registry
+	// RPC whose reply was lost (fault injection / replica crash).
+	// Defaults to max(4·RPCDelay, 2µs).
+	RetryTimeout time.Duration
+
+	faults *fabric.FaultPlan
+	repl   *replGroup // nil for a standalone registry
 }
 
 type entry struct {
 	meta    any
 	targets map[int]any
+	mem     *Membership
 }
 
-// New creates an empty registry bound to k.
+// New creates an empty standalone registry bound to k.
 func New(k *sim.Kernel) *Registry {
 	return &Registry{k: k, cond: sim.NewCond(k), flows: make(map[string]*entry)}
 }
 
-// Publish registers flow metadata under a unique name. Publishing a name
-// twice is an error (flow names identify flows cluster-wide).
-func (r *Registry) Publish(p *sim.Proc, name string, meta any) error {
-	p.Sleep(r.RPCDelay)
-	if _, dup := r.flows[name]; dup {
-		return fmt.Errorf("registry: flow %q already published", name)
+// UseFaults subjects the registry's RPCs to the plan's Registry* fault
+// knobs (nil clears them). Replicated registries take the plan through
+// their ReplicaConfig instead.
+func (r *Registry) UseFaults(fp *fabric.FaultPlan) { r.faults = fp }
+
+func (r *Registry) retryTimeout() time.Duration {
+	if r.RetryTimeout > 0 {
+		return r.RetryTimeout
 	}
-	r.flows[name] = &entry{meta: meta, targets: make(map[int]any)}
-	r.cond.Broadcast()
-	return nil
+	if d := 4 * r.RPCDelay; d > 2*time.Microsecond {
+		return d
+	}
+	return 2 * time.Microsecond
+}
+
+// rpc charges one client↔registry round trip, honoring the registry
+// fault plan: extra delay and jitter stretch the trip, and a dropped
+// leg costs the client a retry timeout before it tries again.
+func (r *Registry) rpc(p *sim.Proc) {
+	if r.repl != nil {
+		r.repl.maybeCrashMaster(p)
+		if r.repl.crashed[r.repl.master] {
+			// Any client RPC that finds the master dead promotes the
+			// standby; non-logged calls (lease renewals, reads routed to
+			// the master) then proceed against the new one.
+			r.repl.elect(p)
+		}
+	}
+	for {
+		d := r.RPCDelay
+		if fp := r.faults; fp != nil {
+			d += fp.RegistryDelay
+			if fp.RegistryJitter > 0 {
+				d += time.Duration(p.Rand().Int63n(int64(fp.RegistryJitter)))
+			}
+		}
+		p.Sleep(d)
+		if fp := r.faults; fp != nil && fp.RegistryDrop > 0 && p.Rand().Float64() < fp.RegistryDrop {
+			p.Sleep(r.retryTimeout())
+			continue
+		}
+		return
+	}
+}
+
+// invoke runs one mutating registry command. Standalone it is a plain
+// RPC against the in-memory map; replicated, the command is first
+// committed to the Multi-Paxos log by the current master (electing a new
+// one when the master crashed), and retried idempotently when a reply is
+// lost.
+func (r *Registry) invoke(p *sim.Proc, op func() error) error {
+	if r.repl == nil {
+		r.rpc(p)
+		return op()
+	}
+	return r.repl.invoke(p, op)
+}
+
+// Publish registers flow metadata under a unique name. Publishing a name
+// twice is an error (flow names identify flows cluster-wide). The flow's
+// membership record (see lease.go) is created here, at epoch 0.
+func (r *Registry) Publish(p *sim.Proc, name string, meta any) error {
+	return r.invoke(p, func() error {
+		if _, dup := r.flows[name]; dup {
+			return fmt.Errorf("registry: flow %q already published", name)
+		}
+		r.flows[name] = &entry{meta: meta, targets: make(map[int]any), mem: newMembership(r, name)}
+		r.cond.Broadcast()
+		return nil
+	})
 }
 
 // Lookup returns the metadata for name without blocking.
 func (r *Registry) Lookup(p *sim.Proc, name string) (any, bool) {
-	p.Sleep(r.RPCDelay)
+	r.rpc(p)
 	e, ok := r.flows[name]
 	if !ok {
 		return nil, false
@@ -56,7 +135,7 @@ func (r *Registry) Lookup(p *sim.Proc, name string) (any, bool) {
 // WaitFlow blocks until the named flow has been published and returns its
 // metadata.
 func (r *Registry) WaitFlow(p *sim.Proc, name string) any {
-	p.Sleep(r.RPCDelay)
+	r.rpc(p)
 	for {
 		if e, ok := r.flows[name]; ok {
 			return e.meta
@@ -68,36 +147,56 @@ func (r *Registry) WaitFlow(p *sim.Proc, name string) any {
 // PublishTarget registers per-target connection info (e.g. ring-buffer
 // addresses) for target idx of the named flow. The flow must exist.
 func (r *Registry) PublishTarget(p *sim.Proc, name string, idx int, info any) error {
-	p.Sleep(r.RPCDelay)
-	e, ok := r.flows[name]
-	if !ok {
-		return fmt.Errorf("registry: flow %q not published", name)
-	}
-	if _, dup := e.targets[idx]; dup {
-		return fmt.Errorf("registry: flow %q target %d already published", name, idx)
-	}
-	e.targets[idx] = info
-	r.cond.Broadcast()
-	return nil
+	return r.invoke(p, func() error {
+		e, ok := r.flows[name]
+		if !ok {
+			return fmt.Errorf("registry: flow %q not published", name)
+		}
+		if _, dup := e.targets[idx]; dup {
+			return fmt.Errorf("registry: flow %q target %d already published", name, idx)
+		}
+		e.targets[idx] = info
+		r.cond.Broadcast()
+		return nil
+	})
 }
 
 // WaitTarget blocks until target idx of the named flow has published its
 // info and returns it.
 func (r *Registry) WaitTarget(p *sim.Proc, name string, idx int) any {
-	p.Sleep(r.RPCDelay)
+	info, _ := r.WaitTargetLive(p, name, idx)
+	return info
+}
+
+// WaitTargetLive blocks until target idx of the named flow has published
+// its info (info, false) or was evicted from the flow membership
+// (nil, true) — a source must not wait forever on a target that will
+// never come up.
+func (r *Registry) WaitTargetLive(p *sim.Proc, name string, idx int) (info any, evicted bool) {
+	r.rpc(p)
 	for {
 		if e, ok := r.flows[name]; ok {
+			if e.mem != nil && e.mem.TargetEvicted(idx) {
+				return nil, true
+			}
 			if info, ok := e.targets[idx]; ok {
-				return info
+				return info, false
 			}
 		}
 		r.cond.Wait(p)
 	}
 }
 
-// Remove deletes a flow's metadata (used by tests and flow teardown).
-func (r *Registry) Remove(name string) {
-	delete(r.flows, name)
+// Remove deletes a flow's metadata so the name can be reused (flow
+// teardown). Like every registry mutation it is a remote RPC: it charges
+// the RPC cost and wakes waiters, so a WaitFlow racing a remove-then-
+// republish observes the republished flow rather than blocking forever.
+func (r *Registry) Remove(p *sim.Proc, name string) {
+	_ = r.invoke(p, func() error {
+		delete(r.flows, name)
+		r.cond.Broadcast()
+		return nil
+	})
 }
 
 // Flows returns the number of published flows.

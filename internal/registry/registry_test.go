@@ -115,9 +115,14 @@ func TestRPCDelayCharged(t *testing.T) {
 func TestRemove(t *testing.T) {
 	k := sim.New(1)
 	r := New(k)
+	r.RPCDelay = 2 * time.Microsecond
 	k.Spawn("p", func(p *sim.Proc) {
 		_ = r.Publish(p, "f", nil)
-		r.Remove("f")
+		before := p.Now()
+		r.Remove(p, "f")
+		if got := p.Now() - before; got != sim.Time(r.RPCDelay) {
+			t.Errorf("Remove charged %v, want %v", got, r.RPCDelay)
+		}
 		if r.Flows() != 0 {
 			t.Errorf("flows = %d", r.Flows())
 		}
@@ -127,5 +132,35 @@ func TestRemove(t *testing.T) {
 	})
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRemoveRepublishWakesWaiters: a name freed by Remove can be reused,
+// and the republish must wake endpoints blocked in WaitFlow on the new
+// incarnation (Remove broadcasts the registry condition).
+func TestRemoveRepublishWakesWaiters(t *testing.T) {
+	k := sim.New(1)
+	r := New(k)
+	var got any
+	k.Spawn("waiter", func(p *sim.Proc) {
+		p.Sleep(2 * time.Millisecond) // after remove, before republish
+		got = r.WaitFlow(p, "reuse")
+	})
+	k.Spawn("owner", func(p *sim.Proc) {
+		if err := r.Publish(p, "reuse", "v1"); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(time.Millisecond)
+		r.Remove(p, "reuse")
+		p.Sleep(2 * time.Millisecond)
+		if err := r.Publish(p, "reuse", "v2"); err != nil {
+			t.Errorf("republish after remove failed: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "v2" {
+		t.Errorf("waiter got %v, want v2", got)
 	}
 }

@@ -1,0 +1,307 @@
+package registry
+
+import (
+	"fmt"
+	"time"
+
+	"dfi/internal/consensus/log"
+	"dfi/internal/fabric"
+	"dfi/internal/sim"
+)
+
+// Replicated registry: the metadata store as a small replicated state
+// machine over a Multi-Paxos log (dogfooding the paper's §6.3 use case
+// for DFI's own control plane). The Registry handle stays the client
+// API; what changes is how mutations commit:
+//
+//   - every mutating call (Publish, PublishTarget, Remove, Evict) is a
+//     numbered command the current master appends to the log with one
+//     Accept round — a majority of acceptors must accept under the
+//     master's ballot before the command applies;
+//   - a client whose RPC leg or reply is lost retries the same command
+//     id; the applied-table (replicated alongside the state machine)
+//     deduplicates, so retries are idempotent — a Publish whose reply
+//     was lost does not turn into "already published" on retry;
+//   - when the master crashes, the retrying client triggers an election:
+//     the lowest-index live replica runs Promise on the next ballot and
+//     becomes master once a majority promises. Ballot fencing (see
+//     consensus/log) makes any in-flight Accept of the deposed master
+//     fail at the same majority, so the old and new master cannot both
+//     commit in the same slot;
+//   - reads (Lookup, WaitFlow, WaitTarget) are served by any replica and
+//     need no log round — the standard lease-free read relaxation,
+//     acceptable here because flow setup rendezvous is idempotent and
+//     level-triggered (waiters just keep waiting until the entry shows).
+//
+// The acceptors are plain state machines (consensus/log); the message
+// legs between client, master and replicas are charged as simulated
+// RPC delays subject to the plan's Registry* faults, not as fabric
+// messages — consistent with how the registry has always modelled its
+// RPCs (see the package comment).
+
+// ReplicaConfig configures NewReplicated.
+type ReplicaConfig struct {
+	// Replicas is the group size; odd, at least 3 (default 3).
+	Replicas int
+
+	// RPCDelay is the per-leg latency between client, master and
+	// replicas (also installed as the handle's RPCDelay).
+	RPCDelay time.Duration
+
+	// RetryTimeout overrides the client's retry timeout (see
+	// Registry.RetryTimeout).
+	RetryTimeout time.Duration
+
+	// Faults subjects registry RPCs to the plan's Registry* knobs,
+	// including RegistryCrashMaster.
+	Faults *fabric.FaultPlan
+}
+
+// invokeAttempts bounds one command's retries before the registry is
+// declared unavailable (e.g. a majority of replicas crashed).
+const invokeAttempts = 16
+
+// replGroup is the replica group behind a replicated Registry.
+type replGroup struct {
+	r   *Registry
+	cfg ReplicaConfig
+
+	acceptors []*log.Acceptor
+	crashed   []bool
+	master    int
+	ballot    uint64
+	slot      int // next free log slot on the master
+
+	applied map[uint64]error // command id → outcome (idempotent retry)
+	nextOp  uint64
+
+	crashDone bool // RegistryCrashMaster already applied
+	elections int
+}
+
+// NewReplicated creates a registry whose mutations commit through a
+// Multi-Paxos log across cfg.Replicas acceptors. The first replica
+// starts as master at ballot 1 (promised by all, the usual bootstrap).
+func NewReplicated(k *sim.Kernel, cfg ReplicaConfig) (*Registry, error) {
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.Replicas < 3 || cfg.Replicas%2 == 0 {
+		return nil, fmt.Errorf("registry: replica count %d must be odd and ≥ 3", cfg.Replicas)
+	}
+	r := New(k)
+	r.RPCDelay = cfg.RPCDelay
+	r.RetryTimeout = cfg.RetryTimeout
+	r.faults = cfg.Faults
+	g := &replGroup{
+		r:       r,
+		cfg:     cfg,
+		crashed: make([]bool, cfg.Replicas),
+		master:  0,
+		ballot:  1,
+		applied: make(map[uint64]error),
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		a := log.NewAcceptor(i)
+		a.Promise(1)
+		g.acceptors = append(g.acceptors, a)
+	}
+	r.repl = g
+	return r, nil
+}
+
+// Master returns the current master replica index (-1 standalone).
+func (r *Registry) Master() int {
+	if r.repl == nil {
+		return -1
+	}
+	return r.repl.master
+}
+
+// Ballot returns the current master's ballot (0 standalone).
+func (r *Registry) Ballot() uint64 {
+	if r.repl == nil {
+		return 0
+	}
+	return r.repl.ballot
+}
+
+// Elections returns how many failovers the group has performed.
+func (r *Registry) Elections() int {
+	if r.repl == nil {
+		return 0
+	}
+	return r.repl.elections
+}
+
+// Replicas returns the group size (0 standalone).
+func (r *Registry) Replicas() int {
+	if r.repl == nil {
+		return 0
+	}
+	return len(r.repl.acceptors)
+}
+
+// CrashReplica crashes replica i at the current instant: it stops
+// answering promises, accepts and client RPCs. Crashing the master
+// leaves clients to trigger the failover on their next command.
+func (r *Registry) CrashReplica(i int) {
+	if r.repl != nil && i >= 0 && i < len(r.repl.crashed) {
+		r.repl.crashed[i] = true
+	}
+}
+
+// maybeCrashMaster applies the fault plan's RegistryCrashMaster once its
+// virtual time has passed. Applied lazily on the next RPC — the effect
+// is indistinguishable from an asynchronous crash, and it leaves no
+// standing timer to keep an otherwise-finished simulation alive.
+func (g *replGroup) maybeCrashMaster(p *sim.Proc) {
+	fp := g.cfg.Faults
+	if fp == nil || g.crashDone || fp.RegistryCrashMaster <= 0 {
+		return
+	}
+	if p.Now() >= fp.RegistryCrashMaster {
+		g.crashed[g.master] = true
+		g.crashDone = true
+	}
+}
+
+// legDelay is the one-way client↔replica / master↔replica latency under
+// the current fault plan (jitter drawn per call).
+func (g *replGroup) legDelay(p *sim.Proc) time.Duration {
+	d := g.cfg.RPCDelay
+	if fp := g.cfg.Faults; fp != nil {
+		d += fp.RegistryDelay
+		if fp.RegistryJitter > 0 {
+			d += time.Duration(p.Rand().Int63n(int64(fp.RegistryJitter)))
+		}
+	}
+	return d
+}
+
+// dropLeg draws whether one message leg is lost.
+func (g *replGroup) dropLeg(p *sim.Proc) bool {
+	fp := g.cfg.Faults
+	return fp != nil && fp.RegistryDrop > 0 && p.Rand().Float64() < fp.RegistryDrop
+}
+
+// leg charges one round trip to replica i and reports whether it got
+// through; a failed leg costs the retry timeout.
+func (g *replGroup) leg(p *sim.Proc, i int) bool {
+	p.Sleep(g.legDelay(p))
+	if g.crashed[i] || g.dropLeg(p) {
+		p.Sleep(g.r.retryTimeout())
+		return false
+	}
+	p.Sleep(g.legDelay(p))
+	return true
+}
+
+// invoke commits one mutating command through the log and applies it.
+func (g *replGroup) invoke(p *sim.Proc, op func() error) error {
+	g.maybeCrashMaster(p)
+	id := g.nextOp
+	g.nextOp++
+	for attempt := 0; attempt < invokeAttempts; attempt++ {
+		g.maybeCrashMaster(p)
+		// Client → master round trip. A dead master is detected by the
+		// lost leg; the client then kicks the election and retries.
+		if !g.leg(p, g.master) {
+			if g.crashed[g.master] {
+				g.elect(p)
+			}
+			continue
+		}
+		// The command may have committed on an earlier attempt whose
+		// reply was lost: the applied-table answers instead of
+		// re-executing (exactly-once above an at-least-once RPC).
+		if err, done := g.applied[id]; done {
+			return err
+		}
+		if !g.commit(p, id) {
+			// No majority under our ballot: the master was deposed (or
+			// too many replicas are gone). Re-elect and retry.
+			g.elect(p)
+			continue
+		}
+		err := op()
+		g.applied[id] = err
+		return err
+	}
+	return fmt.Errorf("registry: unavailable (command not committed after %d attempts)", invokeAttempts)
+}
+
+// commit runs one Accept round for the next log slot under the master's
+// ballot: all live replicas are asked in parallel (one round-trip
+// charge), and the slot commits when a majority of the full group —
+// master included — accepts.
+func (g *replGroup) commit(p *sim.Proc, cmd uint64) bool {
+	slot := g.slot
+	acks := 0
+	for i, a := range g.acceptors {
+		if g.crashed[i] {
+			continue
+		}
+		if i != g.master && g.dropLeg(p) {
+			continue // this follower's accept or ack was lost
+		}
+		if a.Accept(g.ballot, slot, cmd) {
+			acks++
+		}
+	}
+	p.Sleep(2 * g.legDelay(p))
+	if 2*acks <= len(g.acceptors) {
+		return false
+	}
+	g.slot = slot + 1
+	return true
+}
+
+// elect promotes the lowest-index live replica: one Promise round on the
+// next ballot, repeated at higher ballots until a majority of the group
+// promises (drops can defeat a round). The new master adopts the first
+// slot past every accepted entry a promiser reported, so it cannot
+// overwrite a command the deposed master already got majority-accepted.
+func (g *replGroup) elect(p *sim.Proc) {
+	cand, live := -1, 0
+	for i := range g.acceptors {
+		if !g.crashed[i] {
+			live++
+			if cand == -1 {
+				cand = i
+			}
+		}
+	}
+	if 2*live <= len(g.acceptors) {
+		return // no live majority can promise; invoke() exhausts its attempts
+	}
+	for {
+		b := g.ballot + 1
+		promises, next := 0, 0
+		for i, a := range g.acceptors {
+			if g.crashed[i] {
+				continue
+			}
+			if i != cand && g.dropLeg(p) {
+				continue
+			}
+			if ok, n := a.Promise(b); ok {
+				promises++
+				if n > next {
+					next = n
+				}
+			}
+		}
+		p.Sleep(2 * g.legDelay(p))
+		g.ballot = b
+		if 2*promises > len(g.acceptors) {
+			g.master = cand
+			g.slot = next
+			g.elections++
+			return
+		}
+		if g.crashed[cand] { // crashed mid-election (fault plan time passed)
+			return
+		}
+	}
+}
