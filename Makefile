@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos
+.PHONY: all build vet test race check chaos partition-race
 
 all: check
 
@@ -27,8 +27,14 @@ chaos:
 	@for seed in $(CHAOS_SEEDS); do \
 		echo "== chaos seed $$seed =="; \
 		DFI_CHAOS_SEED=$$seed $(GO) test -race -count=1 \
-			-run 'Chaos|Crash|Lifecycle|Lease|Evict|Replicated|Remove|Promise|Accept|Ballot' \
+			-run 'Chaos|Crash|Lifecycle|Lease|Evict|Reattach|Rejoin|Replicated|Remove|Promise|Accept|Ballot' \
 			./internal/core/ ./internal/registry/ ./internal/consensus/... || exit 1; \
 	done
+
+# Partitioner + membership focus: the packages behind consistent-hash
+# routing, rebalance and endpoint re-attach, under the race detector
+# (fast enough to run on every change; the full suite lives in `race`).
+partition-race:
+	$(GO) test -race -count=1 ./internal/core/... ./internal/registry/...
 
 check: build vet race

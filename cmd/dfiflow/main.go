@@ -13,11 +13,13 @@
 //	dfiflow -faults crash=1@500us -retransmit 40us -srctimeout 300us -mb 1
 //	dfiflow -lease 100us -faults crash=5@500us -sources 4 -targets 4 -mb 2
 //	dfiflow -lease 100us -evict 1@300us -targets 4 -mb 2
+//	dfiflow -partition ring -sources 4 -targets 8 -mb 16
+//	dfiflow -partition ring -lease 100us -evict 1@300us -rejoin 1@600us -targets 4 -mb 2
 //	dfiflow -replicas 3 -faults reg-crash-master=5us,reg-drop=0.1 -mb 1
 //
 // The process exits non-zero when any endpoint reports ErrFlowBroken
-// (a flow that could not be completed or repaired), so fault scenarios
-// are scriptable.
+// (a flow that could not be completed or repaired) or when a scheduled
+// -rejoin is rejected, so fault scenarios are scriptable.
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"dfi/internal/core"
+	"dfi/internal/core/partition"
 	"dfi/internal/fabric"
 	"dfi/internal/registry"
 	"dfi/internal/schema"
@@ -57,7 +60,9 @@ func main() {
 		retrans   = flag.Duration("retransmit", 0, "enable source-side loss recovery with this stall timeout")
 		srcTime   = flag.Duration("srctimeout", 0, "target-side failure detection: declare a source failed after this silence")
 		lease     = flag.Duration("lease", 0, "lease-based membership: endpoint lease TTL (0 = disabled)")
+		partMode  = flag.String("partition", "modulo", "key partitioning scheme: modulo | ring (bounded rebalance on eviction)")
 		evictSpec = flag.String("evict", "", "administratively evict targets, e.g. 1@300us,2@400us")
+		rejoin    = flag.String("rejoin", "", "re-attach evicted targets, e.g. 1@600us (requires -retransmit or -lease)")
 		replicas  = flag.Int("replicas", 0, "replicate the registry over this many consensus replicas (odd, ≥3; 0 = standalone)")
 	)
 	flag.Parse()
@@ -102,6 +107,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dfiflow: -evict: %v\n", err)
 		os.Exit(2)
 	}
+	rejoins, err := parseEvictions(*rejoin) // same TARGET@TIME grammar
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfiflow: -rejoin: %v\n", err)
+		os.Exit(2)
+	}
+	rejoinAt := make(map[int]time.Duration)
+	for _, rj := range rejoins {
+		rejoinAt[rj.target] = rj.at
+	}
+	scheme, err := partition.ParseScheme(*partMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfiflow: -partition: %v\n", err)
+		os.Exit(2)
+	}
 
 	sch := schema.MustNew(
 		schema.Column{Name: "key", Type: schema.Int64},
@@ -114,6 +133,7 @@ func main() {
 		RetransmitTimeout: *retrans,
 		SourceTimeout:     *srcTime,
 		LeaseTTL:          *lease,
+		Partitioning:      scheme,
 	}}
 	if *latency {
 		spec.Options.Optimization = core.OptimizeLatency
@@ -129,6 +149,10 @@ func main() {
 		spec.Options.Aggregation = core.AggSum
 	default:
 		fmt.Fprintf(os.Stderr, "dfiflow: unknown flow type %q\n", *flowType)
+		os.Exit(2)
+	}
+	if len(rejoinAt) > 0 && spec.Type == core.CombinerFlow {
+		fmt.Fprintln(os.Stderr, "dfiflow: -rejoin is not supported for combiner flows")
 		os.Exit(2)
 	}
 	for i := 0; i < *nSources; i++ {
@@ -150,6 +174,7 @@ func main() {
 	// evictions were injected; ErrFlowBroken turns into a non-zero exit.
 	injected := *faults != "" || *evictSpec != ""
 	brokenFlow := false
+	rejoinFailed := false
 	epDied := func(kind string, idx int, err error) {
 		if !injected {
 			log.Fatal(err)
@@ -211,16 +236,33 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				for {
-					if _, _, ok := tgt.ConsumeSegment(p); !ok {
-						break
+				consume := func(tgt *core.Target) {
+					for {
+						if _, _, ok := tgt.ConsumeSegment(p); !ok {
+							break
+						}
+					}
+				}
+				consume(tgt)
+				if tgt.Evicted() {
+					fmt.Printf("target %d: evicted from the flow membership\n", ti)
+				}
+				if at, ok := rejoinAt[ti]; ok {
+					if at > p.Now() {
+						p.Sleep(at - p.Now())
+					}
+					nt, err := tgt.Reattach(p)
+					if err != nil {
+						fmt.Printf("target %d: rejoin rejected: %v\n", ti, err)
+						rejoinFailed = true
+					} else {
+						fmt.Printf("target %d: rejoined at %v, resumed from %d consumed tuples\n", ti, p.Now(), nt.ResumedFrom())
+						consume(nt)
+						tgt = nt
 					}
 				}
 				if failed := tgt.FailedSources(); len(failed) > 0 {
 					fmt.Printf("target %d: sources declared failed: %v\n", ti, failed)
-				}
-				if tgt.Evicted() {
-					fmt.Printf("target %d: evicted from the flow membership\n", ti)
 				}
 				tgtStats[ti] = tgt.Stats()
 			}
@@ -241,8 +283,8 @@ func main() {
 	for _, s := range tgtStats {
 		consumed += s.TuplesConsumed
 	}
-	fmt.Printf("flow: %s %s, %d sources → %d targets, %s tuples, %d MiB/source\n",
-		*flowType, spec.Options.Optimization, *nSources, *nTargets, fmtBytes(sch.TupleSize()), *megabytes)
+	fmt.Printf("flow: %s %s, %s partitioning, %d sources → %d targets, %s tuples, %d MiB/source\n",
+		*flowType, spec.Options.Optimization, scheme, *nSources, *nTargets, fmtBytes(sch.TupleSize()), *megabytes)
 	fmt.Printf("virtual runtime: %v\n", end)
 	fmt.Printf("tuples pushed:   %d  (consumed: %d)\n", pushed, consumed)
 	bw := float64(payload) / end.Seconds() / (1 << 30)
@@ -265,7 +307,7 @@ func main() {
 		rec.Log(os.Stdout)
 		rec.Summary(os.Stdout, 5)
 	}
-	if brokenFlow {
+	if brokenFlow || rejoinFailed {
 		os.Exit(1)
 	}
 }

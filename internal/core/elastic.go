@@ -70,26 +70,11 @@ func AttachSource(p *sim.Proc, reg *registry.Registry, name string, ep Endpoint)
 	spec.Sources = append(spec.Sources, ep)
 	es.cond.Broadcast() // wake targets polling membership
 
-	s := &Source{meta: meta, spec: spec, idx: idx, node: ep.Node}
+	s := &Source{meta: meta, spec: spec, idx: idx, node: ep.Node, reg: reg}
 	if err := s.acquireSourceLease(p, reg, name); err != nil {
 		return nil, err
 	}
-	for t := range spec.Targets {
-		info, evicted := reg.WaitTargetLive(p, name, t)
-		if evicted {
-			s.writers = append(s.writers, nil)
-			continue
-		}
-		ti := info.(*targetInfo)
-		w := newRingWriter(meta.cluster, s.node, ti, ti.ringOffs[idx], &spec.Options)
-		tidx := t
-		w.evicted = func() bool { return s.mem != nil && s.mem.TargetEvicted(tidx) }
-		s.writers = append(s.writers, w)
-	}
-	if err := s.initMembership(reg, name); err != nil {
-		return nil, err
-	}
-	return s, nil
+	return s, s.connectAll(p, name)
 }
 
 // Seal forbids further attaches; targets reach FLOW_END once every
@@ -155,5 +140,6 @@ func (t *Target) elasticScan(p *sim.Proc) (loaded, done bool) {
 		}
 	}
 	t.detectFailures(p, n)
+	t.closeLeftRings(n)
 	return false, t.elasticDone()
 }

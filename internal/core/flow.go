@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"time"
 
+	"dfi/internal/core/partition"
 	"dfi/internal/fabric"
 	"dfi/internal/registry"
 	"dfi/internal/schema"
@@ -177,6 +178,17 @@ type Options struct {
 	// are pre-provisioned per slot; default 2 × initial sources).
 	MaxSources int
 
+	// Partitioning selects how key-routed tuples map onto targets (see
+	// dfi/internal/core/partition). Modulo (the default) is the paper's
+	// Hash(key) % targets. Ring routes over a consistent-hash ring with
+	// virtual nodes: an eviction then moves only the dead target's arcs
+	// (~1/N of the key space) instead of re-indexing the survivor list,
+	// and a target that re-attaches (Target.Reattach) reclaims exactly
+	// its old arcs. The scheme also governs the deterministic fold of
+	// PushTo/RoutingFunc tuples around evicted targets. Replicate flows
+	// copy to every live target regardless of scheme.
+	Partitioning partition.Scheme
+
 	// SourceTimeout enables failure detection at targets (extension
 	// beyond the paper, which names fault tolerance as future work): a
 	// source whose ring shows no new segments for this long while other
@@ -272,6 +284,21 @@ type FlowSpec struct {
 	Routing RoutingFunc
 
 	Options Options
+
+	// part is the flow's routing table, built by normalize from
+	// Options.Partitioning and the target count; every endpoint routes
+	// through it (directly on the Push hot path, via a liveness View in
+	// the eviction/remap paths).
+	part *partition.Table
+}
+
+// table returns the flow's routing table, building the declared one
+// lazily for specs that never went through normalize (direct test use).
+func (s *FlowSpec) table() *partition.Table {
+	if s.part == nil {
+		s.part, _ = partition.NewTable(s.Options.Partitioning, len(s.Targets), 0)
+	}
+	return s.part
 }
 
 // flowMeta is the registry entry for an initialized flow.
@@ -437,6 +464,11 @@ func (s *FlowSpec) normalize() error {
 	if o.Multicast && s.Type != ReplicateFlow {
 		return errors.New("dfi: multicast requires a replicate flow")
 	}
+	part, err := partition.NewTable(o.Partitioning, len(s.Targets), 0)
+	if err != nil {
+		return err
+	}
+	s.part = part
 	return s.validateElastic()
 }
 
@@ -471,11 +503,13 @@ func lookupFlow(p *sim.Proc, reg *registry.Registry, name string) *flowMeta {
 	return reg.WaitFlow(p, name).(*flowMeta)
 }
 
-// routeIndex computes the default key-hash route for a tuple.
+// routeIndex computes a tuple's declared route: the RoutingFunc when
+// supplied, otherwise the partitioner's full-membership home for the
+// tuple's shuffle key (the Push hot path; liveness-aware remapping
+// lives in lifecycle.go).
 func routeIndex(spec *FlowSpec, t schema.Tuple) int {
 	if spec.Routing != nil {
 		return spec.Routing(t)
 	}
-	key := spec.Schema.KeyUint64(t, spec.ShuffleKey)
-	return int(schema.Hash(key) % uint64(len(spec.Targets)))
+	return spec.table().Home(spec.Schema.KeyUint64(t, spec.ShuffleKey))
 }

@@ -22,10 +22,17 @@ import (
 //   - sources cache the membership epoch and, whenever it moves, fold
 //     the new membership in: writers to evicted targets are abandoned,
 //     their unconsumed window harvested from the local ring and
-//     re-pushed over the survivors (rehash for key routing, a
-//     deterministic fold otherwise);
+//     re-pushed over the survivors — routed by the flow's partitioner
+//     view (dfi/internal/core/partition): Route for key-routed tuples,
+//     Fold otherwise;
+//   - sources also reconnect to targets that rejoined the flow
+//     (registry Rejoin bumps the slot's incarnation along with the
+//     epoch): the old writer is harvested like a dead one — anything in
+//     flight to the previous incarnation's rings is gone — and a fresh
+//     writer attaches to the republished rings;
 //   - targets close the rings of evicted sources (so flow end does not
-//     wait on a corpse) and stop consuming when evicted themselves.
+//     wait on a corpse), reset the ring of a source that rejoined, and
+//     stop consuming when evicted themselves.
 //
 // Epoch checks are plain pointer reads on paths the endpoints poll
 // anyway, so a flow whose membership never changes behaves — event for
@@ -38,11 +45,13 @@ const heartbeatDivisor = 3
 // spawnLeaseHeartbeat renews the endpoint's registry lease on a
 // background tick until the endpoint finishes (closed reports true; the
 // lease is then released), its node crashes (the renewals stop and the
-// lease expires toward eviction), or the registry fences the renewal
-// (the endpoint was already evicted). The process self-terminates in
-// every case — the discrete-event kernel only ends its run when no
-// events remain, so an immortal ticker would hang every simulation.
-func spawnLeaseHeartbeat(p *sim.Proc, reg *registry.Registry, node *fabric.Node, flow string, role registry.Role, idx int, ttl time.Duration, closed func() bool) {
+// lease expires toward eviction), the registry fences the renewal (the
+// endpoint was already evicted), or the slot's incarnation moves on (a
+// rejoined successor owns the slot now; a stale heartbeat must neither
+// renew nor release its lease). The process self-terminates in every
+// case — the discrete-event kernel only ends its run when no events
+// remain, so an immortal ticker would hang every simulation.
+func spawnLeaseHeartbeat(p *sim.Proc, reg *registry.Registry, node *fabric.Node, flow string, role registry.Role, idx int, ttl time.Duration, inc uint64, closed func() bool) {
 	iv := ttl / heartbeatDivisor
 	if iv <= 0 {
 		iv = ttl
@@ -51,6 +60,9 @@ func spawnLeaseHeartbeat(p *sim.Proc, reg *registry.Registry, node *fabric.Node,
 		for {
 			hp.Sleep(iv)
 			if node.Crashed(hp.Now()) {
+				return
+			}
+			if m := reg.MembershipOf(flow); m != nil && m.Incarnation(role, idx) != inc {
 				return
 			}
 			if closed() {
@@ -73,52 +85,61 @@ func (s *Source) acquireSourceLease(p *sim.Proc, reg *registry.Registry, name st
 	if err := reg.AcquireLease(p, name, registry.RoleSource, s.idx, o.LeaseTTL, o.SuspectGrace); err != nil {
 		return err
 	}
-	spawnLeaseHeartbeat(p, reg, s.node, name, registry.RoleSource, s.idx, o.LeaseTTL,
+	inc := uint64(0)
+	if m := reg.MembershipOf(name); m != nil {
+		inc = m.Incarnation(registry.RoleSource, s.idx)
+	}
+	spawnLeaseHeartbeat(p, reg, s.node, name, registry.RoleSource, s.idx, o.LeaseTTL, inc,
 		func() bool { return s.closed })
 	return nil
 }
 
-// initMembership caches the flow's membership record and builds the
-// survivor routing table; called once the writers are connected. Targets
-// already evicted at open (nil writers) start out routed around.
-func (s *Source) initMembership(reg *registry.Registry, name string) error {
-	s.mem = reg.MembershipOf(name)
+// initMembership builds the partitioner view over the flow's membership
+// record; called once the writers are connected. Targets already
+// evicted at open (nil writers) start out routed around.
+func (s *Source) initMembership(name string) error {
+	s.view = s.spec.table().NewView()
 	if s.mem == nil {
 		return nil
 	}
 	s.epoch = s.mem.Epoch()
-	s.evictedIdx = make([]bool, len(s.writers))
-	s.alive = s.alive[:0]
-	for i, w := range s.writers {
-		s.evictedIdx[i] = w == nil || s.mem.TargetEvicted(i)
-		if w != nil && w.dead {
-			s.evictedIdx[i] = true
-		}
-		if !s.evictedIdx[i] {
-			s.alive = append(s.alive, i)
-		}
-	}
-	if len(s.alive) == 0 {
+	if err := s.refreshView(); err != nil {
 		return fmt.Errorf("%w: every target of flow %q is evicted", ErrFlowBroken, name)
 	}
 	return nil
 }
 
-// remap maps a tuple's declared route onto a live writer: the declared
-// index when its target survives; otherwise the evicted target's key
-// range is rehashed over the survivors (key-routed flows) or folded onto
-// them deterministically (custom routing and PushTo). Every source
-// computes the same remap from the same membership record, so a key
-// keeps hitting one target per epoch.
+// refreshView rebuilds the view's liveness from the current writers and
+// membership record. Errors when no target remains live.
+func (s *Source) refreshView() error {
+	live := make([]bool, len(s.writers))
+	for i, w := range s.writers {
+		live[i] = w != nil && !w.dead && !s.mem.TargetEvicted(i)
+	}
+	s.view.SetLive(live)
+	if s.view.LiveCount() == 0 {
+		return ErrFlowBroken
+	}
+	return nil
+}
+
+// remap maps a tuple's declared route onto a live writer through the
+// partitioner view: the declared index when its target survives;
+// otherwise the live owner of the tuple's key (key-routed flows) or the
+// view's deterministic fold (custom routing and PushTo). Every source
+// computes the same remap from the same table and membership record, so
+// a key keeps hitting one target per epoch — and under ring
+// partitioning, only the dead target's arcs move at all.
 func (s *Source) remap(t schema.Tuple, idx int) int {
-	if !s.evictedIdx[idx] {
+	if s.view.Live(idx) {
 		return idx
 	}
 	if s.spec.Routing == nil && s.spec.ShuffleKey >= 0 && t != nil {
-		key := s.spec.Schema.KeyUint64(t, s.spec.ShuffleKey)
-		return s.alive[int(schema.Hash(key)%uint64(len(s.alive)))]
+		slot, _ := s.view.Route(s.spec.Schema.KeyUint64(t, s.spec.ShuffleKey))
+		return slot
 	}
-	return s.alive[idx%len(s.alive)]
+	slot, _ := s.view.Fold(idx)
+	return slot
 }
 
 // pendingTuple is one harvested tuple awaiting re-push: the payload (a
@@ -129,12 +150,14 @@ type pendingTuple struct {
 	from int
 }
 
-// syncEpoch folds control-plane membership changes into the source: it
-// refreshes the survivor table, abandons writers whose targets were
-// evicted, and re-pushes their harvested unconsumed window over the
-// survivors. A no-op (one integer compare) while the epoch is unchanged.
-// Returns ErrFlowBroken when no target survives, or when this source
-// was itself evicted (epoch fencing: its peers have moved on).
+// syncEpoch folds control-plane membership changes into the source:
+// it abandons writers whose targets were evicted *or* rejoined under a
+// new incarnation (harvesting their unconsumed windows), reconnects to
+// rejoined targets' republished rings, refreshes the partitioner view,
+// and re-pushes the harvest over the live owners. A no-op (one integer
+// compare) while the epoch is unchanged. Returns ErrFlowBroken when no
+// target survives, or when this source was itself evicted (epoch
+// fencing: its peers have moved on).
 func (s *Source) syncEpoch(p *sim.Proc) error {
 	if s.mem == nil || s.mem.Epoch() == s.epoch {
 		return nil
@@ -146,30 +169,31 @@ func (s *Source) syncEpoch(p *sim.Proc) error {
 			return fmt.Errorf("%w: source %d was evicted from flow %q (epoch %d)",
 				ErrFlowBroken, s.idx, s.spec.Name, s.epoch)
 		}
-		// Survivor table first: harvested tuples re-route over the
-		// post-eviction membership.
-		s.alive = s.alive[:0]
+		// Harvest writers whose rings are gone: targets evicted this
+		// epoch, and targets that rejoined with fresh rings (incarnation
+		// bump) — anything in flight to the previous incarnation will
+		// never be consumed.
 		for i, w := range s.writers {
-			s.evictedIdx[i] = w == nil || s.mem.TargetEvicted(i)
-			if !s.evictedIdx[i] {
-				s.alive = append(s.alive, i)
+			if w == nil || w.dead {
+				continue
 			}
-		}
-		if len(s.alive) == 0 {
-			return fmt.Errorf("%w: every target of flow %q evicted (epoch %d)", ErrFlowBroken, s.spec.Name, s.epoch)
-		}
-		// Harvest writers that died this epoch. Replicate legs are
-		// dropped rather than drained: every survivor already receives
-		// its own copy of the stream.
-		for i, w := range s.writers {
-			if w == nil || w.dead || !s.evictedIdx[i] {
+			if !s.mem.TargetEvicted(i) && s.targetInc(i) == s.winc[i] {
 				continue
 			}
 			for _, data := range w.abandon(s.spec.Schema.TupleSize()) {
 				pending = append(pending, pendingTuple{data: data, from: i})
 			}
 		}
+		s.reconnectRejoined(p)
+		// View after reconnect: harvested tuples re-route over the
+		// post-change membership — a rejoined target's own harvest
+		// lands back on its fresh rings.
+		if err := s.refreshView(); err != nil {
+			return fmt.Errorf("%w: every target of flow %q evicted (epoch %d)", ErrFlowBroken, s.spec.Name, s.epoch)
+		}
 		if s.spec.FlowType() == ReplicateFlow {
+			// Replicate legs are dropped rather than drained: every
+			// survivor already receives its own copy of the stream.
 			pending = nil
 		}
 		for len(pending) > 0 {
@@ -189,6 +213,33 @@ func (s *Source) syncEpoch(p *sim.Proc) error {
 	}
 }
 
+// reconnectRejoined replaces writers whose target slot rejoined the
+// flow under a fresh incarnation (and fills slots that were evicted at
+// open time and have since come back): the retired writer's local ring
+// stays registered until Free — its harvest is still being re-pushed —
+// and a new writer attaches to the rings the target republished before
+// its Rejoin bumped the epoch.
+func (s *Source) reconnectRejoined(p *sim.Proc) {
+	for i := range s.writers {
+		if s.mem.TargetEvicted(i) {
+			continue
+		}
+		inc := s.targetInc(i)
+		if w := s.writers[i]; w != nil && !w.dead && inc == s.winc[i] {
+			continue
+		}
+		info, ok := s.reg.TargetInfo(p, s.spec.Name, i)
+		if !ok {
+			continue // never published; WaitTargetLive said evicted at open
+		}
+		if old := s.writers[i]; old != nil {
+			s.retired = append(s.retired, old)
+		}
+		s.writers[i] = s.connectWriter(info.(*targetInfo), i, inc)
+		s.winc[i] = inc
+	}
+}
+
 // repush routes one harvested tuple to a surviving writer. During Close,
 // survivors that already sent FLOW_END cannot take tuples anymore; the
 // re-push then folds onto any still-open survivor (phase ordering makes
@@ -197,7 +248,7 @@ func (s *Source) repush(p *sim.Proc, t schema.Tuple, from int) error {
 	w := s.writers[s.remap(t, from)]
 	if w.closed || w.dead {
 		w = nil
-		for _, i := range s.alive {
+		for _, i := range s.view.LiveSlots() {
 			if cw := s.writers[i]; !cw.closed && !cw.dead {
 				w = cw
 				break
@@ -214,6 +265,11 @@ func (s *Source) repush(p *sim.Proc, t schema.Tuple, from int) error {
 // after evictions.
 func (s *Source) Rerouted() uint64 { return s.rerouted }
 
+// Moved returns the number of tuples pushed directly to a live owner
+// other than their declared home (steady-state rebalance traffic while
+// the home slot is down; harvested re-pushes count under Rerouted).
+func (s *Source) Moved() uint64 { return s.moved }
+
 // Epoch returns the last membership epoch the source has folded in.
 func (s *Source) Epoch() uint64 { return s.epoch }
 
@@ -228,16 +284,22 @@ func (t *Target) acquireTargetLease(p *sim.Proc, reg *registry.Registry, name st
 	if err := reg.AcquireLease(p, name, registry.RoleTarget, t.idx, o.LeaseTTL, o.SuspectGrace); err != nil {
 		return err
 	}
-	spawnLeaseHeartbeat(p, reg, t.node, name, registry.RoleTarget, t.idx, o.LeaseTTL,
+	inc := uint64(0)
+	if m := reg.MembershipOf(name); m != nil {
+		inc = m.Incarnation(registry.RoleTarget, t.idx)
+	}
+	spawnLeaseHeartbeat(p, reg, t.node, name, registry.RoleTarget, t.idx, o.LeaseTTL, inc,
 		func() bool { return t.done || t.evicted })
 	return nil
 }
 
 // syncMembership folds membership changes into the target's ring state:
 // rings of evicted sources are closed (reported like SourceTimeout
-// failures, so FailedSources covers both detectors), and a target that
-// was itself evicted stops consuming. Reports whether the target is
-// evicted. A no-op (one integer compare) while the epoch is unchanged.
+// failures, so FailedSources covers both detectors), rings of sources
+// that rejoined under a fresh incarnation are reset for the new stream,
+// and a target that was itself evicted stops consuming. Reports whether
+// the target is evicted. A no-op (one integer compare) while the epoch
+// is unchanged.
 func (t *Target) syncMembership() bool {
 	if t.mem == nil {
 		return false
@@ -252,6 +314,14 @@ func (t *Target) syncMembership() bool {
 		return true
 	}
 	for i, r := range t.readers {
+		if inc := t.mem.Incarnation(registry.RoleSource, i); inc != r.inc {
+			// The source rejoined: its new writer streams from sequence 0
+			// into this ring. Clear the corpse's state so the new stream
+			// is consumable and its stale footers cannot replay.
+			t.resetRing(r)
+			r.inc = inc
+			continue
+		}
 		if !r.closed && t.mem.SourceEvicted(i) {
 			r.closed = true
 			r.failed = true

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"dfi/internal/core/partition"
 	"dfi/internal/fabric"
 	"dfi/internal/registry"
 	"dfi/internal/schema"
@@ -25,25 +26,34 @@ type Source struct {
 	spec *FlowSpec
 	idx  int
 	node *fabric.Node
+	reg  *registry.Registry
 
 	// writers holds one ring writer per target. An entry is nil only
 	// when its target was already evicted from the flow membership at
-	// open time; such slots are routed around from the start.
+	// open time; such slots are routed around from the start. winc is
+	// the target incarnation each writer connected under: a bump means
+	// the target rejoined with fresh rings and the writer must be
+	// harvested and replaced (see lifecycle.go). retired keeps replaced
+	// writers alive until Free — harvested tuples view their local
+	// rings.
 	writers []*ringWriter
+	winc    []uint64
+	retired []*ringWriter
 	mc      *mcSource // multicast replicate transport, if enabled
 
 	// Control-plane membership (see lifecycle.go). mem is the flow's
-	// epoch-versioned record (nil for multicast transports); epoch is the
-	// last value folded in; alive/evictedIdx are the survivor routing
-	// table of that epoch.
-	mem        *registry.Membership
-	epoch      uint64
-	alive      []int
-	evictedIdx []bool
-	rerouted   uint64
+	// epoch-versioned record (nil for multicast transports); epoch is
+	// the last value folded in; view is the partitioner joined with that
+	// epoch's liveness — the survivor routing state.
+	mem      *registry.Membership
+	epoch    uint64
+	view     *partition.View
+	rerouted uint64
+	moved    uint64
 
 	pendingCharge int
 	pushed        uint64
+	watermark     uint64
 	closed        bool
 }
 
@@ -57,7 +67,7 @@ func SourceOpen(p *sim.Proc, reg *registry.Registry, name string, sourceIdx int)
 	if sourceIdx < 0 || sourceIdx >= len(spec.Sources) {
 		return nil, fmt.Errorf("dfi: source index %d out of range for flow %q", sourceIdx, name)
 	}
-	s := &Source{meta: meta, spec: spec, idx: sourceIdx, node: spec.Sources[sourceIdx].Node}
+	s := &Source{meta: meta, spec: spec, idx: sourceIdx, node: spec.Sources[sourceIdx].Node, reg: reg}
 	if spec.Options.Multicast {
 		mc, err := newMcSource(p, reg, meta, sourceIdx)
 		if err != nil {
@@ -69,22 +79,47 @@ func SourceOpen(p *sim.Proc, reg *registry.Registry, name string, sourceIdx int)
 	if err := s.acquireSourceLease(p, reg, name); err != nil {
 		return nil, err
 	}
-	for t := range spec.Targets {
-		info, evicted := reg.WaitTargetLive(p, name, t)
+	return s, s.connectAll(p, name)
+}
+
+// connectAll connects one writer per target ring and initializes the
+// membership view — the shared tail of SourceOpen, AttachSource, and
+// Reattach.
+func (s *Source) connectAll(p *sim.Proc, name string) error {
+	s.mem = s.reg.MembershipOf(name)
+	for t := range s.spec.Targets {
+		inc := s.targetInc(t)
+		info, evicted := s.reg.WaitTargetLive(p, name, t)
 		if evicted {
 			s.writers = append(s.writers, nil)
+			s.winc = append(s.winc, s.targetInc(t))
 			continue
 		}
-		ti := info.(*targetInfo)
-		w := newRingWriter(meta.cluster, s.node, ti, ti.ringOffs[sourceIdx], &spec.Options)
-		tidx := t
-		w.evicted = func() bool { return s.mem != nil && s.mem.TargetEvicted(tidx) }
-		s.writers = append(s.writers, w)
+		s.writers = append(s.writers, s.connectWriter(info.(*targetInfo), t, inc))
+		s.winc = append(s.winc, inc)
 	}
-	if err := s.initMembership(reg, name); err != nil {
-		return nil, err
+	return s.initMembership(name)
+}
+
+// targetInc reads a target slot's current incarnation from the
+// membership record (0 without one).
+func (s *Source) targetInc(i int) uint64 {
+	if s.mem == nil {
+		return 0
 	}
-	return s, nil
+	return s.mem.Incarnation(registry.RoleTarget, i)
+}
+
+// connectWriter builds the ring writer for target slot i under
+// incarnation inc. The eviction probe also fires on an incarnation
+// bump: a writer connected to a rejoined target's *previous* rings can
+// never be drained and must be harvested like one whose target died.
+func (s *Source) connectWriter(ti *targetInfo, i int, inc uint64) *ringWriter {
+	w := newRingWriter(s.meta.cluster, s.node, ti, ti.ringOffs[s.idx], &s.spec.Options)
+	w.evicted = func() bool {
+		return s.mem != nil && (s.mem.TargetEvicted(i) || s.mem.Incarnation(registry.RoleTarget, i) != inc)
+	}
+	return w
 }
 
 // Schema returns the flow's tuple schema.
@@ -144,16 +179,17 @@ func (s *Source) Push(p *sim.Proc, t schema.Tuple) error {
 	}
 }
 
-// pushReplicate copies one tuple to every live ring-replicate leg. A leg
-// whose target gets evicted mid-push is dropped — the survivors carry
-// their own complete copies — and the dead writer's buffered window is
-// discarded by syncEpoch rather than drained.
+// pushReplicate copies one tuple to every live ring-replicate leg —
+// liveness comes from the same partitioner view the routed flows use. A
+// leg whose target gets evicted mid-push is dropped: the survivors
+// carry their own complete copies, and the dead writer's buffered
+// window is discarded by syncEpoch rather than drained.
 func (s *Source) pushReplicate(p *sim.Proc, t schema.Tuple) error {
 	if err := s.syncEpoch(p); err != nil {
 		return err
 	}
-	for _, w := range s.writers {
-		if w == nil || w.dead {
+	for i, w := range s.writers {
+		if w == nil || w.dead || !s.view.Live(i) {
 			continue
 		}
 		err := s.pushWriter(p, w, t)
@@ -185,8 +221,15 @@ func (s *Source) PushTo(p *sim.Proc, t schema.Tuple, target int) error {
 		if err := s.syncEpoch(p); err != nil {
 			return err
 		}
-		err := s.pushWriter(p, s.writers[s.remap(t, target)], t)
+		slot := s.remap(t, target)
+		err := s.pushWriter(p, s.writers[slot], t)
 		if !errors.Is(err, errEvicted) {
+			if err == nil && slot != target {
+				// The declared owner is down: the tuple landed on the live
+				// owner instead. Moved counts this steady-state rebalance
+				// traffic; Rerouted counts harvested re-pushes.
+				s.moved++
+			}
 			return err
 		}
 		// The routed target died mid-push (the tuple was not appended):
@@ -372,7 +415,8 @@ func (s *Source) ProbeStats() (probes, misses int, backoff sim.Time) {
 	return
 }
 
-// Free deregisters the source's buffers (after Close).
+// Free deregisters the source's buffers (after Close), including
+// writers retired when their target rejoined under fresh rings.
 func (s *Source) Free() {
 	for _, w := range s.writers {
 		if w == nil {
@@ -380,9 +424,112 @@ func (s *Source) Free() {
 		}
 		w.free()
 	}
+	for _, w := range s.retired {
+		w.free()
+	}
 	if s.mc != nil {
 		s.mc.free()
 	}
+}
+
+// Checkpoint flushes the source, waits until every tuple pushed so far
+// is confirmed consumed by its target, and records the pushed count as
+// the source's confirmed watermark in the registry. Should this source
+// later be evicted, Reattach resumes from the last checkpointed
+// watermark, and no tuple below it is ever re-pushed — Checkpoint is
+// the boundary that turns the eviction's at-least-once window into
+// exactly-once for everything behind it. Requires delivery confirmation
+// (Options.RetransmitTimeout; set implicitly by LeaseTTL).
+func (s *Source) Checkpoint(p *sim.Proc) (uint64, error) {
+	if s.mc != nil {
+		return 0, errors.New("dfi: checkpoint is not supported on multicast replicate flows")
+	}
+	if s.spec.Options.RetransmitTimeout <= 0 {
+		return 0, errors.New("dfi: Checkpoint requires Options.RetransmitTimeout for delivery confirmation")
+	}
+	s.settleCharge(p)
+	for {
+		if err := s.syncEpoch(p); err != nil {
+			return 0, err
+		}
+		again := false
+		for _, w := range s.writers {
+			if w == nil || w.dead || w.closed {
+				continue
+			}
+			err := w.finish(p)
+			if errors.Is(err, errEvicted) {
+				again = true
+				break
+			}
+			if err != nil {
+				return 0, err
+			}
+		}
+		if !again && (s.mem == nil || s.mem.Epoch() == s.epoch) {
+			break
+		}
+	}
+	if s.mem != nil {
+		if err := s.reg.SetWatermark(p, s.spec.Name, registry.RoleSource, s.idx, s.pushed); err != nil {
+			return 0, err
+		}
+	}
+	s.watermark = s.pushed
+	return s.pushed, nil
+}
+
+// Watermark returns the last watermark this source checkpointed (0
+// before the first Checkpoint).
+func (s *Source) Watermark() uint64 { return s.watermark }
+
+// Slot returns the source's slot index within the flow.
+func (s *Source) Slot() int { return s.idx }
+
+// Reattach rejoins a flow from which this source was evicted and
+// returns a fresh Source plus the confirmed watermark to resume from:
+// the application re-pushes its input from that point (tuples between
+// the watermark and the eviction may reach targets twice — the
+// at-least-once boundary documented in docs/PROTOCOL.md). On a
+// non-elastic flow the source reclaims its old slot under a fresh
+// incarnation; targets observe the incarnation bump and reset the
+// slot's rings for the new stream. On an elastic flow the identity
+// transfers to a fresh slot through the ordinary attach machinery
+// (slots are never recycled there). Requires Options.RetransmitTimeout:
+// a ring reset racing the new stream is healed by retransmission.
+func (s *Source) Reattach(p *sim.Proc) (*Source, uint64, error) {
+	if s.mc != nil {
+		return nil, 0, errors.New("dfi: multicast replicate sources cannot re-attach")
+	}
+	if s.spec.Options.RetransmitTimeout <= 0 {
+		return nil, 0, errors.New("dfi: Reattach requires Options.RetransmitTimeout")
+	}
+	name := s.spec.Name
+	if s.spec.Options.Elastic {
+		ns, err := AttachSource(p, s.reg, name, s.spec.Sources[s.idx])
+		if err != nil {
+			return nil, 0, err
+		}
+		rj, err := s.reg.Rejoin(p, name, registry.RoleSource, s.idx, ns.idx)
+		if err != nil {
+			return nil, 0, err
+		}
+		ns.watermark = rj.Watermark
+		return ns, rj.Watermark, nil
+	}
+	rj, err := s.reg.Rejoin(p, name, registry.RoleSource, s.idx, s.idx)
+	if err != nil {
+		return nil, 0, err
+	}
+	ns := &Source{meta: s.meta, spec: s.spec, idx: s.idx, node: s.node, reg: s.reg}
+	ns.watermark = rj.Watermark
+	if err := ns.acquireSourceLease(p, s.reg, name); err != nil {
+		return nil, 0, err
+	}
+	if err := ns.connectAll(p, name); err != nil {
+		return nil, 0, err
+	}
+	return ns, rj.Watermark, nil
 }
 
 // FlowType returns the type declared in the spec. The spec stores it

@@ -33,8 +33,14 @@ type SourceStats struct {
 	// Retransmits counts segments rewritten by loss recovery.
 	Retransmits int
 	// Rerouted counts tuples re-pushed to surviving targets after a
-	// membership eviction (see lifecycle.go).
+	// membership eviction — the harvest of a dead writer's unconsumed
+	// window (see lifecycle.go).
 	Rerouted uint64
+	// Moved counts tuples whose declared owner was down at push time and
+	// that the partitioner routed to the live owner instead — the
+	// steady-state rebalance traffic, split from Rerouted so rebalance
+	// cost is observable per scheme.
+	Moved uint64
 }
 
 func (s SourceStats) String() string {
@@ -47,14 +53,19 @@ func (s SourceStats) String() string {
 	if s.Rerouted > 0 {
 		out += fmt.Sprintf(" rerouted=%d", s.Rerouted)
 	}
+	if s.Moved > 0 {
+		out += fmt.Sprintf(" moved=%d", s.Moved)
+	}
 	return out
 }
 
 // Stats returns the source's counters. Multicast replicate sources report
 // segment counts from their multicast transport.
 func (s *Source) Stats() SourceStats {
-	st := SourceStats{TuplesPushed: s.pushed, Rerouted: s.rerouted}
-	for _, w := range s.writers {
+	st := SourceStats{TuplesPushed: s.pushed, Rerouted: s.rerouted, Moved: s.moved}
+	writers := s.writers
+	writers = append(writers[:len(writers):len(writers)], s.retired...)
+	for _, w := range writers {
 		if w == nil {
 			continue
 		}

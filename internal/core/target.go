@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
@@ -25,6 +26,7 @@ type Target struct {
 	spec *FlowSpec
 	idx  int
 	node *fabric.Node
+	reg  *registry.Registry
 
 	mr      *fabric.MemoryRegion
 	geom    ringGeom
@@ -48,6 +50,10 @@ type Target struct {
 
 	consumed uint64
 	done     bool
+
+	// resumedFrom is the consumption watermark carried over from the
+	// previous incarnation by Reattach (0 for a first attachment).
+	resumedFrom uint64
 }
 
 // ringReader tracks consumption of one source's ring.
@@ -56,6 +62,11 @@ type ringReader struct {
 	rslot    int
 	consumed uint64 // segments consumed, mirrored into the ring header
 	closed   bool
+
+	// inc is the source incarnation this ring's state belongs to; a
+	// membership bump means the source rejoined and the ring is reset
+	// for its new stream (see Target.resetRing).
+	inc uint64
 
 	// Failure detection (Options.SourceTimeout). hasActivity
 	// distinguishes "never heard from" (grace period pending) from a ring
@@ -91,23 +102,10 @@ func TargetOpen(p *sim.Proc, reg *registry.Registry, name string, targetIdx int)
 		t.mc = mc
 		return t, nil
 	}
+	t.reg = reg
 	t.geom = ringGeom{segSize: spec.Options.SegmentSize, nSegs: spec.Options.SegmentsPerRing}
-	nSources := len(spec.Sources)
-	if spec.Options.Elastic {
-		// Elastic flows pre-provision rings for every possible slot.
-		nSources = spec.Options.MaxSources
-	}
-	t.mr = meta.cluster.RegisterMemory(t.node, nSources*t.geom.ringLen())
-	info := &targetInfo{mr: t.mr, geom: t.geom}
-	for i := 0; i < nSources; i++ {
-		off := i * t.geom.ringLen()
-		info.ringOffs = append(info.ringOffs, off)
-		t.readers = append(t.readers, &ringReader{ringOff: off})
-	}
-	t.mem = reg.MembershipOf(name)
-	if t.mem != nil {
-		t.epoch = t.mem.Epoch()
-	}
+	info := t.allocRings()
+	t.initTargetMembership(reg.MembershipOf(name))
 	if err := t.acquireTargetLease(p, reg, name); err != nil {
 		return nil, err
 	}
@@ -115,6 +113,66 @@ func TargetOpen(p *sim.Proc, reg *registry.Registry, name string, targetIdx int)
 		return nil, err
 	}
 	return t, nil
+}
+
+// allocRings allocates the target's receive memory — one ring per
+// source slot (every possible slot on elastic flows) — and returns the
+// connection info to publish.
+func (t *Target) allocRings() *targetInfo {
+	nSources := len(t.spec.Sources)
+	if t.spec.Options.Elastic {
+		nSources = t.spec.Options.MaxSources
+	}
+	t.mr = t.meta.cluster.RegisterMemory(t.node, nSources*t.geom.ringLen())
+	info := &targetInfo{mr: t.mr, geom: t.geom}
+	for i := 0; i < nSources; i++ {
+		off := i * t.geom.ringLen()
+		info.ringOffs = append(info.ringOffs, off)
+		t.readers = append(t.readers, &ringReader{ringOff: off})
+	}
+	return info
+}
+
+// initTargetMembership snapshots the membership the fresh rings attach
+// under: the current epoch, per-reader source incarnations, and rings
+// of already-evicted sources closed up front (a re-attaching target
+// missed those epochs while it was down).
+func (t *Target) initTargetMembership(mem *registry.Membership) {
+	t.mem = mem
+	if mem == nil {
+		return
+	}
+	t.epoch = mem.Epoch()
+	for i, r := range t.readers {
+		r.inc = mem.Incarnation(registry.RoleSource, i)
+		if mem.SourceEvicted(i) {
+			r.closed = true
+			r.failed = true
+		} else if mem.State(registry.RoleSource, i) == registry.StateLeft {
+			// The source finished and released its lease while this target
+			// was down; its end-of-flow marker went to the previous
+			// incarnation's rings.
+			r.closed = true
+		}
+	}
+}
+
+// closeLeftRings closes rings whose sources left the flow gracefully
+// (released their leases after Close). A first attachment sees the
+// end-of-flow marker in the ring itself; a re-attached target may have
+// missed it — the marker went to the previous incarnation's rings — and
+// would otherwise wait forever on a source that no longer exists. A Left
+// source has confirmed every data segment consumed (Close confirms
+// before the marker goes out), so only the marker can be skipped here.
+func (t *Target) closeLeftRings(n int) {
+	if t.mem == nil {
+		return
+	}
+	for i, r := range t.readers[:n] {
+		if !r.closed && t.mem.State(registry.RoleSource, i) == registry.StateLeft {
+			r.closed = true
+		}
+	}
 }
 
 // Schema returns the flow's tuple schema.
@@ -130,6 +188,27 @@ func (t *Target) footer(r *ringReader) []byte {
 func (t *Target) payload(r *ringReader, fill int) []byte {
 	off := r.ringOff + t.geom.segOff(r.rslot)
 	return t.mr.Bytes()[off : off+fill]
+}
+
+// resetRing restarts reader r for a rejoined source's new incarnation:
+// consumption state returns to slot 0 / sequence 0, failure detection
+// starts over, and every footer plus the header counter is zeroed with
+// local stores (free on the owning node) so stale segments from the
+// previous incarnation can never satisfy the consumable check. A WRITE
+// from the new writer racing the reset is healed by the writer's
+// retransmission machinery (Reattach requires RetransmitTimeout).
+func (t *Target) resetRing(r *ringReader) {
+	r.closed, r.failed = false, false
+	r.consumed, r.rslot = 0, 0
+	r.hasActivity = false
+	for i := 0; i < t.geom.nSegs; i++ {
+		off := r.ringOff + t.geom.segOff(i) + t.geom.segSize
+		f := t.mr.Bytes()[off : off+footerBytes]
+		for j := range f {
+			f[j] = 0
+		}
+	}
+	binary.LittleEndian.PutUint64(t.mr.Bytes()[r.ringOff:r.ringOff+8], 0)
 }
 
 // release marks reader r's current slot writable again and advances the
@@ -233,6 +312,7 @@ func (t *Target) nextSegment(p *sim.Proc) bool {
 			return false
 		}
 		t.detectFailures(p, len(t.readers))
+		t.closeLeftRings(len(t.readers))
 		// Commits that landed while this scan charged CPU bump the
 		// sequence number, so the wait returns immediately — no lost
 		// wake-ups.
@@ -358,6 +438,65 @@ func (t *Target) FailedSources() []int {
 
 // Consumed returns the number of tuples consumed so far.
 func (t *Target) Consumed() uint64 { return t.consumed }
+
+// ResumedFrom returns the consumption watermark the target carried over
+// from its previous incarnation via Reattach (0 for a first
+// attachment). Consumed counts only the current incarnation's tuples.
+func (t *Target) ResumedFrom() uint64 { return t.resumedFrom }
+
+// Slot returns the target's slot index within the flow.
+func (t *Target) Slot() int { return t.idx }
+
+// Reattach rejoins the flow after this target was evicted, reclaiming
+// its old slot under a fresh incarnation: new rings are allocated and
+// republished, then the registry Rejoin bumps the flow epoch so every
+// source reconnects — under ring partitioning the slot takes back
+// exactly the arcs it lost, under modulo its keys rehash home. The
+// returned Target resumes consumption; ResumedFrom reports the previous
+// incarnation's consumed count. Tuples in flight to the dead
+// incarnation were harvested and re-pushed by the sources, so the
+// stream is complete across the gap at least-once (exactly-once behind
+// the sources' checkpointed watermarks). Rejoining a slot that was
+// never evicted is refused, as is re-attaching from a crashed node.
+func (t *Target) Reattach(p *sim.Proc) (*Target, error) {
+	if t.mc != nil {
+		return nil, errors.New("dfi: multicast replicate targets cannot re-attach")
+	}
+	if t.spec.Options.RetransmitTimeout <= 0 {
+		return nil, errors.New("dfi: Reattach requires Options.RetransmitTimeout")
+	}
+	if t.node.Crashed(p.Now()) {
+		return nil, fmt.Errorf("dfi: target %d of flow %q cannot re-attach from crashed node %d", t.idx, t.spec.Name, t.node.ID())
+	}
+	name := t.spec.Name
+	nt := &Target{
+		meta:        t.meta,
+		spec:        t.spec,
+		idx:         t.idx,
+		node:        t.node,
+		reg:         t.reg,
+		tupleSize:   t.tupleSize,
+		geom:        t.geom,
+		resumedFrom: t.consumed,
+	}
+	info := nt.allocRings()
+	// Fresh rings first, then the epoch bump: sources folding the rejoin
+	// epoch must find the republished rings. RepublishTarget is fenced to
+	// evicted slots, so a rejoin of a live slot is rejected here before
+	// any membership change.
+	if err := t.reg.RepublishTarget(p, name, t.idx, info); err != nil {
+		nt.mr.Deregister()
+		return nil, fmt.Errorf("dfi: rejoin of target %d rejected: %w", t.idx, err)
+	}
+	if _, err := t.reg.Rejoin(p, name, registry.RoleTarget, t.idx, t.idx); err != nil {
+		return nil, fmt.Errorf("dfi: rejoin of target %d rejected: %w", t.idx, err)
+	}
+	nt.initTargetMembership(t.reg.MembershipOf(name))
+	if err := nt.acquireTargetLease(p, t.reg, name); err != nil {
+		return nil, err
+	}
+	return nt, nil
+}
 
 // Done reports whether the flow has ended at this target.
 func (t *Target) Done() bool { return t.done }

@@ -78,6 +78,14 @@ type lease struct {
 	ttl   time.Duration
 	grace time.Duration
 	gen   uint64 // bumped on every (re)arm/cancel; pending timers check it
+
+	// inc is the slot's incarnation, bumped by every Rejoin: peers use it
+	// to tell a rejoined endpoint from the evicted one it replaces (stale
+	// heartbeats and writers fence themselves on a mismatch). watermark
+	// is the endpoint's last confirmed progress (SetWatermark), handed
+	// back by Rejoin so a re-attached endpoint knows where to resume.
+	inc       uint64
+	watermark uint64
 }
 
 // Membership is the epoch-versioned membership record of one flow. The
@@ -120,6 +128,25 @@ func (m *Membership) TargetEvicted(idx int) bool { return m.Evicted(RoleTarget, 
 
 // SourceEvicted reports whether source slot idx has been evicted.
 func (m *Membership) SourceEvicted(idx int) bool { return m.Evicted(RoleSource, idx) }
+
+// Incarnation returns the endpoint slot's incarnation: 0 until the slot
+// first rejoins after an eviction, bumped by every Rejoin. Like Epoch it
+// is a local cache read.
+func (m *Membership) Incarnation(role Role, idx int) uint64 {
+	if l, ok := m.eps[epKey{role, idx}]; ok {
+		return l.inc
+	}
+	return 0
+}
+
+// Watermark returns the endpoint slot's last recorded confirmed
+// watermark (see Registry.SetWatermark).
+func (m *Membership) Watermark(role Role, idx int) uint64 {
+	if l, ok := m.eps[epKey{role, idx}]; ok {
+		return l.watermark
+	}
+	return 0
+}
 
 // EvictedTargets returns the evicted target slots in ascending order.
 func (m *Membership) EvictedTargets() []int {
@@ -196,8 +223,9 @@ func (r *Registry) MembershipOf(name string) *Membership {
 // AcquireLease grants the endpoint slot a lease with the given TTL and
 // Suspect grace period (grace defaults to ttl when zero). Acquiring is
 // fenced: a slot that was already evicted cannot re-acquire — the epoch
-// that evicted it has been observed by its peers, so the endpoint must
-// re-attach under a fresh slot instead (see ROADMAP).
+// that evicted it has been observed by its peers. Re-admission goes
+// through Rejoin, which bumps the slot's incarnation (and the flow
+// epoch) so peers can tell the new endpoint from the corpse.
 func (r *Registry) AcquireLease(p *sim.Proc, flow string, role Role, idx int, ttl, grace time.Duration) error {
 	r.rpc(p)
 	m, ok := r.membership(flow)
@@ -285,6 +313,96 @@ func (r *Registry) Evict(p *sim.Proc, flow string, role Role, idx int) error {
 		}
 		l.gen++ // orphan any pending expiry check
 		m.evict(k, l)
+		return nil
+	})
+}
+
+// Rejoined is Rejoin's result: the slot's fresh incarnation and the
+// confirmed watermark recorded before the eviction, from which the
+// re-attached endpoint resumes.
+type Rejoined struct {
+	Incarnation uint64
+	Watermark   uint64
+}
+
+// Rejoin re-admits an evicted endpoint to the flow — the sanctioned way
+// back through the epoch fence. With newIdx == idx the endpoint
+// reclaims its old slot under a fresh incarnation: the slot turns
+// Active, its lease timer is re-armed (when it ever held one), and the
+// flow epoch is bumped so peers reconnect — under ring partitioning the
+// slot takes back exactly the arcs it lost. With newIdx != idx the
+// identity transfers to a fresh slot instead (elastic flows, where
+// slots are never recycled): the old slot stays fenced and the new slot
+// inherits the watermark. Rejoining a slot that is not evicted is an
+// error — there is nothing to re-admit, and callers (cmd/dfiflow) treat
+// it as a rejected rejoin.
+func (r *Registry) Rejoin(p *sim.Proc, flow string, role Role, idx, newIdx int) (Rejoined, error) {
+	var out Rejoined
+	err := r.invoke(p, func() error {
+		m, ok := r.membership(flow)
+		if !ok {
+			return fmt.Errorf("registry: flow %q not published", flow)
+		}
+		k := epKey{role, idx}
+		l := m.eps[k]
+		if l == nil || l.state != StateEvicted {
+			return fmt.Errorf("registry: %s %d of flow %q is not evicted (state %v); rejoin rejected",
+				role, idx, flow, m.State(role, idx))
+		}
+		if newIdx == idx {
+			l.gen++ // orphan pre-eviction timers
+			l.inc++
+			l.state = StateActive
+			if l.ttl > 0 {
+				m.arm(k, l)
+			}
+			m.epoch++
+			m.r.cond.Broadcast()
+			out = Rejoined{Incarnation: l.inc, Watermark: l.watermark}
+			return nil
+		}
+		nk := epKey{role, newIdx}
+		nl := m.eps[nk]
+		if nl == nil {
+			nl = &lease{}
+			m.eps[nk] = nl
+		}
+		if nl.state == StateEvicted {
+			return fmt.Errorf("registry: cannot transfer %s %d of flow %q onto evicted slot %d",
+				role, idx, flow, newIdx)
+		}
+		// No epoch bump: the fresh slot announces itself through the
+		// normal attach path; the old slot's eviction epoch already
+		// rerouted its work.
+		nl.watermark = l.watermark
+		out = Rejoined{Incarnation: nl.inc, Watermark: nl.watermark}
+		return nil
+	})
+	return out, err
+}
+
+// SetWatermark durably records an endpoint's confirmed progress (e.g. a
+// source's count of tuples confirmed consumed by their targets). After
+// an eviction, Rejoin returns the last recorded value so the endpoint
+// resumes there instead of from zero. Recording on an evicted slot is
+// refused: the fence also protects the watermark from a wedged
+// endpoint's late writes.
+func (r *Registry) SetWatermark(p *sim.Proc, flow string, role Role, idx int, watermark uint64) error {
+	return r.invoke(p, func() error {
+		m, ok := r.membership(flow)
+		if !ok {
+			return fmt.Errorf("registry: flow %q not published", flow)
+		}
+		k := epKey{role, idx}
+		l := m.eps[k]
+		if l == nil {
+			l = &lease{}
+			m.eps[k] = l
+		}
+		if l.state == StateEvicted {
+			return fmt.Errorf("registry: %s %d of flow %q was evicted; watermark refused", role, idx, flow)
+		}
+		l.watermark = watermark
 		return nil
 	})
 }

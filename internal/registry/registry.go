@@ -161,6 +161,40 @@ func (r *Registry) PublishTarget(p *sim.Proc, name string, idx int, info any) er
 	})
 }
 
+// RepublishTarget replaces the connection info of a target slot that is
+// awaiting rejoin — a re-attaching target allocates fresh rings and must
+// publish them *before* Rejoin bumps the epoch, so every source that
+// folds the rejoin epoch finds the new rings. Only evicted slots may
+// republish: live info must never be clobbered from under connected
+// sources.
+func (r *Registry) RepublishTarget(p *sim.Proc, name string, idx int, info any) error {
+	return r.invoke(p, func() error {
+		e, ok := r.flows[name]
+		if !ok {
+			return fmt.Errorf("registry: flow %q not published", name)
+		}
+		if e.mem == nil || !e.mem.TargetEvicted(idx) {
+			return fmt.Errorf("registry: flow %q target %d is not evicted; republish refused", name, idx)
+		}
+		e.targets[idx] = info
+		r.cond.Broadcast()
+		return nil
+	})
+}
+
+// TargetInfo returns target idx's currently published info without
+// blocking — sources use it to reconnect to a rejoined target whose
+// info was republished.
+func (r *Registry) TargetInfo(p *sim.Proc, name string, idx int) (any, bool) {
+	r.rpc(p)
+	e, ok := r.flows[name]
+	if !ok {
+		return nil, false
+	}
+	info, ok := e.targets[idx]
+	return info, ok
+}
+
 // WaitTarget blocks until target idx of the named flow has published its
 // info and returns it.
 func (r *Registry) WaitTarget(p *sim.Proc, name string, idx int) any {
