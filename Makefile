@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos partition-race
+.PHONY: all build vet test race check chaos partition-race bench bench-update
 
 all: check
 
@@ -36,5 +36,24 @@ chaos:
 # (fast enough to run on every change; the full suite lives in `race`).
 partition-race:
 	$(GO) test -race -count=1 ./internal/core/... ./internal/registry/...
+
+# Figure benchmarks behind the bench-regression harness. `bench` fails
+# when wall-clock ns/op regresses >10% against the committed baseline
+# (override with BENCH_TOLERANCE=0.25) or when any virtual-time metric
+# (GiB/s, mpi-over-dfi, ...) drifts at all — virtual drift means the
+# change altered simulated behavior. `bench-update` re-records the
+# current section of BENCH_PR4.json (the baseline stays frozen).
+BENCH_PATTERN ?= Fig7aShuffleBandwidth|Fig8aReplicateNaive|Fig8bReplicateMulticast|Fig11CollectiveShuffle
+BENCH_FILE ?= BENCH_PR4.json
+
+bench:
+	$(GO) build -o bin/dfibench ./cmd/dfibench
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 . | tee bench.out
+	./bin/dfibench benchjson -compare $(BENCH_FILE) < bench.out
+
+bench-update:
+	$(GO) build -o bin/dfibench ./cmd/dfibench
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 . | tee bench.out
+	./bin/dfibench benchjson -update $(BENCH_FILE) < bench.out
 
 check: build vet race

@@ -33,6 +33,20 @@ func BenchmarkFig7aShuffleBandwidth(b *testing.B) {
 	}
 }
 
+// BenchmarkFig7aShuffleBandwidthBatched: the same measurement with the
+// senders pushing through PushBatch in 64-tuple chunks. The virtual
+// GiB/s must match BenchmarkFig7aShuffleBandwidth; the ns/op delta is
+// the host-side saving of the batched API.
+func BenchmarkFig7aShuffleBandwidthBatched(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bw, err := experiments.MeasureShuffleBandwidthBatched(benchSeed, 2, 1024, 8<<20, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(bw/(1<<30), "GiB/s")
+	}
+}
+
 // BenchmarkFig7bShuffleLatency: median RTT of a 16-byte request/response
 // over latency-optimized shuffle flows to 8 servers, plus the raw-verb
 // overhead delta (Figure 7b).

@@ -6,6 +6,7 @@
 //	dfibench list                 # show available experiment IDs
 //	dfibench fig7a [fig13 ...]    # run selected experiments
 //	dfibench all                  # run the full suite
+//	dfibench benchjson ...        # record/compare go-test bench output (see benchjson.go)
 //
 // Flags:
 //
@@ -35,6 +36,10 @@ func main() {
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+	if args[0] == "benchjson" {
+		benchjsonMain(args[1:])
+		return
 	}
 	if args[0] == "list" {
 		for _, e := range experiments.All {
@@ -81,6 +86,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `dfibench — regenerate the DFI paper's evaluation (SIGMOD 2021)
 
 usage: dfibench [-quick] [-seed N] <experiment-id>... | all | list
+       dfibench benchjson [-update FILE] [-compare FILE] [-tolerance F]   (go test -bench output on stdin)
 `)
 	flag.PrintDefaults()
 }

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dfi/internal/schema"
+	"dfi/internal/sim"
+)
+
+// This file is the batched data path: PushBatch routes many tuples per
+// call with one vectorized partition pass and per-target grouped copies;
+// Reserve hands the caller a zero-copy writable view into the ring
+// writer's local segment; ConsumeBatch amortizes the receive side. All
+// three are semantics-preserving: the rings they produce or drain are
+// byte-identical to the equivalent sequence of Push/Consume calls (see
+// batch_test.go), and the virtual-time CPU cost is charged through the
+// same chargeBatch accounting.
+
+// chargePushN accounts n tuples' CPU cost. The charge sequence is
+// identical to n single chargePush calls: latency mode charges every
+// tuple immediately (folded into one Compute of equal total), bandwidth
+// mode accumulates and drains in chargeBatch-sized Compute calls — so
+// batched and sequential pushes advance the virtual clock identically.
+func (s *Source) chargePushN(p *sim.Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	if s.spec.Options.Optimization == OptimizeLatency {
+		s.node.Compute(p, time.Duration(n)*s.spec.Options.PushCost)
+		return
+	}
+	s.pendingCharge += n
+	for s.pendingCharge >= chargeBatch {
+		s.node.Compute(p, chargeBatch*s.spec.Options.PushCost)
+		s.pendingCharge -= chargeBatch
+	}
+}
+
+// adjacent reports whether b begins exactly where a ends within the same
+// backing array, so the two can travel in one copy. The one-past-the-end
+// reslice is only legal when a's capacity extends past its length; the
+// pointer equality then proves b aliases the same allocation.
+func adjacent(a, b []byte) bool {
+	if cap(a) <= len(a) || len(b) == 0 {
+		return false
+	}
+	return &a[:len(a)+1][len(a)] == &b[0]
+}
+
+// PushBatch routes a whole batch of tuples into the flow in one call.
+// Shuffle and combiner flows extract every partition key in one
+// vectorized pass (schema.KeysUint64), group the tuples per target, and
+// append each group with one copy per contiguous run — so a batch carved
+// out of one buffer costs one route pass and a handful of copies instead
+// of len(tuples) of each. Replicate flows append the whole batch to every
+// live leg. The rings produced are byte-identical to pushing the same
+// tuples with sequential Push calls.
+//
+// On error, tuples already grouped into writers stay pushed (the same
+// at-least-once posture every data-path error path has); the caller
+// re-pushes the batch only on a flow-level retry protocol of its own.
+func (s *Source) PushBatch(p *sim.Proc, tuples []schema.Tuple) error {
+	if s.closed {
+		return fmt.Errorf("dfi: push on closed source of flow %q", s.spec.Name)
+	}
+	ts := s.spec.Schema.TupleSize()
+	for _, t := range tuples {
+		if len(t) != ts {
+			return fmt.Errorf("dfi: tuple size %d does not match schema size %d", len(t), ts)
+		}
+	}
+	if len(tuples) == 0 {
+		return nil
+	}
+	// Latency mode transfers per tuple by design and the multicast
+	// transport sequences per tuple — those paths keep their per-tuple
+	// semantics and gain only the amortized entry point.
+	if s.spec.Options.Optimization == OptimizeLatency || s.mc != nil {
+		for _, t := range tuples {
+			if err := s.Push(p, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	n := len(tuples)
+	// Membership changes fold in once per batch rather than once per
+	// tuple; a writer dying mid-batch surfaces as errEvicted from its
+	// append and is handled below.
+	if err := s.syncEpoch(p); err != nil {
+		return err
+	}
+	if s.spec.FlowType() == ReplicateFlow {
+		s.pushed += uint64(n)
+		s.chargePushN(p, n)
+		for i, w := range s.writers {
+			if w == nil || w.dead || !s.view.Live(i) {
+				continue
+			}
+			err := s.pushGrouped(p, w, tuples, nil, i, ts)
+			if errors.Is(err, errEvicted) {
+				// As in pushReplicate: drop the dead leg — every survivor
+				// carries its own complete copy of the stream.
+				if err := s.syncEpoch(p); err != nil {
+					return err
+				}
+				continue
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if s.spec.Routing == nil && s.spec.ShuffleKey < 0 {
+		return fmt.Errorf("dfi: flow %q declares no routing (ShuffleKey -1 and no RoutingFunc); use PushTo", s.spec.Name)
+	}
+	// Vectorized route pass.
+	if cap(s.routeScratch) < n {
+		s.routeScratch = make([]int32, n)
+	}
+	routes := s.routeScratch[:n]
+	if s.spec.Routing != nil {
+		for i, t := range tuples {
+			routes[i] = int32(s.spec.Routing(t))
+		}
+	} else {
+		s.keyScratch = s.spec.Schema.KeysUint64(s.keyScratch, tuples, s.spec.ShuffleKey)
+		tbl := s.spec.table()
+		for i, k := range s.keyScratch {
+			routes[i] = int32(tbl.Home(k))
+		}
+	}
+	if s.view.LiveCount() != len(s.writers) {
+		// Some declared owner is down: remap onto survivors exactly as
+		// sequential PushTo would, counting the rebalance traffic.
+		for i := range routes {
+			slot := s.remap(tuples[i], int(routes[i]))
+			if slot != int(routes[i]) {
+				s.moved++
+			}
+			routes[i] = int32(slot)
+		}
+	}
+	s.pushed += uint64(n)
+	s.chargePushN(p, n)
+	// Grouped append: per target, in input order, coalescing runs of
+	// consecutive memory-adjacent tuples into single copies.
+	for ti, w := range s.writers {
+		if w == nil || w.dead {
+			continue
+		}
+		if err := s.pushGrouped(p, w, tuples, routes, ti, ts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pushGrouped appends, in input order, every tuple routed to target ti
+// (or all tuples when routes is nil — the replicate case) to writer w.
+// Runs of consecutive selected tuples that abut in memory collapse into
+// one pushRun copy.
+func (s *Source) pushGrouped(p *sim.Proc, w *ringWriter, tuples []schema.Tuple, routes []int32, ti, ts int) error {
+	n := len(tuples)
+	i := 0
+	for i < n {
+		if routes != nil && int(routes[i]) != ti {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n && (routes == nil || int(routes[j]) == ti) && adjacent(tuples[j-1], tuples[j]) {
+			j++
+		}
+		if err := w.pushRun(p, tuples[i][:ts*(j-i)], ts); err != nil {
+			if routes != nil && errors.Is(err, errEvicted) {
+				// The target died mid-batch. Its unconsumed window —
+				// including any prefix of this run already appended — is
+				// harvested and re-pushed by syncEpoch inside PushTo; the
+				// rest of this target's share re-routes per tuple over the
+				// survivors (the usual at-least-once eviction window).
+				for ; i < n; i++ {
+					if int(routes[i]) != ti {
+						continue
+					}
+					if err := s.PushTo(p, tuples[i], ti); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// Batch is a writable, zero-copy view into a ring writer's current local
+// segment, obtained from Reserve/ReserveTo. Lifetime rules: the view is
+// valid until Commit, the source's Flush/Close, or an eviction of the
+// writer's target — whichever comes first — and a writer must not be
+// pushed to between Reserve and Commit (Commit detects and rejects it).
+type Batch struct {
+	s      *Source
+	w      *ringWriter
+	buf    []byte
+	n      int
+	ts     int
+	fillAt int
+	done   bool
+}
+
+// Len returns the number of reserved tuple slots (possibly fewer than
+// requested: a reservation never spans a segment boundary).
+func (b *Batch) Len() int { return b.n }
+
+// Tuple returns the i-th reserved slot as a writable tuple view.
+func (b *Batch) Tuple(i int) schema.Tuple {
+	return schema.Tuple(b.buf[i*b.ts : (i+1)*b.ts])
+}
+
+// Bytes returns the whole reserved region.
+func (b *Batch) Bytes() []byte { return b.buf }
+
+// Reserve hands out up to n writable tuple slots directly inside the ring
+// writer's current local segment: the caller fills them in place (no copy
+// into the flow) and makes them visible with Commit. Reservations never
+// span a segment boundary, so fewer than n slots may be returned — loop
+// until done, as with partial writes. Only valid on single-target
+// bandwidth flows; multi-target flows reserve per target with ReserveTo.
+func (s *Source) Reserve(p *sim.Proc, n int) (*Batch, error) {
+	if len(s.writers) != 1 {
+		return nil, fmt.Errorf("dfi: Reserve on a %d-target flow; use ReserveTo", len(s.writers))
+	}
+	return s.ReserveTo(p, 0, n)
+}
+
+// ReserveTo is Reserve against an explicit target index (paper §4.2.1
+// routing option 3, zero-copy form).
+func (s *Source) ReserveTo(p *sim.Proc, target, n int) (*Batch, error) {
+	if s.closed {
+		return nil, fmt.Errorf("dfi: reserve on closed source of flow %q", s.spec.Name)
+	}
+	if s.mc != nil {
+		return nil, errors.New("dfi: Reserve is not supported on multicast replicate flows")
+	}
+	if s.spec.Options.Optimization != OptimizeBandwidth {
+		return nil, errors.New("dfi: Reserve requires a bandwidth-optimized flow (latency mode transfers per tuple)")
+	}
+	if target < 0 || target >= len(s.writers) {
+		return nil, fmt.Errorf("dfi: target %d out of range (%d targets)", target, len(s.writers))
+	}
+	if n <= 0 {
+		return nil, errors.New("dfi: reserve of zero tuples")
+	}
+	w := s.writers[target]
+	if w == nil || w.dead {
+		return nil, fmt.Errorf("dfi: target %d evicted; route around it with Push", target)
+	}
+	if err := w.checkAbort(); err != nil {
+		return nil, err
+	}
+	ts := s.spec.Schema.TupleSize()
+	// Same boundary rule as push: flush only when not even one tuple fits,
+	// so Reserve+Commit segments the stream exactly like sequential Push.
+	if (w.geom.segSize-w.fill)/ts == 0 {
+		if err := w.flush(p, false); err != nil {
+			return nil, err
+		}
+	}
+	if avail := (w.geom.segSize - w.fill) / ts; n > avail {
+		n = avail
+	}
+	buf := w.localSeg()[w.fill : w.fill+n*ts]
+	return &Batch{s: s, w: w, buf: buf, n: n, ts: ts, fillAt: w.fill}, nil
+}
+
+// Commit publishes the first used reserved tuples into the flow (they
+// become part of the segment exactly as if pushed) and invalidates the
+// batch. used may be less than Len; the unused tail is surrendered.
+func (b *Batch) Commit(p *sim.Proc, used int) error {
+	if b.done {
+		return errors.New("dfi: batch already committed")
+	}
+	b.done = true
+	if used < 0 || used > b.n {
+		return fmt.Errorf("dfi: commit of %d tuples from a %d-tuple batch", used, b.n)
+	}
+	if b.w.dead || b.w.closed {
+		return errors.New("dfi: batch invalidated (target evicted or source closed)")
+	}
+	if b.w.fill != b.fillAt {
+		return errors.New("dfi: batch invalidated by an interleaved push or flush")
+	}
+	if used == 0 {
+		return nil
+	}
+	b.w.fill += used * b.ts
+	b.w.count += used
+	b.s.pushed += uint64(used)
+	b.s.chargePushN(p, used)
+	return nil
+}
+
+// ConsumeBatch fills dst with zero-copy tuple views from the flow,
+// blocking only until the first tuple (or flow end) is available and then
+// draining the active segment without further blocking. It returns the
+// number of views filled and ok=false once every source has closed. The
+// views obey the same lifetime rule as Consume: valid until the segment
+// is recycled by a later consume call.
+func (t *Target) ConsumeBatch(p *sim.Proc, dst []schema.Tuple) (int, bool) {
+	if t.done {
+		return 0, false
+	}
+	if len(dst) == 0 {
+		return 0, true
+	}
+	if t.mc != nil {
+		// The multicast transport sequences tuples one at a time.
+		tup, ok := t.Consume(p)
+		if !ok {
+			return 0, false
+		}
+		dst[0] = tup
+		return 1, true
+	}
+	for t.remaining == 0 {
+		if !t.nextSegment(p) {
+			return 0, false
+		}
+	}
+	n := 0
+	for n < len(dst) && t.remaining > 0 {
+		dst[n] = schema.Tuple(t.segData[t.segOff : t.segOff+t.tupleSize])
+		t.segOff += t.tupleSize
+		t.remaining--
+		n++
+	}
+	t.consumed += uint64(n)
+	return n, true
+}

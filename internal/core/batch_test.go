@@ -1,0 +1,271 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dfi/internal/fabric"
+	"dfi/internal/schema"
+	"dfi/internal/sim"
+)
+
+// The batched data path must be invisible on the wire: for every flow
+// type and both optimization modes, pushing a tuple stream through
+// PushBatch (or Reserve/Commit) must leave every target ring
+// byte-identical to pushing the same stream through sequential Push.
+// These tests run the same deterministic workload through both paths
+// and compare raw ring memory.
+
+type pushMode int
+
+const (
+	seqPush pushMode = iota
+	batchPush
+	reservePush
+)
+
+func (m pushMode) String() string {
+	return [...]string{"push", "pushbatch", "reserve"}[m]
+}
+
+// genStream builds source si's deterministic tuple stream as one
+// contiguous buffer (so PushBatch can exercise run coalescing) plus
+// per-tuple views into it.
+func genStream(seed int64, si, perSource int) ([]byte, []schema.Tuple) {
+	ts := kvSchema.TupleSize()
+	rng := rand.New(rand.NewSource(seed + int64(si)*7919))
+	buf := make([]byte, perSource*ts)
+	tuples := make([]schema.Tuple, perSource)
+	for i := 0; i < perSource; i++ {
+		tup := schema.Tuple(buf[i*ts : (i+1)*ts])
+		kvSchema.PutInt64(tup, 0, rng.Int63())
+		kvSchema.PutInt64(tup, 1, int64(si*perSource+i))
+		tuples[i] = tup
+	}
+	return buf, tuples
+}
+
+// runBatchEquiv runs one flow to completion with targets that attach but
+// never consume, and returns a snapshot of every target's raw ring
+// memory. Volumes are sized so even a worst-case routing skew fits the
+// rings without needing a consumer.
+func runBatchEquiv(t *testing.T, seed int64, ftype FlowType, opt Optimization, mode pushMode, nSrc, nTgt, perSource int) [][]byte {
+	t.Helper()
+	k := sim.New(seed)
+	k.Deadline = 30 * time.Second
+	c := fabric.NewCluster(k, nSrc+nTgt, fabric.DefaultConfig())
+	reg := newTestRegistry(k)
+
+	spec := FlowSpec{
+		Name:   "batch-equiv",
+		Type:   ftype,
+		Schema: kvSchema,
+		Options: Options{
+			Optimization:    opt,
+			SegmentsPerRing: 34,
+			SegmentSize:     4 * kvSchema.TupleSize(),
+		},
+	}
+	if opt == OptimizeLatency {
+		spec.Options.SegmentSize = 0 // latency mode defaults to tuple-sized segments
+	}
+	if ftype == CombinerFlow {
+		spec.Options.ValueCol = 1
+	}
+	for i := 0; i < nSrc; i++ {
+		spec.Sources = append(spec.Sources, Endpoint{Node: c.Node(i)})
+	}
+	for i := 0; i < nTgt; i++ {
+		node := c.Node(nSrc + i)
+		if ftype == CombinerFlow {
+			node = c.Node(nSrc) // combiner targets share one node (N:1)
+		}
+		spec.Targets = append(spec.Targets, Endpoint{Node: node})
+	}
+
+	k.Spawn("init", func(p *sim.Proc) {
+		if err := FlowInit(p, reg, c, spec); err != nil {
+			panic(err)
+		}
+	})
+	targets := make([]*Target, nTgt)
+	for ti := 0; ti < nTgt; ti++ {
+		ti := ti
+		k.Spawn(fmt.Sprintf("t%d", ti), func(p *sim.Proc) {
+			tgt, err := TargetOpen(p, reg, "batch-equiv", ti)
+			if err != nil {
+				panic(err)
+			}
+			targets[ti] = tgt // attach only; the rings keep the full stream
+		})
+	}
+	for si := 0; si < nSrc; si++ {
+		si := si
+		k.Spawn(fmt.Sprintf("s%d", si), func(p *sim.Proc) {
+			src, err := SourceOpen(p, reg, "batch-equiv", si)
+			if err != nil {
+				panic(err)
+			}
+			_, tuples := genStream(seed, si, perSource)
+			switch mode {
+			case seqPush:
+				for _, tup := range tuples {
+					if err := src.Push(p, tup); err != nil {
+						panic(err)
+					}
+				}
+			case batchPush:
+				// Uneven chunks exercise partial batches and the
+				// run-coalescing boundary cases.
+				for len(tuples) > 0 {
+					chunk := 7
+					if chunk > len(tuples) {
+						chunk = len(tuples)
+					}
+					if err := src.PushBatch(p, tuples[:chunk]); err != nil {
+						panic(err)
+					}
+					tuples = tuples[chunk:]
+				}
+			case reservePush:
+				for off := 0; off < len(tuples); {
+					b, err := src.Reserve(p, len(tuples)-off)
+					if err != nil {
+						panic(err)
+					}
+					for i := 0; i < b.Len(); i++ {
+						copy(b.Tuple(i), tuples[off+i])
+					}
+					if err := b.Commit(p, b.Len()); err != nil {
+						panic(err)
+					}
+					off += b.Len()
+				}
+			}
+			if err := src.Close(p); err != nil {
+				panic(err)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("%s/%s/%s seed %d: %v", ftype, opt, mode, seed, err)
+	}
+	snaps := make([][]byte, nTgt)
+	for ti, tgt := range targets {
+		snaps[ti] = append([]byte(nil), tgt.mr.Bytes()...)
+	}
+	return snaps
+}
+
+// TestBatchPushRingEquivalence: PushBatch leaves byte-identical rings for
+// every flow type and both optimization modes, across a seed sweep.
+func TestBatchPushRingEquivalence(t *testing.T) {
+	opts := []Optimization{OptimizeBandwidth, OptimizeLatency}
+	flows := []FlowType{ShuffleFlow, ReplicateFlow, CombinerFlow}
+	seeds := []int64{1, 7, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, ftype := range flows {
+		for _, opt := range opts {
+			for _, seed := range seeds {
+				perSource := 40
+				if opt == OptimizeLatency {
+					perSource = 12 // tuple-sized segments: keep worst-case skew under one ring
+				}
+				want := runBatchEquiv(t, seed, ftype, opt, seqPush, 2, 3, perSource)
+				got := runBatchEquiv(t, seed, ftype, opt, batchPush, 2, 3, perSource)
+				for ti := range want {
+					if !bytes.Equal(want[ti], got[ti]) {
+						t.Fatalf("%s/%s seed %d: target %d ring diverges between Push and PushBatch",
+							ftype, opt, seed, ti)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReserveRingEquivalence: filling reserved segments in place and
+// committing them leaves rings byte-identical to pushing the same tuples.
+func TestReserveRingEquivalence(t *testing.T) {
+	for _, seed := range []int64{3, 11, 27} {
+		want := runBatchEquiv(t, seed, ShuffleFlow, OptimizeBandwidth, seqPush, 2, 1, 40)
+		got := runBatchEquiv(t, seed, ShuffleFlow, OptimizeBandwidth, reservePush, 2, 1, 40)
+		for ti := range want {
+			if !bytes.Equal(want[ti], got[ti]) {
+				t.Fatalf("seed %d: target %d ring diverges between Push and Reserve/Commit", seed, ti)
+			}
+		}
+	}
+}
+
+// TestConsumeBatchDelivery: draining a shuffle flow through ConsumeBatch
+// observes exactly the tuples pushed, each exactly once.
+func TestConsumeBatchDelivery(t *testing.T) {
+	const nSrc, nTgt, perSource = 2, 2, 500
+	k := sim.New(5)
+	k.Deadline = 30 * time.Second
+	c := fabric.NewCluster(k, nSrc+nTgt, fabric.DefaultConfig())
+	reg := newTestRegistry(k)
+	spec := FlowSpec{Name: "cb", Schema: kvSchema}
+	for i := 0; i < nSrc; i++ {
+		spec.Sources = append(spec.Sources, Endpoint{Node: c.Node(i)})
+	}
+	for i := 0; i < nTgt; i++ {
+		spec.Targets = append(spec.Targets, Endpoint{Node: c.Node(nSrc + i)})
+	}
+	k.Spawn("init", func(p *sim.Proc) {
+		if err := FlowInit(p, reg, c, spec); err != nil {
+			panic(err)
+		}
+	})
+	got := make(map[int64]int)
+	for ti := 0; ti < nTgt; ti++ {
+		ti := ti
+		k.Spawn(fmt.Sprintf("t%d", ti), func(p *sim.Proc) {
+			tgt, err := TargetOpen(p, reg, "cb", ti)
+			if err != nil {
+				panic(err)
+			}
+			views := make([]schema.Tuple, 13)
+			for {
+				n, ok := tgt.ConsumeBatch(p, views)
+				if !ok {
+					return
+				}
+				for _, tup := range views[:n] {
+					got[kvSchema.Int64(tup, 1)]++
+				}
+			}
+		})
+	}
+	for si := 0; si < nSrc; si++ {
+		si := si
+		k.Spawn(fmt.Sprintf("s%d", si), func(p *sim.Proc) {
+			src, err := SourceOpen(p, reg, "cb", si)
+			if err != nil {
+				panic(err)
+			}
+			_, tuples := genStream(5, si, perSource)
+			if err := src.PushBatch(p, tuples); err != nil {
+				panic(err)
+			}
+			src.Close(p)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != nSrc*perSource {
+		t.Fatalf("got %d unique tuples, want %d", len(got), nSrc*perSource)
+	}
+	for id, n := range got {
+		if n != 1 {
+			t.Fatalf("tuple %d consumed %d times", id, n)
+		}
+	}
+}

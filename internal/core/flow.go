@@ -337,6 +337,22 @@ func (g ringGeom) segOff(i int) int {
 	return ringHeaderBytes + i*g.stride()
 }
 
+// ringGeometry derives the target-ring layout from the normalized options.
+// TargetOpen and the writer connect/reattach paths share this single
+// derivation so the two sides can never disagree on the layout.
+func (o *Options) ringGeometry() ringGeom {
+	return ringGeom{segSize: o.SegmentSize, nSegs: o.SegmentsPerRing}
+}
+
+// signalCadence returns the selective-signaling interval for a source ring
+// of srcSegs segments: quarter-ring steps, never less than one.
+func signalCadence(srcSegs int) int {
+	if s := srcSegs / 4; s >= 1 {
+		return s
+	}
+	return 1
+}
+
 // normalize validates the spec and fills defaulted options in place.
 func (s *FlowSpec) normalize() error {
 	if s.Name == "" {

@@ -55,6 +55,10 @@ type Source struct {
 	pushed        uint64
 	watermark     uint64
 	closed        bool
+
+	// Reusable scratch for PushBatch's vectorized route pass.
+	routeScratch []int32
+	keyScratch   []uint64
 }
 
 // SourceOpen attaches to source slot sourceIdx of the named flow,
@@ -131,15 +135,7 @@ func (s *Source) Targets() int { return len(s.spec.Targets) }
 // chargePush accounts one tuple's CPU cost, batched for simulation
 // efficiency in bandwidth mode.
 func (s *Source) chargePush(p *sim.Proc) {
-	if s.spec.Options.Optimization == OptimizeLatency {
-		s.node.Compute(p, s.spec.Options.PushCost)
-		return
-	}
-	s.pendingCharge++
-	if s.pendingCharge >= chargeBatch {
-		s.node.Compute(p, time.Duration(s.pendingCharge)*s.spec.Options.PushCost)
-		s.pendingCharge = 0
-	}
+	s.chargePushN(p, 1)
 }
 
 // settleCharge flushes any accumulated per-tuple CPU cost.

@@ -103,7 +103,7 @@ func TargetOpen(p *sim.Proc, reg *registry.Registry, name string, targetIdx int)
 		return t, nil
 	}
 	t.reg = reg
-	t.geom = ringGeom{segSize: spec.Options.SegmentSize, nSegs: spec.Options.SegmentsPerRing}
+	t.geom = spec.Options.ringGeometry()
 	info := t.allocRings()
 	t.initTargetMembership(reg.MembershipOf(name))
 	if err := t.acquireTargetLease(p, reg, name); err != nil {

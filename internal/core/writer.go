@@ -103,13 +103,10 @@ func newRingWriter(cluster *fabric.Cluster, node *fabric.Node, ti *targetInfo, r
 		geom:      ti.geom,
 		opts:      opts,
 		srcSegs:   opts.SourceSegments,
-		sigEvery:  opts.SourceSegments / 4,
+		sigEvery:  signalCadence(opts.SourceSegments),
 		credits:   ti.geom.nSegs,
 		footerBuf: make([]byte, footerBytes),
 		creditBuf: make([]byte, 8),
-	}
-	if w.sigEvery < 1 {
-		w.sigEvery = 1
 	}
 	w.local = cluster.RegisterMemory(node, w.srcSegs*w.geom.stride())
 	return w
@@ -200,6 +197,37 @@ func (w *ringWriter) push(p *sim.Proc, tuple []byte) error {
 	}
 	w.fill += len(tuple)
 	w.count++
+	return nil
+}
+
+// pushRun appends a contiguous run of fixed-size tuples (len(data) is a
+// multiple of tupleSize), copying whole segment-fills at a time. Segment
+// boundaries fall exactly where len(data)/tupleSize sequential push calls
+// would put them, so the resulting ring is byte-identical. Bandwidth mode
+// only; CPU cost is charged by the caller.
+func (w *ringWriter) pushRun(p *sim.Proc, data []byte, tupleSize int) error {
+	copyPayload := w.node.Cluster().Config().CopyPayload
+	for len(data) > 0 {
+		if err := w.checkAbort(); err != nil {
+			return err
+		}
+		fit := (w.geom.segSize - w.fill) / tupleSize * tupleSize
+		if fit == 0 {
+			if err := w.flush(p, false); err != nil {
+				return err
+			}
+			continue
+		}
+		if fit > len(data) {
+			fit = len(data)
+		}
+		if copyPayload {
+			copy(w.localSeg()[w.fill:], data[:fit])
+		}
+		w.fill += fit
+		w.count += fit / tupleSize
+		data = data[fit:]
+	}
 	return nil
 }
 
@@ -352,11 +380,15 @@ func (w *ringWriter) writeSegment(p *sim.Proc, fill int, flags byte) {
 	} else {
 		// Sparse final segment: write the payload, then the footer as a
 		// separate (ordered) WRITE so only fill+16 bytes cross the wire.
-		w.qp.Write(p, seg[:fill], w.remoteSlotAddr(slot), fabric.WriteOptions{})
+		// Both WRs post with one doorbell; RC ordering still lands the
+		// footer strictly after the payload.
 		fAddr := w.remoteSlotAddr(slot)
 		fAddr.Off += w.geom.segSize
-		w.qp.Write(p, footer, fAddr, fabric.WriteOptions{
-			Signaled: signaled, ID: id, CommitTail: footerBytes,
+		w.qp.WriteBatch(p, []fabric.WriteWR{
+			{Src: seg[:fill], Dst: w.remoteSlotAddr(slot)},
+			{Src: footer, Dst: fAddr, Opts: fabric.WriteOptions{
+				Signaled: signaled, ID: id, CommitTail: footerBytes,
+			}},
 		})
 	}
 	w.written++
@@ -585,12 +617,26 @@ func (w *ringWriter) recover(p *sim.Proc) error {
 	if w.written-w.acked > uint64(w.srcSegs) {
 		return fmt.Errorf("%w: unconsumed segment %d already left the local ring", ErrFlowBroken, w.acked)
 	}
+	// Unsignaled rewrites to adjacent remote slots coalesce into one
+	// doorbell-batched post per non-wrapping run; each segment keeps its
+	// own CommitTail so every footer still lands after its payload.
+	var wrs []fabric.WriteWR
 	for n := w.acked; n < w.written; n++ {
 		lbase := int(n%uint64(w.srcSegs)) * w.geom.stride()
 		seg := w.local.Bytes()[lbase : lbase+w.geom.stride()]
 		rslot := int(n % uint64(w.geom.nSegs))
-		w.qp.Write(p, seg, w.remoteSlotAddr(rslot), fabric.WriteOptions{CommitTail: footerBytes})
+		if rslot == 0 && len(wrs) > 0 {
+			w.qp.WriteBatch(p, wrs)
+			wrs = wrs[:0]
+		}
+		wrs = append(wrs, fabric.WriteWR{
+			Src: seg, Dst: w.remoteSlotAddr(rslot),
+			Opts: fabric.WriteOptions{CommitTail: footerBytes},
+		})
 		w.Retransmits++
+	}
+	if len(wrs) > 0 {
+		w.qp.WriteBatch(p, wrs)
 	}
 	return nil
 }

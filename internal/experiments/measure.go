@@ -25,6 +25,22 @@ func MeasureShuffleBandwidth(seed int64, threads, tupleSize int, volumePerThread
 	return shuffleSenderBW(seed, c, k, reg, sources, targets, tupleSize, volumePerThread, 32)
 }
 
+// MeasureShuffleBandwidthBatched is MeasureShuffleBandwidth with senders
+// pushing through PushBatch in batch-tuple chunks. The simulated
+// bandwidth matches the per-tuple path; the benchmark pair tracks the
+// host-side (wall-clock) cost of the two API shapes.
+func MeasureShuffleBandwidthBatched(seed int64, threads, tupleSize int, volumePerThread int64, batch int) (float64, error) {
+	k, c, reg := newBWEnv(seed, 9)
+	var sources, targets []core.Endpoint
+	for th := 0; th < threads; th++ {
+		sources = append(sources, core.Endpoint{Node: c.Node(0), Thread: th})
+	}
+	for n := 0; n < 8; n++ {
+		targets = append(targets, core.Endpoint{Node: c.Node(n + 1)})
+	}
+	return shuffleSenderBWBatch(seed, c, k, reg, sources, targets, tupleSize, volumePerThread, 32, batch)
+}
+
 // MeasureShuffleRTT returns the median shuffle round-trip time over n
 // target servers (Fig. 7b), and the raw-verb ping-pong baseline.
 func MeasureShuffleRTT(seed int64, size, n, iters int) (dfi, raw time.Duration, err error) {

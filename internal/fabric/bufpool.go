@@ -1,0 +1,84 @@
+package fabric
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// The fabric snapshots ("stages") the bytes a NIC would DMA-read for every
+// WRITE/READ in flight. Staging buffers are recycled through size-classed
+// sync.Pools instead of allocating per operation: a bandwidth flow stages
+// one 8 KiB segment per WRITE, so the data path would otherwise allocate at
+// wire rate.
+
+// stagedBuf boxes a pooled staging buffer; pooling the box (rather than the
+// slice) avoids an interface allocation on every Put.
+type stagedBuf struct{ b []byte }
+
+// stagedPools[i] serves buffers of capacity 1<<i.
+var stagedPools [28]sync.Pool
+
+// stagedGet returns a staging buffer of length n backed by a pooled
+// power-of-two allocation. Recycled buffers are not zeroed: callers must
+// only read back regions they wrote (stageInto documents the contract).
+func stagedGet(n int) *stagedBuf {
+	if n <= 0 {
+		return &stagedBuf{}
+	}
+	class := bits.Len(uint(n - 1))
+	if class >= len(stagedPools) {
+		return &stagedBuf{b: make([]byte, n)}
+	}
+	if v := stagedPools[class].Get(); v != nil {
+		sb := v.(*stagedBuf)
+		sb.b = sb.b[:n]
+		return sb
+	}
+	return &stagedBuf{b: make([]byte, n, 1<<class)}
+}
+
+// stagedPut recycles a buffer obtained from stagedGet. Buffers whose
+// capacity is not an exact size class (oversized one-off allocations) are
+// dropped on the floor.
+func stagedPut(sb *stagedBuf) {
+	c := cap(sb.b)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	class := bits.Len(uint(c)) - 1
+	if class >= len(stagedPools) {
+		return
+	}
+	sb.b = sb.b[:c]
+	stagedPools[class].Put(sb)
+}
+
+// stagedRef counts the scheduled commit events still reading a shared
+// staging buffer; the last release returns it to the pool. All accesses
+// happen in scheduler or process context of one kernel, which the baton-
+// passing handoff serializes.
+type stagedRef struct {
+	buf  *stagedBuf
+	refs int
+}
+
+func (r *stagedRef) release() {
+	r.refs--
+	if r.refs == 0 && r.buf != nil {
+		stagedPut(r.buf)
+		r.buf = nil
+	}
+}
+
+// stageInto snapshots the bytes the NIC would DMA-read into dst. With
+// payload copying disabled only the trailing tail bytes (protocol metadata)
+// starting at body are retained; the body region of a recycled buffer then
+// holds stale bytes, which is safe because commit copies the body back out
+// only when CopyPayload is set.
+func stageInto(dst, src []byte, body int, copyPayload bool) {
+	if copyPayload {
+		copy(dst, src)
+		return
+	}
+	copy(dst[body:], src[body:])
+}

@@ -212,6 +212,66 @@ type WriteOptions struct {
 // this or a later WR on the same QP has been observed (exactly the
 // selective-signaling contract real verbs impose).
 func (q *QP) Write(p *sim.Proc, src []byte, dst Addr, opts WriteOptions) {
+	q.writeOne(p, src, dst, opts, nil, 0)
+}
+
+// WriteWR describes one work request in a doorbell-batched WriteBatch post.
+type WriteWR struct {
+	Src  []byte
+	Dst  Addr
+	Opts WriteOptions
+}
+
+// WriteBatch posts the given WRITEs back-to-back with a single doorbell
+// ring. Virtual timing, fault injection, RC ordering clamps and statistics
+// are identical to posting each WR with Write in order — the saving is
+// real-world cost only: the NIC staging snapshots of all WRs share one
+// pooled buffer taken at post time instead of one allocation and one
+// DMA-read event each. Callers must keep every source buffer unmodified
+// until a signaled completion covering it is observed (the same
+// selective-signaling contract Write imposes); that stability is what makes
+// the post-time snapshot equal the per-WR DMA-time snapshot.
+//
+// Per-WR CommitTail is honored: each WR's tail bytes still commit strictly
+// last within that WR's address range, so footer-after-payload ordering is
+// preserved across a coalesced run of ring-segment writes.
+func (q *QP) WriteBatch(p *sim.Proc, wrs []WriteWR) {
+	if len(wrs) == 0 {
+		return
+	}
+	if len(wrs) == 1 {
+		q.Write(p, wrs[0].Src, wrs[0].Dst, wrs[0].Opts)
+		return
+	}
+	total := 0
+	for i := range wrs {
+		total += len(wrs[i].Src)
+	}
+	st := &stagedRef{refs: len(wrs), buf: stagedGet(total)}
+	copyPayload := q.c.cfg.CopyPayload
+	off := 0
+	for i := range wrs {
+		src := wrs[i].Src
+		tail := wrs[i].Opts.CommitTail
+		if tail > len(src) {
+			tail = len(src)
+		}
+		stageInto(st.buf.b[off:off+len(src)], src, len(src)-tail, copyPayload)
+		off += len(src)
+	}
+	off = 0
+	for i := range wrs {
+		q.writeOne(p, wrs[i].Src, wrs[i].Dst, wrs[i].Opts, st, off)
+		off += len(wrs[i].Src)
+	}
+}
+
+// writeOne implements Write. batch is nil for a standalone WRITE (the
+// snapshot is then taken at DMA time, txEnd); for a doorbell-batched WRITE
+// it is the shared pre-staged buffer and off this WR's offset within it.
+// Each WR holds one reference on the batch, consumed by its final commit
+// event (or immediately if the WR is fault-dropped).
+func (q *QP) writeOne(p *sim.Proc, src []byte, dst Addr, opts WriteOptions, batch *stagedRef, off int) {
 	cfg := &q.c.cfg
 	if dst.MR.node != q.peer.owner {
 		panic("fabric: WRITE destination MR not on peer node")
@@ -230,7 +290,6 @@ func (q *QP) Write(p *sim.Proc, src []byte, dst Addr, opts WriteOptions) {
 	fv := q.c.fault(OpWrite, q.owner, q.peer.owner, rxEnd)
 	deliverAt := rxEnd + fv.delay
 
-	// The NIC finishes DMA-reading the source at txEnd: snapshot then.
 	// Payload body commits just before the tail; tail commits last.
 	tail := opts.CommitTail
 	if tail > len(src) {
@@ -262,39 +321,57 @@ func (q *QP) Write(p *sim.Proc, src []byte, dst Addr, opts WriteOptions) {
 		disp = Dropped
 	}
 	q.c.trace(OpWrite, q.owner, q.peer.owner, len(src), k.Now(), deliverAt, disp)
-	var staged []byte
-	k.At(txEnd, func() {
-		staged = q.stage(src, body, tail)
-	})
-	// commit schedules the remote memory commit of the staged bytes with
-	// delivery finishing at `at` (body strictly before tail, as the NIC's
-	// increasing-address DMA order demands — fault delay shifts both).
-	commit := func(at sim.Time) {
-		if tail > 0 && body > 0 {
-			bodyAt := at - cfg.serialization(tail)
-			if bodyAt <= txEnd {
-				bodyAt = txEnd + 1
-			}
-			k.At(bodyAt, func() {
-				if q.c.cfg.CopyPayload {
-					copy(dst.slice(body), staged[:body])
-				}
+
+	n := len(src)
+	st := batch
+	if fv.drop {
+		// No commit will read the staging buffer: drop this WR's reference.
+		if st != nil {
+			st.release()
+		}
+	} else {
+		if st == nil {
+			st = &stagedRef{refs: 1}
+			// The NIC finishes DMA-reading the source at txEnd: snapshot
+			// then, into a pooled staging buffer.
+			copyPayload := cfg.CopyPayload
+			k.At(txEnd, func() {
+				st.buf = stagedGet(n)
+				stageInto(st.buf.b, src, body, copyPayload)
 			})
 		}
-		k.At(at, func() {
-			if q.c.cfg.CopyPayload && body > 0 && tail == 0 {
-				copy(dst.slice(body), staged[:body])
+		// commit schedules the remote memory commit of the staged bytes with
+		// delivery finishing at `at` (body strictly before tail, as the
+		// NIC's increasing-address DMA order demands — fault delay shifts
+		// both). The final event of the last commit recycles the staging
+		// buffer.
+		commit := func(at sim.Time) {
+			if tail > 0 && body > 0 {
+				bodyAt := at - cfg.serialization(tail)
+				if bodyAt <= txEnd {
+					bodyAt = txEnd + 1
+				}
+				k.At(bodyAt, func() {
+					if q.c.cfg.CopyPayload {
+						copy(dst.slice(body), st.buf.b[off:off+body])
+					}
+				})
 			}
-			if tail > 0 {
-				copy(dst.MR.buf[dst.Off+body:dst.Off+body+tail], staged[body:])
-			}
-			dst.MR.notify()
-		})
-	}
-	if !fv.drop {
+			k.At(at, func() {
+				if q.c.cfg.CopyPayload && body > 0 && tail == 0 {
+					copy(dst.slice(body), st.buf.b[off:off+body])
+				}
+				if tail > 0 {
+					copy(dst.MR.buf[dst.Off+body:dst.Off+body+tail], st.buf.b[off+body:off+n])
+				}
+				dst.MR.notify()
+				st.release()
+			})
+		}
 		commit(deliverAt)
 		q.lastCommit = deliverAt
 		if fv.duplicate {
+			st.refs++
 			dupAt := deliverAt + q.c.cfg.Faults.dupDelay()
 			if tail > 0 && body > 0 && dupAt-cfg.serialization(tail) <= q.lastCommit {
 				dupAt = q.lastCommit + cfg.serialization(tail) + 1
@@ -310,25 +387,11 @@ func (q *QP) Write(p *sim.Proc, src []byte, dst Addr, opts WriteOptions) {
 		// (A probabilistically dropped WRITE still completes — the loss is
 		// modelled above the reliability layer; see fault.go. Only crashed
 		// endpoints suppress completions.)
-		n := len(src)
 		ackAt := deliverAt + cfg.Propagation + cfg.SwitchDelay + cfg.CompletionDelay
 		k.At(ackAt, func() {
 			q.scq.push(Completion{ID: opts.ID, Op: OpWrite, Bytes: n})
 		})
 	}
-}
-
-// stage snapshots the bytes the NIC would have DMA-read. With payload
-// copying disabled only the tail (protocol metadata) is retained.
-func (q *QP) stage(src []byte, body, tail int) []byte {
-	if q.c.cfg.CopyPayload {
-		s := make([]byte, len(src))
-		copy(s, src)
-		return s
-	}
-	s := make([]byte, len(src))
-	copy(s[body:], src[body:])
-	return s
 }
 
 // Read posts a one-sided RDMA READ of len(dst) bytes from src on the peer
@@ -381,14 +444,15 @@ func (q *QP) Read(p *sim.Proc, dst []byte, src Addr, signaled bool, id uint64) {
 	if fv.drop {
 		return
 	}
-	var staged []byte
-	k.At(respStart, func() {
-		staged = make([]byte, len(dst))
-		copy(staged, src.slice(len(dst)))
-	})
+	var staged *stagedBuf
 	n := len(dst)
+	k.At(respStart, func() {
+		staged = stagedGet(n)
+		copy(staged.b, src.slice(n))
+	})
 	k.At(deliverAt, func() {
-		copy(dst, staged)
+		copy(dst, staged.b)
+		stagedPut(staged)
 		if signaled {
 			q.scq.push(Completion{ID: id, Op: OpRead, Bytes: n})
 		}

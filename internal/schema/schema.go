@@ -235,6 +235,36 @@ func (s *Schema) KeyUint64(t Tuple, i int) uint64 {
 	panic("schema: unknown kind")
 }
 
+// KeysUint64 extracts column i of every tuple widened to uint64, appending
+// into dst (reused when its capacity suffices) and returning the filled
+// slice. One pass over the whole batch hoists the per-tuple kind dispatch
+// out of the loop; Source.PushBatch uses it as the vectorized routing pass.
+func (s *Schema) KeysUint64(dst []uint64, tuples []Tuple, i int) []uint64 {
+	if cap(dst) < len(tuples) {
+		dst = make([]uint64, len(tuples))
+	}
+	dst = dst[:len(tuples)]
+	off := s.offsets[i]
+	switch s.cols[i].Type.Kind {
+	case KindInt32, KindUint32:
+		for j, t := range tuples {
+			dst[j] = uint64(binary.LittleEndian.Uint32(t[off:]))
+		}
+	case KindInt64, KindUint64, KindFloat64:
+		for j, t := range tuples {
+			dst[j] = binary.LittleEndian.Uint64(t[off:])
+		}
+	case KindChar:
+		w := s.cols[i].Type.Size()
+		for j, t := range tuples {
+			dst[j] = fnv1a(t[off : off+w])
+		}
+	default:
+		panic("schema: unknown kind")
+	}
+	return dst
+}
+
 // NewTuple allocates a zeroed tuple for the schema.
 func (s *Schema) NewTuple() Tuple { return make(Tuple, s.size) }
 

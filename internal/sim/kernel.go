@@ -18,7 +18,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -29,42 +28,44 @@ import (
 // start of the simulation.
 type Time = time.Duration
 
-// event is a scheduled callback. Events with equal timestamps fire in the
-// order they were scheduled (seq breaks ties), which keeps runs
-// reproducible.
+// Event kinds. The hot kinds (timers, wake-ups, process starts) carry their
+// target process and park generation in the event itself, so scheduling a
+// sleep or a wake allocates nothing; only evFn events carry a closure.
+const (
+	evFn      uint8 = iota // run fn in scheduler context
+	evStart                // first scheduling of p
+	evTimer                // park timer fired: request a wake at the current instant
+	evWake                 // resume p if still parked in generation gen
+	evTimeout              // WaitTimeout deadline: mark p timed out, then request a wake
+)
+
+// event is a scheduled callback or process transition. Events with equal
+// timestamps fire in the order they were scheduled (seq breaks ties), which
+// keeps runs reproducible. Events are stored by value in the heap slice so
+// the event loop allocates nothing in steady state.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	gen  uint64
+	p    *Proc
+	fn   func()
+	kind uint8
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (at, seq). seq is unique, so the order is total
+// and pop order does not depend on heap internals.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
-var _ heap.Interface = (*eventHeap)(nil)
 
 // Kernel is a discrete-event simulation instance. Create one with New, spawn
 // processes with Spawn, then call Run.
 type Kernel struct {
 	now     Time
-	events  eventHeap
+	events  []event // value-based binary min-heap ordered by (at, seq)
 	seq     uint64
 	yield   chan struct{} // process -> scheduler handoff
 	running *Proc
@@ -106,13 +107,59 @@ func (k *Kernel) Events() uint64 { return k.nevents }
 // used from scheduler or process context (never from other goroutines).
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
-// at schedules fn to run in scheduler context at time t (clamped to now).
-func (k *Kernel) at(t Time, fn func()) {
-	if t < k.now {
-		t = k.now
+// push assigns the next sequence number and inserts e into the heap
+// (timestamps are clamped to now).
+func (k *Kernel) push(e event) {
+	if e.at < k.now {
+		e.at = k.now
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+	e.seq = k.seq
+	h := append(k.events, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	k.events = h
+}
+
+// pop removes and returns the earliest event. The vacated slot is zeroed so
+// it retains no closure or process reference while it waits for reuse.
+func (k *Kernel) pop() event {
+	h := k.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h[l].before(&h[s]) {
+			s = l
+		}
+		if r < n && h[r].before(&h[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	k.events = h
+	return top
+}
+
+// at schedules fn to run in scheduler context at time t (clamped to now).
+func (k *Kernel) at(t Time, fn func()) {
+	k.push(event{at: t, kind: evFn, fn: fn})
 }
 
 // After schedules fn to run in scheduler context after d has elapsed on the
@@ -148,7 +195,7 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) {
 		}()
 		fn(p)
 	}()
-	k.at(k.now, func() { k.switchTo(p) })
+	k.push(event{at: k.now, kind: evStart, p: p})
 }
 
 // switchTo transfers control to p and blocks until p parks or exits. Must be
@@ -167,14 +214,36 @@ func (k *Kernel) switchTo(p *Proc) {
 // against stale wake-ups: the wake is dropped unless p is still parked in
 // the same park generation.
 func (k *Kernel) ready(p *Proc, gen uint64) {
-	k.at(k.now, func() {
-		if p.exited || !p.parkedFlag || p.parkGen != gen {
+	k.push(event{at: k.now, kind: evWake, p: p, gen: gen})
+}
+
+// dispatch fires one event in scheduler context.
+func (k *Kernel) dispatch(e *event) {
+	switch e.kind {
+	case evFn:
+		e.fn()
+	case evStart:
+		k.switchTo(e.p)
+	case evTimer:
+		// Double-hop on purpose: the timer requests a wake, and the wake
+		// event (with a fresh sequence number) performs the switch after
+		// everything already scheduled for this instant.
+		k.ready(e.p, e.gen)
+	case evWake:
+		p := e.p
+		if p.exited || !p.parkedFlag || p.parkGen != e.gen {
 			return
 		}
 		p.parkedFlag = false
 		delete(k.parked, p)
 		k.switchTo(p)
-	})
+	case evTimeout:
+		p := e.p
+		if p.parkedFlag && p.parkGen == e.gen {
+			p.timedOut = true
+			k.ready(p, e.gen)
+		}
+	}
 }
 
 // Run processes events until none remain, a process panics, MaxEvents is
@@ -189,13 +258,13 @@ func (k *Kernel) Run() error {
 		if k.MaxEvents > 0 && k.nevents >= k.MaxEvents {
 			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v (possible livelock)", k.MaxEvents, k.now)
 		}
-		e := heap.Pop(&k.events).(*event)
+		e := k.pop()
 		if k.Deadline > 0 && e.at > k.Deadline {
 			return fmt.Errorf("sim: deadline %v exceeded (t=%v)", k.Deadline, e.at)
 		}
 		k.now = e.at
 		k.nevents++
-		e.fn()
+		k.dispatch(&e)
 	}
 	if k.failure != nil {
 		return k.failure
@@ -222,6 +291,7 @@ type Proc struct {
 	parkedFlag bool
 	parkGen    uint64
 	exited     bool
+	timedOut   bool // set by an evTimeout event matching the current park
 }
 
 // Name returns the process name given at Spawn.
@@ -258,13 +328,9 @@ func (p *Proc) park() {
 	<-p.resume
 }
 
-// wake returns a closure that resumes the process from its current park
-// generation; the closure is safe to call from scheduler or process context
-// and is a no-op if the process was already woken.
-func (p *Proc) wakeFunc() func() {
-	k, gen := p.k, p.parkGen+1 // generation the upcoming park will use
-	return func() { k.ready(p, gen) }
-}
+// nextGen returns the park generation the upcoming park will use; wakers
+// registered before parking must target this generation.
+func (p *Proc) nextGen() uint64 { return p.parkGen + 1 }
 
 // Sleep advances the process's virtual time by d. Negative or zero d is a
 // no-op (the process keeps running without yielding the clock).
@@ -273,8 +339,7 @@ func (p *Proc) Sleep(d Time) {
 	if d <= 0 {
 		return
 	}
-	wake := p.wakeFunc()
-	p.k.at(p.k.now+d, wake)
+	p.k.push(event{at: p.k.now + d, kind: evTimer, p: p, gen: p.nextGen()})
 	p.park()
 }
 
@@ -282,7 +347,6 @@ func (p *Proc) Sleep(d Time) {
 // scheduled for this instant run first.
 func (p *Proc) Yield() {
 	p.checkRunning()
-	wake := p.wakeFunc()
-	p.k.at(p.k.now, wake)
+	p.k.push(event{at: p.k.now, kind: evTimer, p: p, gen: p.nextGen()})
 	p.park()
 }

@@ -13,9 +13,12 @@ type Cond struct {
 	waiters []condWaiter
 }
 
+// condWaiter records a parked process and the park generation its wake must
+// target; storing the pair (rather than a wake closure) keeps Wait
+// allocation-free.
 type condWaiter struct {
-	p    *Proc
-	wake func()
+	p   *Proc
+	gen uint64
 }
 
 // NewCond returns a condition variable bound to k.
@@ -25,7 +28,7 @@ func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
 // variable, callers must re-check their predicate after waking.
 func (c *Cond) Wait(p *Proc) {
 	p.checkRunning()
-	c.waiters = append(c.waiters, condWaiter{p: p, wake: p.wakeFunc()})
+	c.waiters = append(c.waiters, condWaiter{p: p, gen: p.nextGen()})
 	p.park()
 }
 
@@ -34,18 +37,13 @@ func (c *Cond) Wait(p *Proc) {
 // (true) rather than by the timeout (false).
 func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
 	p.checkRunning()
-	timedOut := false
-	gen := p.parkGen + 1
-	wake := p.wakeFunc()
-	c.waiters = append(c.waiters, condWaiter{p: p, wake: wake})
-	p.k.at(p.k.now+d, func() {
-		if p.parkedFlag && p.parkGen == gen {
-			timedOut = true
-			p.k.ready(p, gen)
-		}
-	})
+	gen := p.nextGen()
+	c.waiters = append(c.waiters, condWaiter{p: p, gen: gen})
+	p.k.push(event{at: p.k.now + d, kind: evTimeout, p: p, gen: gen})
+	p.timedOut = false
 	p.park()
-	if timedOut {
+	if p.timedOut {
+		p.timedOut = false
 		c.remove(p)
 		return false
 	}
@@ -68,7 +66,7 @@ func (c *Cond) Signal() {
 	}
 	w := c.waiters[0]
 	c.waiters = c.waiters[1:]
-	w.wake()
+	c.k.ready(w.p, w.gen)
 }
 
 // Broadcast wakes all waiting processes.
@@ -76,7 +74,7 @@ func (c *Cond) Broadcast() {
 	ws := c.waiters
 	c.waiters = nil
 	for _, w := range ws {
-		w.wake()
+		c.k.ready(w.p, w.gen)
 	}
 }
 
