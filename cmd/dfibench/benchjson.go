@@ -24,7 +24,14 @@ import (
 // metric (GiB/s, mpi-over-dfi, ...) is a *virtual-time* result of the
 // deterministic simulation and must match the baseline exactly — a
 // virtual drift means the change altered simulated behavior, not just
-// host speed.
+// host speed. A baseline benchmark missing from the run is always a hard
+// failure: a renamed or deleted benchmark (or a pattern typo) must not
+// let the gate pass vacuously.
+//
+// On hosts that differ from the one that recorded the baseline (shared
+// CI runners), wall-clock comparison is noise: -wallclock-advisory (or
+// BENCH_WALLCLOCK=advisory) reports ns/op regressions as warnings while
+// the machine-independent virtual metrics stay the hard gate.
 
 // benchResult is one benchmark's parsed measurements.
 type benchResult struct {
@@ -91,6 +98,7 @@ func benchjsonMain(args []string) {
 	update := fs.String("update", "", "record the run as `file`'s current section (baseline set on first write, frozen after)")
 	compare := fs.String("compare", "", "compare the run against `file`'s baseline; non-zero exit on regression")
 	tolerance := fs.Float64("tolerance", 0.10, "allowed relative wall-clock regression")
+	advisory := fs.Bool("wallclock-advisory", false, "report wall-clock regressions as warnings instead of failures (cross-host runs)")
 	fs.Parse(args)
 	if *update == "" && *compare == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: need -update or -compare")
@@ -103,6 +111,17 @@ func benchjsonMain(args []string) {
 			os.Exit(2)
 		}
 		*tolerance = v
+	}
+	if env := os.Getenv("BENCH_WALLCLOCK"); env != "" {
+		switch env {
+		case "advisory":
+			*advisory = true
+		case "gate":
+			*advisory = false
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: bad BENCH_WALLCLOCK %q (want advisory or gate)\n", env)
+			os.Exit(2)
+		}
 	}
 
 	got, err := parseBench(os.Stdin)
@@ -135,14 +154,27 @@ func benchjsonMain(args []string) {
 			fmt.Fprintf(os.Stderr, "benchjson: %s has no baseline\n", *compare)
 			os.Exit(1)
 		}
-		if failures := compareRuns(bf.Baseline, got, *tolerance); len(failures) > 0 {
-			for _, f := range failures {
+		wall, hard := compareRuns(bf.Baseline, got, *tolerance)
+		if *advisory {
+			for _, f := range wall {
+				fmt.Fprintln(os.Stderr, "benchjson: WARN (advisory):", f)
+			}
+		} else {
+			hard = append(wall, hard...)
+		}
+		if len(hard) > 0 {
+			for _, f := range hard {
 				fmt.Fprintln(os.Stderr, "benchjson: FAIL:", f)
 			}
 			os.Exit(1)
 		}
-		fmt.Printf("benchjson: %d benchmarks within %.0f%% of baseline, virtual metrics identical\n",
-			len(got), *tolerance*100)
+		if *advisory {
+			fmt.Printf("benchjson: %d benchmarks, virtual metrics identical (wall-clock advisory: %d warnings)\n",
+				len(got), len(wall))
+		} else {
+			fmt.Printf("benchjson: %d benchmarks within %.0f%% of baseline, virtual metrics identical\n",
+				len(got), *tolerance*100)
+		}
 	}
 }
 
@@ -163,39 +195,53 @@ func loadBenchFile(path string) *benchFile {
 	return bf
 }
 
-// compareRuns checks got against base: bounded wall-clock regression,
-// exact virtual metrics. Benchmarks present on only one side are skipped
-// (new benchmarks enter the record via -update).
-func compareRuns(base, got map[string]benchResult, tolerance float64) []string {
-	var failures []string
-	names := make([]string, 0, len(got))
-	for name := range got {
+// compareRuns checks got against base and returns wall-clock failures
+// (host-speed-dependent, may be demoted to warnings) separately from
+// hard failures (virtual-metric drift and coverage holes). A baseline
+// benchmark absent from the run is a hard failure — a rename, deletion,
+// or pattern typo must not shrink the gated set silently; new benchmarks
+// (present only in got) still enter the record via -update.
+func compareRuns(base, got map[string]benchResult, tolerance float64) (wall, hard []string) {
+	names := make([]string, 0, len(base))
+	for name := range base {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		b, ok := base[name]
+		b := base[name]
+		g, ok := got[name]
 		if !ok {
+			hard = append(hard, fmt.Sprintf(
+				"%s: in baseline but absent from this run (renamed, deleted, or not matched by the bench pattern)", name))
 			continue
 		}
-		g := got[name]
 		if b.NsOp > 0 && g.NsOp > b.NsOp*(1+tolerance) {
-			failures = append(failures, fmt.Sprintf(
+			wall = append(wall, fmt.Sprintf(
 				"%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%%",
 				name, g.NsOp, b.NsOp, tolerance*100))
 		}
-		for unit, bv := range b.Metrics {
+		for _, unit := range sortedKeys(b.Metrics) {
+			bv := b.Metrics[unit]
 			gv, ok := g.Metrics[unit]
 			if !ok {
-				failures = append(failures, fmt.Sprintf("%s: virtual metric %q missing", name, unit))
+				hard = append(hard, fmt.Sprintf("%s: virtual metric %q missing", name, unit))
 				continue
 			}
 			if gv != bv {
-				failures = append(failures, fmt.Sprintf(
+				hard = append(hard, fmt.Sprintf(
 					"%s: virtual metric %q drifted: %v != baseline %v (simulated behavior changed)",
 					name, unit, gv, bv))
 			}
 		}
 	}
-	return failures
+	return wall, hard
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -150,9 +150,34 @@ func (s *Source) PushBatch(p *sim.Proc, tuples []schema.Tuple) error {
 	// consecutive memory-adjacent tuples into single copies.
 	for ti, w := range s.writers {
 		if w == nil || w.dead {
+			// The slot can be latched dead mid-batch: an earlier group's
+			// eviction fallback folds the membership change in via
+			// syncEpoch, which abandons *every* newly evicted writer, not
+			// just the one that errored. This slot's share of the batch
+			// re-routes per tuple over the survivors, exactly as the
+			// sequential PushTo path would — skipping it would drop tuples.
+			if err := s.pushRouteAround(p, tuples, routes, ti); err != nil {
+				return err
+			}
 			continue
 		}
 		if err := s.pushGrouped(p, w, tuples, routes, ti, ts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pushRouteAround re-pushes, per tuple in input order, every batch tuple
+// routed to the dead (or never-connected) target ti through PushTo, which
+// remaps each onto a live owner — the batched path's form of the
+// at-least-once eviction window.
+func (s *Source) pushRouteAround(p *sim.Proc, tuples []schema.Tuple, routes []int32, ti int) error {
+	for i := range tuples {
+		if int(routes[i]) != ti {
+			continue
+		}
+		if err := s.PushTo(p, tuples[i], ti); err != nil {
 			return err
 		}
 	}
@@ -182,15 +207,7 @@ func (s *Source) pushGrouped(p *sim.Proc, w *ringWriter, tuples []schema.Tuple, 
 				// harvested and re-pushed by syncEpoch inside PushTo; the
 				// rest of this target's share re-routes per tuple over the
 				// survivors (the usual at-least-once eviction window).
-				for ; i < n; i++ {
-					if int(routes[i]) != ti {
-						continue
-					}
-					if err := s.PushTo(p, tuples[i], ti); err != nil {
-						return err
-					}
-				}
-				return nil
+				return s.pushRouteAround(p, tuples[i:], routes[i:], ti)
 			}
 			return err
 		}

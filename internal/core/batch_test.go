@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dfi/internal/fabric"
+	"dfi/internal/registry"
 	"dfi/internal/schema"
 	"dfi/internal/sim"
 )
@@ -199,6 +200,133 @@ func TestReserveRingEquivalence(t *testing.T) {
 			if !bytes.Equal(want[ti], got[ti]) {
 				t.Fatalf("seed %d: target %d ring diverges between Push and Reserve/Commit", seed, ti)
 			}
+		}
+	}
+}
+
+// TestBatchPushDoubleEvictionNoLoss: two targets are evicted back to back
+// mid-stream, so one PushBatch call can observe both — the first dead
+// group's errEvicted fallback folds the membership change in via
+// syncEpoch, which latches the second target's writer dead *before* its
+// group was appended. Regression test for the batched path dropping that
+// second group instead of re-routing it: every tuple must land on a
+// survivor or on an evicted target's pre-eviction prefix, like the
+// sequential path guarantees.
+func TestBatchPushDoubleEvictionNoLoss(t *testing.T) {
+	seeds := []int64{1, 5, 7, 11, 42}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		testBatchDoubleEviction(t, seed)
+	}
+}
+
+func testBatchDoubleEviction(t *testing.T, seed int64) {
+	t.Helper()
+	const (
+		nSrc, nTgt = 2, 4
+		perSource  = 3000
+		chunk      = 64
+		evictAt    = 120 * time.Microsecond
+	)
+	k := sim.New(seed)
+	k.Deadline = 30 * time.Second
+	c := fabric.NewCluster(k, nSrc+nTgt, fabric.DefaultConfig())
+	reg := newTestRegistry(k)
+	spec := FlowSpec{
+		Name:   "batch-evict2",
+		Schema: kvSchema,
+		Options: Options{
+			SegmentSize:       256,
+			SegmentsPerRing:   8,
+			RetransmitTimeout: 40 * time.Microsecond,
+		},
+	}
+	for i := 0; i < nSrc; i++ {
+		spec.Sources = append(spec.Sources, Endpoint{Node: c.Node(i)})
+	}
+	for i := 0; i < nTgt; i++ {
+		spec.Targets = append(spec.Targets, Endpoint{Node: c.Node(nSrc + i)})
+	}
+	k.Spawn("init", func(p *sim.Proc) {
+		if err := FlowInit(p, reg, c, spec); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Spawn("evictor", func(p *sim.Proc) {
+		p.Sleep(evictAt)
+		for _, ti := range []int{2, 3} {
+			if err := reg.Evict(p, spec.Name, registry.RoleTarget, ti); err != nil {
+				t.Errorf("evict target %d: %v", ti, err)
+			}
+		}
+	})
+	got := make([]map[int64]bool, nTgt)
+	evicted := make([]bool, nTgt)
+	for ti := 0; ti < nTgt; ti++ {
+		ti := ti
+		got[ti] = make(map[int64]bool)
+		k.Spawn(fmt.Sprintf("t%d", ti), func(p *sim.Proc) {
+			tgt, err := TargetOpen(p, reg, spec.Name, ti)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				tup, ok := tgt.Consume(p)
+				if !ok {
+					break
+				}
+				got[ti][kvSchema.Int64(tup, 1)] = true
+			}
+			evicted[ti] = tgt.Evicted()
+		})
+	}
+	for si := 0; si < nSrc; si++ {
+		si := si
+		k.Spawn(fmt.Sprintf("s%d", si), func(p *sim.Proc) {
+			src, err := SourceOpen(p, reg, spec.Name, si)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			_, tuples := genStream(seed, si, perSource)
+			for len(tuples) > 0 {
+				n := chunk
+				if n > len(tuples) {
+					n = len(tuples)
+				}
+				if err := src.PushBatch(p, tuples[:n]); err != nil {
+					t.Errorf("source %d: %v", si, err)
+					return
+				}
+				tuples = tuples[n:]
+				p.Sleep(4 * time.Microsecond)
+			}
+			if err := src.Close(p); err != nil {
+				t.Errorf("source %d close: %v", si, err)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if !evicted[2] || !evicted[3] {
+		t.Fatalf("seed %d: evicted targets did not observe their eviction (evictions landed after the stream?)", seed)
+	}
+	for id := int64(0); id < int64(nSrc*perSource); id++ {
+		onSurvivor := 0
+		for ti := 0; ti < 2; ti++ {
+			if got[ti][id] {
+				onSurvivor++
+			}
+		}
+		if onSurvivor > 1 {
+			t.Errorf("seed %d: tuple %d delivered to both survivors", seed, id)
+		}
+		if onSurvivor == 0 && !got[2][id] && !got[3][id] {
+			t.Fatalf("seed %d: tuple %d lost — a dead target's batch group was dropped instead of re-routed", seed, id)
 		}
 	}
 }
