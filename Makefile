@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos partition-race bench bench-update
+.PHONY: all build vet test race check chaos partition-race bench bench-update docs-lint
 
 all: check
 
@@ -59,4 +59,10 @@ bench-update:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 . | tee bench.out
 	./bin/dfibench benchjson -update $(BENCH_FILE) < bench.out
 
-check: build vet race
+# Documentation hygiene: every package has a godoc package comment, and
+# every relative Markdown link/anchor resolves (GitHub slug rules;
+# external URLs are not fetched, so the check is offline-deterministic).
+docs-lint:
+	$(GO) run ./cmd/docslint
+
+check: build vet race docs-lint

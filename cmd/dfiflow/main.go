@@ -16,6 +16,8 @@
 //	dfiflow -partition ring -sources 4 -targets 8 -mb 16
 //	dfiflow -partition ring -lease 100us -evict 1@300us -rejoin 1@600us -targets 4 -mb 2
 //	dfiflow -replicas 3 -faults reg-crash-master=5us,reg-drop=0.1 -mb 1
+//	dfiflow -replicas 3 -lease 100us -snapshot-every 16 -mb 2
+//	dfiflow -replicas 5 -lease 50us -unlogged-renew -faults reg-crash-master=300us -mb 1
 //
 // The process exits non-zero when any endpoint reports ErrFlowBroken
 // (a flow that could not be completed or repaired) or when a scheduled
@@ -64,6 +66,8 @@ func main() {
 		evictSpec = flag.String("evict", "", "administratively evict targets, e.g. 1@300us,2@400us")
 		rejoin    = flag.String("rejoin", "", "re-attach evicted targets, e.g. 1@600us (requires -retransmit or -lease)")
 		replicas  = flag.Int("replicas", 0, "replicate the registry over this many consensus replicas (odd, ≥3; 0 = standalone)")
+		snapEvery = flag.Int("snapshot-every", 0, "replicated registry: snapshot+compact the log every N committed commands (0 = default cadence, <0 = never)")
+		unlogRen  = flag.Bool("unlogged-renew", false, "replicated registry: serve lease renewals without a log round (explicit heartbeat relaxation)")
 	)
 	flag.Parse()
 
@@ -90,8 +94,10 @@ func main() {
 	if *replicas > 0 {
 		var err error
 		reg, err = registry.NewReplicated(k, registry.ReplicaConfig{
-			Replicas: *replicas,
-			Faults:   fcfg.Faults,
+			Replicas:      *replicas,
+			Faults:        fcfg.Faults,
+			SnapshotEvery: *snapEvery,
+			UnloggedRenew: *unlogRen,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dfiflow: -replicas: %v\n", err)
@@ -299,8 +305,9 @@ func main() {
 		}
 	}
 	if *replicas > 0 {
-		fmt.Printf("registry: %d replicas, master=%d ballot=%d elections=%d\n",
-			reg.Replicas(), reg.Master(), reg.Ballot(), reg.Elections())
+		fmt.Printf("registry: %d replicas, master=%d ballot=%d elections=%d snapshots=%d snap-index=%d log-len=%d applied=%d\n",
+			reg.Replicas(), reg.Master(), reg.Ballot(), reg.Elections(),
+			reg.Snapshots(), reg.SnapshotIndex(), reg.LogLen(), reg.AppliedSize())
 	}
 	if rec != nil {
 		fmt.Println()

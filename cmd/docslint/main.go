@@ -1,0 +1,238 @@
+// Command docslint checks the repository's documentation invariants and
+// exits non-zero listing every violation:
+//
+//  1. every Go package in the repository (internal/..., cmd/..., the
+//     root) carries a godoc package comment ("Package x ..." — or
+//     "Command x ..." for main packages) in at least one of its files;
+//  2. every relative link in the repository's Markdown files resolves
+//     to an existing file, and every fragment (#anchor, same-file or
+//     cross-file) matches a heading of the linked document, using
+//     GitHub's heading-to-anchor slug rules.
+//
+// External links (http/https/mailto) are not fetched — the checker is
+// offline and deterministic, suitable for CI (`make docs-lint`).
+// Fenced code blocks are skipped so exemplar code in the docs cannot
+// produce false positives.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	problems = append(problems, checkPackageComments(root)...)
+	problems = append(problems, checkMarkdownLinks(root)...)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docslint:", p)
+		}
+		fmt.Fprintf(os.Stderr, "docslint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docslint: ok")
+}
+
+// skipDir reports directories the walkers never descend into.
+func skipDir(name string) bool {
+	return name == ".git" || name == "bin" || name == "testdata" || strings.HasPrefix(name, ".")
+}
+
+// checkPackageComments walks every directory containing non-test Go
+// files and verifies at least one file carries a package comment.
+func checkPackageComments(root string) []string {
+	var problems []string
+	dirs := map[string][]string{}
+	filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = append(dirs[filepath.Dir(path)], path)
+		}
+		return nil
+	})
+	for dir, files := range dirs {
+		documented := false
+		for _, f := range files {
+			fset := token.NewFileSet()
+			af, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: %v", f, err))
+				continue
+			}
+			if af.Doc != nil && strings.TrimSpace(af.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			problems = append(problems, fmt.Sprintf("%s: package has no package comment (add one, e.g. in doc.go)", dir))
+		}
+	}
+	return problems
+}
+
+// linkRe matches inline Markdown links [text](target). Images and
+// reference-style links are out of scope for this repository.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// headingRe matches ATX headings.
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+// checkMarkdownLinks verifies every relative link target (and fragment)
+// in the repository's Markdown files.
+func checkMarkdownLinks(root string) []string {
+	var problems []string
+	var mdFiles []string
+	filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(strings.ToLower(path), ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	anchors := map[string]map[string]bool{} // md path → slug set
+	for _, f := range mdFiles {
+		anchors[f] = headingSlugs(f)
+	}
+	for _, f := range mdFiles {
+		for _, link := range relativeLinks(f) {
+			target, frag, _ := strings.Cut(link.target, "#")
+			dest := f
+			if target != "" {
+				dest = filepath.Join(filepath.Dir(f), target)
+				if _, err := os.Stat(dest); err != nil {
+					problems = append(problems, fmt.Sprintf("%s:%d: dead link %q (no such file)", f, link.line, link.target))
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			slugs, ok := anchors[dest]
+			if !ok {
+				if strings.HasSuffix(strings.ToLower(dest), ".md") {
+					slugs = headingSlugs(dest)
+					anchors[dest] = slugs
+				} else {
+					continue // fragment into a non-markdown file: not checkable
+				}
+			}
+			if !slugs[strings.ToLower(frag)] {
+				problems = append(problems, fmt.Sprintf("%s:%d: dead anchor %q (no heading %q in %s)", f, link.line, link.target, frag, dest))
+			}
+		}
+	}
+	return problems
+}
+
+// mdLink is one inline link occurrence.
+type mdLink struct {
+	target string
+	line   int
+}
+
+// relativeLinks extracts the file's inline links that point at local
+// targets, skipping fenced code blocks and external schemes.
+func relativeLinks(path string) []mdLink {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var out []mdLink
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			t := m[1]
+			if strings.Contains(t, "://") || strings.HasPrefix(t, "mailto:") {
+				continue
+			}
+			out = append(out, mdLink{target: t, line: i + 1})
+		}
+	}
+	return out
+}
+
+// headingSlugs returns the GitHub-style anchor slugs of a Markdown
+// file's headings (duplicates get -1, -2, ... suffixes).
+func headingSlugs(path string) map[string]bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	slugs := map[string]bool{}
+	seen := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		if n := seen[slug]; n > 0 {
+			slugs[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			slugs[slug] = true
+		}
+		seen[slug]++
+	}
+	return slugs
+}
+
+// slugify lowers a heading into its GitHub anchor: lowercase, spaces to
+// hyphens, punctuation (beyond hyphens and underscores) dropped.
+// Inline-code backticks and emphasis markers are stripped first.
+func slugify(heading string) string {
+	heading = strings.NewReplacer("`", "", "*", "", "_", "_").Replace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_' || r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		default:
+			// dropped: punctuation, symbols, non-ASCII marks
+		}
+	}
+	return b.String()
+}

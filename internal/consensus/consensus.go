@@ -105,6 +105,8 @@ type Result struct {
 	Latencies *stats.Histogram
 }
 
+// String formats the headline metrics one line, as the experiment
+// tables print them.
 func (r Result) String() string {
 	return fmt.Sprintf("tput=%.0f req/s median=%v p95=%v completed=%d", r.Throughput, r.Median, r.P95, r.Completed)
 }

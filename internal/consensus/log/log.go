@@ -13,6 +13,15 @@
 // on a higher ballot first; acceptors that promised it then reject — by
 // ballot comparison — every in-flight Accept of the deposed master,
 // which is the fencing that keeps a stale master from committing.
+//
+// The log is not append-only forever: the driving state machine may
+// periodically snapshot itself and install the snapshot on the
+// acceptors (CompactTo), which truncates every slot below the snapshot
+// index — the standard snapshot-plus-truncate compaction of Multi-Paxos
+// and Raft. A compacted acceptor answers Promise with a next slot no
+// lower than its snapshot index (a new master must not reuse compacted
+// slots) and acknowledges Accepts below it without storing them (the
+// command is already reflected in the snapshot).
 package log
 
 // Entry is one accepted log slot: the command (an opaque id chosen by
@@ -22,13 +31,24 @@ type Entry struct {
 	Cmd    uint64
 }
 
-// Acceptor is one replica's acceptor state: the highest ballot promised
-// and the highest-ballot entry accepted per slot. The zero ballot is
-// reserved (never promised), so ballots start at 1.
+// Snapshot is a compacted log prefix: State is the caller's serialized
+// state machine with every command below Index applied. The log package
+// treats State as opaque bytes; Index is the first slot NOT covered by
+// the snapshot.
+type Snapshot struct {
+	Index int
+	State []byte
+}
+
+// Acceptor is one replica's acceptor state: the highest ballot promised,
+// the highest-ballot entry accepted per retained slot, and the latest
+// installed snapshot (slots below Snapshot().Index are truncated). The
+// zero ballot is reserved (never promised), so ballots start at 1.
 type Acceptor struct {
 	id       int
 	promised uint64
 	accepted map[int]Entry
+	snap     Snapshot
 }
 
 // NewAcceptor returns an empty acceptor with the given replica id.
@@ -46,30 +66,33 @@ func (a *Acceptor) Promised() uint64 { return a.promised }
 // acceptor will reject every Accept below b, and returns the first slot
 // past its accepted log — the new master must not place fresh commands
 // below it, or it could overwrite choices a prior master already got
-// accepted by a majority.
+// accepted by a majority. On a compacted acceptor the returned slot is
+// never below the snapshot index: the truncated prefix was chosen and
+// applied, even though no Entry remains to witness it.
 func (a *Acceptor) Promise(b uint64) (ok bool, next int) {
 	if b <= a.promised {
 		return false, 0
 	}
 	a.promised = b
-	for slot := range a.accepted {
-		if slot+1 > next {
-			next = slot + 1
-		}
-	}
-	return true, next
+	return true, a.NextSlot()
 }
 
 // Accept asks the acceptor to accept cmd at slot under ballot b
 // (Phase 2). Fencing: an acceptor that promised a higher ballot rejects,
 // so a deposed master cannot commit. An accept at the promised ballot
 // (or above — the acceptor promotes its promise, per the standard
-// optimization) overwrites any lower-ballot entry at the slot.
+// optimization) overwrites any lower-ballot entry at the slot. An accept
+// below the snapshot index is acknowledged without storing anything: the
+// slot's command is already part of the installed snapshot, and a
+// positive reply keeps a retrying master's majority count correct.
 func (a *Acceptor) Accept(b uint64, slot int, cmd uint64) bool {
 	if b < a.promised {
 		return false
 	}
 	a.promised = b
+	if slot < a.snap.Index {
+		return true
+	}
 	if e, ok := a.accepted[slot]; ok && e.Ballot > b {
 		return false
 	}
@@ -77,11 +100,54 @@ func (a *Acceptor) Accept(b uint64, slot int, cmd uint64) bool {
 	return true
 }
 
-// Accepted returns the entry accepted at slot, if any.
+// CompactTo installs a snapshot and truncates the log below its index:
+// every accepted entry at a slot below s.Index is dropped. Snapshots
+// only move forward — installing one at or below the current snapshot
+// index is a no-op (a delayed or duplicated install must not resurrect
+// truncated state). Reports whether the snapshot was installed.
+func (a *Acceptor) CompactTo(s Snapshot) bool {
+	if s.Index <= a.snap.Index {
+		return false
+	}
+	a.snap = s
+	for slot := range a.accepted {
+		if slot < s.Index {
+			delete(a.accepted, slot)
+		}
+	}
+	return true
+}
+
+// Snapshot returns the latest installed snapshot (zero value when the
+// log has never been compacted).
+func (a *Acceptor) Snapshot() Snapshot { return a.snap }
+
+// FirstSlot returns the first slot still retained in the log — the
+// snapshot index. Slots below it were truncated by CompactTo.
+func (a *Acceptor) FirstSlot() int { return a.snap.Index }
+
+// NextSlot returns the first slot past everything this acceptor knows:
+// the maximum of its snapshot index and one past its highest accepted
+// entry. A recovering replica is caught up from a peer's snapshot plus
+// the peer's retained entries in [FirstSlot, NextSlot).
+func (a *Acceptor) NextSlot() int {
+	next := a.snap.Index
+	for slot := range a.accepted {
+		if slot+1 > next {
+			next = slot + 1
+		}
+	}
+	return next
+}
+
+// Accepted returns the entry accepted at slot, if any. Slots below the
+// snapshot index report false: their entries were truncated.
 func (a *Acceptor) Accepted(slot int) (Entry, bool) {
 	e, ok := a.accepted[slot]
 	return e, ok
 }
 
-// Len returns the number of accepted slots.
+// Len returns the number of retained accepted slots; compaction shrinks
+// it. The bounded-log property the registry tests assert is
+// Len ≤ snapshot cadence + in-flight slack.
 func (a *Acceptor) Len() int { return len(a.accepted) }

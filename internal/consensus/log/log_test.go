@@ -72,6 +72,89 @@ func TestHigherBallotEntryNotOverwritten(t *testing.T) {
 	}
 }
 
+func TestCompactToTruncatesBelowIndex(t *testing.T) {
+	a := NewAcceptor(0)
+	a.Promise(1)
+	for slot := 0; slot < 8; slot++ {
+		a.Accept(1, slot, uint64(100+slot))
+	}
+	if !a.CompactTo(Snapshot{Index: 5, State: []byte("s5")}) {
+		t.Fatal("first compaction rejected")
+	}
+	if a.FirstSlot() != 5 || a.Len() != 3 {
+		t.Fatalf("FirstSlot = %d Len = %d, want 5, 3", a.FirstSlot(), a.Len())
+	}
+	if _, ok := a.Accepted(4); ok {
+		t.Fatal("entry below the snapshot index survived compaction")
+	}
+	if e, ok := a.Accepted(5); !ok || e.Cmd != 105 {
+		t.Fatalf("retained suffix entry = %+v, %v", e, ok)
+	}
+	if got := a.Snapshot(); got.Index != 5 || string(got.State) != "s5" {
+		t.Fatalf("Snapshot() = %+v", got)
+	}
+}
+
+func TestCompactToOnlyMovesForward(t *testing.T) {
+	// A delayed or duplicated install below the current snapshot index
+	// must not resurrect truncated state or regress the index.
+	a := NewAcceptor(0)
+	a.Promise(1)
+	a.Accept(1, 0, 10)
+	a.CompactTo(Snapshot{Index: 1, State: []byte("new")})
+	if a.CompactTo(Snapshot{Index: 1, State: []byte("dup")}) {
+		t.Fatal("same-index re-install accepted")
+	}
+	if a.CompactTo(Snapshot{Index: 0, State: []byte("old")}) {
+		t.Fatal("regressing install accepted")
+	}
+	if got := a.Snapshot(); got.Index != 1 || string(got.State) != "new" {
+		t.Fatalf("Snapshot() = %+v after stale installs", got)
+	}
+}
+
+func TestPromiseNextRespectsSnapshotIndex(t *testing.T) {
+	// After compaction the accepted map may be empty, but the truncated
+	// prefix was chosen: a new master must not reuse those slots.
+	a := NewAcceptor(0)
+	a.Promise(1)
+	for slot := 0; slot < 4; slot++ {
+		a.Accept(1, slot, uint64(slot))
+	}
+	a.CompactTo(Snapshot{Index: 4})
+	if a.Len() != 0 {
+		t.Fatalf("Len = %d after full compaction, want 0", a.Len())
+	}
+	ok, next := a.Promise(2)
+	if !ok || next != 4 {
+		t.Fatalf("Promise = %v, next %d; want true, 4 (the snapshot index)", ok, next)
+	}
+	if a.NextSlot() != 4 {
+		t.Fatalf("NextSlot = %d, want 4", a.NextSlot())
+	}
+}
+
+func TestAcceptBelowSnapshotAcknowledged(t *testing.T) {
+	// A retrying master's Accept at a compacted slot is acknowledged (the
+	// command is in the snapshot) without resurrecting a log entry, and
+	// ballot fencing still applies first.
+	a := NewAcceptor(0)
+	a.Promise(3)
+	a.CompactTo(Snapshot{Index: 2})
+	if a.Accept(1, 0, 9) {
+		t.Fatal("stale-ballot accept below the snapshot succeeded")
+	}
+	if !a.Accept(3, 1, 9) {
+		t.Fatal("current-ballot accept below the snapshot rejected")
+	}
+	if _, ok := a.Accepted(1); ok {
+		t.Fatal("compacted slot grew a log entry back")
+	}
+	if a.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", a.Len())
+	}
+}
+
 func TestPromiseReportsNextFreeSlot(t *testing.T) {
 	// A new master must place fresh commands past every slot the old
 	// master got accepted here, or it could overwrite committed entries.

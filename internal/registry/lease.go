@@ -35,6 +35,7 @@ const (
 	RoleTarget
 )
 
+// String returns the role's protocol name ("source" or "target").
 func (r Role) String() string {
 	if r == RoleTarget {
 		return "target"
@@ -54,6 +55,7 @@ const (
 	StateLeft // released voluntarily (graceful close)
 )
 
+// String returns the lease state's protocol name.
 func (s EndpointState) String() string {
 	switch s {
 	case StateSuspect:
@@ -226,70 +228,96 @@ func (r *Registry) MembershipOf(name string) *Membership {
 // that evicted it has been observed by its peers. Re-admission goes
 // through Rejoin, which bumps the slot's incarnation (and the flow
 // epoch) so peers can tell the new endpoint from the corpse.
+//
+// On a replicated registry the acquisition is a logged command: it
+// commits through the consensus log before applying, so the lease
+// survives a master failover.
 func (r *Registry) AcquireLease(p *sim.Proc, flow string, role Role, idx int, ttl, grace time.Duration) error {
-	r.rpc(p)
-	m, ok := r.membership(flow)
-	if !ok {
-		return fmt.Errorf("registry: flow %q not published", flow)
-	}
 	if ttl <= 0 {
 		return fmt.Errorf("registry: lease TTL must be positive")
 	}
 	if grace <= 0 {
 		grace = ttl
 	}
-	k := epKey{role, idx}
-	l := m.eps[k]
-	if l == nil {
-		l = &lease{}
-		m.eps[k] = l
-	}
-	if l.state == StateEvicted {
-		return fmt.Errorf("registry: %s %d of flow %q was evicted (epoch %d)", role, idx, flow, m.epoch)
-	}
-	l.state = StateActive
-	l.ttl, l.grace = ttl, grace
-	m.arm(k, l)
-	return nil
+	return r.invoke(p, func() error {
+		m, ok := r.membership(flow)
+		if !ok {
+			return fmt.Errorf("registry: flow %q not published", flow)
+		}
+		k := epKey{role, idx}
+		l := m.eps[k]
+		if l == nil {
+			l = &lease{}
+			m.eps[k] = l
+		}
+		if l.state == StateEvicted {
+			return fmt.Errorf("registry: %s %d of flow %q was evicted (epoch %d)", role, idx, flow, m.epoch)
+		}
+		l.state = StateActive
+		l.ttl, l.grace = ttl, grace
+		m.arm(k, l)
+		return nil
+	})
 }
 
 // RenewLease refreshes the endpoint's lease, rescuing a Suspect slot
 // back to Active. Renewing an evicted lease fails (epoch fencing): the
 // eviction is already visible to peers and cannot be taken back.
+//
+// Renewals are logged commands like every other mutation unless the
+// replicated registry was built with ReplicaConfig.UnloggedRenew, which
+// serves them as plain master RPCs — the explicit relaxation for
+// high-rate heartbeats (a renewal lost to a failover costs TTL budget,
+// never correctness: the slot still expires toward eviction, later).
 func (r *Registry) RenewLease(p *sim.Proc, flow string, role Role, idx int) error {
-	r.rpc(p)
-	m, ok := r.membership(flow)
-	if !ok {
-		return fmt.Errorf("registry: flow %q not published", flow)
+	return r.invokeRenew(p, func() error {
+		m, ok := r.membership(flow)
+		if !ok {
+			return fmt.Errorf("registry: flow %q not published", flow)
+		}
+		k := epKey{role, idx}
+		l := m.eps[k]
+		if l == nil || l.state == StateLeft {
+			return fmt.Errorf("registry: %s %d of flow %q holds no lease", role, idx, flow)
+		}
+		if l.state == StateEvicted {
+			return fmt.Errorf("registry: %s %d of flow %q was evicted (epoch %d)", role, idx, flow, m.epoch)
+		}
+		l.state = StateActive
+		m.arm(k, l)
+		return nil
+	})
+}
+
+// invokeRenew routes a renewal through the log, or — under the
+// UnloggedRenew relaxation — as a plain RPC against the master.
+func (r *Registry) invokeRenew(p *sim.Proc, op func() error) error {
+	if r.repl != nil && r.repl.cfg.UnloggedRenew {
+		r.rpc(p)
+		return op()
 	}
-	k := epKey{role, idx}
-	l := m.eps[k]
-	if l == nil || l.state == StateLeft {
-		return fmt.Errorf("registry: %s %d of flow %q holds no lease", role, idx, flow)
-	}
-	if l.state == StateEvicted {
-		return fmt.Errorf("registry: %s %d of flow %q was evicted (epoch %d)", role, idx, flow, m.epoch)
-	}
-	l.state = StateActive
-	m.arm(k, l)
-	return nil
+	return r.invoke(p, op)
 }
 
 // ReleaseLease gives the lease up voluntarily (graceful close). The slot
 // moves to Left without an epoch bump: peers need no rerouting for an
-// endpoint that finished its part of the flow protocol.
+// endpoint that finished its part of the flow protocol. Logged on a
+// replicated registry (a Left slot that flipped back to Active on
+// failover would stall target re-attach, which closes Left readers).
 func (r *Registry) ReleaseLease(p *sim.Proc, flow string, role Role, idx int) {
-	r.rpc(p)
-	m, ok := r.membership(flow)
-	if !ok {
-		return
-	}
-	l := m.eps[epKey{role, idx}]
-	if l == nil || l.state == StateEvicted {
-		return
-	}
-	l.gen++ // orphan any pending expiry check
-	l.state = StateLeft
+	_ = r.invoke(p, func() error {
+		m, ok := r.membership(flow)
+		if !ok {
+			return nil
+		}
+		l := m.eps[epKey{role, idx}]
+		if l == nil || l.state == StateEvicted {
+			return nil
+		}
+		l.gen++ // orphan any pending expiry check
+		l.state = StateLeft
+		return nil
+	})
 }
 
 // Evict administratively removes an endpoint from the flow at the next

@@ -32,12 +32,25 @@ import (
 //     need no log round — the standard lease-free read relaxation,
 //     acceptable here because flow setup rendezvous is idempotent and
 //     level-triggered (waiters just keep waiting until the entry shows).
+//     Lease operations (Acquire/Renew/Release, see lease.go) are logged
+//     commands like every other mutation, so lease state survives a
+//     master failover; ReplicaConfig.UnloggedRenew opts heartbeat
+//     renewals out of the log round as an explicit relaxation;
+//   - every SnapshotEvery committed commands the master snapshots the
+//     registry state machine (snapshot.go), installs the snapshot on the
+//     live acceptors, and truncates their logs and the applied-table
+//     below the snapshot index, so neither grows without bound
+//     (snapshot-plus-truncate compaction). A crashed replica brought
+//     back with RecoverReplica catches up from the snapshot plus the
+//     retained log suffix — the install-snapshot path.
 //
 // The acceptors are plain state machines (consensus/log); the message
 // legs between client, master and replicas are charged as simulated
 // RPC delays subject to the plan's Registry* faults, not as fabric
 // messages — consistent with how the registry has always modelled its
-// RPCs (see the package comment).
+// RPCs (see the package comment). Snapshot installs and catch-up
+// transfers additionally charge a size-proportional serialization cost
+// (snapshotByteCost per encoded byte).
 
 // ReplicaConfig configures NewReplicated.
 type ReplicaConfig struct {
@@ -55,7 +68,34 @@ type ReplicaConfig struct {
 	// Faults subjects registry RPCs to the plan's Registry* knobs,
 	// including RegistryCrashMaster.
 	Faults *fabric.FaultPlan
+
+	// SnapshotEvery is the applied-index cadence of state-machine
+	// snapshots: after this many committed commands the master
+	// serializes the registry state, installs it on the live acceptors,
+	// and truncates their logs and the applied-table below the snapshot
+	// index. 0 selects DefaultSnapshotEvery; a negative value disables
+	// compaction (the log and applied-table then grow without bound).
+	SnapshotEvery int
+
+	// UnloggedRenew serves RenewLease as a plain master RPC without a
+	// log round. This is an explicit relaxation for high-rate heartbeat
+	// traffic: a renewal that commits only on the master can be lost by
+	// a failover, after which the slot must survive on its remaining TTL
+	// budget (the TTL/3 heartbeat cadence leaves two renewals of slack
+	// before Suspect). Acquire and Release always commit through the
+	// log. Off by default: all lease operations are logged.
+	UnloggedRenew bool
 }
+
+// DefaultSnapshotEvery is the snapshot cadence used when
+// ReplicaConfig.SnapshotEvery is zero.
+const DefaultSnapshotEvery = 64
+
+// snapshotByteCost is the charged serialization cost per encoded
+// snapshot byte for installs and catch-up transfers (≈1 GB/s on the
+// control path — deliberately far below fabric link speed; snapshots
+// travel the same commodity path as registry RPCs).
+const snapshotByteCost = time.Nanosecond
 
 // invokeAttempts bounds one command's retries before the registry is
 // declared unavailable (e.g. a majority of replicas crashed).
@@ -72,8 +112,13 @@ type replGroup struct {
 	ballot    uint64
 	slot      int // next free log slot on the master
 
-	applied map[uint64]error // command id → outcome (idempotent retry)
-	nextOp  uint64
+	applied     map[uint64]error // command id → outcome (idempotent retry)
+	appliedSlot map[uint64]int   // command id → committed slot (for pruning)
+	nextOp      uint64
+
+	snapEvery int          // snapshot cadence (≤ 0: disabled)
+	snap      log.Snapshot // group's latest snapshot
+	snapCount int
 
 	crashDone bool // RegistryCrashMaster already applied
 	elections int
@@ -93,13 +138,19 @@ func NewReplicated(k *sim.Kernel, cfg ReplicaConfig) (*Registry, error) {
 	r.RPCDelay = cfg.RPCDelay
 	r.RetryTimeout = cfg.RetryTimeout
 	r.faults = cfg.Faults
+	snapEvery := cfg.SnapshotEvery
+	if snapEvery == 0 {
+		snapEvery = DefaultSnapshotEvery
+	}
 	g := &replGroup{
-		r:       r,
-		cfg:     cfg,
-		crashed: make([]bool, cfg.Replicas),
-		master:  0,
-		ballot:  1,
-		applied: make(map[uint64]error),
+		r:           r,
+		cfg:         cfg,
+		crashed:     make([]bool, cfg.Replicas),
+		master:      0,
+		ballot:      1,
+		applied:     make(map[uint64]error),
+		appliedSlot: make(map[uint64]int),
+		snapEvery:   snapEvery,
 	}
 	for i := 0; i < cfg.Replicas; i++ {
 		a := log.NewAcceptor(i)
@@ -142,6 +193,52 @@ func (r *Registry) Replicas() int {
 	return len(r.repl.acceptors)
 }
 
+// SnapshotIndex returns the applied index covered by the group's latest
+// snapshot (0: never snapshotted, or standalone).
+func (r *Registry) SnapshotIndex() int {
+	if r.repl == nil {
+		return 0
+	}
+	return r.repl.snap.Index
+}
+
+// Snapshots returns how many snapshots the group has taken.
+func (r *Registry) Snapshots() int {
+	if r.repl == nil {
+		return 0
+	}
+	return r.repl.snapCount
+}
+
+// LogLen returns the largest retained acceptor log across the live
+// replicas — the quantity compaction bounds (≤ cadence + in-flight
+// slack once snapshotting is enabled). 0 standalone.
+func (r *Registry) LogLen() int {
+	if r.repl == nil {
+		return 0
+	}
+	max := 0
+	for i, a := range r.repl.acceptors {
+		if r.repl.crashed[i] {
+			continue
+		}
+		if a.Len() > max {
+			max = a.Len()
+		}
+	}
+	return max
+}
+
+// AppliedSize returns the number of retained applied-table entries
+// (command outcomes kept for idempotent retry); compaction prunes the
+// entries whose slots the snapshot covers. 0 standalone.
+func (r *Registry) AppliedSize() int {
+	if r.repl == nil {
+		return 0
+	}
+	return len(r.repl.applied)
+}
+
 // CrashReplica crashes replica i at the current instant: it stops
 // answering promises, accepts and client RPCs. Crashing the master
 // leaves clients to trigger the failover on their next command.
@@ -149,6 +246,54 @@ func (r *Registry) CrashReplica(i int) {
 	if r.repl != nil && i >= 0 && i < len(r.repl.crashed) {
 		r.repl.crashed[i] = true
 	}
+}
+
+// RecoverReplica restarts crashed replica i and catches it up through
+// the install-snapshot path: the group's latest snapshot is installed
+// on its acceptor (truncating whatever stale prefix it retained), and
+// the retained log suffix is replayed from the most advanced live peer
+// under the current ballot. The catch-up is charged as one round trip
+// plus the size-proportional snapshot transfer. If the master is down,
+// the recovered replica takes part in the next election like any live
+// one (elections stay lazy — the next command triggers them).
+func (r *Registry) RecoverReplica(p *sim.Proc, i int) error {
+	g := r.repl
+	if g == nil {
+		return fmt.Errorf("registry: standalone registry has no replicas")
+	}
+	if i < 0 || i >= len(g.crashed) {
+		return fmt.Errorf("registry: no replica %d", i)
+	}
+	if !g.crashed[i] {
+		return fmt.Errorf("registry: replica %d is not crashed", i)
+	}
+	g.crashed[i] = false
+	// Catch up from the most advanced live peer (the master when alive).
+	var src *log.Acceptor
+	for j, a := range g.acceptors {
+		if j == i || g.crashed[j] {
+			continue
+		}
+		if src == nil || a.NextSlot() > src.NextSlot() {
+			src = a
+		}
+	}
+	if src == nil {
+		return nil // sole survivor: nothing to catch up from
+	}
+	rec := g.acceptors[i]
+	transferred := 0
+	if g.snap.Index > rec.FirstSlot() {
+		rec.CompactTo(g.snap)
+		transferred = len(g.snap.State)
+	}
+	for slot := src.FirstSlot(); slot < src.NextSlot(); slot++ {
+		if e, ok := src.Accepted(slot); ok {
+			rec.Accept(g.ballot, slot, e.Cmd)
+		}
+	}
+	p.Sleep(2*g.legDelay(p) + time.Duration(transferred)*snapshotByteCost)
+	return nil
 }
 
 // maybeCrashMaster applies the fault plan's RegistryCrashMaster once its
@@ -226,9 +371,46 @@ func (g *replGroup) invoke(p *sim.Proc, op func() error) error {
 		}
 		err := op()
 		g.applied[id] = err
+		g.appliedSlot[id] = g.slot - 1
+		g.maybeSnapshot(p)
 		return err
 	}
 	return fmt.Errorf("registry: unavailable (command not committed after %d attempts)", invokeAttempts)
+}
+
+// maybeSnapshot compacts the log once the applied index has advanced a
+// full cadence past the last snapshot: the master serializes the
+// registry state machine, installs the snapshot on every live acceptor
+// (truncating their logs below the snapshot index), and prunes the
+// applied-table entries whose slots the snapshot covers. Pruning is
+// safe because a command id is only retried inside its own invoke loop:
+// by the time a further snapshot-cadence of commands has committed, the
+// invoke that minted the id has long returned. The round is charged to
+// the in-flight client like an election is: one master→replica round
+// trip plus the size-proportional transfer.
+func (g *replGroup) maybeSnapshot(p *sim.Proc) {
+	if g.snapEvery <= 0 || g.slot-g.snap.Index < g.snapEvery {
+		return
+	}
+	state := g.r.captureState().encode()
+	g.snap = log.Snapshot{Index: g.slot, State: state}
+	g.snapCount++
+	for i, a := range g.acceptors {
+		if g.crashed[i] {
+			continue // recovers later via the install-snapshot path
+		}
+		if i != g.master && g.dropLeg(p) {
+			continue // missed install; the next cadence covers it
+		}
+		a.CompactTo(g.snap)
+	}
+	p.Sleep(2*g.legDelay(p) + time.Duration(len(state))*snapshotByteCost)
+	for id, slot := range g.appliedSlot {
+		if slot < g.snap.Index {
+			delete(g.appliedSlot, id)
+			delete(g.applied, id)
+		}
+	}
 }
 
 // commit runs one Accept round for the next log slot under the master's
@@ -277,7 +459,11 @@ func (g *replGroup) elect(p *sim.Proc) {
 	}
 	for {
 		b := g.ballot + 1
-		promises, next := 0, 0
+		// The floor on next is the group's snapshot index: compacted slots
+		// were chosen and applied even though no promiser retains entries
+		// to witness them (the snapshot metadata travels with the
+		// snapshot), so a new master must never place commands below it.
+		promises, next := 0, g.snap.Index
 		for i, a := range g.acceptors {
 			if g.crashed[i] {
 				continue
