@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos partition-race bench bench-update docs-lint
+.PHONY: all build vet test race check chaos partition-race metrics-smoke bench bench-update docs-lint
 
 all: check
 
@@ -34,8 +34,17 @@ chaos:
 # Partitioner + membership focus: the packages behind consistent-hash
 # routing, rebalance and endpoint re-attach, under the race detector
 # (fast enough to run on every change; the full suite lives in `race`).
+# Includes the metrics package and the core scrape suite: a scraper
+# goroutine hammering Stats()/Summary/exposition while flows run is
+# exactly what the race detector must see.
 partition-race:
-	$(GO) test -race -count=1 ./internal/core/... ./internal/registry/...
+	$(GO) test -race -count=1 ./internal/core/... ./internal/registry/... ./internal/metrics/...
+
+# Ops-plane smoke: run dfiflow with a live metrics endpoint, scrape
+# /metrics, /status and /events, and assert the exposition parses and
+# the scraped counters equal the end-of-run printed Stats() summary.
+metrics-smoke:
+	$(GO) test -race -count=1 -run 'TestMetricsSmoke|TestTraceSummary|TestEventsOut' ./cmd/dfiflow/
 
 # Figure benchmarks behind the bench-regression harness. `bench` fails
 # when wall-clock ns/op regresses >10% against the committed baseline
@@ -65,4 +74,4 @@ bench-update:
 docs-lint:
 	$(GO) run ./cmd/docslint
 
-check: build vet race docs-lint
+check: build vet race metrics-smoke docs-lint

@@ -18,6 +18,15 @@
 //	dfiflow -replicas 3 -faults reg-crash-master=5us,reg-drop=0.1 -mb 1
 //	dfiflow -replicas 3 -lease 100us -snapshot-every 16 -mb 2
 //	dfiflow -replicas 5 -lease 50us -unlogged-renew -faults reg-crash-master=300us -mb 1
+//	dfiflow -metrics-addr 127.0.0.1:0 -linger 30s -mb 4
+//	dfiflow -lease 100us -evict 1@300us -events-out events.jsonl -mb 2
+//
+// With -metrics-addr the process serves live introspection over HTTP
+// while the flow runs: /metrics (Prometheus text exposition of the
+// same counters the final summary prints), /status (JSON cluster
+// snapshot: flows, leases, epochs, watermarks, replication), /events
+// (JSONL dump of the structured event trace). -linger keeps the
+// endpoint up after the run so the final counters can be scraped.
 //
 // The process exits non-zero when any endpoint reports ErrFlowBroken
 // (a flow that could not be completed or repaired) or when a scheduled
@@ -28,6 +37,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -37,39 +47,55 @@ import (
 	"dfi/internal/core"
 	"dfi/internal/core/partition"
 	"dfi/internal/fabric"
+	"dfi/internal/metrics"
 	"dfi/internal/registry"
 	"dfi/internal/schema"
 	"dfi/internal/sim"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main's testable body: flags in, exit code out. Config errors
+// return 2; a broken flow or rejected rejoin returns 1. Internal
+// errors that cannot occur with a valid config still exit the process
+// via log.Fatal.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dfiflow", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		flowType  = flag.String("type", "shuffle", "flow type: shuffle | replicate | combiner")
-		nSources  = flag.Int("sources", 2, "source threads (one node each)")
-		nTargets  = flag.Int("targets", 2, "target threads (one node each; combiner: threads on one node)")
-		tupleSize = flag.Int("tuple", 64, "tuple size in bytes (≥16)")
-		megabytes = flag.Int("mb", 16, "payload volume per source in MiB")
-		latency   = flag.Bool("latency", false, "latency-optimized instead of bandwidth-optimized")
-		multicast = flag.Bool("multicast", false, "replicate flow: use switch multicast")
-		ordered   = flag.Bool("ordered", false, "replicate flow: global ordering (implies -multicast)")
-		loss      = flag.Float64("loss", 0, "multicast loss probability")
-		segments  = flag.Int("segments", 32, "segments per ring")
-		segSize   = flag.Int("segsize", 0, "segment payload size (0 = default)")
-		seed      = flag.Int64("seed", 1, "deterministic seed")
-		copyData  = flag.Bool("copy", false, "copy payload bytes (slower, validates content paths)")
-		traceOps  = flag.Int("trace", 0, "record fabric operations; print the first N and a summary")
-		faults    = flag.String("faults", "", "fault plan, e.g. drop-write=0.01,delay=1us,jitter=3us,dup=0.05,reorder=0.1,crash=1@500us")
-		retrans   = flag.Duration("retransmit", 0, "enable source-side loss recovery with this stall timeout")
-		srcTime   = flag.Duration("srctimeout", 0, "target-side failure detection: declare a source failed after this silence")
-		lease     = flag.Duration("lease", 0, "lease-based membership: endpoint lease TTL (0 = disabled)")
-		partMode  = flag.String("partition", "modulo", "key partitioning scheme: modulo | ring (bounded rebalance on eviction)")
-		evictSpec = flag.String("evict", "", "administratively evict targets, e.g. 1@300us,2@400us")
-		rejoin    = flag.String("rejoin", "", "re-attach evicted targets, e.g. 1@600us (requires -retransmit or -lease)")
-		replicas  = flag.Int("replicas", 0, "replicate the registry over this many consensus replicas (odd, ≥3; 0 = standalone)")
-		snapEvery = flag.Int("snapshot-every", 0, "replicated registry: snapshot+compact the log every N committed commands (0 = default cadence, <0 = never)")
-		unlogRen  = flag.Bool("unlogged-renew", false, "replicated registry: serve lease renewals without a log round (explicit heartbeat relaxation)")
+		flowType  = fs.String("type", "shuffle", "flow type: shuffle | replicate | combiner")
+		nSources  = fs.Int("sources", 2, "source threads (one node each)")
+		nTargets  = fs.Int("targets", 2, "target threads (one node each; combiner: threads on one node)")
+		tupleSize = fs.Int("tuple", 64, "tuple size in bytes (≥16)")
+		megabytes = fs.Int("mb", 16, "payload volume per source in MiB")
+		latency   = fs.Bool("latency", false, "latency-optimized instead of bandwidth-optimized")
+		multicast = fs.Bool("multicast", false, "replicate flow: use switch multicast")
+		ordered   = fs.Bool("ordered", false, "replicate flow: global ordering (implies -multicast)")
+		loss      = fs.Float64("loss", 0, "multicast loss probability")
+		segments  = fs.Int("segments", 32, "segments per ring")
+		segSize   = fs.Int("segsize", 0, "segment payload size (0 = default)")
+		seed      = fs.Int64("seed", 1, "deterministic seed")
+		copyData  = fs.Bool("copy", false, "copy payload bytes (slower, validates content paths)")
+		traceOps  = fs.Int("trace", 0, "record fabric operations; print the first N and a summary")
+		faults    = fs.String("faults", "", "fault plan, e.g. drop-write=0.01,delay=1us,jitter=3us,dup=0.05,reorder=0.1,crash=1@500us")
+		retrans   = fs.Duration("retransmit", 0, "enable source-side loss recovery with this stall timeout")
+		srcTime   = fs.Duration("srctimeout", 0, "target-side failure detection: declare a source failed after this silence")
+		lease     = fs.Duration("lease", 0, "lease-based membership: endpoint lease TTL (0 = disabled)")
+		partMode  = fs.String("partition", "modulo", "key partitioning scheme: modulo | ring (bounded rebalance on eviction)")
+		evictSpec = fs.String("evict", "", "administratively evict targets, e.g. 1@300us,2@400us")
+		rejoin    = fs.String("rejoin", "", "re-attach evicted targets, e.g. 1@600us (requires -retransmit or -lease)")
+		replicas  = fs.Int("replicas", 0, "replicate the registry over this many consensus replicas (odd, ≥3; 0 = standalone)")
+		snapEvery = fs.Int("snapshot-every", 0, "replicated registry: snapshot+compact the log every N committed commands (0 = default cadence, <0 = never)")
+		unlogRen  = fs.Bool("unlogged-renew", false, "replicated registry: serve lease renewals without a log round (explicit heartbeat relaxation)")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /status and /events over HTTP on this address while the flow runs (e.g. 127.0.0.1:0)")
+		linger      = fs.Duration("linger", 0, "keep the metrics endpoint up this long after the run (requires -metrics-addr)")
+		eventsCap   = fs.Int("events", 0, "per-node event ring capacity for the structured trace (0 = default 1024)")
+		eventsOut   = fs.String("events-out", "", "write the structured event trace as JSONL to this file at exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	k := sim.New(*seed)
 	k.Deadline = time.Hour
@@ -79,8 +105,8 @@ func main() {
 	if *faults != "" {
 		fp, err := parseFaults(*faults)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dfiflow: -faults: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "dfiflow: -faults: %v\n", err)
+			return 2
 		}
 		fcfg.Faults = fp
 	}
@@ -88,6 +114,10 @@ func main() {
 	var rec *fabric.Recorder
 	if *traceOps > 0 {
 		rec = fabric.NewRecorder(*traceOps)
+		// The fabric's per-message framing overhead feeds the recorder's
+		// wire-volume estimate; without it the Summary silently omitted
+		// the "wire bytes" line.
+		rec.WireOverheadBytes = fcfg.WireOverheadBytes
 		cluster.SetTracer(rec)
 	}
 	var reg *registry.Registry
@@ -100,23 +130,50 @@ func main() {
 			UnloggedRenew: *unlogRen,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dfiflow: -replicas: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "dfiflow: -replicas: %v\n", err)
+			return 2
 		}
 	} else {
 		reg = registry.New(k)
 		reg.UseFaults(fcfg.Faults)
 	}
 
+	// Ops plane: the metrics registry collects every layer's counters;
+	// the event log receives structured protocol events (installed on
+	// the registry before any endpoint opens, so endpoints inherit it).
+	observing := *metricsAddr != "" || *eventsOut != ""
+	var m *metrics.Registry
+	var events *metrics.EventLog
+	if observing {
+		m = metrics.NewRegistry()
+		events = metrics.NewEventLog(*eventsCap)
+		reg.SetEventSink(events)
+		reg.PublishMetrics(m)
+		if rec != nil {
+			rec.PublishMetrics(m)
+		}
+	}
+	var srv *metrics.Server
+	if *metricsAddr != "" {
+		var err error
+		srv, err = metrics.Serve(*metricsAddr, m, func() any { return reg.Status() }, events)
+		if err != nil {
+			fmt.Fprintf(stderr, "dfiflow: -metrics-addr: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "metrics: serving on http://%s (/metrics /status /events)\n", srv.Addr())
+	}
+
 	evictions, err := parseEvictions(*evictSpec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dfiflow: -evict: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dfiflow: -evict: %v\n", err)
+		return 2
 	}
 	rejoins, err := parseEvictions(*rejoin) // same TARGET@TIME grammar
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dfiflow: -rejoin: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dfiflow: -rejoin: %v\n", err)
+		return 2
 	}
 	rejoinAt := make(map[int]time.Duration)
 	for _, rj := range rejoins {
@@ -124,8 +181,8 @@ func main() {
 	}
 	scheme, err := partition.ParseScheme(*partMode)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dfiflow: -partition: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dfiflow: -partition: %v\n", err)
+		return 2
 	}
 
 	sch := schema.MustNew(
@@ -154,12 +211,12 @@ func main() {
 		spec.Type = core.CombinerFlow
 		spec.Options.Aggregation = core.AggSum
 	default:
-		fmt.Fprintf(os.Stderr, "dfiflow: unknown flow type %q\n", *flowType)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dfiflow: unknown flow type %q\n", *flowType)
+		return 2
 	}
 	if len(rejoinAt) > 0 && spec.Type == core.CombinerFlow {
-		fmt.Fprintln(os.Stderr, "dfiflow: -rejoin is not supported for combiner flows")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dfiflow: -rejoin is not supported for combiner flows")
+		return 2
 	}
 	for i := 0; i < *nSources; i++ {
 		spec.Sources = append(spec.Sources, core.Endpoint{Node: cluster.Node(i)})
@@ -188,7 +245,7 @@ func main() {
 		if errors.Is(err, core.ErrFlowBroken) {
 			brokenFlow = true
 		}
-		fmt.Printf("%s %d: %v\n", kind, idx, err)
+		fmt.Fprintf(stdout, "%s %d: %v\n", kind, idx, err)
 	}
 
 	k.Spawn("init", func(p *sim.Proc) {
@@ -201,7 +258,7 @@ func main() {
 		k.Spawn(fmt.Sprintf("evict%d", ev.target), func(p *sim.Proc) {
 			p.Sleep(ev.at)
 			if err := reg.Evict(p, "dfiflow", registry.RoleTarget, ev.target); err != nil {
-				fmt.Printf("evict target %d: %v\n", ev.target, err)
+				fmt.Fprintf(stdout, "evict target %d: %v\n", ev.target, err)
 			}
 		})
 	}
@@ -211,6 +268,9 @@ func main() {
 			src, err := core.SourceOpen(p, reg, "dfiflow", si)
 			if err != nil {
 				log.Fatal(err)
+			}
+			if m != nil {
+				src.PublishMetrics(m)
 			}
 			tup := sch.NewTuple()
 			rng := p.Rand()
@@ -242,6 +302,9 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
+				if m != nil {
+					tgt.PublishMetrics(m)
+				}
 				consume := func(tgt *core.Target) {
 					for {
 						if _, _, ok := tgt.ConsumeSegment(p); !ok {
@@ -251,7 +314,7 @@ func main() {
 				}
 				consume(tgt)
 				if tgt.Evicted() {
-					fmt.Printf("target %d: evicted from the flow membership\n", ti)
+					fmt.Fprintf(stdout, "target %d: evicted from the flow membership\n", ti)
 				}
 				if at, ok := rejoinAt[ti]; ok {
 					if at > p.Now() {
@@ -259,16 +322,16 @@ func main() {
 					}
 					nt, err := tgt.Reattach(p)
 					if err != nil {
-						fmt.Printf("target %d: rejoin rejected: %v\n", ti, err)
+						fmt.Fprintf(stdout, "target %d: rejoin rejected: %v\n", ti, err)
 						rejoinFailed = true
 					} else {
-						fmt.Printf("target %d: rejoined at %v, resumed from %d consumed tuples\n", ti, p.Now(), nt.ResumedFrom())
+						fmt.Fprintf(stdout, "target %d: rejoined at %v, resumed from %d consumed tuples\n", ti, p.Now(), nt.ResumedFrom())
 						consume(nt)
 						tgt = nt
 					}
 				}
 				if failed := tgt.FailedSources(); len(failed) > 0 {
-					fmt.Printf("target %d: sources declared failed: %v\n", ti, failed)
+					fmt.Fprintf(stdout, "target %d: sources declared failed: %v\n", ti, failed)
 				}
 				tgtStats[ti] = tgt.Stats()
 			}
@@ -289,34 +352,56 @@ func main() {
 	for _, s := range tgtStats {
 		consumed += s.TuplesConsumed
 	}
-	fmt.Printf("flow: %s %s, %s partitioning, %d sources → %d targets, %s tuples, %d MiB/source\n",
+	fmt.Fprintf(stdout, "flow: %s %s, %s partitioning, %d sources → %d targets, %s tuples, %d MiB/source\n",
 		*flowType, spec.Options.Optimization, scheme, *nSources, *nTargets, fmtBytes(sch.TupleSize()), *megabytes)
-	fmt.Printf("virtual runtime: %v\n", end)
-	fmt.Printf("tuples pushed:   %d  (consumed: %d)\n", pushed, consumed)
+	fmt.Fprintf(stdout, "virtual runtime: %v\n", end)
+	fmt.Fprintf(stdout, "tuples pushed:   %d  (consumed: %d)\n", pushed, consumed)
 	bw := float64(payload) / end.Seconds() / (1 << 30)
-	fmt.Printf("aggregate sender bandwidth: %.2f GiB/s (link speed %.2f GiB/s)\n",
+	fmt.Fprintf(stdout, "aggregate sender bandwidth: %.2f GiB/s (link speed %.2f GiB/s)\n",
 		bw, fcfg.LinkBandwidth/(1<<30))
 	for si, s := range srcStats {
-		fmt.Printf("  source %d: %s\n", si, s)
+		fmt.Fprintf(stdout, "  source %d: %s\n", si, s)
 	}
 	for ti, s := range tgtStats {
 		if spec.Type != core.CombinerFlow {
-			fmt.Printf("  target %d: %s\n", ti, s)
+			fmt.Fprintf(stdout, "  target %d: %s\n", ti, s)
 		}
 	}
 	if *replicas > 0 {
-		fmt.Printf("registry: %d replicas, master=%d ballot=%d elections=%d snapshots=%d snap-index=%d log-len=%d applied=%d\n",
+		fmt.Fprintf(stdout, "registry: %d replicas, master=%d ballot=%d elections=%d snapshots=%d snap-index=%d log-len=%d applied=%d\n",
 			reg.Replicas(), reg.Master(), reg.Ballot(), reg.Elections(),
 			reg.Snapshots(), reg.SnapshotIndex(), reg.LogLen(), reg.AppliedSize())
 	}
+	if events != nil {
+		fmt.Fprintf(stdout, "events: %d emitted\n", events.Total())
+	}
 	if rec != nil {
-		fmt.Println()
-		rec.Log(os.Stdout)
-		rec.Summary(os.Stdout, 5)
+		fmt.Fprintln(stdout)
+		rec.Log(stdout)
+		rec.Summary(stdout, 5)
+	}
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "dfiflow: -events-out: %v\n", err)
+			return 1
+		}
+		written, droppedEv, err := events.WriteJSONL(f)
+		cerr := f.Close()
+		if err != nil || cerr != nil {
+			fmt.Fprintf(stderr, "dfiflow: -events-out: write: %v\n", errors.Join(err, cerr))
+			return 1
+		}
+		fmt.Fprintf(stdout, "events: wrote %d to %s (%d dropped by ring eviction)\n", written, *eventsOut, droppedEv)
+	}
+	if srv != nil && *linger > 0 {
+		fmt.Fprintf(stdout, "metrics: lingering %v for scrapes\n", *linger)
+		time.Sleep(*linger)
 	}
 	if brokenFlow || rejoinFailed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // eviction is one parsed -evict entry: evict the target slot at the

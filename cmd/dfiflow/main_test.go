@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"dfi/internal/metrics"
+)
+
+func runToString(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String() + errb.String(), code
+}
+
+func TestTraceSummaryIncludesWireOverheadLine(t *testing.T) {
+	// Regression: the recorder was created without wiring the fabric's
+	// WireOverheadBytes through, so the "wire bytes incl. framing" line
+	// never printed.
+	out, code := runToString(t, "-mb", "1", "-trace", "2")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "wire bytes incl. 42 B/message framing overhead") {
+		t.Fatalf("trace summary missing the wire-overhead line:\n%s", out)
+	}
+}
+
+func TestTraceSummaryReportsDroppedSeparately(t *testing.T) {
+	out, code := runToString(t, "-mb", "1", "-trace", "1",
+		"-faults", "drop-write=0.05", "-retransmit", "50us", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"message bytes delivered", "bytes never delivered"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadConfigExitsTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{"-type", "bogus"},
+		{"-faults", "no-such-key=1"},
+		{"-partition", "bogus"},
+		{"-evict", "notaspec"},
+		{"-metrics-addr", "256.0.0.1:bad"},
+	} {
+		if _, code := runToString(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestEventsOutWritesJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	out, code := runToString(t, "-mb", "1", "-events-out", path)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no events written")
+	}
+	for i, ln := range lines {
+		var ev metrics.Event
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, ln)
+		}
+		if ev.Type == "" || ev.Node == "" {
+			t.Fatalf("line %d missing type/node: %s", i, ln)
+		}
+	}
+}
+
+// TestMetricsSmoke drives the full ops plane end to end: run a flow with
+// a live metrics endpoint, scrape /metrics, /status and /events once the
+// run finishes (during -linger), and assert the scraped counters agree
+// exactly with the printed end-of-run summary.
+func TestMetricsSmoke(t *testing.T) {
+	pr, pw := io.Pipe()
+	transcript := &bytes.Buffer{}
+	lines := make(chan string, 256)
+	go func() {
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			transcript.WriteString(sc.Text() + "\n")
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	go func() {
+		// The run lingers far longer than the test needs; the goroutine is
+		// abandoned once the test has scraped (test binary exit unwinds it).
+		run([]string{"-seed", "42", "-mb", "1", "-sources", "2", "-targets", "2",
+			"-metrics-addr", "127.0.0.1:0", "-linger", "120s"}, pw, io.Discard)
+		pw.Close()
+	}()
+
+	waitLine := func(re *regexp.Regexp) []string {
+		t.Helper()
+		deadline := time.After(60 * time.Second)
+		for {
+			select {
+			case ln, ok := <-lines:
+				if !ok {
+					t.Fatalf("output ended before %v matched:\n%s", re, transcript.String())
+				}
+				if m := re.FindStringSubmatch(ln); m != nil {
+					return m
+				}
+			case <-deadline:
+				t.Fatalf("timed out waiting for %v:\n%s", re, transcript.String())
+			}
+		}
+	}
+
+	addr := waitLine(regexp.MustCompile(`^metrics: serving on http://(\S+) `))[1]
+	totals := waitLine(regexp.MustCompile(`^tuples pushed:\s+(\d+)\s+\(consumed: (\d+)\)$`))
+	waitLine(regexp.MustCompile(`^metrics: lingering`))
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s\n%s", path, resp.Status, body)
+		}
+		return body
+	}
+
+	parsed, err := metrics.ParseText(bytes.NewReader(get("/metrics")))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	for name, printed := range map[string]string{
+		"dfi_source_tuples_pushed_total":   totals[1],
+		"dfi_target_tuples_consumed_total": totals[2],
+	} {
+		if got := fmt.Sprintf("%.0f", metrics.SumSeries(parsed, name)); got != printed {
+			t.Errorf("%s = %s, printed summary says %s", name, got, printed)
+		}
+	}
+	if metrics.SumSeries(parsed, "dfi_registry_flows") != 1 {
+		t.Errorf("dfi_registry_flows = %v, want 1", metrics.SumSeries(parsed, "dfi_registry_flows"))
+	}
+
+	var status struct {
+		Flows []struct {
+			Name string `json:"name"`
+		} `json:"flows"`
+	}
+	if err := json.Unmarshal(get("/status"), &status); err != nil {
+		t.Fatalf("/status is not valid JSON: %v", err)
+	}
+	if len(status.Flows) != 1 || status.Flows[0].Name != "dfiflow" {
+		t.Fatalf("/status flows = %+v, want the dfiflow flow", status.Flows)
+	}
+
+	evLines := strings.Split(strings.TrimRight(string(get("/events")), "\n"), "\n")
+	if len(evLines) == 0 || evLines[0] == "" {
+		t.Fatal("/events returned no events")
+	}
+	var ev metrics.Event
+	if err := json.Unmarshal([]byte(evLines[0]), &ev); err != nil {
+		t.Fatalf("/events line is not valid JSON: %v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"dfi/internal/consensus"
+	"dfi/internal/metrics"
 )
 
 func main() {
@@ -42,4 +43,15 @@ func main() {
 
 	fmt.Println("\nNOPaxos latency distribution:")
 	nopaxos.Latencies.Fprint(os.Stdout, 10)
+
+	// The same results in Prometheus text exposition — what a scraper
+	// would ingest from a metrics endpoint.
+	reg := metrics.NewRegistry()
+	paxos.PublishMetrics(reg, "multipaxos")
+	nopaxos.PublishMetrics(reg, "nopaxos")
+	dare.PublishMetrics(reg, "dare")
+	fmt.Println("\nPrometheus exposition:")
+	if err := reg.WritePrometheus(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

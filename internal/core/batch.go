@@ -93,7 +93,7 @@ func (s *Source) PushBatch(p *sim.Proc, tuples []schema.Tuple) error {
 		return err
 	}
 	if s.spec.FlowType() == ReplicateFlow {
-		s.pushed += uint64(n)
+		s.pushed.Add(uint64(n))
 		s.chargePushN(p, n)
 		for i, w := range s.writers {
 			if w == nil || w.dead || !s.view.Live(i) {
@@ -139,12 +139,12 @@ func (s *Source) PushBatch(p *sim.Proc, tuples []schema.Tuple) error {
 		for i := range routes {
 			slot := s.remap(tuples[i], int(routes[i]))
 			if slot != int(routes[i]) {
-				s.moved++
+				s.moved.Add(1)
 			}
 			routes[i] = int32(slot)
 		}
 	}
-	s.pushed += uint64(n)
+	s.pushed.Add(uint64(n))
 	s.chargePushN(p, n)
 	// Grouped append: per target, in input order, coalescing runs of
 	// consecutive memory-adjacent tuples into single copies.
@@ -318,7 +318,7 @@ func (b *Batch) Commit(p *sim.Proc, used int) error {
 	}
 	b.w.fill += used * b.ts
 	b.w.count += used
-	b.s.pushed += uint64(used)
+	b.s.pushed.Add(uint64(used))
 	b.s.chargePushN(p, used)
 	return nil
 }
@@ -330,7 +330,7 @@ func (b *Batch) Commit(p *sim.Proc, used int) error {
 // views obey the same lifetime rule as Consume: valid until the segment
 // is recycled by a later consume call.
 func (t *Target) ConsumeBatch(p *sim.Proc, dst []schema.Tuple) (int, bool) {
-	if t.done {
+	if t.done.Load() {
 		return 0, false
 	}
 	if len(dst) == 0 {
@@ -357,6 +357,6 @@ func (t *Target) ConsumeBatch(p *sim.Proc, dst []schema.Tuple) (int, bool) {
 		t.remaining--
 		n++
 	}
-	t.consumed += uint64(n)
+	t.consumed.Add(uint64(n))
 	return n, true
 }

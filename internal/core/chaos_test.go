@@ -576,8 +576,8 @@ func TestChaosWriterAckNeverPassesConsumption(t *testing.T) {
 	})
 	e.k.Spawn("monitor", func(p *sim.Proc) {
 		for !done {
-			if w != nil && rd != nil && w.acked > rd.consumed {
-				t.Fatalf("acked %d passed target consumption %d at %v", w.acked, rd.consumed, p.Now())
+			if w != nil && rd != nil && w.acked > rd.consumed.Load() {
+				t.Fatalf("acked %d passed target consumption %d at %v", w.acked, rd.consumed.Load(), p.Now())
 			}
 			p.Sleep(500 * time.Nanosecond)
 		}
@@ -591,7 +591,7 @@ func TestChaosWriterAckNeverPassesConsumption(t *testing.T) {
 			t.Fatalf("key %d corrupt value %d", k, v)
 		}
 	}
-	if w.Retransmits == 0 {
+	if w.Retransmits.Load() == 0 {
 		t.Error("no retransmissions occurred; loss recovery was not exercised")
 	}
 }
@@ -861,15 +861,15 @@ func TestFailureDetectionActivityAtTimeZero(t *testing.T) {
 		}
 		p.Sleep(150 * time.Microsecond)
 		tgt.detectFailures(p, 2)
-		if !tgt.readers[0].failed {
+		if !tgt.readers[0].failed.Load() {
 			t.Error("ring active at t=0 then silent past the timeout was not declared failed")
 		}
-		if tgt.readers[1].failed {
+		if tgt.readers[1].failed.Load() {
 			t.Error("never-heard ring was failed without a grace period")
 		}
 		p.Sleep(150 * time.Microsecond)
 		tgt.detectFailures(p, 2)
-		if !tgt.readers[1].failed {
+		if !tgt.readers[1].failed.Load() {
 			t.Error("ring silent through its whole grace period was not declared failed")
 		}
 	})

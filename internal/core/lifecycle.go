@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dfi/internal/fabric"
+	"dfi/internal/metrics"
 	"dfi/internal/registry"
 	"dfi/internal/schema"
 	"dfi/internal/sim"
@@ -163,6 +164,20 @@ func (s *Source) syncEpoch(p *sim.Proc) error {
 		return nil
 	}
 	var pending []pendingTuple
+	var drained uint64
+	defer func() {
+		if drained == 0 {
+			return
+		}
+		if sink := s.reg.EventSink(); sink != nil {
+			sink.Emit(metrics.Event{
+				T: p.Now(), Node: fmt.Sprintf("node%d", s.node.ID()),
+				Type: metrics.EvReroute, Flow: s.spec.Name, Epoch: s.epoch,
+				Role: "source", Slot: s.idx, Seq: drained,
+				Detail: fmt.Sprintf("re-pushed %d harvested tuples", drained),
+			})
+		}
+	}()
 	for {
 		s.epoch = s.mem.Epoch()
 		if s.mem.SourceEvicted(s.idx) {
@@ -205,7 +220,8 @@ func (s *Source) syncEpoch(p *sim.Proc) error {
 				return err
 			}
 			pending = pending[1:]
-			s.rerouted++
+			s.rerouted.Add(1)
+			drained++
 		}
 		if len(pending) == 0 && s.mem.Epoch() == s.epoch {
 			return nil
@@ -232,11 +248,13 @@ func (s *Source) reconnectRejoined(p *sim.Proc) {
 		if !ok {
 			continue // never published; WaitTargetLive said evicted at open
 		}
+		s.statsMu.Lock()
 		if old := s.writers[i]; old != nil {
 			s.retired = append(s.retired, old)
 		}
 		s.writers[i] = s.connectWriter(info.(*targetInfo), i, inc)
 		s.winc[i] = inc
+		s.statsMu.Unlock()
 	}
 }
 
@@ -263,12 +281,12 @@ func (s *Source) repush(p *sim.Proc, t schema.Tuple, from int) error {
 
 // Rerouted returns the number of tuples re-pushed to surviving targets
 // after evictions.
-func (s *Source) Rerouted() uint64 { return s.rerouted }
+func (s *Source) Rerouted() uint64 { return s.rerouted.Load() }
 
 // Moved returns the number of tuples pushed directly to a live owner
 // other than their declared home (steady-state rebalance traffic while
 // the home slot is down; harvested re-pushes count under Rerouted).
-func (s *Source) Moved() uint64 { return s.moved }
+func (s *Source) Moved() uint64 { return s.moved.Load() }
 
 // Epoch returns the last membership epoch the source has folded in.
 func (s *Source) Epoch() uint64 { return s.epoch }
@@ -289,7 +307,7 @@ func (t *Target) acquireTargetLease(p *sim.Proc, reg *registry.Registry, name st
 		inc = m.Incarnation(registry.RoleTarget, t.idx)
 	}
 	spawnLeaseHeartbeat(p, reg, t.node, name, registry.RoleTarget, t.idx, o.LeaseTTL, inc,
-		func() bool { return t.done || t.evicted })
+		func() bool { return t.done.Load() || t.evicted })
 	return nil
 }
 
@@ -324,7 +342,7 @@ func (t *Target) syncMembership() bool {
 		}
 		if !r.closed && t.mem.SourceEvicted(i) {
 			r.closed = true
-			r.failed = true
+			r.failed.Store(true)
 		}
 	}
 	return false

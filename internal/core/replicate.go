@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"dfi/internal/fabric"
@@ -65,9 +66,12 @@ type mcSource struct {
 	segBuf []byte // current segment: header + payload
 	fill   int
 
-	credit       int // ring size R
-	sentSegs     uint64
-	payloadBytes uint64
+	credit int // ring size R
+	// sentSegs and payloadBytes are atomic so Source.Stats can be read
+	// from a scraper goroutine mid-run; the simulation side is the only
+	// writer.
+	sentSegs     atomic.Uint64
+	payloadBytes atomic.Uint64
 	consumedBy   []uint64 // cumulative segments consumed, per target
 
 	history    map[uint64][]byte
@@ -193,7 +197,7 @@ func (s *mcSource) sendSegment(p *sim.Proc, end bool) error {
 		seq = s.seqQP.FetchAdd(p, fabric.Addr{MR: s.meta.seqMR}, 1)
 		s.ownSeqs = append(s.ownSeqs, seq)
 	} else {
-		seq = s.sentSegs
+		seq = s.sentSegs.Load()
 	}
 	flags := byte(flagConsumable)
 	if end {
@@ -217,8 +221,8 @@ func (s *mcSource) sendSegment(p *sim.Proc, end bool) error {
 	}
 
 	s.group.Send(p, s.node, msg, false)
-	s.sentSegs++
-	s.payloadBytes += uint64(s.fill)
+	s.sentSegs.Add(1)
+	s.payloadBytes.Add(uint64(s.fill))
 	s.fill = 0
 	return nil
 }
@@ -235,7 +239,7 @@ func (s *mcSource) ensureCredit(p *sim.Proc) {
 			if s.failedTgt[j] {
 				continue
 			}
-			if int(s.sentSegs-s.consumedBy[j]) >= s.credit {
+			if int(s.sentSegs.Load()-s.consumedBy[j]) >= s.credit {
 				lag = j
 				break
 			}
@@ -330,7 +334,7 @@ func (s *mcSource) close(p *sim.Proc) error {
 	binary.LittleEndian.PutUint32(end[0:4], 0)
 	end[4] = flagConsumable | flagEndOfFlow
 	end[5] = byte(s.idx)
-	binary.LittleEndian.PutUint64(end[8:16], s.sentSegs) // segment count
+	binary.LittleEndian.PutUint64(end[8:16], s.sentSegs.Load()) // segment count
 	for _, qp := range s.fqps {
 		qp.Send(p, end, false, 0)
 	}
@@ -345,7 +349,7 @@ func (s *mcSource) close(p *sim.Proc) error {
 			if s.failedTgt[j] {
 				continue
 			}
-			if v < s.sentSegs {
+			if v < s.sentSegs.Load() {
 				if failAfter > 0 && p.Now()-s.lastAdvance[j] > failAfter {
 					s.failedTgt[j] = true
 					continue
@@ -394,9 +398,11 @@ type mcTarget struct {
 	poolMR *fabric.MemoryRegion
 
 	// Per-source protocol state (per-source sequences when unordered).
-	nextSeq   []uint64 // next expected per-source seq (unordered)
-	delivered []uint64 // segments delivered per source
-	endCount  []uint64 // expected per-source count (from end marker)
+	nextSeq []uint64 // next expected per-source seq (unordered)
+	// delivered is atomic per slot so Target.Stats can sum it from a
+	// scraper goroutine mid-run.
+	delivered []atomic.Uint64 // segments delivered per source
+	endCount  []uint64        // expected per-source count (from end marker)
 	ended     []bool
 	creditAcc []uint64 // segments consumed since last credit msg
 
@@ -417,7 +423,7 @@ type mcTarget struct {
 	// NACK rounds go unanswered.
 	heard     []bool
 	lastHeard []sim.Time
-	failedSrc []bool
+	failedSrc []atomic.Bool // atomic: read by Target.FailedSources under scrape
 
 	active    []byte
 	segOff    int
@@ -437,7 +443,7 @@ func newMcTarget(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (
 		node:      spec.Targets[idx].Node,
 		ep:        meta.group.Member(idx),
 		nextSeq:   make([]uint64, nSrc),
-		delivered: make([]uint64, nSrc),
+		delivered: make([]atomic.Uint64, nSrc),
 		endCount:  make([]uint64, nSrc),
 		ended:     make([]bool, nSrc),
 		creditAcc: make([]uint64, nSrc),
@@ -445,7 +451,7 @@ func newMcTarget(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (
 		tupleSize: spec.Schema.TupleSize(),
 		heard:     make([]bool, nSrc),
 		lastHeard: make([]sim.Time, nSrc),
-		failedSrc: make([]bool, nSrc),
+		failedSrc: make([]atomic.Bool, nSrc),
 	}
 	stride := mcHeaderBytes + spec.Options.SegmentSize
 	// One slab backs all receive buffers (registered for accounting). The
@@ -588,7 +594,7 @@ func (t *mcTarget) sendCredit(p *sim.Proc, src int, force bool) {
 	}
 	msg := make([]byte, ctrlBytes)
 	msg[0] = ctrlCredit
-	binary.LittleEndian.PutUint64(msg[8:16], t.delivered[src])
+	binary.LittleEndian.PutUint64(msg[8:16], t.delivered[src].Load())
 	t.tqps[src].Send(p, msg, false, 0)
 }
 
@@ -619,7 +625,7 @@ func (t *mcTarget) sendFinalCredit(p *sim.Proc, src int) {
 	}
 	msg := make([]byte, ctrlBytes)
 	msg[0] = ctrlCredit
-	v := t.delivered[src]
+	v := t.delivered[src].Load()
 	if t.ended[src] && t.endCount[src] > v {
 		v = t.endCount[src]
 	}
@@ -658,7 +664,7 @@ func (t *mcTarget) headDeliverable() (buf []byte, src int, ok bool) {
 		return nil, 0, false
 	}
 	for s := range t.nextSeq {
-		if t.ended[s] && t.delivered[s] >= t.endCount[s] {
+		if t.ended[s] && t.delivered[s].Load() >= t.endCount[s] {
 			continue
 		}
 		if b, exists := t.pending[t.key(s, t.nextSeq[s])]; exists {
@@ -681,7 +687,7 @@ func (t *mcTarget) finished() bool {
 		return t.nextGlobal >= t.totalExpected()
 	}
 	for s := range t.ended {
-		if t.delivered[s] < t.endCount[s] {
+		if t.delivered[s].Load() < t.endCount[s] {
 			return false
 		}
 	}
@@ -707,7 +713,7 @@ func (t *mcTarget) deliver(p *sim.Proc, buf []byte, src int) {
 	} else {
 		t.nextSeq[src] = seq + 1
 	}
-	t.delivered[src]++
+	t.delivered[src].Add(1)
 	t.creditAcc[src]++
 	t.gapSince = 0
 	t.gapNacks = 0
@@ -720,7 +726,7 @@ func (t *mcTarget) deliver(p *sim.Proc, buf []byte, src int) {
 	t.remaining = count
 
 	t.sendCredit(p, src, false)
-	if t.ended[src] && t.delivered[src] >= t.endCount[src] {
+	if t.ended[src] && t.delivered[src].Load() >= t.endCount[src] {
 		t.sendFinalCredit(p, src) // termination handshake
 	}
 }
@@ -735,7 +741,7 @@ func (t *mcTarget) detectFailures(p *sim.Proc) {
 		return
 	}
 	for s := range t.ended {
-		if t.ended[s] || t.failedSrc[s] {
+		if t.ended[s] || t.failedSrc[s].Load() {
 			continue
 		}
 		if !t.heard[s] {
@@ -746,9 +752,9 @@ func (t *mcTarget) detectFailures(p *sim.Proc) {
 		if p.Now()-t.lastHeard[s] <= timeout {
 			continue
 		}
-		t.failedSrc[s] = true
+		t.failedSrc[s].Store(true)
 		t.ended[s] = true
-		t.endCount[s] = t.delivered[s]
+		t.endCount[s] = t.delivered[s].Load()
 		if !t.spec.Options.GlobalOrdering {
 			for k, b := range t.pending {
 				if int(k>>48) == s {
@@ -762,8 +768,8 @@ func (t *mcTarget) detectFailures(p *sim.Proc) {
 
 // anyFailed reports whether any source was declared failed.
 func (t *mcTarget) anyFailed() bool {
-	for _, f := range t.failedSrc {
-		if f {
+	for s := range t.failedSrc {
+		if t.failedSrc[s].Load() {
 			return true
 		}
 	}
@@ -773,8 +779,8 @@ func (t *mcTarget) anyFailed() bool {
 // failedSources lists failed source slots in slot order.
 func (t *mcTarget) failedSources() []int {
 	var out []int
-	for s, f := range t.failedSrc {
-		if f {
+	for s := range t.failedSrc {
+		if t.failedSrc[s].Load() {
 			out = append(out, s)
 		}
 	}
@@ -853,7 +859,7 @@ func (t *mcTarget) anyEndedWithMissing() bool {
 		return t.nextGlobal < t.totalExpected()
 	}
 	for s := range t.ended {
-		if t.ended[s] && t.delivered[s] < t.endCount[s] {
+		if t.ended[s] && t.delivered[s].Load() < t.endCount[s] {
 			return true
 		}
 	}
@@ -866,7 +872,7 @@ func (t *mcTarget) headMissing() (seq uint64, src int) {
 		return t.nextGlobal, 0
 	}
 	for s := range t.nextSeq {
-		if t.ended[s] && t.delivered[s] < t.endCount[s] {
+		if t.ended[s] && t.delivered[s].Load() < t.endCount[s] {
 			return t.nextSeq[s], s
 		}
 	}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"dfi/internal/fabric"
+	"dfi/internal/metrics"
+	"dfi/internal/sim"
+)
+
+// Scrape suite (run under -race): a real OS goroutine hammers the
+// observability surface — Source.Stats, Target.Stats, Recorder.Summary,
+// the metrics registry, and the event log — while the simulation runs a
+// shuffle under faults. The simulation itself is single-logical-thread;
+// these are exactly the cross-goroutine reads the ops plane must make
+// safe.
+
+func TestScrapeRaceWhileShuffleRuns(t *testing.T) {
+	rec := fabric.NewRecorder(128)
+	rec.WireOverheadBytes = 42
+	e := newEnv(t, 4, withFaults(chaosPlan()))
+	e.c.SetTracer(rec)
+
+	m := metrics.NewRegistry()
+	rec.PublishMetrics(m)
+	e.reg.PublishMetrics(m)
+	events := metrics.NewEventLog(256)
+	e.reg.SetEventSink(events)
+
+	spec := FlowSpec{
+		Name:    "scrape",
+		Sources: []Endpoint{{Node: e.c.Node(0)}, {Node: e.c.Node(1)}},
+		Targets: []Endpoint{{Node: e.c.Node(2)}, {Node: e.c.Node(3)}},
+		Schema:  kvSchema,
+		Options: Options{
+			SegmentSize:       512,
+			SegmentsPerRing:   8,
+			RetransmitTimeout: 50 * time.Microsecond,
+		},
+	}
+	const n = 1500
+
+	// Endpoint handles cross from sim processes to the scraper through
+	// this mutex; everything behind the handles is what's under test.
+	var mu sync.Mutex
+	var srcs []*Source
+	var tgts []*Target
+
+	e.k.Spawn("init", func(p *sim.Proc) {
+		if err := FlowInit(p, e.reg, e.c, spec); err != nil {
+			t.Error(err)
+		}
+	})
+	for si := 0; si < 2; si++ {
+		si := si
+		e.k.Spawn(fmt.Sprintf("src%d", si), func(p *sim.Proc) {
+			src, err := SourceOpen(p, e.reg, spec.Name, si)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			srcs = append(srcs, src)
+			src.PublishMetrics(m)
+			mu.Unlock()
+			for i := 0; i < n; i++ {
+				if err := src.Push(p, mkTuple(int64(si*n+i), int64(2*(si*n+i)))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := src.Close(p); err != nil {
+				t.Errorf("source %d close: %v", si, err)
+			}
+		})
+	}
+	var consumed [2]int
+	for ti := 0; ti < 2; ti++ {
+		ti := ti
+		e.k.Spawn(fmt.Sprintf("tgt%d", ti), func(p *sim.Proc) {
+			tgt, err := TargetOpen(p, e.reg, spec.Name, ti)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			tgts = append(tgts, tgt)
+			tgt.PublishMetrics(m)
+			mu.Unlock()
+			for {
+				if _, ok := tgt.Consume(p); !ok {
+					return
+				}
+				consumed[ti]++
+			}
+		})
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			ss := append([]*Source(nil), srcs...)
+			ts := append([]*Target(nil), tgts...)
+			mu.Unlock()
+			for _, s := range ss {
+				_ = s.Stats()
+			}
+			for _, tg := range ts {
+				_ = tg.Stats()
+				_ = tg.FailedSources()
+			}
+			rec.Summary(io.Discard, 3)
+			if err := m.WritePrometheus(io.Discard); err != nil {
+				t.Error(err)
+			}
+			_ = events.Total()
+			_ = e.reg.Status()
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	e.run(t)
+	close(stop)
+	wg.Wait()
+
+	// Accuracy contract: the scraped exposition agrees with the final
+	// Stats() summaries, counter for counter.
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := metrics.ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pushed, tuplesConsumed uint64
+	for _, s := range srcs {
+		pushed += s.Stats().TuplesPushed
+	}
+	for _, tg := range tgts {
+		tuplesConsumed += tg.Stats().TuplesConsumed
+	}
+	if pushed != 2*n {
+		t.Fatalf("pushed %d tuples, want %d", pushed, 2*n)
+	}
+	if got := metrics.SumSeries(parsed, "dfi_source_tuples_pushed_total"); got != float64(pushed) {
+		t.Fatalf("scraped pushed = %v, stats say %d", got, pushed)
+	}
+	if got := metrics.SumSeries(parsed, "dfi_target_tuples_consumed_total"); got != float64(tuplesConsumed) {
+		t.Fatalf("scraped consumed = %v, stats say %d", got, tuplesConsumed)
+	}
+	if consumed[0]+consumed[1] != 2*n {
+		t.Fatalf("delivered %d tuples, want %d", consumed[0]+consumed[1], 2*n)
+	}
+	if events.Total() == 0 {
+		t.Fatal("no events were emitted")
+	}
+}
+
+// TestScrapeRaceDuringEviction scrapes while a lease expires and the
+// flow reroutes — the eviction path mutates the writer slices that
+// Stats() walks (statsMu coverage) and emits lease/eviction events from
+// scheduler context.
+func TestScrapeRaceDuringEviction(t *testing.T) {
+	const (
+		crashAt  = 300 * time.Microsecond
+		leaseTTL = 80 * time.Microsecond
+		n        = 3000
+		deadIdx  = 2
+	)
+	plan := (&fabric.FaultPlan{}).CrashNode(3, crashAt)
+	e := newEnv(t, 4, withFaults(plan))
+	m := metrics.NewRegistry()
+	e.reg.PublishMetrics(m)
+	events := metrics.NewEventLog(0)
+	e.reg.SetEventSink(events)
+
+	spec := FlowSpec{
+		Name:    "scrape-evict",
+		Sources: []Endpoint{{Node: e.c.Node(0)}},
+		Targets: []Endpoint{{Node: e.c.Node(1)}, {Node: e.c.Node(2)}, {Node: e.c.Node(3)}},
+		Schema:  kvSchema,
+		Options: Options{
+			SegmentSize:     256,
+			SegmentsPerRing: 8,
+			LeaseTTL:        leaseTTL,
+		},
+	}
+
+	var mu sync.Mutex
+	var src *Source
+	e.k.Spawn("init", func(p *sim.Proc) {
+		if err := FlowInit(p, e.reg, e.c, spec); err != nil {
+			t.Error(err)
+		}
+	})
+	e.k.Spawn("src", func(p *sim.Proc) {
+		s, err := SourceOpen(p, e.reg, spec.Name, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		src = s
+		s.PublishMetrics(m)
+		mu.Unlock()
+		for i := 0; i < n; i++ {
+			if err := s.Push(p, mkTuple(int64(i), int64(2*i))); err != nil {
+				t.Errorf("push %d: %v", i, err)
+				return
+			}
+			p.Sleep(200 * time.Nanosecond)
+		}
+		if err := s.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	for ti := 0; ti < 3; ti++ {
+		ti := ti
+		e.k.Spawn(fmt.Sprintf("tgt%d", ti), func(p *sim.Proc) {
+			tgt, err := TargetOpen(p, e.reg, spec.Name, ti)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				if _, ok := tgt.Consume(p); !ok {
+					return
+				}
+			}
+		})
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			s := src
+			mu.Unlock()
+			if s != nil {
+				_ = s.Stats()
+				_, _ = s.Stalls()
+			}
+			if err := m.WritePrometheus(io.Discard); err != nil {
+				t.Error(err)
+			}
+			_ = e.reg.Status()
+			_ = events.Events()
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	e.run(t)
+	close(stop)
+	wg.Wait()
+
+	st := e.reg.Status()
+	if len(st.Flows) == 0 {
+		t.Fatal("status snapshot has no flows")
+	}
+	var sawEvict bool
+	for _, ev := range events.Events() {
+		if ev.Type == metrics.EvEviction {
+			sawEvict = true
+		}
+	}
+	if !sawEvict {
+		t.Fatal("no eviction event emitted")
+	}
+}

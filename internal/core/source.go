@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dfi/internal/core/partition"
@@ -41,19 +43,30 @@ type Source struct {
 	retired []*ringWriter
 	mc      *mcSource // multicast replicate transport, if enabled
 
+	// statsMu guards the writers/retired slice headers against a
+	// concurrent scraper walking Stats()/Stalls()/ProbeStats() while the
+	// simulation appends (connectAll) or swaps (reconnectRejoined)
+	// entries. It is only held around the non-blocking slice mutations
+	// and the stats walks — never across a simulation park, which would
+	// deadlock the baton-passing scheduler.
+	statsMu sync.Mutex
+
 	// Control-plane membership (see lifecycle.go). mem is the flow's
 	// epoch-versioned record (nil for multicast transports); epoch is
 	// the last value folded in; view is the partitioner joined with that
 	// epoch's liveness — the survivor routing state.
-	mem      *registry.Membership
-	epoch    uint64
-	view     *partition.View
-	rerouted uint64
-	moved    uint64
+	mem   *registry.Membership
+	epoch uint64
+	view  *partition.View
+
+	// Scrape-visible counters (atomic so a metrics endpoint can read
+	// them mid-run).
+	rerouted  atomic.Uint64
+	moved     atomic.Uint64
+	pushed    atomic.Uint64
+	watermark atomic.Uint64
 
 	pendingCharge int
-	pushed        uint64
-	watermark     uint64
 	closed        bool
 
 	// Reusable scratch for PushBatch's vectorized route pass.
@@ -95,14 +108,21 @@ func (s *Source) connectAll(p *sim.Proc, name string) error {
 		inc := s.targetInc(t)
 		info, evicted := s.reg.WaitTargetLive(p, name, t)
 		if evicted {
-			s.writers = append(s.writers, nil)
-			s.winc = append(s.winc, s.targetInc(t))
+			s.appendWriter(nil, s.targetInc(t))
 			continue
 		}
-		s.writers = append(s.writers, s.connectWriter(info.(*targetInfo), t, inc))
-		s.winc = append(s.winc, inc)
+		s.appendWriter(s.connectWriter(info.(*targetInfo), t, inc), inc)
 	}
 	return s.initMembership(name)
+}
+
+// appendWriter grows the writer set under statsMu (WaitTargetLive above
+// blocks, so the lock cannot wrap the whole connect loop).
+func (s *Source) appendWriter(w *ringWriter, inc uint64) {
+	s.statsMu.Lock()
+	s.writers = append(s.writers, w)
+	s.winc = append(s.winc, inc)
+	s.statsMu.Unlock()
 }
 
 // targetInc reads a target slot's current incarnation from the
@@ -122,6 +142,15 @@ func (s *Source) connectWriter(ti *targetInfo, i int, inc uint64) *ringWriter {
 	w := newRingWriter(s.meta.cluster, s.node, ti, ti.ringOffs[s.idx], &s.spec.Options)
 	w.evicted = func() bool {
 		return s.mem != nil && (s.mem.TargetEvicted(i) || s.mem.Incarnation(registry.RoleTarget, i) != inc)
+	}
+	if sink := s.reg.EventSink(); sink != nil {
+		w.events = sink
+		w.evNode = fmt.Sprintf("node%d", s.node.ID())
+		w.evFlow = s.spec.Name
+		w.evSlot = i
+		if s.mem != nil {
+			w.evEpoch = s.mem.Epoch
+		}
 	}
 	return w
 }
@@ -157,7 +186,7 @@ func (s *Source) Push(p *sim.Proc, t schema.Tuple) error {
 	if len(t) != s.spec.Schema.TupleSize() {
 		return fmt.Errorf("dfi: tuple size %d does not match schema size %d", len(t), s.spec.Schema.TupleSize())
 	}
-	s.pushed++
+	s.pushed.Add(1)
 	s.chargePush(p)
 	switch s.spec.FlowType() {
 	case ReplicateFlow:
@@ -224,7 +253,7 @@ func (s *Source) PushTo(p *sim.Proc, t schema.Tuple, target int) error {
 				// The declared owner is down: the tuple landed on the live
 				// owner instead. Moved counts this steady-state rebalance
 				// traffic; Rerouted counts harvested re-pushes.
-				s.moved++
+				s.moved.Add(1)
 			}
 			return err
 		}
@@ -382,17 +411,19 @@ func (s *Source) Close(p *sim.Proc) error {
 }
 
 // Pushed returns the number of tuples pushed so far.
-func (s *Source) Pushed() uint64 { return s.pushed }
+func (s *Source) Pushed() uint64 { return s.pushed.Load() }
 
 // Stalls reports total virtual time the source spent blocked on remote
 // ring space and on local segment reuse (diagnostics).
 func (s *Source) Stalls() (remote, local sim.Time) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	for _, w := range s.writers {
 		if w == nil {
 			continue
 		}
-		remote += w.StallRemote
-		local += w.StallLocal
+		remote += sim.Time(w.StallRemote.Load())
+		local += sim.Time(w.StallLocal.Load())
 	}
 	return remote, local
 }
@@ -400,13 +431,15 @@ func (s *Source) Stalls() (remote, local sim.Time) {
 // ProbeStats reports footer-read diagnostics: reads issued, reads that
 // found the probed slot unconsumed, and total randomized backoff time.
 func (s *Source) ProbeStats() (probes, misses int, backoff sim.Time) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	for _, w := range s.writers {
 		if w == nil {
 			continue
 		}
-		probes += w.Probes
-		misses += w.ProbeMisses
-		backoff += w.BackoffTime
+		probes += int(w.Probes.Load())
+		misses += int(w.ProbeMisses.Load())
+		backoff += sim.Time(w.BackoffTime.Load())
 	}
 	return
 }
@@ -467,17 +500,17 @@ func (s *Source) Checkpoint(p *sim.Proc) (uint64, error) {
 		}
 	}
 	if s.mem != nil {
-		if err := s.reg.SetWatermark(p, s.spec.Name, registry.RoleSource, s.idx, s.pushed); err != nil {
+		if err := s.reg.SetWatermark(p, s.spec.Name, registry.RoleSource, s.idx, s.pushed.Load()); err != nil {
 			return 0, err
 		}
 	}
-	s.watermark = s.pushed
-	return s.pushed, nil
+	s.watermark.Store(s.pushed.Load())
+	return s.pushed.Load(), nil
 }
 
 // Watermark returns the last watermark this source checkpointed (0
 // before the first Checkpoint).
-func (s *Source) Watermark() uint64 { return s.watermark }
+func (s *Source) Watermark() uint64 { return s.watermark.Load() }
 
 // Slot returns the source's slot index within the flow.
 func (s *Source) Slot() int { return s.idx }
@@ -510,7 +543,7 @@ func (s *Source) Reattach(p *sim.Proc) (*Source, uint64, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		ns.watermark = rj.Watermark
+		ns.watermark.Store(rj.Watermark)
 		return ns, rj.Watermark, nil
 	}
 	rj, err := s.reg.Rejoin(p, name, registry.RoleSource, s.idx, s.idx)
@@ -518,7 +551,7 @@ func (s *Source) Reattach(p *sim.Proc) (*Source, uint64, error) {
 		return nil, 0, err
 	}
 	ns := &Source{meta: s.meta, spec: s.spec, idx: s.idx, node: s.node, reg: s.reg}
-	ns.watermark = rj.Watermark
+	ns.watermark.Store(rj.Watermark)
 	if err := ns.acquireSourceLease(p, s.reg, name); err != nil {
 		return nil, 0, err
 	}

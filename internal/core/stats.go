@@ -60,27 +60,31 @@ func (s SourceStats) String() string {
 }
 
 // Stats returns the source's counters. Multicast replicate sources report
-// segment counts from their multicast transport.
+// segment counts from their multicast transport. Safe to call from a
+// scraper goroutine while the flow runs: every field it reads is atomic,
+// and the writer slices are walked under statsMu.
 func (s *Source) Stats() SourceStats {
-	st := SourceStats{TuplesPushed: s.pushed, Rerouted: s.rerouted, Moved: s.moved}
+	st := SourceStats{TuplesPushed: s.pushed.Load(), Rerouted: s.rerouted.Load(), Moved: s.moved.Load()}
+	s.statsMu.Lock()
 	writers := s.writers
 	writers = append(writers[:len(writers):len(writers)], s.retired...)
 	for _, w := range writers {
 		if w == nil {
 			continue
 		}
-		st.SegmentsWritten += w.written
-		st.PayloadBytes += w.payloadBytes
-		st.StallRemote += w.StallRemote
-		st.StallLocal += w.StallLocal
-		st.FooterProbes += w.Probes
-		st.ProbeMisses += w.ProbeMisses
-		st.Backoff += w.BackoffTime
-		st.Retransmits += w.Retransmits
+		st.SegmentsWritten += w.pubWritten.Load()
+		st.PayloadBytes += w.payloadBytes.Load()
+		st.StallRemote += time.Duration(w.StallRemote.Load())
+		st.StallLocal += time.Duration(w.StallLocal.Load())
+		st.FooterProbes += int(w.Probes.Load())
+		st.ProbeMisses += int(w.ProbeMisses.Load())
+		st.Backoff += time.Duration(w.BackoffTime.Load())
+		st.Retransmits += int(w.Retransmits.Load())
 	}
+	s.statsMu.Unlock()
 	if s.mc != nil {
-		st.SegmentsWritten += s.mc.sentSegs
-		st.PayloadBytes += s.mc.payloadBytes
+		st.SegmentsWritten += s.mc.sentSegs.Load()
+		st.PayloadBytes += s.mc.payloadBytes.Load()
 	}
 	return st
 }
@@ -102,15 +106,17 @@ func (s TargetStats) String() string {
 		s.TuplesConsumed, s.SegmentsConsumed, s.FailedSources, s.Done)
 }
 
-// Stats returns the target's counters.
+// Stats returns the target's counters. Like Source.Stats, safe for a
+// concurrent scraper: the per-reader counters are atomic and the reader
+// slice is fixed after open.
 func (t *Target) Stats() TargetStats {
-	st := TargetStats{TuplesConsumed: t.consumed, Done: t.done, FailedSources: t.FailedSources()}
+	st := TargetStats{TuplesConsumed: t.consumed.Load(), Done: t.done.Load(), FailedSources: t.FailedSources()}
 	for _, r := range t.readers {
-		st.SegmentsConsumed += r.consumed
+		st.SegmentsConsumed += r.consumed.Load()
 	}
 	if t.mc != nil {
-		for _, d := range t.mc.delivered {
-			st.SegmentsConsumed += d
+		for i := range t.mc.delivered {
+			st.SegmentsConsumed += t.mc.delivered[i].Load()
 		}
 	}
 	return st

@@ -4,9 +4,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"dfi/internal/fabric"
+	"dfi/internal/metrics"
 	"dfi/internal/registry"
 	"dfi/internal/schema"
 	"dfi/internal/sim"
@@ -48,19 +50,26 @@ type Target struct {
 	epoch   uint64
 	evicted bool
 
-	consumed uint64
-	done     bool
+	// Scrape-visible counters (atomic so a metrics endpoint can read
+	// them while the flow runs).
+	consumed atomic.Uint64
+	done     atomic.Bool
 
 	// resumedFrom is the consumption watermark carried over from the
 	// previous incarnation by Reattach (0 for a first attachment).
 	resumedFrom uint64
+
+	// Event tracing (nil unless the application installed a sink on the
+	// registry).
+	events metrics.EventSink
+	evNode string
 }
 
 // ringReader tracks consumption of one source's ring.
 type ringReader struct {
 	ringOff  int
 	rslot    int
-	consumed uint64 // segments consumed, mirrored into the ring header
+	consumed atomic.Uint64 // segments consumed, mirrored into the ring header
 	closed   bool
 
 	// inc is the source incarnation this ring's state belongs to; a
@@ -74,7 +83,7 @@ type ringReader struct {
 	// lastActivity alone cannot encode "unset".
 	hasActivity  bool
 	lastActivity sim.Time
-	failed       bool
+	failed       atomic.Bool
 }
 
 // TargetOpen attaches to target slot targetIdx of the named flow. It
@@ -103,6 +112,10 @@ func TargetOpen(p *sim.Proc, reg *registry.Registry, name string, targetIdx int)
 		return t, nil
 	}
 	t.reg = reg
+	if sink := reg.EventSink(); sink != nil {
+		t.events = sink
+		t.evNode = fmt.Sprintf("node%d", t.node.ID())
+	}
 	t.geom = spec.Options.ringGeometry()
 	info := t.allocRings()
 	t.initTargetMembership(reg.MembershipOf(name))
@@ -147,7 +160,7 @@ func (t *Target) initTargetMembership(mem *registry.Membership) {
 		r.inc = mem.Incarnation(registry.RoleSource, i)
 		if mem.SourceEvicted(i) {
 			r.closed = true
-			r.failed = true
+			r.failed.Store(true)
 		} else if mem.State(registry.RoleSource, i) == registry.StateLeft {
 			// The source finished and released its lease while this target
 			// was down; its end-of-flow marker went to the previous
@@ -198,8 +211,10 @@ func (t *Target) payload(r *ringReader, fill int) []byte {
 // from the new writer racing the reset is healed by the writer's
 // retransmission machinery (Reattach requires RetransmitTimeout).
 func (t *Target) resetRing(r *ringReader) {
-	r.closed, r.failed = false, false
-	r.consumed, r.rslot = 0, 0
+	r.closed = false
+	r.failed.Store(false)
+	r.consumed.Store(0)
+	r.rslot = 0
 	r.hasActivity = false
 	for i := 0; i < t.geom.nSegs; i++ {
 		off := r.ringOff + t.geom.segOff(i) + t.geom.segSize
@@ -218,8 +233,7 @@ func (t *Target) resetRing(r *ringReader) {
 func (t *Target) release(r *ringReader) {
 	f := t.footer(r)
 	f[4] = 0
-	r.consumed++
-	binary.LittleEndian.PutUint64(t.mr.Bytes()[r.ringOff:r.ringOff+8], r.consumed)
+	binary.LittleEndian.PutUint64(t.mr.Bytes()[r.ringOff:r.ringOff+8], r.consumed.Add(1))
 	r.rslot = (r.rslot + 1) % t.geom.nSegs
 }
 
@@ -236,13 +250,21 @@ func (t *Target) loadSegment(p *sim.Proc, r *ringReader) bool {
 	// typically a retransmission or fault-injected duplicate of a segment
 	// already consumed — which must not be consumed twice. The slot stays
 	// blocked until the writer's current-lap WRITE overwrites it.
-	if seq := binary.LittleEndian.Uint64(f[8:16]); seq != r.consumed {
+	seq := binary.LittleEndian.Uint64(f[8:16])
+	if seq != r.consumed.Load() {
 		return false
 	}
 	fill := int(binary.LittleEndian.Uint32(f[0:4]))
 	end := f[4]&flagEndOfFlow != 0
 	if end {
 		r.closed = true
+	}
+	if t.events != nil {
+		t.events.Emit(metrics.Event{
+			T: p.Now(), Node: t.evNode, Type: metrics.EvFooterCommit,
+			Flow: t.spec.Name, Epoch: t.epoch, Role: "target",
+			Slot: t.idx, Seq: seq, Bytes: uint64(fill),
+		})
 	}
 	if fill == 0 {
 		r.hasActivity = true
@@ -273,7 +295,7 @@ func (t *Target) nextSegment(p *sim.Proc) bool {
 		if t.syncMembership() {
 			// Evicted from the membership: the survivors have taken over
 			// this target's key range; stop consuming.
-			t.done = true
+			t.done.Store(true)
 			return false
 		}
 		seq := t.mr.CommitSeq()
@@ -283,7 +305,7 @@ func (t *Target) nextSegment(p *sim.Proc) bool {
 				return true
 			}
 			if done {
-				t.done = true
+				t.done.Store(true)
 				return false
 			}
 			// Membership changes (attach/seal) are detected within one
@@ -308,7 +330,7 @@ func (t *Target) nextSegment(p *sim.Proc) bool {
 			}
 		}
 		if open == 0 {
-			t.done = true
+			t.done.Store(true)
 			return false
 		}
 		t.detectFailures(p, len(t.readers))
@@ -328,13 +350,13 @@ func (t *Target) Consume(p *sim.Proc) (schema.Tuple, bool) {
 	if t.mc != nil {
 		tup, ok := t.mc.consume(p)
 		if ok {
-			t.consumed++
+			t.consumed.Add(1)
 		} else if t.mc.done {
-			t.done = true
+			t.done.Store(true)
 		}
 		return tup, ok
 	}
-	if t.done {
+	if t.done.Load() {
 		return nil, false
 	}
 	for t.remaining == 0 {
@@ -345,7 +367,7 @@ func (t *Target) Consume(p *sim.Proc) (schema.Tuple, bool) {
 	tup := schema.Tuple(t.segData[t.segOff : t.segOff+t.tupleSize])
 	t.segOff += t.tupleSize
 	t.remaining--
-	t.consumed++
+	t.consumed.Add(1)
 	return tup, true
 }
 
@@ -356,13 +378,13 @@ func (t *Target) ConsumeSegment(p *sim.Proc) (data []byte, count int, ok bool) {
 	if t.mc != nil {
 		data, count, ok := t.mc.consumeSegment(p)
 		if ok {
-			t.consumed += uint64(count)
+			t.consumed.Add(uint64(count))
 		} else if t.mc.done {
-			t.done = true
+			t.done.Store(true)
 		}
 		return data, count, ok
 	}
-	if t.done {
+	if t.done.Load() {
 		return nil, 0, false
 	}
 	if t.remaining > 0 {
@@ -370,7 +392,7 @@ func (t *Target) ConsumeSegment(p *sim.Proc) (data []byte, count int, ok bool) {
 		data, count = t.segData[t.segOff:], t.remaining
 		t.segOff = len(t.segData)
 		t.remaining = 0
-		t.consumed += uint64(count)
+		t.consumed.Add(uint64(count))
 		return data, count, true
 	}
 	if !t.nextSegment(p) {
@@ -379,7 +401,7 @@ func (t *Target) ConsumeSegment(p *sim.Proc) (data []byte, count int, ok bool) {
 	data, count = t.segData, t.remaining
 	t.segOff = len(t.segData)
 	t.remaining = 0
-	t.consumed += uint64(count)
+	t.consumed.Add(uint64(count))
 	return data, count, true
 }
 
@@ -415,7 +437,7 @@ func (t *Target) detectFailures(p *sim.Proc, n int) {
 		}
 		if p.Now()-r.lastActivity > timeout {
 			r.closed = true
-			r.failed = true
+			r.failed.Store(true)
 		}
 	}
 }
@@ -429,7 +451,7 @@ func (t *Target) FailedSources() []int {
 	}
 	var out []int
 	for i, r := range t.readers {
-		if r.failed {
+		if r.failed.Load() {
 			out = append(out, i)
 		}
 	}
@@ -437,7 +459,7 @@ func (t *Target) FailedSources() []int {
 }
 
 // Consumed returns the number of tuples consumed so far.
-func (t *Target) Consumed() uint64 { return t.consumed }
+func (t *Target) Consumed() uint64 { return t.consumed.Load() }
 
 // ResumedFrom returns the consumption watermark the target carried over
 // from its previous incarnation via Reattach (0 for a first
@@ -477,7 +499,7 @@ func (t *Target) Reattach(p *sim.Proc) (*Target, error) {
 		reg:         t.reg,
 		tupleSize:   t.tupleSize,
 		geom:        t.geom,
-		resumedFrom: t.consumed,
+		resumedFrom: t.consumed.Load(),
 	}
 	info := nt.allocRings()
 	// Fresh rings first, then the epoch bump: sources folding the rejoin
@@ -499,7 +521,7 @@ func (t *Target) Reattach(p *sim.Proc) (*Target, error) {
 }
 
 // Done reports whether the flow has ended at this target.
-func (t *Target) Done() bool { return t.done }
+func (t *Target) Done() bool { return t.done.Load() }
 
 // Free deregisters the target's receive buffers (after flow end).
 func (t *Target) Free() {

@@ -4,9 +4,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"dfi/internal/fabric"
+	"dfi/internal/metrics"
 	"dfi/internal/sim"
 )
 
@@ -55,9 +57,15 @@ type ringWriter struct {
 	fill    int
 	count   int
 
-	written      uint64 // segments written to the remote ring
-	acked        uint64 // remote segments known to be consumed
-	payloadBytes uint64 // tuple payload volume transferred
+	written uint64 // segments written to the remote ring
+	acked   uint64 // remote segments known to be consumed
+
+	// pubWritten mirrors written for concurrent scrape: the ring
+	// arithmetic above needs the plain field, so writeSegment republishes
+	// it atomically at its single mutation site. payloadBytes is pure
+	// accounting (never read by control flow) and is atomic outright.
+	pubWritten   atomic.Uint64
+	payloadBytes atomic.Uint64 // tuple payload volume transferred
 
 	footerBuf     []byte
 	footerPending bool
@@ -82,13 +90,24 @@ type ringWriter struct {
 	evicted func() bool
 	dead    bool
 
-	// Diagnostics: virtual time spent blocked, by cause.
-	StallRemote sim.Time // waiting for remote ring slots
-	StallLocal  sim.Time // waiting for local segment reuse (wrap signal)
-	Probes      int      // footer reads issued
-	ProbeMisses int      // footer reads that found the slot unconsumed
-	BackoffTime sim.Time
-	Retransmits int // segments rewritten by loss recovery
+	// Diagnostics: virtual time spent blocked (nanoseconds), by cause.
+	// Atomic so a scraper goroutine can read Stats() while the flow runs;
+	// the simulation side is single-logical-threaded (baton passing), so
+	// plain Add/Load suffice for it.
+	StallRemote atomic.Int64 // waiting for remote ring slots
+	StallLocal  atomic.Int64 // waiting for local segment reuse (wrap signal)
+	Probes      atomic.Int64 // footer reads issued
+	ProbeMisses atomic.Int64 // footer reads that found the slot unconsumed
+	BackoffTime atomic.Int64
+	Retransmits atomic.Int64 // segments rewritten by loss recovery
+
+	// Event tracing context, set by the source at connect time. events
+	// is nil unless the application installed a sink.
+	events  metrics.EventSink
+	evNode  string
+	evFlow  string
+	evEpoch func() uint64
+	evSlot  int // target slot this writer feeds
 }
 
 // newRingWriter connects a source thread on node to the ring at ringOff
@@ -392,9 +411,26 @@ func (w *ringWriter) writeSegment(p *sim.Proc, fill int, flags byte) {
 		})
 	}
 	w.written++
-	w.payloadBytes += uint64(fill)
+	w.pubWritten.Store(w.written)
+	w.payloadBytes.Add(uint64(fill))
 	w.sslot = (w.sslot + 1) % w.srcSegs
 	w.fill, w.count = 0, 0
+	if w.events != nil {
+		w.events.Emit(metrics.Event{
+			T: p.Now(), Node: w.evNode, Type: metrics.EvSegmentWrite,
+			Flow: w.evFlow, Epoch: w.epochLabel(), Role: "source",
+			Slot: w.evSlot, Seq: w.seq - 1, Bytes: uint64(fill),
+		})
+	}
+}
+
+// epochLabel reads the flow epoch for event labels (0 without a
+// membership record).
+func (w *ringWriter) epochLabel() uint64 {
+	if w.evEpoch == nil {
+		return 0
+	}
+	return w.evEpoch()
 }
 
 // ensureRemoteWritable blocks until the next remote slot is reusable,
@@ -404,7 +440,7 @@ func (w *ringWriter) writeSegment(p *sim.Proc, fill int, flags byte) {
 // stuck waiting for) triggers resync-and-retransmit instead of a hang.
 func (w *ringWriter) ensureRemoteWritable(p *sim.Proc) error {
 	start := p.Now()
-	defer func() { w.StallRemote += p.Now() - start }()
+	defer func() { w.StallRemote.Add(int64(p.Now() - start)) }()
 	rounds := 0
 	lastProgress := p.Now()
 	for int(w.written-w.acked) >= w.geom.nSegs {
@@ -473,7 +509,7 @@ func (w *ringWriter) postFooterRead(p *sim.Proc) {
 	addr.Off += w.geom.segSize
 	w.qp.Read(p, w.footerBuf, addr, true, idFooterRead)
 	w.footerPending = true
-	w.Probes++
+	w.Probes.Add(1)
 }
 
 // waitLocalSlot blocks until the local segment about to be filled is no
@@ -491,7 +527,7 @@ func (w *ringWriter) waitLocalSlot(p *sim.Proc) error {
 		return nil
 	}
 	start := p.Now()
-	defer func() { w.StallLocal += p.Now() - start }()
+	defer func() { w.StallLocal.Add(int64(p.Now() - start)) }()
 	rounds := 0
 	for w.completedW < needed {
 		if err := w.checkAbort(); err != nil {
@@ -548,7 +584,7 @@ func (w *ringWriter) handleCompletion(p *sim.Proc, c fabric.Completion) {
 		} else if int(w.written-w.acked) >= w.geom.nSegs {
 			// Still unconsumed and we are blocked: back off before
 			// re-reading so a slow target is not flooded with READs.
-			w.ProbeMisses++
+			w.ProbeMisses.Add(1)
 			w.backoff(p)
 			w.postFooterRead(p)
 		}
@@ -572,7 +608,7 @@ func (w *ringWriter) handleCompletion(p *sim.Proc, c fabric.Completion) {
 // backoff sleeps a small randomized interval (0.5µs–2µs).
 func (w *ringWriter) backoff(p *sim.Proc) {
 	d := 500*time.Nanosecond + time.Duration(p.Rand().Int63n(int64(1500*time.Nanosecond)))
-	w.BackoffTime += d
+	w.BackoffTime.Add(int64(d))
 	p.Sleep(d)
 }
 
@@ -633,7 +669,7 @@ func (w *ringWriter) recover(p *sim.Proc) error {
 			Src: seg, Dst: w.remoteSlotAddr(rslot),
 			Opts: fabric.WriteOptions{CommitTail: footerBytes},
 		})
-		w.Retransmits++
+		w.Retransmits.Add(1)
 	}
 	if len(wrs) > 0 {
 		w.qp.WriteBatch(p, wrs)

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
+
+	"dfi/internal/metrics"
 )
 
 // Tracing: an optional hook observing every verb the fabric executes,
@@ -73,7 +76,9 @@ func (c *Cluster) trace(kind OpKind, from, to *Node, bytes int, posted, arrived 
 	})
 }
 
-// Recorder is a Tracer that accumulates operations in memory.
+// Recorder is a Tracer that accumulates operations in memory. It is safe
+// for concurrent use: a scraper goroutine may call the accessors,
+// Summary, or PublishMetrics collectors while the simulation traces.
 type Recorder struct {
 	Ops []TraceOp
 	// Cap bounds the retained op log (0 = unlimited); aggregate counters
@@ -85,13 +90,20 @@ type Recorder struct {
 	// per-message framing overhead.
 	WireOverheadBytes int
 
-	total        int
-	messageBytes int64 // message bytes: tuple payload plus protocol footers/headers
-	dropped      int
-	droppedBytes int64
-	injected     int
-	byKind       map[OpKind]int
-	byPair       map[[2]int]int64 // bytes by (from, to)
+	mu    sync.Mutex
+	total int
+	// Byte accounting is split by disposition: deliveredBytes is volume
+	// that reached its destination, droppedBytes was discarded by the
+	// fault plan (it never arrived, so mixing it into delivered traffic
+	// would overstate what the flow moved), and injectedBytes is the
+	// extra volume of fabricated duplicate deliveries.
+	deliveredBytes int64
+	dropped        int
+	droppedBytes   int64
+	injected       int
+	injectedBytes  int64
+	byKind         map[OpKind]int
+	byPair         map[[2]int]int64 // delivered (incl. duplicate) bytes by (from, to)
 }
 
 // NewRecorder returns an empty recorder retaining at most cap ops.
@@ -99,18 +111,25 @@ func NewRecorder(cap int) *Recorder {
 	return &Recorder{Cap: cap, byKind: make(map[OpKind]int), byPair: make(map[[2]int]int64)}
 }
 
-// Trace implements Tracer.
+// Trace implements Tracer. Dropped ops count toward totals and per-kind
+// counters but not toward delivered volume or the per-pair traffic map —
+// their bytes never arrived.
 func (r *Recorder) Trace(op TraceOp) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.total++
-	r.messageBytes += int64(op.Bytes)
 	r.byKind[op.Kind]++
-	r.byPair[[2]int{op.From, op.To}] += int64(op.Bytes)
 	switch op.Disposition {
 	case Dropped:
 		r.dropped++
 		r.droppedBytes += int64(op.Bytes)
 	case Injected:
 		r.injected++
+		r.injectedBytes += int64(op.Bytes)
+		r.byPair[[2]int{op.From, op.To}] += int64(op.Bytes)
+	default:
+		r.deliveredBytes += int64(op.Bytes)
+		r.byPair[[2]int{op.From, op.To}] += int64(op.Bytes)
 	}
 	if r.Cap == 0 || len(r.Ops) < r.Cap {
 		r.Ops = append(r.Ops, op)
@@ -118,34 +137,66 @@ func (r *Recorder) Trace(op TraceOp) {
 }
 
 // Total returns the number of traced operations.
-func (r *Recorder) Total() int { return r.total }
+func (r *Recorder) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
 
 // Dropped returns the number of traced operations the fault plan
 // discarded.
-func (r *Recorder) Dropped() int { return r.dropped }
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// DroppedBytes returns the volume the fault plan discarded — bytes that
+// were posted but never arrived.
+func (r *Recorder) DroppedBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.droppedBytes
+}
 
 // Injected returns the number of duplicate deliveries the fault plan
 // fabricated.
-func (r *Recorder) Injected() int { return r.injected }
+func (r *Recorder) Injected() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.injected
+}
 
-// MessageBytes returns the cumulative message bytes traced. This counts
-// everything a message carries above the wire framing — tuple payload
-// *and* protocol metadata (segment footers, credit/NACK control messages)
-// — so it over-reports pure tuple payload; flow-level payload accounting
-// lives in core.SourceStats.PayloadBytes.
-func (r *Recorder) MessageBytes() int64 { return r.messageBytes }
+// MessageBytes returns the cumulative message bytes actually delivered,
+// including fabricated duplicate deliveries. This counts everything a
+// message carries above the wire framing — tuple payload *and* protocol
+// metadata (segment footers, credit/NACK control messages) — so it
+// over-reports pure tuple payload; flow-level payload accounting lives
+// in core.SourceStats.PayloadBytes. Bytes of ops the fault plan dropped
+// are excluded (see DroppedBytes).
+func (r *Recorder) MessageBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.deliveredBytes + r.injectedBytes
+}
 
-// Summary renders aggregate counters: ops by kind, loss under the fault
-// plan, and the top traffic pairs.
+// Summary renders aggregate counters: ops by kind, delivered vs dropped
+// volume under the fault plan, and the top traffic pairs. Delivered and
+// dropped bytes are reported distinctly — a fault plan that eats half
+// the WRITEs must not inflate the delivered-traffic figure.
 func (r *Recorder) Summary(w io.Writer, topPairs int) {
-	fmt.Fprintf(w, "traced %d operations, %d message bytes (payload + protocol metadata)\n", r.total, r.messageBytes)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delivered := r.deliveredBytes + r.injectedBytes
+	fmt.Fprintf(w, "traced %d operations, %d message bytes delivered (payload + protocol metadata)\n",
+		r.total, delivered)
 	if r.WireOverheadBytes > 0 {
-		wire := r.messageBytes + int64(r.total)*int64(r.WireOverheadBytes)
+		wire := delivered + int64(r.total-r.dropped)*int64(r.WireOverheadBytes)
 		fmt.Fprintf(w, "  ≈%d wire bytes incl. %d B/message framing overhead\n", wire, r.WireOverheadBytes)
 	}
 	if r.dropped > 0 || r.injected > 0 {
-		fmt.Fprintf(w, "  faults: %d dropped (%d bytes), %d duplicate deliveries injected\n",
-			r.dropped, r.droppedBytes, r.injected)
+		fmt.Fprintf(w, "  faults: %d dropped (%d bytes never delivered), %d duplicate deliveries injected (+%d bytes delivered)\n",
+			r.dropped, r.droppedBytes, r.injected, r.injectedBytes)
 	}
 	kinds := make([]OpKind, 0, len(r.byKind))
 	for k := range r.byKind {
@@ -177,6 +228,8 @@ func (r *Recorder) Summary(w io.Writer, topPairs int) {
 
 // Log renders the retained op log, one line per operation.
 func (r *Recorder) Log(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, op := range r.Ops {
 		mark := ""
 		if op.Disposition != Delivered {
@@ -188,4 +241,37 @@ func (r *Recorder) Log(w io.Writer) {
 	if r.total > len(r.Ops) {
 		fmt.Fprintf(w, "… %d further operations (log capped)\n", r.total-len(r.Ops))
 	}
+}
+
+// PublishMetrics registers the recorder's aggregate counters on m under
+// the dfi_fabric_* namespace. The collectors run on the scraper's
+// goroutine and take the recorder's mutex, so they can be scraped while
+// the simulation traces.
+func (r *Recorder) PublishMetrics(m *metrics.Registry) {
+	locked := func(f func() float64) func() float64 {
+		return func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return f()
+		}
+	}
+	for _, k := range []OpKind{OpWrite, OpRead, OpSend, OpRecv, OpFetchAdd, OpCompareSwap} {
+		k := k
+		m.RegisterCounterFunc("dfi_fabric_ops_total", "Traced fabric operations by verb (all dispositions).",
+			metrics.Labels{"kind": k.String()},
+			locked(func() float64 { return float64(r.byKind[k]) }))
+	}
+	m.RegisterCounterFunc("dfi_fabric_message_bytes_total", "Message bytes by disposition (delivered reached the destination; dropped never arrived; injected are duplicate deliveries fabricated by the fault plan).",
+		metrics.Labels{"disposition": "delivered"},
+		locked(func() float64 { return float64(r.deliveredBytes) }))
+	m.RegisterCounterFunc("dfi_fabric_message_bytes_total", "Message bytes by disposition (delivered reached the destination; dropped never arrived; injected are duplicate deliveries fabricated by the fault plan).",
+		metrics.Labels{"disposition": "dropped"},
+		locked(func() float64 { return float64(r.droppedBytes) }))
+	m.RegisterCounterFunc("dfi_fabric_message_bytes_total", "Message bytes by disposition (delivered reached the destination; dropped never arrived; injected are duplicate deliveries fabricated by the fault plan).",
+		metrics.Labels{"disposition": "injected"},
+		locked(func() float64 { return float64(r.injectedBytes) }))
+	m.RegisterCounterFunc("dfi_fabric_ops_dropped_total", "Traced operations the fault plan discarded.", nil,
+		locked(func() float64 { return float64(r.dropped) }))
+	m.RegisterCounterFunc("dfi_fabric_ops_injected_total", "Duplicate deliveries the fault plan fabricated.", nil,
+		locked(func() float64 { return float64(r.injected) }))
 }

@@ -71,6 +71,38 @@ func TestTracerObservesAtomicsAndSends(t *testing.T) {
 	}
 }
 
+func TestRecorderSeparatesDroppedFromDelivered(t *testing.T) {
+	// Regression: dropped ops' bytes used to be folded into the delivered
+	// message-byte total and the per-pair traffic map, overstating what a
+	// flow actually moved under a fault plan.
+	rec := NewRecorder(0)
+	rec.WireOverheadBytes = 42
+	rec.Trace(TraceOp{Kind: OpWrite, From: 0, To: 1, Bytes: 100})
+	rec.Trace(TraceOp{Kind: OpWrite, From: 0, To: 1, Bytes: 40, Disposition: Dropped})
+	rec.Trace(TraceOp{Kind: OpWrite, From: 0, To: 1, Bytes: 25, Disposition: Injected})
+	if got := rec.MessageBytes(); got != 125 {
+		t.Fatalf("MessageBytes = %d, want 125 (delivered 100 + injected 25)", got)
+	}
+	if got := rec.DroppedBytes(); got != 40 {
+		t.Fatalf("DroppedBytes = %d, want 40", got)
+	}
+	var sb strings.Builder
+	rec.Summary(&sb, 1)
+	out := sb.String()
+	for _, want := range []string{
+		"traced 3 operations, 125 message bytes delivered",
+		// wire estimate covers delivered ops only: 125 + 2*42
+		"≈209 wire bytes incl. 42 B/message framing overhead",
+		"1 dropped (40 bytes never delivered)",
+		"1 duplicate deliveries injected (+25 bytes delivered)",
+		"node0 → node1  125 bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestNoTracerNoOverheadPath(t *testing.T) {
 	// Without a tracer installed, verbs must work unchanged (nil hook).
 	k, c := testCluster(t, 2)

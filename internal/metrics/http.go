@@ -1,0 +1,69 @@
+// HTTP exposition: a small stdlib server with three endpoints —
+// /metrics (Prometheus text format), /status (JSON cluster snapshot
+// from a caller-supplied func), /events (JSONL dump of the event log).
+
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server serves the observability endpoints over HTTP. Construct with
+// Serve; the listener address (useful with ":0") is available via Addr.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr and serves reg on /metrics. If statusFn is non-nil,
+// /status serves its return value as indented JSON; if events is
+// non-nil, /events serves a JSONL dump. statusFn runs on the HTTP
+// handler goroutine — like func-backed collectors, it must only read
+// race-safe state. Serve returns once the listener is bound; the
+// accept loop runs on its own goroutine.
+func Serve(addr string, reg *Registry, statusFn func() any, events *EventLog) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	if statusFn != nil {
+		mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(statusFn()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	if events != nil {
+		mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_, _, _ = events.WriteJSONL(w)
+		})
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listener address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

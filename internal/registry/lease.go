@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dfi/internal/metrics"
 	"dfi/internal/sim"
 )
 
@@ -183,6 +184,9 @@ func (m *Membership) expire(k epKey, gen uint64) {
 	}
 	l.state = StateSuspect
 	m.r.cond.Broadcast()
+	m.r.emit(metrics.Event{Type: metrics.EvLease, Flow: m.flow, Epoch: m.epoch,
+		Role: k.role.String(), Slot: k.idx, Detail: "lease expired: active -> suspect"})
+	m.r.statusChanged()
 	m.r.k.After(l.grace, func() { m.evictExpired(k, gen) })
 }
 
@@ -202,6 +206,11 @@ func (m *Membership) evict(k epKey, l *lease) {
 	l.state = StateEvicted
 	m.epoch++
 	m.r.cond.Broadcast()
+	m.r.emit(metrics.Event{Type: metrics.EvEviction, Flow: m.flow, Epoch: m.epoch,
+		Role: k.role.String(), Slot: k.idx, Detail: "evicted from membership"})
+	m.r.emit(metrics.Event{Type: metrics.EvEpoch, Flow: m.flow, Epoch: m.epoch,
+		Detail: "epoch bumped by eviction"})
+	m.r.statusChanged()
 }
 
 // membership returns the record for a published flow.
@@ -256,6 +265,8 @@ func (r *Registry) AcquireLease(p *sim.Proc, flow string, role Role, idx int, tt
 		l.state = StateActive
 		l.ttl, l.grace = ttl, grace
 		m.arm(k, l)
+		r.emit(metrics.Event{Type: metrics.EvLease, Flow: flow, Epoch: m.epoch,
+			Role: role.String(), Slot: idx, Detail: "lease acquired"})
 		return nil
 	})
 }
@@ -294,7 +305,9 @@ func (r *Registry) RenewLease(p *sim.Proc, flow string, role Role, idx int) erro
 func (r *Registry) invokeRenew(p *sim.Proc, op func() error) error {
 	if r.repl != nil && r.repl.cfg.UnloggedRenew {
 		r.rpc(p)
-		return op()
+		err := op()
+		r.statusChanged()
+		return err
 	}
 	return r.invoke(p, op)
 }
@@ -316,6 +329,8 @@ func (r *Registry) ReleaseLease(p *sim.Proc, flow string, role Role, idx int) {
 		}
 		l.gen++ // orphan any pending expiry check
 		l.state = StateLeft
+		r.emit(metrics.Event{Type: metrics.EvLease, Flow: flow, Epoch: m.epoch,
+			Role: role.String(), Slot: idx, Detail: "lease released: -> left"})
 		return nil
 	})
 }
@@ -386,6 +401,10 @@ func (r *Registry) Rejoin(p *sim.Proc, flow string, role Role, idx, newIdx int) 
 			}
 			m.epoch++
 			m.r.cond.Broadcast()
+			r.emit(metrics.Event{Type: metrics.EvLease, Flow: flow, Epoch: m.epoch,
+				Role: role.String(), Slot: idx, Seq: l.inc, Detail: "rejoined own slot"})
+			r.emit(metrics.Event{Type: metrics.EvEpoch, Flow: flow, Epoch: m.epoch,
+				Detail: "epoch bumped by rejoin"})
 			out = Rejoined{Incarnation: l.inc, Watermark: l.watermark}
 			return nil
 		}
@@ -403,6 +422,9 @@ func (r *Registry) Rejoin(p *sim.Proc, flow string, role Role, idx, newIdx int) 
 		// normal attach path; the old slot's eviction epoch already
 		// rerouted its work.
 		nl.watermark = l.watermark
+		r.emit(metrics.Event{Type: metrics.EvLease, Flow: flow, Epoch: m.epoch,
+			Role: role.String(), Slot: newIdx, Seq: nl.inc,
+			Detail: fmt.Sprintf("identity transferred from slot %d", idx)})
 		out = Rejoined{Incarnation: nl.inc, Watermark: nl.watermark}
 		return nil
 	})

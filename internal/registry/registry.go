@@ -15,9 +15,11 @@ package registry
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"dfi/internal/fabric"
+	"dfi/internal/metrics"
 	"dfi/internal/sim"
 )
 
@@ -37,6 +39,13 @@ type Registry struct {
 
 	faults *fabric.FaultPlan
 	repl   *replGroup // nil for a standalone registry
+
+	// events receives structured protocol events (nil when tracing is
+	// off); endpoints pick the sink up via EventSink() at open. status
+	// holds the latest immutable introspection snapshot, republished
+	// after every mutation (see status.go).
+	events metrics.EventSink
+	status atomic.Pointer[ClusterStatus]
 }
 
 type entry struct {
@@ -101,11 +110,15 @@ func (r *Registry) rpc(p *sim.Proc) {
 // one when the master crashed), and retried idempotently when a reply is
 // lost.
 func (r *Registry) invoke(p *sim.Proc, op func() error) error {
+	var err error
 	if r.repl == nil {
 		r.rpc(p)
-		return op()
+		err = op()
+	} else {
+		err = r.repl.invoke(p, op)
 	}
-	return r.repl.invoke(p, op)
+	r.statusChanged()
+	return err
 }
 
 // Publish registers flow metadata under a unique name. Publishing a name

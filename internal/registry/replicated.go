@@ -6,6 +6,7 @@ import (
 
 	"dfi/internal/consensus/log"
 	"dfi/internal/fabric"
+	"dfi/internal/metrics"
 	"dfi/internal/sim"
 )
 
@@ -395,6 +396,8 @@ func (g *replGroup) maybeSnapshot(p *sim.Proc) {
 	state := g.r.captureState().encode()
 	g.snap = log.Snapshot{Index: g.slot, State: state}
 	g.snapCount++
+	g.r.emit(metrics.Event{Type: metrics.EvSnapshot, Seq: uint64(g.snap.Index),
+		Bytes: uint64(len(state)), Detail: "registry state snapshot; log compacted"})
 	for i, a := range g.acceptors {
 		if g.crashed[i] {
 			continue // recovers later via the install-snapshot path
@@ -484,6 +487,9 @@ func (g *replGroup) elect(p *sim.Proc) {
 			g.master = cand
 			g.slot = next
 			g.elections++
+			g.r.emit(metrics.Event{Type: metrics.EvElection, Seq: b,
+				Detail: fmt.Sprintf("replica %d elected master at ballot %d", cand, b)})
+			g.r.statusChanged()
 			return
 		}
 		if g.crashed[cand] { // crashed mid-election (fault plan time passed)

@@ -19,9 +19,12 @@ const bucketsPerOctave = 32
 // maxOctaves covers 1 ns .. ~9 s.
 const maxOctaves = 33
 
+// numBuckets is the total bucket count.
+const numBuckets = maxOctaves * bucketsPerOctave
+
 // Histogram accumulates durations in logarithmic buckets.
 type Histogram struct {
-	counts [maxOctaves * bucketsPerOctave]uint64
+	counts [numBuckets]uint64
 	n      uint64
 	sum    time.Duration
 	min    time.Duration
@@ -41,10 +44,15 @@ func bucketOf(d time.Duration) int {
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len((&Histogram{}).counts) {
-		idx = len((&Histogram{}).counts) - 1
+	if idx >= numBuckets {
+		idx = numBuckets - 1
 	}
 	return idx
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i's range.
+func bucketUpper(i int) time.Duration {
+	return time.Duration(math.Exp2(float64(i+1) / bucketsPerOctave))
 }
 
 // bucketValue returns a representative duration for bucket i (geometric
@@ -138,6 +146,17 @@ func (h *Histogram) Merge(o *Histogram) {
 // Reset clears all samples.
 func (h *Histogram) Reset() { *h = Histogram{} }
 
+// Each calls f for every occupied bucket in ascending order with the
+// bucket's exclusive upper bound and its sample count — the shape a
+// cumulative-bucket exporter (e.g. Prometheus `le` series) folds from.
+func (h *Histogram) Each(f func(upper time.Duration, count uint64)) {
+	for i, c := range h.counts {
+		if c > 0 {
+			f(bucketUpper(i), c)
+		}
+	}
+}
+
 // Fprint renders a compact summary plus an ASCII bar chart of the
 // occupied region.
 func (h *Histogram) Fprint(w io.Writer, bars int) {
@@ -147,27 +166,41 @@ func (h *Histogram) Fprint(w io.Writer, bars int) {
 		return
 	}
 	lo, hi := -1, -1
-	var peak uint64
 	for i, c := range h.counts {
 		if c > 0 {
 			if lo < 0 {
 				lo = i
 			}
 			hi = i
-			if c > peak {
-				peak = c
-			}
 		}
 	}
 	span := hi - lo + 1
 	group := (span + bars - 1) / bars
+	// Two passes: bars scale against the largest *group* sum, not
+	// peak-per-bucket × group — the latter undersized the final partial
+	// group (fewer than `group` buckets) and, with many sparse buckets
+	// per group, could undersize every bar.
+	type row struct {
+		at  time.Duration
+		sum uint64
+	}
+	var rows []row
+	var peakSum uint64
 	for b := lo; b <= hi; b += group {
 		var sum uint64
 		for i := b; i < b+group && i <= hi; i++ {
 			sum += h.counts[i]
 		}
-		width := int(float64(sum) / float64(peak*uint64(group)) * 40)
-		fmt.Fprintf(w, "%12v %s %d\n", bucketValue(b).Round(10*time.Nanosecond),
-			strings.Repeat("#", width), sum)
+		if sum > peakSum {
+			peakSum = sum
+		}
+		rows = append(rows, row{bucketValue(b).Round(10 * time.Nanosecond), sum})
+	}
+	for _, r := range rows {
+		width := int(float64(r.sum) / float64(peakSum) * 40)
+		if width == 0 && r.sum > 0 {
+			width = 1 // a nonzero group always shows a mark
+		}
+		fmt.Fprintf(w, "%12v %s %d\n", r.at, strings.Repeat("#", width), r.sum)
 	}
 }

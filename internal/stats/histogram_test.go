@@ -113,6 +113,63 @@ func TestResetClears(t *testing.T) {
 	}
 }
 
+func TestFprintScalesBarsByGroupSum(t *testing.T) {
+	// Regression: bars used to scale by peak-per-bucket × group size, which
+	// undersized the final partial group and rendered zero-width bars for
+	// small nonzero groups. The dominant group must reach full width and
+	// every nonzero group must show at least one mark.
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Microsecond) // one dominant bucket
+	}
+	h.Record(900 * time.Microsecond) // lone far-away sample → tiny final group
+	var sb strings.Builder
+	h.Fprint(&sb, 4)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("expected ≥2 bars, got:\n%s", sb.String())
+	}
+	max := 0
+	for i, ln := range lines[1:] { // skip the summary line
+		width := strings.Count(ln, "#")
+		if width > max {
+			max = width
+		}
+		// Every line ends with the group's sample sum; a nonzero group
+		// must render at least one mark.
+		if width == 0 && !strings.HasSuffix(ln, " 0") {
+			t.Fatalf("bar %d has zero width for a nonzero group:\n%s", i, sb.String())
+		}
+	}
+	if max != 40 {
+		t.Fatalf("dominant group width = %d, want full scale 40:\n%s", max, sb.String())
+	}
+}
+
+func TestEachVisitsOccupiedBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Microsecond)
+	h.Record(time.Microsecond)
+	h.Record(time.Millisecond)
+	var total uint64
+	var last time.Duration
+	calls := 0
+	h.Each(func(upper time.Duration, count uint64) {
+		calls++
+		if upper <= last {
+			t.Fatalf("upper bounds not ascending: %v after %v", upper, last)
+		}
+		last = upper
+		if count == 0 {
+			t.Fatal("Each visited an empty bucket")
+		}
+		total += count
+	})
+	if calls != 2 || total != 3 {
+		t.Fatalf("calls=%d total=%d, want 2 buckets covering 3 samples", calls, total)
+	}
+}
+
 func TestFprint(t *testing.T) {
 	h := NewHistogram()
 	for i := 0; i < 1000; i++ {
