@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos partition-race metrics-smoke bench bench-update docs-lint
+.PHONY: all build vet test race check chaos chaos-mc partition-race metrics-smoke bench bench-update docs-lint
 
 all: check
 
@@ -29,6 +29,19 @@ chaos:
 		DFI_CHAOS_SEED=$$seed $(GO) test -race -count=1 \
 			-run 'Chaos|Crash|Lifecycle|Lease|Evict|Reattach|Rejoin|Replicated|Remove|Promise|Accept|Ballot' \
 			./internal/core/ ./internal/registry/ ./internal/consensus/... || exit 1; \
+	done
+
+# Ordered-multicast fault matrix: source crash under leases, gap
+# agreement between survivors, target eviction + sequencer-snapshot
+# rejoin, and the unsupported-operation surface, swept over the chaos
+# seeds (each seed changes which UD sends are lost and therefore which
+# sequences need agreement).
+chaos-mc:
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "== chaos-mc seed $$seed =="; \
+		DFI_CHAOS_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'TestChaosOrderedMulticast|TestOrderedReplicate|TestReplicateMulticast|TestMulticastUnsupportedOps|TestGapNackLimitValidation' \
+			./internal/core/ || exit 1; \
 	done
 
 # Partitioner + membership focus: the packages behind consistent-hash
@@ -74,4 +87,4 @@ bench-update:
 docs-lint:
 	$(GO) run ./cmd/docslint
 
-check: build vet race metrics-smoke docs-lint
+check: build vet race chaos-mc metrics-smoke docs-lint

@@ -72,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		multicast = fs.Bool("multicast", false, "replicate flow: use switch multicast")
 		ordered   = fs.Bool("ordered", false, "replicate flow: global ordering (implies -multicast)")
 		loss      = fs.Float64("loss", 0, "multicast loss probability")
+		gapNacks  = fs.Int("gap-nacks", 0, "ordered replicate: unanswered NACK rounds before a gap is skipped or escalated (0 = default 3)")
 		segments  = fs.Int("segments", 32, "segments per ring")
 		segSize   = fs.Int("segsize", 0, "segment payload size (0 = default)")
 		seed      = fs.Int64("seed", 1, "deterministic seed")
@@ -196,6 +197,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		RetransmitTimeout: *retrans,
 		SourceTimeout:     *srcTime,
 		LeaseTTL:          *lease,
+		GapNackLimit:      *gapNacks,
 		Partitioning:      scheme,
 	}}
 	if *latency {

@@ -250,6 +250,9 @@ func (b *Batch) Bytes() []byte { return b.buf }
 // until done, as with partial writes. Only valid on single-target
 // bandwidth flows; multi-target flows reserve per target with ReserveTo.
 func (s *Source) Reserve(p *sim.Proc, n int) (*Batch, error) {
+	if s.mc != nil {
+		return nil, fmt.Errorf("%w: Reserve (the multicast transport owns its segment buffers)", ErrUnsupportedOnMulticast)
+	}
 	if len(s.writers) != 1 {
 		return nil, fmt.Errorf("dfi: Reserve on a %d-target flow; use ReserveTo", len(s.writers))
 	}
@@ -263,7 +266,7 @@ func (s *Source) ReserveTo(p *sim.Proc, target, n int) (*Batch, error) {
 		return nil, fmt.Errorf("dfi: reserve on closed source of flow %q", s.spec.Name)
 	}
 	if s.mc != nil {
-		return nil, errors.New("dfi: Reserve is not supported on multicast replicate flows")
+		return nil, fmt.Errorf("%w: Reserve (the multicast transport owns its segment buffers)", ErrUnsupportedOnMulticast)
 	}
 	if s.spec.Options.Optimization != OptimizeBandwidth {
 		return nil, errors.New("dfi: Reserve requires a bandwidth-optimized flow (latency mode transfers per tuple)")

@@ -158,6 +158,13 @@ type Options struct {
 	// before recovering (NACK or gap notification). Default 20µs.
 	GapTimeout time.Duration
 
+	// GapNackLimit is how many unanswered NACK rounds a multicast target
+	// sends for one missing segment before escalating: with leases
+	// enabled it opens a gap-agreement round with the live peers; without
+	// leases it may skip the segment unilaterally once a source is
+	// already declared failed. Default 3; negative is invalid.
+	GapNackLimit int
+
 	// Aggregation configures a combiner flow: AggFunc applied to ValueCol,
 	// grouped by GroupCol.
 	Aggregation AggFunc
@@ -220,11 +227,16 @@ type Options struct {
 	// further SuspectGrace to Evicted, bumping the flow epoch. Sources
 	// re-route an evicted target's key range over the survivors (shuffle/
 	// combiner) or drop the dead leg (replicate); targets close the rings
-	// of evicted sources. Zero (the default) disables leases. Setting
-	// LeaseTTL defaults RetransmitTimeout to LeaseTTL/2 — rerouting
-	// drains the dead writer's unconsumed window from its local ring, so
-	// the resident retransmit window is required. Not supported on
-	// multicast replicate flows (see ROADMAP).
+	// of evicted sources. On multicast replicate flows, leases
+	// additionally arm the ordered-recovery protocol: segment headers
+	// carry the membership epoch, a source eviction triggers gap
+	// agreement among the live targets, a target eviction detaches the
+	// dead leg from the multicast group, and an evicted target may
+	// rejoin via a sequencer snapshot (see docs/PROTOCOL.md, "Ordered
+	// replicate failure model"). Zero (the default) disables leases.
+	// Setting LeaseTTL defaults RetransmitTimeout to LeaseTTL/2 —
+	// rerouting drains the dead writer's unconsumed window from its
+	// local ring, so the resident retransmit window is required.
 	LeaseTTL time.Duration
 
 	// SuspectGrace is how long a Suspect endpoint may stay unrenewed
@@ -244,6 +256,14 @@ type Options struct {
 // through MaxRetransmits consecutive recovery rounds. Returned wrapped,
 // so test with errors.Is.
 var ErrFlowBroken = errors.New("dfi: flow broken")
+
+// ErrUnsupportedOnMulticast reports an operation that has no meaning on
+// a multicast replicate flow: Checkpoint and Source.Reattach (a
+// multicast source has no per-target resume cursor — recovery is the
+// gap/agreement protocol) and Reserve/ReserveTo (segments are filled
+// through the multicast staging buffer, not reserved in a remote ring).
+// Returned wrapped, so test with errors.Is.
+var ErrUnsupportedOnMulticast = errors.New("dfi: operation not supported on multicast replicate flows")
 
 // footerBytes is the per-segment footer: 4B fill count, 1B flags,
 // 3B reserved, 8B sequence number. The footer lies after the payload so the
@@ -396,10 +416,13 @@ func (s *FlowSpec) normalize() error {
 	if o.CreditThreshold == 0 {
 		o.CreditThreshold = o.SegmentsPerRing / 4
 	}
+	if o.GapNackLimit < 0 {
+		return errors.New("dfi: GapNackLimit must be non-negative")
+	}
+	if o.GapNackLimit == 0 {
+		o.GapNackLimit = 3
+	}
 	if o.LeaseTTL > 0 {
-		if o.Multicast {
-			return errors.New("dfi: leases are not supported on multicast replicate flows")
-		}
 		if o.SuspectGrace <= 0 {
 			o.SuspectGrace = o.LeaseTTL
 		}

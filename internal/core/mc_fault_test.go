@@ -1,0 +1,498 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dfi/internal/fabric"
+	"dfi/internal/registry"
+	"dfi/internal/sim"
+)
+
+// Fault-tolerance tests for ordered multicast under the lease/epoch
+// control plane: source crashes detected by lease eviction, gap
+// agreement between the survivors, target eviction with snapshot-based
+// rejoin, and the explicit unsupported-operation surface. All of these
+// sweep seeds via DFI_CHAOS_SEED (`make chaos-mc`).
+
+func TestChaosOrderedMulticastLeaseSourceCrash(t *testing.T) {
+	// One of two ordered-multicast sources' NODE crashes mid-flow while
+	// UD loss is in play, with leases enabled and no SourceTimeout: the
+	// lease heartbeat dies with the node, the registry evicts the slot,
+	// and the surviving targets run gap agreement for the crashed
+	// source's unanswerable gaps. Every live target must end with the
+	// IDENTICAL global order, and nothing outside the agreed-skip set
+	// may be lost: the healthy source's stream arrives complete.
+	plan := (&fabric.FaultPlan{DropSend: 0.05}).CrashNode(1, 400*time.Microsecond)
+	e := newEnv(t, 5, withFaults(plan))
+	spec := FlowSpec{
+		Name:    "omc-lease-crash",
+		Type:    ReplicateFlow,
+		Sources: []Endpoint{{Node: e.c.Node(0)}, {Node: e.c.Node(1)}},
+		Targets: []Endpoint{{Node: e.c.Node(2)}, {Node: e.c.Node(3)}, {Node: e.c.Node(4)}},
+		Schema:  kvSchema,
+		Options: Options{
+			Multicast:      true,
+			GlobalOrdering: true,
+			SegmentSize:    256,
+			LeaseTTL:       100 * time.Microsecond,
+		},
+	}
+	const n = 1000
+	orders := make([][]int64, len(spec.Targets))
+	failed := make([][]int, len(spec.Targets))
+	var crashedErr error
+	e.k.Spawn("init", func(p *sim.Proc) {
+		if err := FlowInit(p, e.reg, e.c, spec); err != nil {
+			t.Error(err)
+		}
+	})
+	for si := 0; si < 2; si++ {
+		si := si
+		e.k.Spawn(fmt.Sprintf("src%d", si), func(p *sim.Proc) {
+			src, err := SourceOpen(p, e.reg, spec.Name, si)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				key := int64(si*n + i)
+				if err := src.Push(p, mkTuple(key, 2*key)); err != nil {
+					if si == 1 {
+						crashedErr = err // node crashed under it
+						return
+					}
+					t.Errorf("healthy source push: %v", err)
+					return
+				}
+				p.Sleep(500 * time.Nanosecond)
+			}
+			if err := src.Close(p); err != nil && si == 0 {
+				t.Errorf("healthy source close: %v", err)
+			}
+		})
+	}
+	for ti := range spec.Targets {
+		ti := ti
+		e.k.Spawn(fmt.Sprintf("tgt%d", ti), func(p *sim.Proc) {
+			tgt, err := TargetOpen(p, e.reg, spec.Name, ti)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				tup, ok := tgt.Consume(p)
+				if !ok {
+					break
+				}
+				orders[ti] = append(orders[ti], kvSchema.Int64(tup, 0))
+			}
+			if !tgt.Done() {
+				t.Errorf("target %d stopped without reaching flow end", ti)
+			}
+			failed[ti] = tgt.FailedSources()
+		})
+	}
+	e.run(t)
+	if crashedErr == nil {
+		t.Fatal("crashed source reported no error")
+	}
+	if !errors.Is(crashedErr, ErrFlowBroken) {
+		t.Fatalf("crashed source error %v, want ErrFlowBroken", crashedErr)
+	}
+	for ti := range spec.Targets {
+		if len(failed[ti]) != 1 || failed[ti][0] != 1 {
+			t.Fatalf("target %d failed sources %v, want [1] (lease eviction)", ti, failed[ti])
+		}
+		// Identical global order everywhere — the headline invariant.
+		if ti > 0 {
+			if len(orders[ti]) != len(orders[0]) {
+				t.Fatalf("target %d delivered %d tuples, target 0 delivered %d",
+					ti, len(orders[ti]), len(orders[0]))
+			}
+			for i := range orders[ti] {
+				if orders[ti][i] != orders[0][i] {
+					t.Fatalf("target %d diverges from target 0 at %d: %d vs %d",
+						ti, i, orders[ti][i], orders[0][i])
+				}
+			}
+		}
+		// Zero loss outside the agreed-skip set: the healthy source's
+		// keys [0,n) all arrive, in push order (its history outlives
+		// every gap, so none of its sequences can be agreed away).
+		last, seen := int64(-1), 0
+		for _, k := range orders[ti] {
+			if k >= int64(n) {
+				continue // crashed source's partial prefix
+			}
+			if k <= last {
+				t.Fatalf("target %d: healthy source out of order (%d after %d)", ti, k, last)
+			}
+			last = k
+			seen++
+		}
+		if seen != n {
+			t.Fatalf("target %d delivered %d of %d healthy-source tuples", ti, seen, n)
+		}
+	}
+}
+
+func TestChaosOrderedMulticastTargetEvictRejoin(t *testing.T) {
+	// A target is administratively evicted mid-flow and immediately
+	// rejoins via Reattach: the fresh incarnation installs the
+	// registry's sequencer snapshot and resumes at the high-water. The
+	// survivor must deliver the complete stream, and everything the
+	// rejoiner consumes after the rejoin must be a suffix of the
+	// survivor's global order — same sequence, later entry point.
+	e := newEnv(t, 4, withFaults(&fabric.FaultPlan{DropSend: 0.03}))
+	spec := FlowSpec{
+		Name:    "omc-rejoin",
+		Type:    ReplicateFlow,
+		Sources: []Endpoint{{Node: e.c.Node(0)}, {Node: e.c.Node(1)}},
+		Targets: []Endpoint{{Node: e.c.Node(2)}, {Node: e.c.Node(3)}},
+		Schema:  kvSchema,
+		Options: Options{
+			Multicast:      true,
+			GlobalOrdering: true,
+			SegmentSize:    256,
+			LeaseTTL:       100 * time.Microsecond,
+		},
+	}
+	const n = 2000
+	var survivor, pre, post []int64
+	var resumedFrom uint64
+	rejoinedDone := false
+	e.k.Spawn("init", func(p *sim.Proc) {
+		if err := FlowInit(p, e.reg, e.c, spec); err != nil {
+			t.Error(err)
+		}
+	})
+	for si := 0; si < 2; si++ {
+		si := si
+		e.k.Spawn(fmt.Sprintf("src%d", si), func(p *sim.Proc) {
+			src, err := SourceOpen(p, e.reg, spec.Name, si)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				key := int64(si*n + i)
+				if err := src.Push(p, mkTuple(key, 2*key)); err != nil {
+					t.Errorf("source %d push: %v", si, err)
+					return
+				}
+				p.Sleep(200 * time.Nanosecond)
+			}
+			if err := src.Close(p); err != nil {
+				t.Errorf("source %d close: %v", si, err)
+			}
+		})
+	}
+	e.k.Spawn("evictor", func(p *sim.Proc) {
+		p.Sleep(150 * time.Microsecond)
+		if err := e.reg.Evict(p, spec.Name, registry.RoleTarget, 1); err != nil {
+			t.Errorf("evict: %v", err)
+		}
+	})
+	e.k.Spawn("tgt0", func(p *sim.Proc) {
+		tgt, err := TargetOpen(p, e.reg, spec.Name, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			tup, ok := tgt.Consume(p)
+			if !ok {
+				break
+			}
+			survivor = append(survivor, kvSchema.Int64(tup, 0))
+		}
+		if !tgt.Done() {
+			t.Error("survivor stopped without reaching flow end")
+		}
+	})
+	e.k.Spawn("tgt1", func(p *sim.Proc) {
+		tgt, err := TargetOpen(p, e.reg, spec.Name, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			tup, ok := tgt.Consume(p)
+			if !ok {
+				break
+			}
+			pre = append(pre, kvSchema.Int64(tup, 0))
+		}
+		if !tgt.Evicted() {
+			t.Error("target 1 stopped consuming but was not evicted")
+			return
+		}
+		nt, err := tgt.Reattach(p)
+		if err != nil {
+			t.Errorf("rejoin: %v", err)
+			return
+		}
+		resumedFrom = nt.ResumedFrom()
+		for {
+			tup, ok := nt.Consume(p)
+			if !ok {
+				break
+			}
+			post = append(post, kvSchema.Int64(tup, 0))
+		}
+		rejoinedDone = nt.Done()
+	})
+	e.run(t)
+	if len(survivor) != 2*n {
+		t.Fatalf("survivor delivered %d tuples, want %d", len(survivor), 2*n)
+	}
+	if len(pre) == 0 || resumedFrom == 0 {
+		t.Fatalf("rejoiner consumed nothing before eviction (pre=%d resumedFrom=%d)", len(pre), resumedFrom)
+	}
+	if !rejoinedDone {
+		t.Fatal("rejoined target did not reach flow end")
+	}
+	if len(post) == 0 {
+		t.Fatal("rejoined target consumed nothing after snapshot install")
+	}
+	// The rejoiner resumes at the snapshot high-water: its post-rejoin
+	// stream must be exactly the tail of the survivor's global order.
+	off := len(survivor) - len(post)
+	if off < 0 {
+		t.Fatalf("rejoiner delivered %d tuples after rejoin, more than survivor's %d", len(post), len(survivor))
+	}
+	for i := range post {
+		if post[i] != survivor[off+i] {
+			t.Fatalf("rejoiner diverges from survivor tail at %d: %d vs %d", i, post[i], survivor[off+i])
+		}
+	}
+}
+
+func TestChaosOrderedMulticastNotifyGapsAgreement(t *testing.T) {
+	// NotifyGaps under the lease control plane: a surfaced Gap must be a
+	// sequence number ALL live targets agreed is unfillable (recorded in
+	// the registry before any target acts on it) — never a local
+	// timeout's guess. Both targets must surface the identical gap list
+	// and deliver the identical tuple order around it.
+	plan := (&fabric.FaultPlan{DropSend: 0.15}).CrashNode(1, 300*time.Microsecond)
+	e := newEnv(t, 4, withFaults(plan))
+	spec := FlowSpec{
+		Name:    "omc-gap-agree",
+		Type:    ReplicateFlow,
+		Sources: []Endpoint{{Node: e.c.Node(0)}, {Node: e.c.Node(1)}},
+		Targets: []Endpoint{{Node: e.c.Node(2)}, {Node: e.c.Node(3)}},
+		Schema:  kvSchema,
+		Options: Options{
+			Multicast:      true,
+			GlobalOrdering: true,
+			NotifyGaps:     true,
+			SegmentSize:    256,
+			LeaseTTL:       100 * time.Microsecond,
+			GapNackLimit:   2, // escalate to agreement a little sooner
+		},
+	}
+	const n = 1000
+	orders := make([][]int64, len(spec.Targets))
+	gaps := make([][]uint64, len(spec.Targets))
+	snaps := make([]registry.SeqSnapshot, len(spec.Targets))
+	e.k.Spawn("init", func(p *sim.Proc) {
+		if err := FlowInit(p, e.reg, e.c, spec); err != nil {
+			t.Error(err)
+		}
+	})
+	for si := 0; si < 2; si++ {
+		si := si
+		e.k.Spawn(fmt.Sprintf("src%d", si), func(p *sim.Proc) {
+			src, err := SourceOpen(p, e.reg, spec.Name, si)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				key := int64(si*n + i)
+				if err := src.Push(p, mkTuple(key, 2*key)); err != nil {
+					if si == 1 && errors.Is(err, ErrFlowBroken) {
+						return // its node crashed under it
+					}
+					t.Errorf("source %d push: %v", si, err)
+					return
+				}
+				p.Sleep(300 * time.Nanosecond)
+			}
+			if err := src.Close(p); err != nil && si == 0 {
+				t.Errorf("healthy source close: %v", err)
+			}
+		})
+	}
+	for ti := range spec.Targets {
+		ti := ti
+		e.k.Spawn(fmt.Sprintf("tgt%d", ti), func(p *sim.Proc) {
+			tgt, err := TargetOpen(p, e.reg, spec.Name, ti)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				tup, ok := tgt.Consume(p)
+				if ok {
+					orders[ti] = append(orders[ti], kvSchema.Int64(tup, 0))
+					continue
+				}
+				if g, pending := tgt.PendingGap(); pending {
+					gaps[ti] = append(gaps[ti], g.Seq)
+					tgt.ResolveGap(p)
+					continue
+				}
+				break
+			}
+			if !tgt.Done() {
+				t.Errorf("target %d stopped without reaching flow end", ti)
+			}
+			// Read the sequencer record AFTER this target finished: every
+			// gap it surfaced must already be on file (the arbiter records
+			// the verdict before announcing it).
+			snaps[ti], _ = e.reg.SeqSnapshot(p, spec.Name)
+		})
+	}
+	e.run(t)
+	if len(gaps[1]) != len(gaps[0]) {
+		t.Fatalf("targets surfaced different gap counts: %v vs %v", gaps[0], gaps[1])
+	}
+	for i := range gaps[0] {
+		if gaps[0][i] != gaps[1][i] {
+			t.Fatalf("targets surfaced different gaps at %d: %v vs %v", i, gaps[0], gaps[1])
+		}
+	}
+	for ti := range spec.Targets {
+		agreed := make(map[uint64]bool, len(snaps[ti].Skips))
+		for _, s := range snaps[ti].Skips {
+			agreed[s] = true
+		}
+		for _, seq := range gaps[ti] {
+			if !agreed[seq] {
+				t.Fatalf("target %d surfaced gap %d that was never agreed in the registry (skips %v)",
+					ti, seq, snaps[ti].Skips)
+			}
+		}
+	}
+	if len(orders[0]) != len(orders[1]) {
+		t.Fatalf("targets delivered different counts: %d vs %d", len(orders[0]), len(orders[1]))
+	}
+	for i := range orders[0] {
+		if orders[0][i] != orders[1][i] {
+			t.Fatalf("targets diverge at %d: %d vs %d", i, orders[0][i], orders[1][i])
+		}
+	}
+	// Healthy stream complete: no surfaced gap may have cost a tuple
+	// whose retransmission history was still alive.
+	seen := 0
+	for _, k := range orders[0] {
+		if k < int64(n) {
+			seen++
+		}
+	}
+	if seen != n {
+		t.Fatalf("delivered %d of %d healthy-source tuples", seen, n)
+	}
+}
+
+func TestMulticastUnsupportedOps(t *testing.T) {
+	// The operations that cannot work on the multicast transport fail
+	// with the typed sentinel so applications can branch on errors.Is
+	// instead of string-matching.
+	e := newEnv(t, 2)
+	spec := FlowSpec{
+		Name:    "mc-unsupported",
+		Type:    ReplicateFlow,
+		Sources: []Endpoint{{Node: e.c.Node(0)}},
+		Targets: []Endpoint{{Node: e.c.Node(1)}},
+		Schema:  kvSchema,
+		Options: Options{Multicast: true, GlobalOrdering: true}, // ordered, but no lease
+	}
+	const n = 50
+	e.k.Spawn("init", func(p *sim.Proc) {
+		if err := FlowInit(p, e.reg, e.c, spec); err != nil {
+			t.Error(err)
+		}
+	})
+	e.k.Spawn("src", func(p *sim.Proc) {
+		src, err := SourceOpen(p, e.reg, spec.Name, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := src.Checkpoint(p); !errors.Is(err, ErrUnsupportedOnMulticast) {
+			t.Errorf("Checkpoint error %v, want ErrUnsupportedOnMulticast", err)
+		}
+		if _, err := src.Reserve(p, 4); !errors.Is(err, ErrUnsupportedOnMulticast) {
+			t.Errorf("Reserve error %v, want ErrUnsupportedOnMulticast", err)
+		}
+		if _, err := src.ReserveTo(p, 0, 4); !errors.Is(err, ErrUnsupportedOnMulticast) {
+			t.Errorf("ReserveTo error %v, want ErrUnsupportedOnMulticast", err)
+		}
+		if _, _, err := src.Reattach(p); !errors.Is(err, ErrUnsupportedOnMulticast) {
+			t.Errorf("Source.Reattach error %v, want ErrUnsupportedOnMulticast", err)
+		}
+		for i := 0; i < n; i++ {
+			if err := src.Push(p, mkTuple(int64(i), int64(2*i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := src.Close(p); err != nil {
+			t.Error(err)
+		}
+	})
+	e.k.Spawn("tgt", func(p *sim.Proc) {
+		tgt, err := TargetOpen(p, e.reg, spec.Name, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got := 0
+		for {
+			if _, ok := tgt.Consume(p); !ok {
+				break
+			}
+			got++
+		}
+		if got != n {
+			t.Errorf("consumed %d tuples, want %d", got, n)
+		}
+		// Without LeaseTTL no sequencer snapshot was ever recorded, so
+		// there is nothing to rejoin from.
+		if _, err := tgt.Reattach(p); !errors.Is(err, ErrUnsupportedOnMulticast) {
+			t.Errorf("Target.Reattach error %v, want ErrUnsupportedOnMulticast", err)
+		}
+	})
+	e.run(t)
+}
+
+func TestGapNackLimitValidation(t *testing.T) {
+	e := newEnv(t, 2)
+	mc := Options{Multicast: true, GlobalOrdering: true}
+	e.k.Spawn("p", func(p *sim.Proc) {
+		bad := FlowSpec{
+			Name:    "nack-bad",
+			Type:    ReplicateFlow,
+			Sources: []Endpoint{{Node: e.c.Node(0)}},
+			Targets: []Endpoint{{Node: e.c.Node(1)}},
+			Schema:  kvSchema,
+			Options: mc,
+		}
+		bad.Options.GapNackLimit = -1
+		if err := FlowInit(p, e.reg, e.c, bad); err == nil {
+			t.Error("negative GapNackLimit accepted")
+		}
+		good := bad
+		good.Name = "nack-good"
+		good.Options.GapNackLimit = 5
+		if err := FlowInit(p, e.reg, e.c, good); err != nil {
+			t.Errorf("GapNackLimit=5 rejected: %v", err)
+		}
+	})
+	e.run(t)
+}

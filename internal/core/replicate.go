@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dfi/internal/fabric"
+	"dfi/internal/metrics"
 	"dfi/internal/registry"
 	"dfi/internal/schema"
 	"dfi/internal/sim"
@@ -29,15 +30,42 @@ import (
 //
 // End-of-flow markers and retransmissions travel on the reliable per-pair
 // queue pairs so termination does not depend on lossy multicast.
+//
+// With Options.LeaseTTL set, multicast endpoints are first-class members
+// of the flow's lease/epoch control plane (see docs/PROTOCOL.md,
+// "Ordered replicate failure model"): segment headers carry the
+// membership epoch, an evicted source triggers a bounded gap-agreement
+// round over the survivors instead of a heuristic skip, an evicted
+// target is detached from the group and the credit accounting, and a
+// rejoining target resumes from an installable sequencer snapshot.
 
-// Multicast message header: fill(4) flags(1) srcIdx(1) rsvd(2) seq(8).
+// Multicast message header: fill(4) flags(1) srcIdx(1) epoch(2) seq(8).
+// The epoch field is the low 16 bits of the membership epoch the sender
+// had folded in (0 on flows without leases).
 const mcHeaderBytes = 16
 
-// Control message (target -> source): kind(1) rsvd(7) value(8).
+// Control message (16 bytes): kind(1) srcIdx(1) rsvd(6) value(8).
+// ctrlGapHave appends a full segment copy after the fixed header.
+// Control messages travel only on the reliable per-pair QPs, so none of
+// them can be lost — the gap-agreement protocol needs no retries beyond
+// the requester's periodic re-query.
 const (
 	ctrlBytes  = 16
 	ctrlCredit = 1
 	ctrlNack   = 2
+
+	// Gap agreement (ordered flows under leases): when NACK rounds for a
+	// head gap go unanswered and a source has failed, the stuck target
+	// asks the lowest live source to arbitrate. The arbiter probes every
+	// live target; a surviving copy is re-broadcast (Have -> data + Fill),
+	// and a unanimous NoHave makes the sequence an agreed skip, recorded
+	// durably in the registry before the verdict goes out.
+	ctrlGapQuery  = 3 // target -> source: arbitrate missing sequence <value>
+	ctrlGapProbe  = 4 // source -> target: do you hold sequence <value>?
+	ctrlGapHave   = 5 // target -> source: yes — segment copy appended
+	ctrlGapNoHave = 6 // target -> source: no, frozen until the verdict
+	ctrlGapSkip   = 7 // source -> target: <value> is agreed unfillable
+	ctrlGapFill   = 8 // source -> target: <value> was refilled (data precedes)
 )
 
 // Gap describes a missing global sequence number surfaced to the
@@ -47,9 +75,22 @@ type Gap struct {
 }
 
 // mcQPName returns the registry rendezvous key for the reliable QP between
-// source i and target j of a flow.
-func mcQPName(flow string, i, j int) string {
-	return fmt.Sprintf("%s/mcqp/%d/%d", flow, i, j)
+// source i and target j of a flow. inc is the target's incarnation: a
+// rejoined target publishes fresh QPs under incarnation-keyed names so
+// sources folding the rejoin epoch find them without colliding with the
+// previous incarnation's entries.
+func mcQPName(flow string, i, j int, inc uint64) string {
+	if inc == 0 {
+		return fmt.Sprintf("%s/mcqp/%d/%d", flow, i, j)
+	}
+	return fmt.Sprintf("%s/mcqp/%d/%d/i%d", flow, i, j, inc)
+}
+
+// gapRound is one gap-agreement round this source arbitrates: which
+// targets have answered the probe for the sequence number. Failed
+// targets are pre-answered — the dead cannot vote.
+type gapRound struct {
+	answered []bool
 }
 
 // mcSource is the sending half of a multicast replicate flow.
@@ -58,6 +99,7 @@ type mcSource struct {
 	spec *FlowSpec
 	idx  int
 	node *fabric.Node
+	reg  *registry.Registry
 
 	group    *fabric.MulticastGroup
 	fqps     []*fabric.QP // reliable QP to each target (source end)
@@ -79,6 +121,19 @@ type mcSource struct {
 	seqQP      *fabric.QP // to the sequencer node (ordered flows)
 	closedFlag bool
 
+	// Control-plane membership (Options.LeaseTTL): the flow's record,
+	// the last epoch folded in (stamped on outgoing segment headers),
+	// and the target incarnation each reliable QP connected under.
+	mem   *registry.Membership
+	epoch uint64
+	tinc  []uint64
+
+	// Gap-agreement state with this source as arbiter: open rounds by
+	// sequence number and the verdicts already reached (also recorded in
+	// the registry, which owns the durable copy).
+	rounds      map[uint64]*gapRound
+	agreedSkips map[uint64]bool
+
 	// Target-failure detection (enabled by Options.RetransmitTimeout): a
 	// target whose credit stream stalls past failAfter while it gates the
 	// source is declared failed and excluded from flow control and the
@@ -89,6 +144,12 @@ type mcSource struct {
 	failedTgt   []bool
 	lastAdvance []sim.Time
 	gating      []bool
+	// evictedTgt marks slots whose failedTgt entry came from a lease
+	// eviction rather than the staleness detector: the leg was detached
+	// cleanly by the control plane, so close excludes it from the
+	// "stopped responding" error — the point-to-point replicate path
+	// likewise drops an evicted leg without failing the source.
+	evictedTgt []bool
 
 	// Ordered flows: globally drawn sequence numbers owned by this source
 	// (monotonic), and how many of them each target has processed. Credit
@@ -96,6 +157,11 @@ type mcSource struct {
 	// its own outstanding window.
 	ownSeqs []uint64
 	ownIdx  []int
+
+	// Scrape-visible recovery counters (see SourceStats).
+	retransmits  atomic.Uint64
+	gapRoundsRun atomic.Uint64
+	creditStalls atomic.Uint64
 }
 
 func newMcSource(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (*mcSource, error) {
@@ -105,6 +171,7 @@ func newMcSource(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (
 		spec:        spec,
 		idx:         idx,
 		node:        spec.Sources[idx].Node,
+		reg:         reg,
 		group:       meta.group,
 		credit:      spec.Options.SegmentsPerRing,
 		consumedBy:  make([]uint64, len(spec.Targets)),
@@ -112,28 +179,66 @@ func newMcSource(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (
 		segBuf:      make([]byte, mcHeaderBytes+spec.Options.SegmentSize),
 		ownIdx:      make([]int, len(spec.Targets)),
 		failedTgt:   make([]bool, len(spec.Targets)),
+		evictedTgt:  make([]bool, len(spec.Targets)),
 		lastAdvance: make([]sim.Time, len(spec.Targets)),
 		gating:      make([]bool, len(spec.Targets)),
+		tinc:        make([]uint64, len(spec.Targets)),
+	}
+	if spec.Options.LeaseTTL > 0 {
+		s.mem = reg.MembershipOf(spec.Name)
+		if s.mem != nil {
+			s.epoch = s.mem.Epoch()
+			for j := range s.tinc {
+				s.tinc[j] = s.mem.Incarnation(registry.RoleTarget, j)
+			}
+		}
+	}
+	if s.agreementEnabled() {
+		s.rounds = make(map[uint64]*gapRound)
+		s.agreedSkips = make(map[uint64]bool)
 	}
 	// Reliable per-target QPs: the source creates the pair and publishes
 	// the target's end for TargetOpen to collect.
 	for j, tgt := range spec.Targets {
 		sq, tq := meta.cluster.CreateQPPair(s.node, tgt.Node)
-		if err := reg.Publish(p, mcQPName(spec.Name, idx, j), tq); err != nil {
+		if err := reg.Publish(p, mcQPName(spec.Name, idx, j, 0), tq); err != nil {
 			return nil, err
 		}
 		s.fqps = append(s.fqps, sq)
-		// Post receives for control messages (credits / NACKs).
-		for r := 0; r < 4; r++ {
-			buf := make([]byte, ctrlBytes)
-			s.ctrlBufs = append(s.ctrlBufs, buf)
-			sq.PostRecv(buf, uint64(len(s.ctrlBufs)-1))
-		}
+		// Post receives for control messages (credits / NACKs / agreement).
+		s.postCtrlRecvs(sq)
 	}
 	if spec.Options.GlobalOrdering {
 		s.seqQP, _ = meta.cluster.CreateQPPair(s.node, meta.seqMR.Node())
 	}
 	return s, nil
+}
+
+// agreementEnabled reports whether the flow runs the gap-agreement
+// protocol: global ordering plus the lease/epoch control plane. Without
+// leases the legacy heuristic paths (unilateral skip, immediate
+// NotifyGaps surfacing) are kept timing-identical.
+func (s *mcSource) agreementEnabled() bool {
+	return s.spec.Options.GlobalOrdering && s.spec.Options.LeaseTTL > 0
+}
+
+// ctrlBufSize is the control-recv buffer size: agreement flows must fit
+// a ctrlGapHave answer carrying a full segment copy.
+func (s *mcSource) ctrlBufSize() int {
+	if s.agreementEnabled() {
+		return ctrlBytes + mcHeaderBytes + s.spec.Options.SegmentSize
+	}
+	return ctrlBytes
+}
+
+// postCtrlRecvs posts the control-message receive window on one
+// reliable QP.
+func (s *mcSource) postCtrlRecvs(qp *fabric.QP) {
+	for r := 0; r < 4; r++ {
+		buf := make([]byte, s.ctrlBufSize())
+		s.ctrlBufs = append(s.ctrlBufs, buf)
+		qp.PostRecv(buf, uint64(len(s.ctrlBufs)-1))
+	}
 }
 
 // failAfter returns how long a target's credit stream may gate the source
@@ -154,6 +259,91 @@ func (s *mcSource) allTargetsFailed() bool {
 		}
 	}
 	return true
+}
+
+// syncMcEpoch folds control-plane membership changes into the multicast
+// transport. A no-op (one integer compare) while the epoch is unchanged.
+// This source's own eviction breaks the flow (epoch fencing); an evicted
+// target is detached from the multicast group and excluded from credit;
+// an incarnation bump on a live target slot means the target rejoined —
+// the source reconnects to the fresh reliable QP the rejoiner published
+// and restarts the slot's credit accounting from the sequencer snapshot
+// it installed.
+func (s *mcSource) syncMcEpoch(p *sim.Proc) error {
+	if s.mem == nil || s.mem.Epoch() == s.epoch {
+		return nil
+	}
+	s.epoch = s.mem.Epoch()
+	if s.mem.SourceEvicted(s.idx) {
+		return fmt.Errorf("%w: source %d was evicted from flow %q (epoch %d)",
+			ErrFlowBroken, s.idx, s.spec.Name, s.epoch)
+	}
+	for j := range s.fqps {
+		if s.mem.TargetEvicted(j) {
+			if !s.failedTgt[j] {
+				s.failedTgt[j] = true
+				s.group.Detach(j)
+			}
+			s.evictedTgt[j] = true
+			continue
+		}
+		if inc := s.mem.Incarnation(registry.RoleTarget, j); inc != s.tinc[j] {
+			s.reconnectTarget(p, j, inc)
+		}
+	}
+	return nil
+}
+
+// reconnectTarget folds a target rejoin: the rejoiner created fresh QP
+// pairs and published this source's end under the incarnation-keyed
+// rendezvous name *before* its Rejoin bumped the epoch, so the lookup
+// cannot miss. The slot's credit restarts from the sequencer snapshot
+// the rejoiner installed.
+func (s *mcSource) reconnectTarget(p *sim.Proc, j int, inc uint64) {
+	v, ok := s.reg.Lookup(p, mcQPName(s.spec.Name, s.idx, j, inc))
+	if !ok {
+		// Epoch bumped before publication — rejoin publishes first, so
+		// this means a foreign bump raced in. Keep the slot failed; the
+		// next epoch fold retries.
+		s.failedTgt[j] = true
+		return
+	}
+	qp := v.(*fabric.QP)
+	s.fqps[j] = qp
+	s.postCtrlRecvs(qp)
+	if s.spec.Options.GlobalOrdering {
+		snap, _ := s.reg.SeqSnapshot(p, s.spec.Name)
+		i := 0
+		for i < len(s.ownSeqs) && s.ownSeqs[i] < snap.HighWater {
+			i++
+		}
+		s.ownIdx[j] = i
+		s.consumedBy[j] = uint64(i)
+	} else {
+		s.consumedBy[j] = s.sentSegs.Load()
+	}
+	s.failedTgt[j] = false
+	s.evictedTgt[j] = false
+	s.tinc[j] = inc
+	s.gating[j] = false
+	s.lastAdvance[j] = p.Now()
+	if s.closedFlag {
+		// The stream already closed: the end marker went to the previous
+		// incarnation. Resend it on the fresh QP.
+		qp.Send(p, s.endMarker(), false, 0)
+	}
+}
+
+// endMarker builds the reliable end-of-flow message: a header-only
+// segment whose seq field carries the per-source segment count.
+func (s *mcSource) endMarker() []byte {
+	end := make([]byte, mcHeaderBytes)
+	binary.LittleEndian.PutUint32(end[0:4], 0)
+	end[4] = flagConsumable | flagEndOfFlow
+	end[5] = byte(s.idx)
+	binary.LittleEndian.PutUint16(end[6:8], uint16(s.epoch))
+	binary.LittleEndian.PutUint64(end[8:16], s.sentSegs.Load()) // segment count
+	return end
 }
 
 // push appends a tuple, transmitting the segment when full (bandwidth
@@ -183,7 +373,12 @@ func (s *mcSource) flush(p *sim.Proc) error {
 // ordered flows, per-source otherwise), retains the segment for
 // retransmission, and multicasts it.
 func (s *mcSource) sendSegment(p *sim.Proc, end bool) error {
-	s.ensureCredit(p)
+	if err := s.syncMcEpoch(p); err != nil {
+		return err
+	}
+	if err := s.ensureCredit(p); err != nil {
+		return err
+	}
 	s.drainControl(p)
 	if s.allTargetsFailed() {
 		return fmt.Errorf("%w: every replicate target stopped responding", ErrFlowBroken)
@@ -193,8 +388,13 @@ func (s *mcSource) sendSegment(p *sim.Proc, end bool) error {
 	if s.spec.Options.GlobalOrdering {
 		// Tuple sequencer: one fetch-and-add round trip per segment
 		// (paper §5.4); with programmable switches this could move into
-		// the network.
-		seq = s.seqQP.FetchAdd(p, fabric.Addr{MR: s.meta.seqMR}, 1)
+		// the network. A crashed sequencer node surfaces as a broken
+		// flow, not as a silently repeated sequence number.
+		v, ok := s.seqQP.FetchAddChecked(p, fabric.Addr{MR: s.meta.seqMR}, 1)
+		if !ok {
+			return fmt.Errorf("%w: sequencer node for flow %q is unreachable", ErrFlowBroken, s.spec.Name)
+		}
+		seq = v
 		s.ownSeqs = append(s.ownSeqs, seq)
 	} else {
 		seq = s.sentSegs.Load()
@@ -207,7 +407,7 @@ func (s *mcSource) sendSegment(p *sim.Proc, end bool) error {
 	binary.LittleEndian.PutUint32(h[0:4], uint32(s.fill))
 	h[4] = flags
 	h[5] = byte(s.idx)
-	h[6], h[7] = 0, 0
+	binary.LittleEndian.PutUint16(h[6:8], uint16(s.epoch))
 	binary.LittleEndian.PutUint64(h[8:16], seq)
 
 	msg := make([]byte, mcHeaderBytes+s.fill)
@@ -230,10 +430,14 @@ func (s *mcSource) sendSegment(p *sim.Proc, end bool) error {
 // ensureCredit blocks while any live target's outstanding window is full.
 // With RetransmitTimeout set, a target whose credit gates the source past
 // failAfter is declared failed and excluded — a crashed target must not
-// wedge the surviving replicas.
-func (s *mcSource) ensureCredit(p *sim.Proc) {
+// wedge the surviving replicas. Membership changes are folded while
+// gated, so a lease eviction releases the gate ahead of the timeout.
+func (s *mcSource) ensureCredit(p *sim.Proc) error {
 	failAfter := s.failAfter()
 	for {
+		if err := s.syncMcEpoch(p); err != nil {
+			return err
+		}
 		lag := -1
 		for j := range s.consumedBy {
 			if s.failedTgt[j] {
@@ -245,12 +449,13 @@ func (s *mcSource) ensureCredit(p *sim.Proc) {
 			}
 		}
 		if lag < 0 {
-			return
+			return nil
 		}
 		now := p.Now()
 		if !s.gating[lag] {
 			s.gating[lag] = true
 			s.lastAdvance[lag] = now
+			s.creditStalls.Add(1)
 		}
 		if failAfter > 0 && now-s.lastAdvance[lag] > failAfter {
 			s.failedTgt[lag] = true
@@ -281,6 +486,12 @@ func (s *mcSource) handleControl(p *sim.Proc, target int, c fabric.Completion) {
 	buf := s.ctrlBufs[c.ID]
 	kind := buf[0]
 	value := binary.LittleEndian.Uint64(buf[8:16])
+	var payload []byte
+	if c.Bytes > ctrlBytes {
+		// ctrlGapHave carries a segment copy after the fixed header; copy
+		// it out before the buffer is recycled.
+		payload = append([]byte(nil), buf[ctrlBytes:c.Bytes]...)
+	}
 	s.fqps[target].PostRecv(buf, c.ID) // recycle the buffer
 	switch kind {
 	case ctrlCredit:
@@ -304,7 +515,137 @@ func (s *mcSource) handleControl(p *sim.Proc, target int, c fabric.Completion) {
 		if msg, ok := s.history[value]; ok {
 			// Reliable unicast retransmission to the requesting target.
 			s.fqps[target].Send(p, msg, false, 0)
+			s.retransmits.Add(1)
 		}
+	case ctrlGapQuery:
+		// Agreement traffic is proof of life: a target stuck behind a
+		// crashed source's gaps sends no credit while rounds resolve one
+		// sequence at a time, and that backlog must not read as a dead
+		// target to the staleness detector. Only the clock resets — the
+		// target keeps gating until real credit advances it.
+		s.lastAdvance[target] = p.Now()
+		s.handleGapQuery(p, target, value)
+	case ctrlGapHave:
+		s.lastAdvance[target] = p.Now()
+		s.handleGapHave(p, value, payload)
+	case ctrlGapNoHave:
+		s.lastAdvance[target] = p.Now()
+		s.handleGapNoHave(p, target, value)
+	}
+}
+
+// sendGapCtrl sends one fixed-size agreement control message to target j.
+func (s *mcSource) sendGapCtrl(p *sim.Proc, j int, kind byte, seq uint64) {
+	msg := make([]byte, ctrlBytes)
+	msg[0] = kind
+	msg[1] = byte(s.idx)
+	binary.LittleEndian.PutUint64(msg[8:16], seq)
+	s.fqps[j].Send(p, msg, false, 0)
+}
+
+// handleGapQuery arbitrates a head gap a target reported stuck: a
+// history hit answers with a plain retransmission, an already-agreed
+// skip re-announces the verdict, and anything else opens — or re-probes
+// — an agreement round over the live targets. Requesters re-query while
+// stuck, so a probe outstanding toward a target that dies mid-round is
+// retried against the post-eviction membership.
+func (s *mcSource) handleGapQuery(p *sim.Proc, from int, seq uint64) {
+	if !s.agreementEnabled() {
+		return
+	}
+	if msg, ok := s.history[seq]; ok {
+		s.fqps[from].Send(p, msg, false, 0)
+		s.retransmits.Add(1)
+		return
+	}
+	if s.agreedSkips[seq] {
+		s.sendGapCtrl(p, from, ctrlGapSkip, seq)
+		return
+	}
+	r := s.rounds[seq]
+	if r == nil {
+		r = &gapRound{answered: make([]bool, len(s.fqps))}
+		s.rounds[seq] = r
+		s.gapRoundsRun.Add(1)
+	}
+	open := false
+	for j := range r.answered {
+		if s.failedTgt[j] {
+			r.answered[j] = true
+			continue
+		}
+		if !r.answered[j] {
+			s.sendGapCtrl(p, j, ctrlGapProbe, seq)
+			open = true
+		}
+	}
+	if !open {
+		// Every remaining voter is dead; the round degenerates to a skip.
+		s.closeRound(p, seq, r)
+	}
+}
+
+// handleGapHave resolves a round affirmatively: a live target still held
+// the sequence. The copy is re-broadcast on the reliable QPs — data
+// first, then the Fill verdict, which RC in-order delivery keeps behind
+// the data — unfreezing every target that answered NoHave.
+func (s *mcSource) handleGapHave(p *sim.Proc, seq uint64, payload []byte) {
+	r := s.rounds[seq]
+	if r == nil {
+		return // round already closed (late or duplicate answer)
+	}
+	delete(s.rounds, seq)
+	if len(payload) > 0 {
+		s.history[seq] = payload
+		s.histOrder = append(s.histOrder, seq)
+	}
+	msg, ok := s.history[seq]
+	if !ok {
+		return
+	}
+	for j := range s.fqps {
+		if s.failedTgt[j] {
+			continue
+		}
+		s.fqps[j].Send(p, msg, false, 0)
+		s.sendGapCtrl(p, j, ctrlGapFill, seq)
+	}
+	s.retransmits.Add(1)
+}
+
+// handleGapNoHave records one negative vote; a unanimous round closes as
+// an agreed skip.
+func (s *mcSource) handleGapNoHave(p *sim.Proc, from int, seq uint64) {
+	r := s.rounds[seq]
+	if r == nil {
+		return
+	}
+	r.answered[from] = true
+	for j := range r.answered {
+		if s.failedTgt[j] {
+			r.answered[j] = true
+		}
+		if !r.answered[j] {
+			return
+		}
+	}
+	s.closeRound(p, seq, r)
+}
+
+// closeRound finalizes an agreed skip: the verdict is recorded durably
+// in the registry first (emitting the gap_agreement event and folding
+// the skip into future rejoin snapshots), then announced to the live
+// targets. Registering before announcing means a target that acts on the
+// verdict can never observe the registry without it.
+func (s *mcSource) closeRound(p *sim.Proc, seq uint64, r *gapRound) {
+	delete(s.rounds, seq)
+	s.agreedSkips[seq] = true
+	_ = s.reg.RecordSeqSkips(p, s.spec.Name, s.epoch, seq)
+	for j := range s.fqps {
+		if s.failedTgt[j] {
+			continue
+		}
+		s.sendGapCtrl(p, j, ctrlGapSkip, seq)
 	}
 }
 
@@ -318,10 +659,11 @@ func (s *mcSource) noteAdvance(p *sim.Proc, target int) {
 
 // close flushes, sends reliable end markers carrying the per-source
 // segment count, and lingers until every live target has consumed
-// everything — serving retransmission requests meanwhile. With
-// RetransmitTimeout set the linger is bounded per target: one that stops
-// acknowledging is declared failed, and close reports it with an
-// ErrFlowBroken-wrapped error instead of hanging.
+// everything — serving retransmission requests and arbitrating gap
+// rounds meanwhile. With RetransmitTimeout set the linger is bounded per
+// target: one that stops acknowledging is declared failed, and close
+// reports it with an ErrFlowBroken-wrapped error instead of hanging.
+// Lease evictions folded mid-linger release their targets immediately.
 func (s *mcSource) close(p *sim.Proc) error {
 	if s.closedFlag {
 		return nil
@@ -330,12 +672,14 @@ func (s *mcSource) close(p *sim.Proc) error {
 	if err := s.flush(p); err != nil {
 		return err
 	}
-	end := make([]byte, mcHeaderBytes)
-	binary.LittleEndian.PutUint32(end[0:4], 0)
-	end[4] = flagConsumable | flagEndOfFlow
-	end[5] = byte(s.idx)
-	binary.LittleEndian.PutUint64(end[8:16], s.sentSegs.Load()) // segment count
-	for _, qp := range s.fqps {
+	if err := s.syncMcEpoch(p); err != nil {
+		return err
+	}
+	end := s.endMarker()
+	for j, qp := range s.fqps {
+		if s.failedTgt[j] {
+			continue
+		}
 		qp.Send(p, end, false, 0)
 	}
 	failAfter := s.failAfter()
@@ -344,6 +688,9 @@ func (s *mcSource) close(p *sim.Proc) error {
 		s.lastAdvance[j] = p.Now() // grace restarts at close
 	}
 	for {
+		if err := s.syncMcEpoch(p); err != nil {
+			return err
+		}
 		pending := false
 		for j, v := range s.consumedBy {
 			if s.failedTgt[j] {
@@ -372,7 +719,7 @@ func (s *mcSource) close(p *sim.Proc) error {
 	}
 	var failed []int
 	for j, f := range s.failedTgt {
-		if f {
+		if f && !s.evictedTgt[j] {
 			failed = append(failed, j)
 		}
 	}
@@ -390,6 +737,7 @@ type mcTarget struct {
 	spec *FlowSpec
 	idx  int
 	node *fabric.Node
+	reg  *registry.Registry
 
 	ep   *fabric.McEndpoint
 	tqps []*fabric.QP // reliable QP from each source (target end)
@@ -419,11 +767,51 @@ type mcTarget struct {
 	// Source-failure detection (Options.SourceTimeout), mirroring the
 	// ring-transport detectFailures: a source that goes silent past the
 	// timeout is declared failed and treated as ended at its delivered
-	// count; ordered flows additionally skip its unanswerable gaps once
-	// NACK rounds go unanswered.
+	// count; ordered flows additionally escalate its unanswerable gaps
+	// to the agreement protocol (or, without leases, skip heuristically
+	// once NACK rounds go unanswered).
 	heard     []bool
 	lastHeard []sim.Time
 	failedSrc []atomic.Bool // atomic: read by Target.FailedSources under scrape
+
+	// Control-plane membership (Options.LeaseTTL): the flow's record,
+	// the last epoch folded in, this target's incarnation, and whether
+	// the control plane evicted this slot.
+	mem     *registry.Membership
+	epoch   uint64
+	inc     uint64
+	evicted bool
+
+	// Gap-agreement state (agreement flows only): copies of recently
+	// delivered segments so probes for a live head can be answered after
+	// delivery, the agreed-skip set, and sequences frozen by a NoHave
+	// answer (they must not be delivered until the round's verdict — a
+	// late arrival overtaking the verdict would diverge from peers that
+	// skipped). dhist is bounded by credit gating: a target stuck at S
+	// stalls every source within one credit window, so live heads stay
+	// within ~nSrc·R of S.
+	dhist       map[uint64][]byte
+	dhistOrder  []uint64
+	skips       map[uint64]bool
+	frozen      map[uint64]int // seq -> probing source slot
+	responderUp bool
+
+	// Progress reporting (agreement flows): total segments delivered and
+	// the next checkpoint at which RecordSeqProgress is called.
+	totalDelivered uint64
+	progressAt     uint64
+
+	// Sequencer access (ordered flows): once every source has ended or
+	// failed, the counter's value is the exact global sequence-space
+	// size — the authoritative stream extent even when a source crashed
+	// mid-stream without an end marker (see seqSpaceSize).
+	seqQP         *fabric.QP
+	seqSpace      uint64
+	seqSpaceKnown bool
+
+	// Scrape-visible recovery counters (see TargetStats).
+	nacksSent   atomic.Uint64
+	gapsSkipped atomic.Uint64
 
 	active    []byte
 	segOff    int
@@ -432,7 +820,14 @@ type mcTarget struct {
 	done      bool
 }
 
-func newMcTarget(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (*mcTarget, error) {
+// agreementEnabled mirrors mcSource.agreementEnabled for the target side.
+func (t *mcTarget) agreementEnabled() bool {
+	return t.spec.Options.GlobalOrdering && t.spec.Options.LeaseTTL > 0 && t.mem != nil
+}
+
+// newMcTargetState builds the transport-independent part of an mcTarget:
+// buffers, per-source state, membership wiring.
+func newMcTargetState(reg *registry.Registry, meta *flowMeta, idx int, node *fabric.Node) *mcTarget {
 	spec := &meta.spec
 	nSrc := len(spec.Sources)
 	R := spec.Options.SegmentsPerRing
@@ -440,8 +835,8 @@ func newMcTarget(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (
 		meta:      meta,
 		spec:      spec,
 		idx:       idx,
-		node:      spec.Targets[idx].Node,
-		ep:        meta.group.Member(idx),
+		node:      node,
+		reg:       reg,
 		nextSeq:   make([]uint64, nSrc),
 		delivered: make([]atomic.Uint64, nSrc),
 		endCount:  make([]uint64, nSrc),
@@ -452,6 +847,18 @@ func newMcTarget(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (
 		heard:     make([]bool, nSrc),
 		lastHeard: make([]sim.Time, nSrc),
 		failedSrc: make([]atomic.Bool, nSrc),
+	}
+	if spec.Options.LeaseTTL > 0 {
+		t.mem = reg.MembershipOf(spec.Name)
+		if t.mem != nil {
+			t.epoch = t.mem.Epoch()
+		}
+	}
+	if t.agreementEnabled() {
+		t.dhist = make(map[uint64][]byte)
+		t.skips = make(map[uint64]bool)
+		t.frozen = make(map[uint64]int)
+		t.seqQP, _ = meta.cluster.CreateQPPair(node, meta.seqMR.Node())
 	}
 	stride := mcHeaderBytes + spec.Options.SegmentSize
 	// One slab backs all receive buffers (registered for accounting). The
@@ -464,6 +871,15 @@ func newMcTarget(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (
 	for i := 0; i < nBufs; i++ {
 		t.pool = append(t.pool, slab[i*stride:(i+1)*stride])
 	}
+	return t
+}
+
+func newMcTarget(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (*mcTarget, error) {
+	spec := &meta.spec
+	t := newMcTargetState(reg, meta, idx, spec.Targets[idx].Node)
+	t.ep = meta.group.Member(idx)
+	nSrc := len(spec.Sources)
+	R := spec.Options.SegmentsPerRing
 	// Pre-populate the multicast receive queue with the credit score (R
 	// buffers per source).
 	for i := 0; i < nSrc*R; i++ {
@@ -471,11 +887,96 @@ func newMcTarget(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (
 	}
 	// Reliable QPs from each source (retransmissions + end markers).
 	for i := 0; i < nSrc; i++ {
-		qp := reg.WaitFlow(p, mcQPName(spec.Name, i, idx)).(*fabric.QP)
+		qp := reg.WaitFlow(p, mcQPName(spec.Name, i, idx, 0)).(*fabric.QP)
 		t.tqps = append(t.tqps, qp)
 		for r := 0; r < R+2; r++ {
 			qp.PostRecv(t.takeBuf(), 0)
 		}
+	}
+	return t, nil
+}
+
+// newMcTargetRejoin rebuilds the receiving half of an ordered multicast
+// flow for a target re-attaching after eviction. The rejoiner cannot
+// replay the stream (multicast history is bounded); instead it installs
+// the registry's sequencer snapshot — high-water, per-source delivered
+// counts, agreed skips — and resumes delivery at the high-water, filling
+// the short tail between the last progress report and the live stream
+// through the ordinary NACK/agreement machinery. Fresh reliable QPs are
+// published under incarnation-keyed rendezvous names *before* Rejoin
+// bumps the epoch, so a source folding the bump finds them immediately.
+// Sources that already left the flow are folded as ended at their
+// snapshot counts: their tail segments have no retransmission history
+// and are not replayed (rejoin is meant for flows still streaming).
+func newMcTargetRejoin(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int, node *fabric.Node) (*mcTarget, error) {
+	spec := &meta.spec
+	name := spec.Name
+	t := newMcTargetState(reg, meta, idx, node)
+	if t.mem == nil {
+		return nil, fmt.Errorf("dfi: flow %q has no membership record", name)
+	}
+	nSrc := len(spec.Sources)
+	R := spec.Options.SegmentsPerRing
+	// Re-attach to the multicast group: the eviction detached this slot's
+	// endpoint; a fresh one takes its place.
+	t.ep = meta.group.Reattach(idx, node)
+	for i := 0; i < nSrc*R; i++ {
+		t.ep.PostRecv(t.takeBuf(), 0)
+	}
+	inc := t.mem.Incarnation(registry.RoleTarget, idx) + 1
+	for i, src := range spec.Sources {
+		sq, tq := meta.cluster.CreateQPPair(src.Node, node)
+		if err := reg.Publish(p, mcQPName(name, i, idx, inc), sq); err != nil {
+			return nil, err
+		}
+		t.tqps = append(t.tqps, tq)
+		for r := 0; r < R+2; r++ {
+			tq.PostRecv(t.takeBuf(), 0)
+		}
+	}
+	// Install the sequencer snapshot.
+	snap, _ := reg.SeqSnapshot(p, name)
+	t.nextGlobal = snap.HighWater
+	for _, seq := range snap.Skips {
+		if seq >= snap.HighWater {
+			t.skips[seq] = true
+		}
+	}
+	for i := 0; i < nSrc; i++ {
+		if i < len(snap.PerSource) {
+			t.delivered[i].Store(snap.PerSource[i])
+		}
+		if t.mem.SourceEvicted(i) {
+			t.failedSrc[i].Store(true)
+		}
+		if t.mem.SourceEvicted(i) || t.mem.State(registry.RoleSource, i) == registry.StateLeft {
+			t.ended[i] = true
+			t.endCount[i] = t.delivered[i].Load()
+		}
+	}
+	t.totalDelivered = t.nextGlobal
+	t.progressAt = t.totalDelivered + uint64(R)
+	rj, err := reg.Rejoin(p, name, registry.RoleTarget, idx, idx)
+	if err != nil {
+		return nil, fmt.Errorf("dfi: rejoin of multicast target %d rejected: %w", idx, err)
+	}
+	if rj.Incarnation != inc {
+		return nil, fmt.Errorf("dfi: rejoin of multicast target %d raced another incarnation (%d != %d)",
+			idx, rj.Incarnation, inc)
+	}
+	t.inc = inc
+	t.epoch = t.mem.Epoch()
+	// Announce the resumed progress so reconnecting sources restart their
+	// credit from the high-water (RC queues the message until the source
+	// posts its receives).
+	t.broadcastProgress(p)
+	if sink := reg.EventSink(); sink != nil {
+		sink.Emit(metrics.Event{
+			T: p.Now(), Node: fmt.Sprintf("node%d", node.ID()),
+			Type: metrics.EvSeqSnapshotInstall, Flow: name, Epoch: t.epoch,
+			Role: "target", Slot: idx, Seq: snap.HighWater,
+			Detail: fmt.Sprintf("resumed at high-water %d with %d agreed skips", snap.HighWater, len(snap.Skips)),
+		})
 	}
 	return t, nil
 }
@@ -510,11 +1011,31 @@ type recvOrigin interface {
 	PostRecv(buf []byte, id uint64)
 }
 
+// isGapCtrl discriminates agreement control messages from data on the
+// reliable QPs: a control message is exactly ctrl-sized with a known
+// kind byte, while data segments are strictly larger (header + at least
+// one tuple) and end markers lead with a zero fill word (first byte 0).
+func isGapCtrl(buf []byte, bytes int) bool {
+	if bytes != ctrlBytes {
+		return false
+	}
+	switch buf[0] {
+	case ctrlGapProbe, ctrlGapSkip, ctrlGapFill:
+		return true
+	}
+	return false
+}
+
 // ingest processes one received message. The posted-buffer the message
 // arrived in is immediately replaced on its origin queue so the receive
 // windows never shrink (losing posted receives would starve the flow).
 func (t *mcTarget) ingest(p *sim.Proc, buf []byte, bytes int, origin recvOrigin) {
 	origin.PostRecv(t.takeBuf(), 0)
+	if t.agreementEnabled() && isGapCtrl(buf, bytes) {
+		t.handleGapCtrl(p, buf)
+		t.recycle(buf)
+		return
+	}
 	h := buf[:mcHeaderBytes]
 	fill := int(binary.LittleEndian.Uint32(h[0:4]))
 	flags := h[4]
@@ -533,10 +1054,11 @@ func (t *mcTarget) ingest(p *sim.Proc, buf []byte, bytes int, origin recvOrigin)
 		t.recycle(buf)
 		return
 	}
-	// Duplicate filtering: already delivered or already pending.
+	// Duplicate filtering: already delivered, already pending, or agreed
+	// skipped (a late copy of a sequence the flow has moved past).
 	dup := false
 	if t.spec.Options.GlobalOrdering {
-		dup = seq < t.nextGlobal
+		dup = seq < t.nextGlobal || (t.skips != nil && t.skips[seq])
 	} else {
 		dup = seq < t.nextSeq[src]
 	}
@@ -550,7 +1072,111 @@ func (t *mcTarget) ingest(p *sim.Proc, buf []byte, bytes int, origin recvOrigin)
 		return
 	}
 	t.pending[k] = buf[:bytes]
-	_ = fill
+	if t.frozen != nil && t.spec.Options.GlobalOrdering {
+		if prober, fr := t.frozen[seq]; fr {
+			// A copy arrived after this target answered NoHave: hand it to
+			// the arbiter proactively so the round resolves as a fill. The
+			// sequence stays frozen until the verdict arrives.
+			t.sendGapAnswer(p, prober, ctrlGapHave, seq, t.pending[k])
+		}
+	}
+}
+
+// handleGapCtrl processes one agreement control message from a source.
+func (t *mcTarget) handleGapCtrl(p *sim.Proc, buf []byte) {
+	kind := buf[0]
+	src := int(buf[1])
+	seq := binary.LittleEndian.Uint64(buf[8:16])
+	if src >= 0 && src < len(t.heard) {
+		t.heard[src] = true
+		t.lastHeard[src] = p.Now()
+	}
+	switch kind {
+	case ctrlGapProbe:
+		t.answerProbe(p, src, seq)
+	case ctrlGapSkip:
+		t.applySkip(seq)
+	case ctrlGapFill:
+		// The refilled copy preceded this verdict on the same QP (RC
+		// in-order delivery); the sequence is deliverable again.
+		delete(t.frozen, seq)
+	}
+}
+
+// answerProbe reports whether this target can supply a probed sequence:
+// a pending or recently delivered copy is handed back (Have); an
+// agreed-skipped or genuinely missing one is denied (NoHave). Answering
+// NoHave freezes the sequence — a late multicast arrival must not be
+// delivered past the round's verdict, or this target would keep a
+// segment its peers agreed to skip.
+func (t *mcTarget) answerProbe(p *sim.Proc, src int, seq uint64) {
+	if src < 0 || src >= len(t.tqps) {
+		return
+	}
+	if t.skips[seq] || seq < t.nextGlobal {
+		if b, ok := t.dhist[seq]; ok {
+			t.sendGapAnswer(p, src, ctrlGapHave, seq, b)
+			return
+		}
+		// Already skipped here (or delivered beyond the history window,
+		// which credit gating makes unreachable for live heads).
+		t.sendGapAnswer(p, src, ctrlGapNoHave, seq, nil)
+		return
+	}
+	if b, ok := t.pending[seq]; ok {
+		t.sendGapAnswer(p, src, ctrlGapHave, seq, b)
+		return
+	}
+	t.frozen[seq] = src
+	t.sendGapAnswer(p, src, ctrlGapNoHave, seq, nil)
+}
+
+// sendGapAnswer sends one agreement answer, with the segment copy
+// appended for Have.
+func (t *mcTarget) sendGapAnswer(p *sim.Proc, src int, kind byte, seq uint64, payload []byte) {
+	msg := make([]byte, ctrlBytes+len(payload))
+	msg[0] = kind
+	msg[1] = byte(t.idx)
+	binary.LittleEndian.PutUint64(msg[8:16], seq)
+	copy(msg[ctrlBytes:], payload)
+	t.tqps[src].Send(p, msg, false, 0)
+}
+
+// applySkip records an agreed-unfillable sequence. A pending copy is
+// discarded — the verdict is final, and delivering a segment the peers
+// skipped would break the identical-order guarantee. The head loop
+// advances past the skip (or surfaces it under NotifyGaps) on its next
+// pass.
+func (t *mcTarget) applySkip(seq uint64) {
+	delete(t.frozen, seq)
+	if seq < t.nextGlobal {
+		return
+	}
+	if b, ok := t.pending[seq]; ok {
+		delete(t.pending, seq)
+		t.recycle(b)
+	}
+	t.skips[seq] = true
+}
+
+// sendGapQuery escalates a stuck head gap to the arbiter — the lowest
+// live source slot — which runs the agreement round.
+func (t *mcTarget) sendGapQuery(p *sim.Proc, seq uint64) {
+	leader := -1
+	for s := range t.failedSrc {
+		if !t.failedSrc[s].Load() {
+			leader = s
+			break
+		}
+	}
+	if leader < 0 {
+		return
+	}
+	msg := make([]byte, ctrlBytes)
+	msg[0] = ctrlGapQuery
+	msg[1] = byte(t.idx)
+	binary.LittleEndian.PutUint64(msg[8:16], seq)
+	t.tqps[leader].Send(p, msg, false, 0)
 }
 
 // poll drains all receive CQs without blocking, ingesting arrivals.
@@ -637,6 +1263,7 @@ func (t *mcTarget) sendFinalCredit(p *sim.Proc, src int) {
 // flows cannot tell which source owns a global sequence number, so the
 // NACK goes to every source; only the owner finds it in its history.
 func (t *mcTarget) sendNack(p *sim.Proc, seq uint64, src int) {
+	t.nacksSent.Add(1)
 	msg := make([]byte, ctrlBytes)
 	msg[0] = ctrlNack
 	binary.LittleEndian.PutUint64(msg[8:16], seq)
@@ -653,11 +1280,16 @@ func (t *mcTarget) sendNack(p *sim.Proc, seq uint64, src int) {
 
 // headDeliverable returns the pending segment that must be delivered next:
 // the next global sequence number for ordered flows, or the next
-// per-source sequence scanning sources round-robin otherwise. It also
-// reports whether a *gap* blocks delivery (segments pending or sources
-// still open but the head segment missing).
+// per-source sequence scanning sources round-robin otherwise. A frozen
+// head (this target answered NoHave for it) is withheld until the
+// agreement verdict resolves it as a fill or a skip.
 func (t *mcTarget) headDeliverable() (buf []byte, src int, ok bool) {
 	if t.spec.Options.GlobalOrdering {
+		if t.frozen != nil {
+			if _, fr := t.frozen[t.nextGlobal]; fr {
+				return nil, 0, false
+			}
+		}
 		if b, exists := t.pending[t.nextGlobal]; exists {
 			return b, int(b[5]), true
 		}
@@ -676,7 +1308,7 @@ func (t *mcTarget) headDeliverable() (buf []byte, src int, ok bool) {
 
 // finished reports whether every source has ended and all segments were
 // delivered. Ordered flows track progress in global sequence space, so
-// sequence numbers skipped via ResolveGap count as handled.
+// sequence numbers skipped via agreement or ResolveGap count as handled.
 func (t *mcTarget) finished() bool {
 	for s := range t.ended {
 		if !t.ended[s] {
@@ -694,14 +1326,47 @@ func (t *mcTarget) finished() bool {
 	return true
 }
 
-// totalExpected is the global sequence-space size (sum of per-source
-// segment counts); valid once every source has ended.
+// allEnded reports whether every source has ended (or been declared
+// failed/evicted, which also ends its slot).
+func (t *mcTarget) allEnded() bool {
+	for s := range t.ended {
+		if !t.ended[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// totalExpected is the global sequence-space size; valid once every
+// source has ended. The sum of per-source end counts is only a floor
+// when a source failed without an end marker — its fold used this
+// target's local delivered count, which can differ between targets. On
+// agreement flows the sequencer read (seqSpace) replaces that
+// target-local guess with the authoritative draw count, so all
+// survivors reconcile the same extent.
 func (t *mcTarget) totalExpected() uint64 {
 	var sum uint64
 	for _, c := range t.endCount {
 		sum += c
 	}
+	if t.seqSpaceKnown && t.seqSpace > sum {
+		return t.seqSpace
+	}
 	return sum
+}
+
+// seqSpaceSize reads the flow's sequencer counter (a 0-delta fetch-add):
+// the number of global sequence numbers ever drawn. Once every source
+// has ended or failed no further draws can happen, so the value is the
+// exact stream extent — including sequences a crashed source drew but
+// never multicast, which the agreement rounds then resolve to skips.
+// Returns false when the sequencer node itself is unreachable; callers
+// fall back to the folded per-source counts.
+func (t *mcTarget) seqSpaceSize(p *sim.Proc) (uint64, bool) {
+	if t.seqQP == nil {
+		return 0, false
+	}
+	return t.seqQP.FetchAddChecked(p, fabric.Addr{MR: t.meta.seqMR}, 0)
 }
 
 // deliver activates a pending segment for consumption.
@@ -719,6 +1384,10 @@ func (t *mcTarget) deliver(p *sim.Proc, buf []byte, src int) {
 	t.gapNacks = 0
 
 	fill := int(binary.LittleEndian.Uint32(buf[0:4]))
+	if t.agreementEnabled() {
+		t.retainDelivered(seq, buf[:mcHeaderBytes+fill])
+		t.reportProgress(p)
+	}
 	count := fill / t.tupleSize
 	t.node.Compute(p, time.Duration(count)*t.spec.Options.ConsumeCost)
 	t.active = buf
@@ -729,6 +1398,37 @@ func (t *mcTarget) deliver(p *sim.Proc, buf []byte, src int) {
 	if t.ended[src] && t.delivered[src].Load() >= t.endCount[src] {
 		t.sendFinalCredit(p, src) // termination handshake
 	}
+}
+
+// retainDelivered keeps a copy of a delivered segment for gap probes.
+// The window is bounded by credit gating: a peer stuck at sequence S
+// stalls every source within one credit window of S, so any sequence a
+// live round can probe lies within ~nSrc·R of this target's head.
+func (t *mcTarget) retainDelivered(seq uint64, seg []byte) {
+	cp := append([]byte(nil), seg...)
+	t.dhist[seq] = cp
+	t.dhistOrder = append(t.dhistOrder, seq)
+	if max := 2*len(t.ended)*t.spec.Options.SegmentsPerRing + 16; len(t.dhistOrder) > max {
+		old := t.dhistOrder[0]
+		t.dhistOrder = t.dhistOrder[1:]
+		delete(t.dhist, old)
+	}
+}
+
+// reportProgress periodically merges this target's delivery progress
+// into the registry's sequencer record (every R segments): the raw
+// material of the snapshot a rejoining target installs.
+func (t *mcTarget) reportProgress(p *sim.Proc) {
+	t.totalDelivered++
+	if t.totalDelivered < t.progressAt {
+		return
+	}
+	t.progressAt = t.totalDelivered + uint64(t.spec.Options.SegmentsPerRing)
+	per := make([]uint64, len(t.delivered))
+	for i := range t.delivered {
+		per[i] = t.delivered[i].Load()
+	}
+	_ = t.reg.RecordSeqProgress(p, t.spec.Name, t.idx, t.nextGlobal, per)
 }
 
 // detectFailures declares silent sources failed (Options.SourceTimeout),
@@ -752,18 +1452,74 @@ func (t *mcTarget) detectFailures(p *sim.Proc) {
 		if p.Now()-t.lastHeard[s] <= timeout {
 			continue
 		}
-		t.failedSrc[s].Store(true)
+		t.failSource(s)
+	}
+}
+
+// failSource folds one source failure: the slot ends at its delivered
+// count, and undeliverable unordered pendings are discarded.
+func (t *mcTarget) failSource(s int) {
+	t.failedSrc[s].Store(true)
+	// A source that died after its end marker arrived keeps its true
+	// stream length: overwriting it with this target's delivered count
+	// would shrink totalExpected by a target-local amount and make the
+	// survivors finish at divergent points.
+	if !t.ended[s] {
 		t.ended[s] = true
 		t.endCount[s] = t.delivered[s].Load()
-		if !t.spec.Options.GlobalOrdering {
-			for k, b := range t.pending {
-				if int(k>>48) == s {
-					delete(t.pending, k)
-					t.recycle(b)
-				}
+	}
+	if !t.spec.Options.GlobalOrdering {
+		for k, b := range t.pending {
+			if int(k>>48) == s {
+				delete(t.pending, k)
+				t.recycle(b)
 			}
 		}
 	}
+}
+
+// syncMcMembership folds lease-driven membership changes into the
+// receive path: an evicted source is folded exactly like a SourceTimeout
+// failure (so the agreement escalation and FailedSources cover both
+// detectors), and this target's own eviction — or an incarnation bump,
+// meaning a successor took the slot — stops consumption, surfaced
+// through Target.Evicted. A no-op while the epoch is unchanged.
+func (t *mcTarget) syncMcMembership() {
+	if t.mem == nil || t.mem.Epoch() == t.epoch {
+		return
+	}
+	t.epoch = t.mem.Epoch()
+	if t.mem.TargetEvicted(t.idx) || t.mem.Incarnation(registry.RoleTarget, t.idx) != t.inc {
+		t.evicted = true
+		return
+	}
+	for s := range t.ended {
+		if !t.failedSrc[s].Load() && t.mem.SourceEvicted(s) {
+			t.failSource(s)
+		}
+	}
+}
+
+// noLiveArbiter reports whether no source remains to arbitrate a gap
+// round: every slot either was declared failed (lease eviction or
+// timeout) or released its lease after finishing its close linger.
+// While any source is Active — even one whose stream has ended, since
+// close lingers until all targets drain — queries must go to it instead
+// of skipping unilaterally.
+func (t *mcTarget) noLiveArbiter() bool {
+	if t.mem == nil {
+		return true
+	}
+	for s := range t.failedSrc {
+		if t.failedSrc[s].Load() {
+			continue
+		}
+		if st := t.mem.State(registry.RoleSource, s); st == registry.StateLeft || st == registry.StateEvicted {
+			continue
+		}
+		return false
+	}
+	return true
 }
 
 // anyFailed reports whether any source was declared failed.
@@ -787,21 +1543,72 @@ func (t *mcTarget) failedSources() []int {
 	return out
 }
 
-// gapNackLimit is how many unanswered NACK rounds an ordered flow tolerates
-// before a head gap owned by a failed source is skipped (nobody holds the
-// retransmission history of a crashed source).
-const gapNackLimit = 3
+// advanceSkips moves the head past consecutive agreed skips, counting
+// them as progress so source credit keeps flowing.
+func (t *mcTarget) advanceSkips(p *sim.Proc) {
+	for t.skips[t.nextGlobal] {
+		t.nextGlobal++
+		t.totalDelivered++
+		t.gapsSkipped.Add(1)
+	}
+	t.gapNacks = 0
+	t.gapSince = 0
+	t.broadcastProgress(p)
+}
 
 // nextSegment obtains the next in-order segment, handling gap timeouts.
-// It returns false at flow end or when a gap is surfaced (NotifyGaps).
+// It returns false at flow end, when a gap is surfaced (NotifyGaps), or
+// when the control plane evicted this target.
+//
+// Gap handling depends on the flow's failure model. Without leases the
+// legacy heuristics apply: NACK rounds, immediate NotifyGaps surfacing,
+// and — once Options.GapNackLimit rounds go unanswered with a source
+// declared failed — a unilateral skip. Under leases (agreement flows)
+// nothing is ever skipped unilaterally while an arbiter is reachable:
+// the stuck target escalates to a gap-agreement round, delivers a
+// refilled copy, or skips exactly the sequences the live membership
+// agreed are unfillable — the same verdict every peer applies, which is
+// what keeps the global order identical across targets. NotifyGaps then
+// surfaces only agreed-unfillable sequences.
 func (t *mcTarget) nextSegment(p *sim.Proc) bool {
 	if t.active != nil {
 		t.recycle(t.active)
 		t.active = nil
 	}
+	agree := t.agreementEnabled()
+	limit := t.spec.Options.GapNackLimit
+	if limit <= 0 {
+		limit = 3 // normalize default; belt-and-suspenders for raw specs
+	}
 	for {
 		t.poll(p)
 		t.detectFailures(p)
+		t.syncMcMembership()
+		if t.evicted {
+			return false
+		}
+		if agree && !t.seqSpaceKnown && t.anyFailed() && t.allEnded() {
+			// A source died without an end marker and nothing more can be
+			// drawn: consult the sequencer for the true stream extent so
+			// every survivor reconciles the same sequence space instead of
+			// its own delivered count. Marked known even on failure — an
+			// unreachable sequencer leaves the folded floor in place.
+			if v, ok := t.seqSpaceSize(p); ok {
+				t.seqSpace = v
+			}
+			t.seqSpaceKnown = true
+		}
+		if agree && t.skips[t.nextGlobal] {
+			if t.spec.Options.NotifyGaps {
+				t.gapPending = true
+				t.gap = Gap{Seq: t.nextGlobal}
+				t.gapSince = 0
+				t.gapNacks = 0
+				return false
+			}
+			t.advanceSkips(p)
+			continue
+		}
 		if buf, src, ok := t.headDeliverable(); ok {
 			t.deliver(p, buf, src)
 			return true
@@ -810,6 +1617,9 @@ func (t *mcTarget) nextSegment(p *sim.Proc) bool {
 			t.done = true
 			for s := range t.ended {
 				t.sendFinalCredit(p, s)
+			}
+			if agree {
+				t.spawnGapResponder(p)
 			}
 			return false
 		}
@@ -821,29 +1631,117 @@ func (t *mcTarget) nextSegment(p *sim.Proc) bool {
 				t.gapSince = p.Now()
 			} else if p.Now()-t.gapSince >= t.spec.Options.GapTimeout {
 				seq, src := t.headMissing()
-				if t.spec.Options.NotifyGaps {
+				switch {
+				case agree && t.frozenSeq(seq):
+					// A round's verdict is pending for the head; the
+					// arbiter will fill or skip it. Keep waiting — unless
+					// the arbiter died mid-round, taking the verdict with
+					// it: thaw and let the ladder decide next timeout.
+					if t.noLiveArbiter() {
+						delete(t.frozen, seq)
+					}
+					t.gapSince = p.Now()
+				case agree && t.gapNacks >= 2*limit && t.allEnded() && t.anyFailed() && t.noLiveArbiter():
+					// Tail fallback: every source has ended, queries go
+					// unanswered, and NO live arbiter remains (each slot
+					// failed or released its lease after close). Only then
+					// may a target skip unilaterally, as the lease-less
+					// path would; nobody is left to disagree.
+					t.nextGlobal = seq + 1
+					t.totalDelivered++
+					t.gapNacks = 0
+					t.gapSince = 0
+					t.gapsSkipped.Add(1)
+					t.broadcastProgress(p)
+					continue
+				case agree && t.gapNacks >= limit && t.anyFailed():
+					// NACKs went unanswered and a source is gone: its
+					// retransmission history died with it. Escalate to the
+					// agreement round (re-queried every timeout while
+					// stuck; the arbiter resends probes idempotently).
+					t.sendGapQuery(p, seq)
+					t.gapNacks++
+					t.gapSince = p.Now()
+				case !agree && t.spec.Options.NotifyGaps:
 					t.gapPending = true
 					t.gap = Gap{Seq: seq}
 					t.gapSince = 0
 					return false
-				}
-				if t.spec.Options.GlobalOrdering && t.gapNacks >= gapNackLimit && t.anyFailed() {
+				case !agree && t.spec.Options.GlobalOrdering && t.gapNacks >= limit && t.anyFailed():
 					// The gap's owner crashed: no NACK will ever be
 					// answered. Skip the sequence number and record the
 					// skip as progress so credit keeps flowing.
 					t.nextGlobal = seq + 1
 					t.gapNacks = 0
 					t.gapSince = 0
+					t.gapsSkipped.Add(1)
 					t.broadcastProgress(p)
 					continue
+				default:
+					t.sendNack(p, seq, src)
+					t.gapNacks++
+					t.gapSince = p.Now() // restart the timeout for the NACK
 				}
-				t.sendNack(p, seq, src)
-				t.gapNacks++
-				t.gapSince = p.Now() // restart the timeout for the NACK
 			}
 		}
 		t.waitArrival(p)
 	}
+}
+
+// frozenSeq reports whether seq awaits an agreement verdict here.
+func (t *mcTarget) frozenSeq(seq uint64) bool {
+	if t.frozen == nil {
+		return false
+	}
+	_, fr := t.frozen[seq]
+	return fr
+}
+
+// spawnGapResponder keeps a finished target answering agreement probes:
+// a peer may still be stuck in a round that needs this target's
+// delivered history, and the main consume loop has returned. The
+// responder polls the reliable QPs and exits once every source slot has
+// left the flow or been evicted (membership reads are free) — the
+// termination chain is: stuck requester keeps its arbiter's close
+// lingering, the responder serves the round, the requester finishes,
+// close returns, the sources release their leases, the responder exits.
+func (t *mcTarget) spawnGapResponder(p *sim.Proc) {
+	if t.responderUp || t.mem == nil {
+		return
+	}
+	t.responderUp = true
+	p.Spawn(fmt.Sprintf("mc-gap-responder:%s:%d", t.spec.Name, t.idx), func(rp *sim.Proc) {
+		iv := t.spec.Options.GapTimeout
+		if iv <= 0 {
+			iv = 5 * time.Microsecond
+		}
+		for {
+			if t.node.Crashed(rp.Now()) || t.evicted {
+				return
+			}
+			alive := false
+			for s := range t.ended {
+				st := t.mem.State(registry.RoleSource, s)
+				if st != registry.StateLeft && st != registry.StateEvicted {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				return
+			}
+			for _, qp := range t.tqps {
+				for qp.RecvCQ().Len() > 0 {
+					c, ok := qp.RecvCQ().Poll(rp)
+					if !ok {
+						break
+					}
+					t.ingest(rp, c.Buf, c.Bytes, qp)
+				}
+			}
+			rp.Sleep(iv)
+		}
+	})
 }
 
 // anyEndedWithMissing reports whether ended sources leave undelivered
@@ -897,7 +1795,7 @@ func (t *mcTarget) waitArrival(p *sim.Proc) {
 
 // consume returns the next tuple in flow order.
 func (t *mcTarget) consume(p *sim.Proc) (schema.Tuple, bool) {
-	if t.done || t.gapPending {
+	if t.done || t.evicted || t.gapPending {
 		return nil, false
 	}
 	for t.remaining == 0 {
@@ -913,7 +1811,7 @@ func (t *mcTarget) consume(p *sim.Proc) (schema.Tuple, bool) {
 
 // consumeSegment returns the next whole segment as a raw batch.
 func (t *mcTarget) consumeSegment(p *sim.Proc) ([]byte, int, bool) {
-	if t.done || t.gapPending {
+	if t.done || t.evicted || t.gapPending {
 		return nil, 0, false
 	}
 	if t.remaining > 0 {
@@ -948,6 +1846,8 @@ func (t *mcTarget) resolveGap(p *sim.Proc) {
 	}
 	if t.spec.Options.GlobalOrdering {
 		t.nextGlobal = t.gap.Seq + 1
+		t.totalDelivered++
+		t.gapsSkipped.Add(1)
 		t.creditAcc[0]++
 		t.sendCredit(p, 0, true)
 	}

@@ -52,9 +52,10 @@ type Source struct {
 	statsMu sync.Mutex
 
 	// Control-plane membership (see lifecycle.go). mem is the flow's
-	// epoch-versioned record (nil for multicast transports); epoch is
-	// the last value folded in; view is the partitioner joined with that
-	// epoch's liveness — the survivor routing state.
+	// epoch-versioned record (the multicast transport keeps its own copy
+	// on mcSource); epoch is the last value folded in; view is the
+	// partitioner joined with that epoch's liveness — the survivor
+	// routing state.
 	mem   *registry.Membership
 	epoch uint64
 	view  *partition.View
@@ -91,6 +92,9 @@ func SourceOpen(p *sim.Proc, reg *registry.Registry, name string, sourceIdx int)
 			return nil, err
 		}
 		s.mc = mc
+		if err := s.acquireSourceLease(p, reg, name); err != nil {
+			return nil, err
+		}
 		return s, nil
 	}
 	if err := s.acquireSourceLease(p, reg, name); err != nil {
@@ -471,7 +475,7 @@ func (s *Source) Free() {
 // (Options.RetransmitTimeout; set implicitly by LeaseTTL).
 func (s *Source) Checkpoint(p *sim.Proc) (uint64, error) {
 	if s.mc != nil {
-		return 0, errors.New("dfi: checkpoint is not supported on multicast replicate flows")
+		return 0, fmt.Errorf("%w: Checkpoint (multicast targets recover from sequencer snapshots instead)", ErrUnsupportedOnMulticast)
 	}
 	if s.spec.Options.RetransmitTimeout <= 0 {
 		return 0, errors.New("dfi: Checkpoint requires Options.RetransmitTimeout for delivery confirmation")
@@ -528,7 +532,7 @@ func (s *Source) Slot() int { return s.idx }
 // a ring reset racing the new stream is healed by retransmission.
 func (s *Source) Reattach(p *sim.Proc) (*Source, uint64, error) {
 	if s.mc != nil {
-		return nil, 0, errors.New("dfi: multicast replicate sources cannot re-attach")
+		return nil, 0, fmt.Errorf("%w: Source.Reattach (an evicted multicast source's history dies with it; gap agreement reconciles the survivors)", ErrUnsupportedOnMulticast)
 	}
 	if s.spec.Options.RetransmitTimeout <= 0 {
 		return nil, 0, errors.New("dfi: Reattach requires Options.RetransmitTimeout")

@@ -41,6 +41,14 @@ type SourceStats struct {
 	// steady-state rebalance traffic, split from Rerouted so rebalance
 	// cost is observable per scheme.
 	Moved uint64
+	// McRetransmits counts multicast segments re-sent over the reliable
+	// per-target QPs (NACK answers, gap-agreement refills).
+	McRetransmits uint64
+	// McGapRounds counts gap-agreement rounds this source arbitrated.
+	McGapRounds uint64
+	// McCreditStalls counts episodes where a multicast target's credit
+	// window gated the source.
+	McCreditStalls uint64
 }
 
 func (s SourceStats) String() string {
@@ -55,6 +63,15 @@ func (s SourceStats) String() string {
 	}
 	if s.Moved > 0 {
 		out += fmt.Sprintf(" moved=%d", s.Moved)
+	}
+	if s.McRetransmits > 0 {
+		out += fmt.Sprintf(" mcRetransmits=%d", s.McRetransmits)
+	}
+	if s.McGapRounds > 0 {
+		out += fmt.Sprintf(" mcGapRounds=%d", s.McGapRounds)
+	}
+	if s.McCreditStalls > 0 {
+		out += fmt.Sprintf(" mcCreditStalls=%d", s.McCreditStalls)
 	}
 	return out
 }
@@ -85,6 +102,9 @@ func (s *Source) Stats() SourceStats {
 	if s.mc != nil {
 		st.SegmentsWritten += s.mc.sentSegs.Load()
 		st.PayloadBytes += s.mc.payloadBytes.Load()
+		st.McRetransmits = s.mc.retransmits.Load()
+		st.McGapRounds = s.mc.gapRoundsRun.Load()
+		st.McCreditStalls = s.mc.creditStalls.Load()
 	}
 	return st
 }
@@ -99,11 +119,25 @@ type TargetStats struct {
 	FailedSources []int
 	// Done reports whether FLOW_END was reached.
 	Done bool
+	// McNacksSent counts retransmission requests sent for multicast
+	// sequence gaps.
+	McNacksSent uint64
+	// McGapsSkipped counts sequence numbers skipped past: agreed
+	// unfillable (gap agreement), resolved by the application
+	// (ResolveGap), or skipped heuristically on lease-less flows.
+	McGapsSkipped uint64
 }
 
 func (s TargetStats) String() string {
-	return fmt.Sprintf("consumed=%d segments=%d failed=%v done=%v",
+	out := fmt.Sprintf("consumed=%d segments=%d failed=%v done=%v",
 		s.TuplesConsumed, s.SegmentsConsumed, s.FailedSources, s.Done)
+	if s.McNacksSent > 0 {
+		out += fmt.Sprintf(" mcNacks=%d", s.McNacksSent)
+	}
+	if s.McGapsSkipped > 0 {
+		out += fmt.Sprintf(" mcGapsSkipped=%d", s.McGapsSkipped)
+	}
+	return out
 }
 
 // Stats returns the target's counters. Like Source.Stats, safe for a
@@ -118,6 +152,8 @@ func (t *Target) Stats() TargetStats {
 		for i := range t.mc.delivered {
 			st.SegmentsConsumed += t.mc.delivered[i].Load()
 		}
+		st.McNacksSent = t.mc.nacksSent.Load()
+		st.McGapsSkipped = t.mc.gapsSkipped.Load()
 	}
 	return st
 }

@@ -103,15 +103,18 @@ func TargetOpen(p *sim.Proc, reg *registry.Registry, name string, targetIdx int)
 		node:      spec.Targets[targetIdx].Node,
 		tupleSize: spec.Schema.TupleSize(),
 	}
+	t.reg = reg
 	if spec.Options.Multicast {
 		mc, err := newMcTarget(p, reg, meta, targetIdx)
 		if err != nil {
 			return nil, err
 		}
 		t.mc = mc
+		if err := t.acquireTargetLease(p, reg, name); err != nil {
+			return nil, err
+		}
 		return t, nil
 	}
-	t.reg = reg
 	if sink := reg.EventSink(); sink != nil {
 		t.events = sink
 		t.evNode = fmt.Sprintf("node%d", t.node.ID())
@@ -351,6 +354,8 @@ func (t *Target) Consume(p *sim.Proc) (schema.Tuple, bool) {
 		tup, ok := t.mc.consume(p)
 		if ok {
 			t.consumed.Add(1)
+		} else if t.mc.evicted {
+			t.evicted = true
 		} else if t.mc.done {
 			t.done.Store(true)
 		}
@@ -379,6 +384,8 @@ func (t *Target) ConsumeSegment(p *sim.Proc) (data []byte, count int, ok bool) {
 		data, count, ok := t.mc.consumeSegment(p)
 		if ok {
 			t.consumed.Add(uint64(count))
+		} else if t.mc.evicted {
+			t.evicted = true
 		} else if t.mc.done {
 			t.done.Store(true)
 		}
@@ -482,7 +489,7 @@ func (t *Target) Slot() int { return t.idx }
 // never evicted is refused, as is re-attaching from a crashed node.
 func (t *Target) Reattach(p *sim.Proc) (*Target, error) {
 	if t.mc != nil {
-		return nil, errors.New("dfi: multicast replicate targets cannot re-attach")
+		return t.reattachMulticast(p)
 	}
 	if t.spec.Options.RetransmitTimeout <= 0 {
 		return nil, errors.New("dfi: Reattach requires Options.RetransmitTimeout")
@@ -515,6 +522,40 @@ func (t *Target) Reattach(p *sim.Proc) (*Target, error) {
 	}
 	nt.initTargetMembership(t.reg.MembershipOf(name))
 	if err := nt.acquireTargetLease(p, t.reg, name); err != nil {
+		return nil, err
+	}
+	return nt, nil
+}
+
+// reattachMulticast rejoins an ordered multicast replicate flow after
+// this target was evicted. The multicast stream cannot be replayed —
+// instead the fresh incarnation installs the registry's sequencer
+// snapshot (high-water, per-source counts, agreed skips) and resumes
+// delivery from the high-water; see newMcTargetRejoin. Requires the
+// lease/epoch control plane: without GlobalOrdering there is no global
+// resume point, and without leases no snapshot was ever recorded.
+func (t *Target) reattachMulticast(p *sim.Proc) (*Target, error) {
+	if !t.spec.Options.GlobalOrdering || t.spec.Options.LeaseTTL <= 0 {
+		return nil, fmt.Errorf("%w: Reattach requires GlobalOrdering and LeaseTTL (no sequencer snapshot to rejoin from)", ErrUnsupportedOnMulticast)
+	}
+	if t.node.Crashed(p.Now()) {
+		return nil, fmt.Errorf("dfi: target %d of flow %q cannot re-attach from crashed node %d", t.idx, t.spec.Name, t.node.ID())
+	}
+	nt := &Target{
+		meta:        t.meta,
+		spec:        t.spec,
+		idx:         t.idx,
+		node:        t.node,
+		reg:         t.reg,
+		tupleSize:   t.tupleSize,
+		resumedFrom: t.consumed.Load(),
+	}
+	mc, err := newMcTargetRejoin(p, t.reg, t.meta, t.idx, t.node)
+	if err != nil {
+		return nil, err
+	}
+	nt.mc = mc
+	if err := nt.acquireTargetLease(p, t.reg, t.spec.Name); err != nil {
 		return nil, err
 	}
 	return nt, nil

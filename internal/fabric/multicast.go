@@ -16,6 +16,11 @@ import (
 type MulticastGroup struct {
 	c       *Cluster
 	members []*McEndpoint
+
+	// detached marks members that were dropped from the group (an evicted
+	// flow target): the switch stops replicating to their port, so they
+	// neither receive traffic nor count drops.
+	detached []bool
 }
 
 // McEndpoint is one member's attachment to a multicast group: a receive
@@ -38,7 +43,27 @@ func (c *Cluster) CreateMulticast(members ...*Node) *MulticastGroup {
 	for _, n := range members {
 		g.members = append(g.members, &McEndpoint{group: g, node: n, rcq: c.NewCQ()})
 	}
+	g.detached = make([]bool, len(g.members))
 	return g
+}
+
+// Detach removes member i from switch-side replication: subsequent Sends
+// skip its port. Idempotent. The endpoint object stays valid so a later
+// Reattach can replace it.
+func (g *MulticastGroup) Detach(i int) { g.detached[i] = true }
+
+// Detached reports whether member i is currently detached.
+func (g *MulticastGroup) Detached(i int) bool { return g.detached[i] }
+
+// Reattach re-joins slot i to the group on node n with a fresh endpoint
+// (empty receive queue, fresh CQ) and resumes switch-side replication to
+// it. Stale receives posted by the slot's previous incarnation are gone —
+// exactly the semantics of re-joining an IB multicast group.
+func (g *MulticastGroup) Reattach(i int, n *Node) *McEndpoint {
+	ep := &McEndpoint{group: g, node: n, rcq: g.c.NewCQ()}
+	g.members[i] = ep
+	g.detached[i] = false
+	return ep
 }
 
 // Member returns the endpoint of member i.
@@ -92,8 +117,11 @@ func (g *MulticastGroup) Send(p *sim.Proc, from *Node, src []byte, excludeSelf b
 	})
 
 	arriveSwitch := txStart + cfg.Propagation + cfg.SwitchDelay
-	for _, ep := range g.members {
+	for mi, ep := range g.members {
 		ep := ep
+		if g.detached[mi] {
+			continue // evicted member: the switch no longer replicates to it
+		}
 		if excludeSelf && ep.node == from {
 			continue
 		}

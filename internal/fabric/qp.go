@@ -485,6 +485,16 @@ func (q *QP) ReadSync(p *sim.Proc, dst []byte, src Addr) time.Duration {
 // round trip (the paper's tuple sequencer uses it synchronously). Remote
 // atomics to the same NIC serialize, which models sequencer contention.
 func (q *QP) FetchAdd(p *sim.Proc, dst Addr, delta uint64) uint64 {
+	v, _ := q.FetchAddChecked(p, dst, delta)
+	return v
+}
+
+// FetchAddChecked is FetchAdd with an explicit success indicator: ok is
+// false when the atomic could not execute because an endpoint is crashed
+// (the QP would surface an error completion). Callers that must
+// distinguish "previous value was 0" from "sequencer node is dead" — the
+// ordered-multicast source fetching sequence numbers — use this form.
+func (q *QP) FetchAddChecked(p *sim.Proc, dst Addr, delta uint64) (uint64, bool) {
 	cfg := &q.c.cfg
 	if dst.MR.node != q.peer.owner {
 		panic("fabric: atomic destination MR not on peer node")
@@ -504,7 +514,7 @@ func (q *QP) FetchAdd(p *sim.Proc, dst Addr, delta uint64) uint64 {
 		// QP error completion as a fixed stall returning zero.
 		q.c.trace(OpFetchAdd, q.owner, q.peer.owner, 8, k.Now(), k.Now()+crashAtomicPenalty, Dropped)
 		p.Sleep(crashAtomicPenalty)
-		return 0
+		return 0, false
 	}
 	arrive += fv.delay
 
@@ -535,7 +545,7 @@ func (q *QP) FetchAdd(p *sim.Proc, dst Addr, delta uint64) uint64 {
 	done := sim.NewCond(k)
 	k.At(arriveResp, done.Broadcast)
 	done.Wait(p)
-	return old
+	return old, true
 }
 
 // CompareSwap atomically replaces the 8-byte value at dst with swap if it

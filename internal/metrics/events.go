@@ -29,6 +29,10 @@ const (
 	EvEpoch        EventType = "epoch"         // membership epoch advanced
 	EvSnapshot     EventType = "snapshot"      // replicated registry compacted its log
 	EvElection     EventType = "election"      // replicated registry elected a new master
+
+	// Ordered-multicast recovery events.
+	EvGapAgreement       EventType = "gap_agreement"        // targets agreed a sequence number is unfillable
+	EvSeqSnapshotInstall EventType = "seq_snapshot_install" // rejoining target installed a sequencer snapshot
 )
 
 // Event is one structured trace record. T is virtual time since the

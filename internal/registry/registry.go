@@ -52,6 +52,12 @@ type entry struct {
 	meta    any
 	targets map[int]any
 	mem     *Membership
+
+	// seq holds the flow's sequencer recovery state — high-water,
+	// per-source delivery counts and the agreed-skip set — maintained by
+	// ordered multicast replicate flows (see seqsnap.go). Nil until the
+	// first RecordSeqProgress/RecordSeqSkips.
+	seq *seqState
 }
 
 // New creates an empty standalone registry bound to k.

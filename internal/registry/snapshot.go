@@ -40,6 +40,7 @@ type flowSnap struct {
 	targets map[int]any
 	epoch   uint64
 	leases  map[epKey]lease // value copies, gen zeroed
+	seq     *seqState       // sequencer recovery state, nil when absent
 }
 
 // captureState deep-copies the registry state machine. Meta and target
@@ -63,6 +64,17 @@ func (r *Registry) captureState() *stateSnapshot {
 				cp.gen = 0 // timer bookkeeping, not state
 				fs.leases[k] = cp
 			}
+		}
+		if e.seq != nil {
+			cp := &seqState{
+				highWater: e.seq.highWater,
+				perSource: append([]uint64(nil), e.seq.perSource...),
+				skips:     make(map[uint64]bool, len(e.seq.skips)),
+			}
+			for seq := range e.seq.skips {
+				cp.skips[seq] = true
+			}
+			fs.seq = cp
 		}
 		s.flows[name] = fs
 	}
@@ -101,6 +113,16 @@ func (r *Registry) restoreState(s *stateSnapshot) {
 			}
 		}
 		e.mem = m
+		if fs.seq != nil {
+			e.seq = &seqState{
+				highWater: fs.seq.highWater,
+				perSource: append([]uint64(nil), fs.seq.perSource...),
+				skips:     make(map[uint64]bool, len(fs.seq.skips)),
+			}
+			for seq := range fs.seq.skips {
+				e.seq.skips[seq] = true
+			}
+		}
 		r.flows[name] = e
 	}
 	r.cond.Broadcast()
@@ -127,7 +149,8 @@ func sortedKeys(m map[int]any) []int {
 }
 
 // snapMagic versions the snapshot encoding; bump on layout changes.
-const snapMagic = "DFISNAP1"
+// 2 added the per-flow sequencer record (ordered-multicast recovery).
+const snapMagic = "DFISNAP2"
 
 // encode serializes the snapshot deterministically: sorted flows, each
 // with epoch, meta reference, sorted targets and sorted leases. The
@@ -196,6 +219,25 @@ func (s *stateSnapshot) encode() []byte {
 			u64(uint64(l.grace))
 			u64(l.inc)
 			u64(l.watermark)
+		}
+		if fs.seq == nil {
+			u64(0)
+		} else {
+			u64(1)
+			u64(fs.seq.highWater)
+			u64(uint64(len(fs.seq.perSource)))
+			for _, v := range fs.seq.perSource {
+				u64(v)
+			}
+			skips := make([]uint64, 0, len(fs.seq.skips))
+			for seq := range fs.seq.skips {
+				skips = append(skips, seq)
+			}
+			sort.Slice(skips, func(i, j int) bool { return skips[i] < skips[j] })
+			u64(uint64(len(skips)))
+			for _, seq := range skips {
+				u64(seq)
+			}
 		}
 	}
 	return b
