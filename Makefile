@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos chaos-mc partition-race metrics-smoke bench bench-update docs-lint
+.PHONY: all build vet test race check chaos chaos-mc partition-race metrics-smoke transport-race bench bench-update docs-lint
 
 all: check
 
@@ -59,6 +59,17 @@ partition-race:
 metrics-smoke:
 	$(GO) test -race -count=1 -run 'TestMetricsSmoke|TestTraceSummary|TestEventsOut' ./cmd/dfiflow/
 
+# Transport layer under the race detector: the conformance suite on
+# both backends (DES fabric + chanloop), the chanloop quickstart-shaped
+# e2e flow on real goroutines moving real bytes, and the dfiflow
+# -transport=chan CLI coverage. This is the backend-agnosticism gate:
+# the same core data path must deliver identical payloads without the
+# sim kernel serializing anything.
+transport-race:
+	$(GO) test -race -count=1 ./internal/transport/...
+	$(GO) test -race -count=1 -run 'TestTransportConformance' ./internal/fabric/
+	$(GO) test -race -count=1 -run 'TestChanTransport' ./cmd/dfiflow/
+
 # Figure benchmarks behind the bench-regression harness. `bench` fails
 # when wall-clock ns/op regresses >10% against the committed baseline
 # (override with BENCH_TOLERANCE=0.25; BENCH_WALLCLOCK=advisory demotes
@@ -87,4 +98,4 @@ bench-update:
 docs-lint:
 	$(GO) run ./cmd/docslint
 
-check: build vet race chaos-mc metrics-smoke docs-lint
+check: build vet race chaos-mc metrics-smoke transport-race docs-lint

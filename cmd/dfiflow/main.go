@@ -51,6 +51,7 @@ import (
 	"dfi/internal/registry"
 	"dfi/internal/schema"
 	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -63,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dfiflow", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
+		transportF = fs.String("transport", "fabric", "transport backend: fabric (deterministic simulation) | chan (in-process goroutines, wall clock)")
+
 		flowType  = fs.String("type", "shuffle", "flow type: shuffle | replicate | combiner")
 		nSources  = fs.Int("sources", 2, "source threads (one node each)")
 		nTargets  = fs.Int("targets", 2, "target threads (one node each; combiner: threads on one node)")
@@ -98,6 +101,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	switch *transportF {
+	case "fabric":
+	case "chan":
+		var bad []string
+		fs.Visit(func(f *flag.Flag) {
+			if desOnlyFlags[f.Name] {
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			fmt.Fprintf(stderr, "dfiflow: -transport=chan does not support %s: virtual time, fault injection and the sim-backed registry/ops plane are fabric-only (see docs/ARCHITECTURE.md, transport backend matrix)\n",
+				strings.Join(bad, " "))
+			return 2
+		}
+		if *flowType != "shuffle" && *flowType != "replicate" {
+			fmt.Fprintf(stderr, "dfiflow: -transport=chan supports -type shuffle|replicate (combiner aggregation is fabric-only)\n")
+			return 2
+		}
+		return runChan(chanConfig{
+			flowType: *flowType, nSources: *nSources, nTargets: *nTargets,
+			tupleSize: *tupleSize, megabytes: *megabytes, latency: *latency,
+			segments: *segments, segSize: *segSize, traceOps: *traceOps,
+		}, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "dfiflow: unknown transport %q (want fabric or chan)\n", *transportF)
+		return 2
+	}
+
 	k := sim.New(*seed)
 	k.Deadline = time.Hour
 	fcfg := fabric.DefaultConfig()
@@ -112,14 +143,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fcfg.Faults = fp
 	}
 	cluster := fabric.NewCluster(k, *nSources+*nTargets, fcfg)
-	var rec *fabric.Recorder
+	var rec *transport.Recorder
 	if *traceOps > 0 {
-		rec = fabric.NewRecorder(*traceOps)
+		rec = transport.AttachRecorder(cluster, *traceOps)
 		// The fabric's per-message framing overhead feeds the recorder's
 		// wire-volume estimate; without it the Summary silently omitted
 		// the "wire bytes" line.
 		rec.WireOverheadBytes = fcfg.WireOverheadBytes
-		cluster.SetTracer(rec)
 	}
 	var reg *registry.Registry
 	if *replicas > 0 {

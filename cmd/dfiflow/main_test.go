@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -57,9 +58,63 @@ func TestBadConfigExitsTwo(t *testing.T) {
 		{"-partition", "bogus"},
 		{"-evict", "notaspec"},
 		{"-metrics-addr", "256.0.0.1:bad"},
+		{"-transport", "bogus"},
 	} {
 		if _, code := runToString(t, args...); code != 2 {
 			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+// TestChanTransportRunsFlow drives the goroutine/channel backend through
+// the CLI: every pushed tuple must be consumed, with the trace recorder
+// attached through the transport-neutral AttachRecorder path.
+func TestChanTransportRunsFlow(t *testing.T) {
+	for _, typ := range []string{"shuffle", "replicate"} {
+		out, code := runToString(t, "-transport", "chan", "-type", typ,
+			"-mb", "1", "-sources", "2", "-targets", "2", "-trace", "1")
+		if code != 0 {
+			t.Fatalf("%s: exit %d:\n%s", typ, code, out)
+		}
+		pushed := regexp.MustCompile(`tuples pushed:\s+(\d+)\s+\(consumed: (\d+)\)`).FindStringSubmatch(out)
+		if pushed == nil {
+			t.Fatalf("%s: no totals line:\n%s", typ, out)
+		}
+		want := pushed[1]
+		if typ == "replicate" {
+			// Every target consumes every tuple.
+			n, _ := strconv.Atoi(pushed[1])
+			want = strconv.Itoa(2 * n)
+		}
+		if pushed[2] != want {
+			t.Errorf("%s: pushed %s, consumed %s (want %s)", typ, pushed[1], pushed[2], want)
+		}
+		if !strings.Contains(out, "traced ") {
+			t.Errorf("%s: trace recorder produced no summary:\n%s", typ, out)
+		}
+	}
+}
+
+// TestChanTransportRejectsDESOnlyFlags pins the guard rail: flags whose
+// machinery needs virtual time or the sim registry fail fast with a
+// config error instead of being silently ignored.
+func TestChanTransportRejectsDESOnlyFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-transport", "chan", "-faults", "drop-write=0.01"},
+		{"-transport", "chan", "-lease", "100us"},
+		{"-transport", "chan", "-evict", "1@300us"},
+		{"-transport", "chan", "-replicas", "3"},
+		{"-transport", "chan", "-multicast"},
+		{"-transport", "chan", "-seed", "7"},
+		{"-transport", "chan", "-metrics-addr", "127.0.0.1:0"},
+		{"-transport", "chan", "-type", "combiner"},
+	} {
+		out, code := runToString(t, args...)
+		if code != 2 {
+			t.Errorf("args %v: exit %d, want 2\n%s", args, code, out)
+		}
+		if !strings.Contains(out, "-transport=chan") {
+			t.Errorf("args %v: error does not name the transport flag:\n%s", args, out)
 		}
 	}
 }

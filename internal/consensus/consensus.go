@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"dfi/internal/fabric"
+	"dfi/internal/transport"
 	"dfi/internal/schema"
 	"dfi/internal/sim"
 	"dfi/internal/stats"
@@ -140,12 +141,12 @@ var ResponseSchema = schema.MustNew(
 // key-value store.
 type KVStore struct {
 	m    map[int64]int64
-	node *fabric.Node
+	node transport.Endpoint
 	cost time.Duration
 }
 
 // NewKVStore builds a store executing on the given node.
-func NewKVStore(node *fabric.Node, cost time.Duration) *KVStore {
+func NewKVStore(node transport.Endpoint, cost time.Duration) *KVStore {
 	return &KVStore{m: make(map[int64]int64), node: node, cost: cost}
 }
 

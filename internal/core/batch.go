@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"dfi/internal/schema"
-	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
 // This file is the batched data path: PushBatch routes many tuples per
@@ -23,7 +23,7 @@ import (
 // tuple immediately (folded into one Compute of equal total), bandwidth
 // mode accumulates and drains in chargeBatch-sized Compute calls — so
 // batched and sequential pushes advance the virtual clock identically.
-func (s *Source) chargePushN(p *sim.Proc, n int) {
+func (s *Source) chargePushN(p transport.Ctx, n int) {
 	if n <= 0 {
 		return
 	}
@@ -61,7 +61,7 @@ func adjacent(a, b []byte) bool {
 // On error, tuples already grouped into writers stay pushed (the same
 // at-least-once posture every data-path error path has); the caller
 // re-pushes the batch only on a flow-level retry protocol of its own.
-func (s *Source) PushBatch(p *sim.Proc, tuples []schema.Tuple) error {
+func (s *Source) PushBatch(p transport.Ctx, tuples []schema.Tuple) error {
 	if s.closed {
 		return fmt.Errorf("dfi: push on closed source of flow %q", s.spec.Name)
 	}
@@ -172,7 +172,7 @@ func (s *Source) PushBatch(p *sim.Proc, tuples []schema.Tuple) error {
 // routed to the dead (or never-connected) target ti through PushTo, which
 // remaps each onto a live owner — the batched path's form of the
 // at-least-once eviction window.
-func (s *Source) pushRouteAround(p *sim.Proc, tuples []schema.Tuple, routes []int32, ti int) error {
+func (s *Source) pushRouteAround(p transport.Ctx, tuples []schema.Tuple, routes []int32, ti int) error {
 	for i := range tuples {
 		if int(routes[i]) != ti {
 			continue
@@ -188,7 +188,7 @@ func (s *Source) pushRouteAround(p *sim.Proc, tuples []schema.Tuple, routes []in
 // (or all tuples when routes is nil — the replicate case) to writer w.
 // Runs of consecutive selected tuples that abut in memory collapse into
 // one pushRun copy.
-func (s *Source) pushGrouped(p *sim.Proc, w *ringWriter, tuples []schema.Tuple, routes []int32, ti, ts int) error {
+func (s *Source) pushGrouped(p transport.Ctx, w *ringWriter, tuples []schema.Tuple, routes []int32, ti, ts int) error {
 	n := len(tuples)
 	i := 0
 	for i < n {
@@ -249,7 +249,7 @@ func (b *Batch) Bytes() []byte { return b.buf }
 // span a segment boundary, so fewer than n slots may be returned — loop
 // until done, as with partial writes. Only valid on single-target
 // bandwidth flows; multi-target flows reserve per target with ReserveTo.
-func (s *Source) Reserve(p *sim.Proc, n int) (*Batch, error) {
+func (s *Source) Reserve(p transport.Ctx, n int) (*Batch, error) {
 	if s.mc != nil {
 		return nil, fmt.Errorf("%w: Reserve (the multicast transport owns its segment buffers)", ErrUnsupportedOnMulticast)
 	}
@@ -261,7 +261,7 @@ func (s *Source) Reserve(p *sim.Proc, n int) (*Batch, error) {
 
 // ReserveTo is Reserve against an explicit target index (paper §4.2.1
 // routing option 3, zero-copy form).
-func (s *Source) ReserveTo(p *sim.Proc, target, n int) (*Batch, error) {
+func (s *Source) ReserveTo(p transport.Ctx, target, n int) (*Batch, error) {
 	if s.closed {
 		return nil, fmt.Errorf("dfi: reserve on closed source of flow %q", s.spec.Name)
 	}
@@ -302,7 +302,7 @@ func (s *Source) ReserveTo(p *sim.Proc, target, n int) (*Batch, error) {
 // Commit publishes the first used reserved tuples into the flow (they
 // become part of the segment exactly as if pushed) and invalidates the
 // batch. used may be less than Len; the unused tail is surrendered.
-func (b *Batch) Commit(p *sim.Proc, used int) error {
+func (b *Batch) Commit(p transport.Ctx, used int) error {
 	if b.done {
 		return errors.New("dfi: batch already committed")
 	}
@@ -332,7 +332,7 @@ func (b *Batch) Commit(p *sim.Proc, used int) error {
 // number of views filled and ok=false once every source has closed. The
 // views obey the same lifetime rule as Consume: valid until the segment
 // is recycled by a later consume call.
-func (t *Target) ConsumeBatch(p *sim.Proc, dst []schema.Tuple) (int, bool) {
+func (t *Target) ConsumeBatch(p transport.Ctx, dst []schema.Tuple) (int, bool) {
 	if t.done.Load() {
 		return 0, false
 	}

@@ -5,9 +5,8 @@ import (
 	"sort"
 	"time"
 
-	"dfi/internal/registry"
 	"dfi/internal/schema"
-	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
 // CombinerTarget is the exit point of a combiner flow (paper §4.2.3): an
@@ -27,7 +26,7 @@ type CombinerTarget struct {
 }
 
 type computeNode interface {
-	Compute(p *sim.Proc, d time.Duration)
+	Compute(p transport.Ctx, d time.Duration)
 }
 
 type aggState struct {
@@ -45,7 +44,7 @@ type AggResult struct {
 }
 
 // CombinerTargetOpen attaches to target thread idx of a combiner flow.
-func CombinerTargetOpen(p *sim.Proc, reg *registry.Registry, name string, idx int) (*CombinerTarget, error) {
+func CombinerTargetOpen(p transport.Ctx, reg Registry, name string, idx int) (*CombinerTarget, error) {
 	meta := lookupFlow(p, reg, name)
 	if meta.spec.Type != CombinerFlow {
 		return nil, fmt.Errorf("dfi: flow %q is a %s flow, not a combiner flow", name, meta.spec.Type)
@@ -68,7 +67,7 @@ func CombinerTargetOpen(p *sim.Proc, reg *registry.Registry, name string, idx in
 // Run ingests the whole flow, aggregating every tuple into its group, and
 // returns once all sources have closed. The per-tuple aggregation cost is
 // charged to the target thread.
-func (c *CombinerTarget) Run(p *sim.Proc) {
+func (c *CombinerTarget) Run(p transport.Ctx) {
 	sch := c.t.Schema()
 	ts := sch.TupleSize()
 	aggCost := c.t.spec.Options.AggCost
@@ -78,7 +77,7 @@ func (c *CombinerTarget) Run(p *sim.Proc) {
 			return
 		}
 		c.node.Compute(p, time.Duration(count)*aggCost)
-		if !c.t.meta.cluster.Config().CopyPayload {
+		if !c.t.meta.cluster.CopiesPayload() {
 			// Payload bytes are not simulated; account the work only.
 			continue
 		}

@@ -4,8 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"dfi/internal/registry"
-	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
 // Elastic flows implement the paper's second stated avenue of future work
@@ -28,7 +27,7 @@ import (
 type elasticState struct {
 	attached int
 	sealed   bool
-	cond     *sim.Cond
+	cond     transport.Cond
 }
 
 // validateElastic finishes spec validation for elastic flows.
@@ -52,7 +51,7 @@ func (s *FlowSpec) validateElastic() error {
 // returns a Source bound to a fresh slot. Slots are not recycled: the
 // total number of attachments over the flow's lifetime (initial sources
 // included) is bounded by Options.MaxSources.
-func AttachSource(p *sim.Proc, reg *registry.Registry, name string, ep Endpoint) (*Source, error) {
+func AttachSource(p transport.Ctx, reg Registry, name string, ep Endpoint) (*Source, error) {
 	meta := lookupFlow(p, reg, name)
 	spec := &meta.spec
 	if !spec.Options.Elastic {
@@ -79,7 +78,7 @@ func AttachSource(p *sim.Proc, reg *registry.Registry, name string, ep Endpoint)
 
 // Seal forbids further attaches; targets reach FLOW_END once every
 // attached source has closed. Sealing an already sealed flow is a no-op.
-func Seal(p *sim.Proc, reg *registry.Registry, name string) error {
+func Seal(p transport.Ctx, reg Registry, name string) error {
 	meta := lookupFlow(p, reg, name)
 	if !meta.spec.Options.Elastic {
 		return fmt.Errorf("dfi: flow %q is not elastic", name)
@@ -91,7 +90,7 @@ func Seal(p *sim.Proc, reg *registry.Registry, name string) error {
 
 // Attached returns the number of sources that have joined the elastic
 // flow so far (including initial sources).
-func Attached(p *sim.Proc, reg *registry.Registry, name string) (int, error) {
+func Attached(p transport.Ctx, reg Registry, name string) (int, error) {
 	meta := lookupFlow(p, reg, name)
 	if !meta.spec.Options.Elastic {
 		return 0, fmt.Errorf("dfi: flow %q is not elastic", name)
@@ -117,7 +116,7 @@ func (t *Target) elasticDone() bool {
 // elasticScan scans the currently attached slots for a consumable
 // segment, mirroring nextSegment's inner loop with a membership-aware
 // bound.
-func (t *Target) elasticScan(p *sim.Proc) (loaded, done bool) {
+func (t *Target) elasticScan(p transport.Ctx) (loaded, done bool) {
 	es := t.meta.elastic
 	n := es.attached
 	if n == 0 {

@@ -33,10 +33,8 @@ import (
 	"time"
 
 	"dfi/internal/core/partition"
-	"dfi/internal/fabric"
-	"dfi/internal/registry"
 	"dfi/internal/schema"
-	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
 // FlowType selects one of DFI's three flow types.
@@ -109,7 +107,7 @@ func (a AggFunc) String() string {
 // Endpoint identifies one flow end-point: a worker thread on a node
 // (the paper's "address|threadID" notation).
 type Endpoint struct {
-	Node   *fabric.Node
+	Node   transport.Endpoint
 	Thread int
 }
 
@@ -324,23 +322,23 @@ func (s *FlowSpec) table() *partition.Table {
 // flowMeta is the registry entry for an initialized flow.
 type flowMeta struct {
 	spec    FlowSpec
-	cluster *fabric.Cluster
+	cluster transport.Transport
 
 	// elastic is the mutable membership of an elastic flow.
 	elastic *elasticState
 
 	// group is the multicast group of a multicast replicate flow, with one
 	// endpoint per target.
-	group *fabric.MulticastGroup
+	group transport.Group
 
 	// seqMR holds the global tuple-sequencer counter of an ordered
 	// replicate flow (hosted on the first target's node).
-	seqMR *fabric.MemoryRegion
+	seqMR transport.Region
 }
 
 // targetInfo is published by TargetOpen for sources to connect to.
 type targetInfo struct {
-	mr       *fabric.MemoryRegion
+	mr       transport.Region
 	ringOffs []int // ring base offset per source index
 	geom     ringGeom
 }
@@ -515,22 +513,22 @@ func (s *FlowSpec) normalize() error {
 // making it available cluster-wide (paper Figure 1, upper half). For
 // multicast replicate flows it also creates the switch multicast group,
 // and for globally ordered flows the tuple-sequencer counter.
-func FlowInit(p *sim.Proc, reg *registry.Registry, cluster *fabric.Cluster, spec FlowSpec) error {
+func FlowInit(p transport.Ctx, reg Registry, cluster transport.Transport, spec FlowSpec) error {
 	if err := spec.normalize(); err != nil {
 		return err
 	}
 	meta := &flowMeta{spec: spec, cluster: cluster}
 	if spec.Options.Elastic {
-		meta.elastic = &elasticState{attached: len(spec.Sources), cond: sim.NewCond(cluster.K)}
+		meta.elastic = &elasticState{attached: len(spec.Sources), cond: cluster.NewCond()}
 	}
 	if spec.Options.Multicast {
-		nodes := make([]*fabric.Node, len(spec.Targets))
+		nodes := make([]transport.Endpoint, len(spec.Targets))
 		for i, t := range spec.Targets {
 			nodes[i] = t.Node
 		}
-		meta.group = cluster.CreateMulticast(nodes...)
+		meta.group = cluster.Multicast(nodes...)
 		if spec.Options.GlobalOrdering {
-			meta.seqMR = cluster.RegisterMemory(spec.Targets[0].Node, 8)
+			meta.seqMR = cluster.OpenRegion(spec.Targets[0].Node, 8)
 		}
 	}
 	return reg.Publish(p, spec.Name, meta)
@@ -538,7 +536,7 @@ func FlowInit(p *sim.Proc, reg *registry.Registry, cluster *fabric.Cluster, spec
 
 // lookupFlow retrieves flow metadata, blocking until the flow is
 // initialized.
-func lookupFlow(p *sim.Proc, reg *registry.Registry, name string) *flowMeta {
+func lookupFlow(p transport.Ctx, reg Registry, name string) *flowMeta {
 	return reg.WaitFlow(p, name).(*flowMeta)
 }
 

@@ -5,11 +5,10 @@ import (
 	"fmt"
 	"time"
 
-	"dfi/internal/fabric"
 	"dfi/internal/metrics"
 	"dfi/internal/registry"
 	"dfi/internal/schema"
-	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
 // Flow lifecycle: the data-plane half of the control-plane failure model
@@ -52,12 +51,12 @@ const heartbeatDivisor = 3
 // renew nor release its lease). The process self-terminates in every
 // case — the discrete-event kernel only ends its run when no events
 // remain, so an immortal ticker would hang every simulation.
-func spawnLeaseHeartbeat(p *sim.Proc, reg *registry.Registry, node *fabric.Node, flow string, role registry.Role, idx int, ttl time.Duration, inc uint64, closed func() bool) {
+func spawnLeaseHeartbeat(p transport.Ctx, tpt transport.Transport, reg Registry, node transport.Endpoint, flow string, role registry.Role, idx int, ttl time.Duration, inc uint64, closed func() bool) {
 	iv := ttl / heartbeatDivisor
 	if iv <= 0 {
 		iv = ttl
 	}
-	p.Spawn(fmt.Sprintf("lease:%s:%s%d", flow, role, idx), func(hp *sim.Proc) {
+	tpt.Spawn(p, fmt.Sprintf("lease:%s:%s%d", flow, role, idx), func(hp transport.Ctx) {
 		for {
 			hp.Sleep(iv)
 			if node.Crashed(hp.Now()) {
@@ -78,7 +77,7 @@ func spawnLeaseHeartbeat(p *sim.Proc, reg *registry.Registry, node *fabric.Node,
 }
 
 // acquireSourceLease sets up the lease + heartbeat for a source slot.
-func (s *Source) acquireSourceLease(p *sim.Proc, reg *registry.Registry, name string) error {
+func (s *Source) acquireSourceLease(p transport.Ctx, reg Registry, name string) error {
 	o := &s.spec.Options
 	if o.LeaseTTL <= 0 {
 		return nil
@@ -90,7 +89,7 @@ func (s *Source) acquireSourceLease(p *sim.Proc, reg *registry.Registry, name st
 	if m := reg.MembershipOf(name); m != nil {
 		inc = m.Incarnation(registry.RoleSource, s.idx)
 	}
-	spawnLeaseHeartbeat(p, reg, s.node, name, registry.RoleSource, s.idx, o.LeaseTTL, inc,
+	spawnLeaseHeartbeat(p, s.meta.cluster, reg, s.node, name, registry.RoleSource, s.idx, o.LeaseTTL, inc,
 		func() bool { return s.closed })
 	return nil
 }
@@ -159,7 +158,7 @@ type pendingTuple struct {
 // compare) while the epoch is unchanged. Returns ErrFlowBroken when no
 // target survives, or when this source was itself evicted (epoch
 // fencing: its peers have moved on).
-func (s *Source) syncEpoch(p *sim.Proc) error {
+func (s *Source) syncEpoch(p transport.Ctx) error {
 	if s.mem == nil || s.mem.Epoch() == s.epoch {
 		return nil
 	}
@@ -235,7 +234,7 @@ func (s *Source) syncEpoch(p *sim.Proc) error {
 // stays registered until Free — its harvest is still being re-pushed —
 // and a new writer attaches to the rings the target republished before
 // its Rejoin bumped the epoch.
-func (s *Source) reconnectRejoined(p *sim.Proc) {
+func (s *Source) reconnectRejoined(p transport.Ctx) {
 	for i := range s.writers {
 		if s.mem.TargetEvicted(i) {
 			continue
@@ -262,7 +261,7 @@ func (s *Source) reconnectRejoined(p *sim.Proc) {
 // survivors that already sent FLOW_END cannot take tuples anymore; the
 // re-push then folds onto any still-open survivor (phase ordering makes
 // this rare: end markers only go out once every live writer drained).
-func (s *Source) repush(p *sim.Proc, t schema.Tuple, from int) error {
+func (s *Source) repush(p transport.Ctx, t schema.Tuple, from int) error {
 	w := s.writers[s.remap(t, from)]
 	if w.closed || w.dead {
 		w = nil
@@ -294,7 +293,7 @@ func (s *Source) Epoch() uint64 { return s.epoch }
 // --- Target side ---------------------------------------------------
 
 // acquireTargetLease sets up the lease + heartbeat for a target slot.
-func (t *Target) acquireTargetLease(p *sim.Proc, reg *registry.Registry, name string) error {
+func (t *Target) acquireTargetLease(p transport.Ctx, reg Registry, name string) error {
 	o := &t.spec.Options
 	if o.LeaseTTL <= 0 {
 		return nil
@@ -306,7 +305,7 @@ func (t *Target) acquireTargetLease(p *sim.Proc, reg *registry.Registry, name st
 	if m := reg.MembershipOf(name); m != nil {
 		inc = m.Incarnation(registry.RoleTarget, t.idx)
 	}
-	spawnLeaseHeartbeat(p, reg, t.node, name, registry.RoleTarget, t.idx, o.LeaseTTL, inc,
+	spawnLeaseHeartbeat(p, t.meta.cluster, reg, t.node, name, registry.RoleTarget, t.idx, o.LeaseTTL, inc,
 		func() bool { return t.done.Load() || t.evicted })
 	return nil
 }

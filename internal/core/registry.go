@@ -1,0 +1,48 @@
+package core
+
+import (
+	"time"
+
+	"dfi/internal/metrics"
+	"dfi/internal/registry"
+	"dfi/internal/transport"
+)
+
+// Registry is the flow-metadata surface core needs from a registry
+// implementation: publish/wait for flow and target metadata, the
+// lease/membership control plane, and sequencer recovery state. The
+// DES-backed *registry.Registry (standalone or replicated) implements
+// all of it; registry.Local implements the metadata surface for sim-free
+// transports and degrades the failure-handling methods (nil membership,
+// no-op leases, rejoin errors).
+type Registry interface {
+	// Flow metadata.
+	Publish(p transport.Ctx, name string, meta any) error
+	Lookup(p transport.Ctx, name string) (any, bool)
+	WaitFlow(p transport.Ctx, name string) any
+	PublishTarget(p transport.Ctx, name string, idx int, info any) error
+	RepublishTarget(p transport.Ctx, name string, idx int, info any) error
+	TargetInfo(p transport.Ctx, name string, idx int) (any, bool)
+	WaitTargetLive(p transport.Ctx, name string, idx int) (info any, evicted bool)
+
+	// Lease-based membership (nil membership = failure handling off).
+	MembershipOf(name string) *registry.Membership
+	AcquireLease(p transport.Ctx, flow string, role registry.Role, idx int, ttl, grace time.Duration) error
+	RenewLease(p transport.Ctx, flow string, role registry.Role, idx int) error
+	ReleaseLease(p transport.Ctx, flow string, role registry.Role, idx int)
+	Rejoin(p transport.Ctx, flow string, role registry.Role, idx, newIdx int) (registry.Rejoined, error)
+	SetWatermark(p transport.Ctx, flow string, role registry.Role, idx int, watermark uint64) error
+
+	// Sequencer recovery state (ordered multicast).
+	RecordSeqProgress(p transport.Ctx, flow string, tgt int, highWater uint64, perSource []uint64) error
+	RecordSeqSkips(p transport.Ctx, flow string, epoch uint64, seqs ...uint64) error
+	SeqSnapshot(p transport.Ctx, flow string) (registry.SeqSnapshot, bool)
+
+	// Structured protocol events (nil when tracing is off).
+	EventSink() metrics.EventSink
+}
+
+var (
+	_ Registry = (*registry.Registry)(nil)
+	_ Registry = (*registry.Local)(nil)
+)

@@ -6,11 +6,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"dfi/internal/fabric"
 	"dfi/internal/metrics"
 	"dfi/internal/registry"
 	"dfi/internal/schema"
-	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
 // Multicast replicate flows (paper §5.4) ride on two-sided unreliable
@@ -98,11 +97,11 @@ type mcSource struct {
 	meta *flowMeta
 	spec *FlowSpec
 	idx  int
-	node *fabric.Node
-	reg  *registry.Registry
+	node transport.Endpoint
+	reg  Registry
 
-	group    *fabric.MulticastGroup
-	fqps     []*fabric.QP // reliable QP to each target (source end)
+	group    transport.Group
+	fqps     []transport.Queue // reliable QP to each target (source end)
 	ctrlBufs [][]byte     // posted control-recv buffers, recycled by index
 
 	segBuf []byte // current segment: header + payload
@@ -118,7 +117,7 @@ type mcSource struct {
 
 	history    map[uint64][]byte
 	histOrder  []uint64
-	seqQP      *fabric.QP // to the sequencer node (ordered flows)
+	seqQP      transport.Queue // to the sequencer node (ordered flows)
 	closedFlag bool
 
 	// Control-plane membership (Options.LeaseTTL): the flow's record,
@@ -142,7 +141,7 @@ type mcSource struct {
 	// target sends no credit while the source is idle, so time since its
 	// last advance says nothing about its health.
 	failedTgt   []bool
-	lastAdvance []sim.Time
+	lastAdvance []time.Duration
 	gating      []bool
 	// evictedTgt marks slots whose failedTgt entry came from a lease
 	// eviction rather than the staleness detector: the leg was detached
@@ -164,7 +163,7 @@ type mcSource struct {
 	creditStalls atomic.Uint64
 }
 
-func newMcSource(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (*mcSource, error) {
+func newMcSource(p transport.Ctx, reg Registry, meta *flowMeta, idx int) (*mcSource, error) {
 	spec := &meta.spec
 	s := &mcSource{
 		meta:        meta,
@@ -180,7 +179,7 @@ func newMcSource(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (
 		ownIdx:      make([]int, len(spec.Targets)),
 		failedTgt:   make([]bool, len(spec.Targets)),
 		evictedTgt:  make([]bool, len(spec.Targets)),
-		lastAdvance: make([]sim.Time, len(spec.Targets)),
+		lastAdvance: make([]time.Duration, len(spec.Targets)),
 		gating:      make([]bool, len(spec.Targets)),
 		tinc:        make([]uint64, len(spec.Targets)),
 	}
@@ -200,7 +199,7 @@ func newMcSource(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (
 	// Reliable per-target QPs: the source creates the pair and publishes
 	// the target's end for TargetOpen to collect.
 	for j, tgt := range spec.Targets {
-		sq, tq := meta.cluster.CreateQPPair(s.node, tgt.Node)
+		sq, tq := meta.cluster.Dial(s.node, tgt.Node)
 		if err := reg.Publish(p, mcQPName(spec.Name, idx, j, 0), tq); err != nil {
 			return nil, err
 		}
@@ -209,7 +208,7 @@ func newMcSource(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (
 		s.postCtrlRecvs(sq)
 	}
 	if spec.Options.GlobalOrdering {
-		s.seqQP, _ = meta.cluster.CreateQPPair(s.node, meta.seqMR.Node())
+		s.seqQP, _ = meta.cluster.Dial(s.node, meta.seqMR.Owner())
 	}
 	return s, nil
 }
@@ -233,7 +232,7 @@ func (s *mcSource) ctrlBufSize() int {
 
 // postCtrlRecvs posts the control-message receive window on one
 // reliable QP.
-func (s *mcSource) postCtrlRecvs(qp *fabric.QP) {
+func (s *mcSource) postCtrlRecvs(qp transport.Queue) {
 	for r := 0; r < 4; r++ {
 		buf := make([]byte, s.ctrlBufSize())
 		s.ctrlBufs = append(s.ctrlBufs, buf)
@@ -269,7 +268,7 @@ func (s *mcSource) allTargetsFailed() bool {
 // the source reconnects to the fresh reliable QP the rejoiner published
 // and restarts the slot's credit accounting from the sequencer snapshot
 // it installed.
-func (s *mcSource) syncMcEpoch(p *sim.Proc) error {
+func (s *mcSource) syncMcEpoch(p transport.Ctx) error {
 	if s.mem == nil || s.mem.Epoch() == s.epoch {
 		return nil
 	}
@@ -299,7 +298,7 @@ func (s *mcSource) syncMcEpoch(p *sim.Proc) error {
 // rendezvous name *before* its Rejoin bumped the epoch, so the lookup
 // cannot miss. The slot's credit restarts from the sequencer snapshot
 // the rejoiner installed.
-func (s *mcSource) reconnectTarget(p *sim.Proc, j int, inc uint64) {
+func (s *mcSource) reconnectTarget(p transport.Ctx, j int, inc uint64) {
 	v, ok := s.reg.Lookup(p, mcQPName(s.spec.Name, s.idx, j, inc))
 	if !ok {
 		// Epoch bumped before publication — rejoin publishes first, so
@@ -308,7 +307,7 @@ func (s *mcSource) reconnectTarget(p *sim.Proc, j int, inc uint64) {
 		s.failedTgt[j] = true
 		return
 	}
-	qp := v.(*fabric.QP)
+	qp := v.(transport.Queue)
 	s.fqps[j] = qp
 	s.postCtrlRecvs(qp)
 	if s.spec.Options.GlobalOrdering {
@@ -348,7 +347,7 @@ func (s *mcSource) endMarker() []byte {
 
 // push appends a tuple, transmitting the segment when full (bandwidth
 // mode) or immediately (latency mode).
-func (s *mcSource) push(p *sim.Proc, t schema.Tuple) error {
+func (s *mcSource) push(p transport.Ctx, t schema.Tuple) error {
 	if s.fill+len(t) > s.spec.Options.SegmentSize {
 		if err := s.sendSegment(p, false); err != nil {
 			return err
@@ -362,7 +361,7 @@ func (s *mcSource) push(p *sim.Proc, t schema.Tuple) error {
 	return nil
 }
 
-func (s *mcSource) flush(p *sim.Proc) error {
+func (s *mcSource) flush(p transport.Ctx) error {
 	if s.fill > 0 {
 		return s.sendSegment(p, false)
 	}
@@ -372,7 +371,7 @@ func (s *mcSource) flush(p *sim.Proc) error {
 // sendSegment stamps the header, draws a sequence number (global for
 // ordered flows, per-source otherwise), retains the segment for
 // retransmission, and multicasts it.
-func (s *mcSource) sendSegment(p *sim.Proc, end bool) error {
+func (s *mcSource) sendSegment(p transport.Ctx, end bool) error {
 	if err := s.syncMcEpoch(p); err != nil {
 		return err
 	}
@@ -390,7 +389,7 @@ func (s *mcSource) sendSegment(p *sim.Proc, end bool) error {
 		// (paper §5.4); with programmable switches this could move into
 		// the network. A crashed sequencer node surfaces as a broken
 		// flow, not as a silently repeated sequence number.
-		v, ok := s.seqQP.FetchAddChecked(p, fabric.Addr{MR: s.meta.seqMR}, 1)
+		v, ok := s.seqQP.FetchAddChecked(p, transport.Addr{MR: s.meta.seqMR}, 1)
 		if !ok {
 			return fmt.Errorf("%w: sequencer node for flow %q is unreachable", ErrFlowBroken, s.spec.Name)
 		}
@@ -432,7 +431,7 @@ func (s *mcSource) sendSegment(p *sim.Proc, end bool) error {
 // failAfter is declared failed and excluded — a crashed target must not
 // wedge the surviving replicas. Membership changes are folded while
 // gated, so a lease eviction releases the gate ahead of the timeout.
-func (s *mcSource) ensureCredit(p *sim.Proc) error {
+func (s *mcSource) ensureCredit(p transport.Ctx) error {
 	failAfter := s.failAfter()
 	for {
 		if err := s.syncMcEpoch(p); err != nil {
@@ -470,7 +469,7 @@ func (s *mcSource) ensureCredit(p *sim.Proc) error {
 
 // drainControl processes pending credit and NACK messages from all
 // targets without blocking.
-func (s *mcSource) drainControl(p *sim.Proc) {
+func (s *mcSource) drainControl(p transport.Ctx) {
 	for j, qp := range s.fqps {
 		for qp.RecvCQ().Len() > 0 {
 			c, ok := qp.RecvCQ().Poll(p)
@@ -482,7 +481,7 @@ func (s *mcSource) drainControl(p *sim.Proc) {
 	}
 }
 
-func (s *mcSource) handleControl(p *sim.Proc, target int, c fabric.Completion) {
+func (s *mcSource) handleControl(p transport.Ctx, target int, c transport.Completion) {
 	buf := s.ctrlBufs[c.ID]
 	kind := buf[0]
 	value := binary.LittleEndian.Uint64(buf[8:16])
@@ -535,7 +534,7 @@ func (s *mcSource) handleControl(p *sim.Proc, target int, c fabric.Completion) {
 }
 
 // sendGapCtrl sends one fixed-size agreement control message to target j.
-func (s *mcSource) sendGapCtrl(p *sim.Proc, j int, kind byte, seq uint64) {
+func (s *mcSource) sendGapCtrl(p transport.Ctx, j int, kind byte, seq uint64) {
 	msg := make([]byte, ctrlBytes)
 	msg[0] = kind
 	msg[1] = byte(s.idx)
@@ -549,7 +548,7 @@ func (s *mcSource) sendGapCtrl(p *sim.Proc, j int, kind byte, seq uint64) {
 // — an agreement round over the live targets. Requesters re-query while
 // stuck, so a probe outstanding toward a target that dies mid-round is
 // retried against the post-eviction membership.
-func (s *mcSource) handleGapQuery(p *sim.Proc, from int, seq uint64) {
+func (s *mcSource) handleGapQuery(p transport.Ctx, from int, seq uint64) {
 	if !s.agreementEnabled() {
 		return
 	}
@@ -589,7 +588,7 @@ func (s *mcSource) handleGapQuery(p *sim.Proc, from int, seq uint64) {
 // the sequence. The copy is re-broadcast on the reliable QPs — data
 // first, then the Fill verdict, which RC in-order delivery keeps behind
 // the data — unfreezing every target that answered NoHave.
-func (s *mcSource) handleGapHave(p *sim.Proc, seq uint64, payload []byte) {
+func (s *mcSource) handleGapHave(p transport.Ctx, seq uint64, payload []byte) {
 	r := s.rounds[seq]
 	if r == nil {
 		return // round already closed (late or duplicate answer)
@@ -615,7 +614,7 @@ func (s *mcSource) handleGapHave(p *sim.Proc, seq uint64, payload []byte) {
 
 // handleGapNoHave records one negative vote; a unanimous round closes as
 // an agreed skip.
-func (s *mcSource) handleGapNoHave(p *sim.Proc, from int, seq uint64) {
+func (s *mcSource) handleGapNoHave(p transport.Ctx, from int, seq uint64) {
 	r := s.rounds[seq]
 	if r == nil {
 		return
@@ -637,7 +636,7 @@ func (s *mcSource) handleGapNoHave(p *sim.Proc, from int, seq uint64) {
 // the skip into future rejoin snapshots), then announced to the live
 // targets. Registering before announcing means a target that acts on the
 // verdict can never observe the registry without it.
-func (s *mcSource) closeRound(p *sim.Proc, seq uint64, r *gapRound) {
+func (s *mcSource) closeRound(p transport.Ctx, seq uint64, r *gapRound) {
 	delete(s.rounds, seq)
 	s.agreedSkips[seq] = true
 	_ = s.reg.RecordSeqSkips(p, s.spec.Name, s.epoch, seq)
@@ -652,7 +651,7 @@ func (s *mcSource) closeRound(p *sim.Proc, seq uint64, r *gapRound) {
 // noteAdvance records consumption progress by a target (failure-detection
 // bookkeeping): the staleness clock resets and any future gate episode
 // restarts its grace period.
-func (s *mcSource) noteAdvance(p *sim.Proc, target int) {
+func (s *mcSource) noteAdvance(p transport.Ctx, target int) {
 	s.gating[target] = false
 	s.lastAdvance[target] = p.Now()
 }
@@ -664,7 +663,7 @@ func (s *mcSource) noteAdvance(p *sim.Proc, target int) {
 // target: one that stops acknowledging is declared failed, and close
 // reports it with an ErrFlowBroken-wrapped error instead of hanging.
 // Lease evictions folded mid-linger release their targets immediately.
-func (s *mcSource) close(p *sim.Proc) error {
+func (s *mcSource) close(p transport.Ctx) error {
 	if s.closedFlag {
 		return nil
 	}
@@ -736,14 +735,14 @@ type mcTarget struct {
 	meta *flowMeta
 	spec *FlowSpec
 	idx  int
-	node *fabric.Node
-	reg  *registry.Registry
+	node transport.Endpoint
+	reg  Registry
 
-	ep   *fabric.McEndpoint
-	tqps []*fabric.QP // reliable QP from each source (target end)
+	ep   transport.GroupEndpoint
+	tqps []transport.Queue // reliable QP from each source (target end)
 
 	pool   [][]byte // recycled receive buffers
-	poolMR *fabric.MemoryRegion
+	poolMR transport.Region
 
 	// Per-source protocol state (per-source sequences when unordered).
 	nextSeq []uint64 // next expected per-source seq (unordered)
@@ -759,7 +758,7 @@ type mcTarget struct {
 	nextGlobal uint64
 	pending    map[uint64][]byte
 
-	gapSince   sim.Time // when the current head gap was first observed
+	gapSince   time.Duration // when the current head gap was first observed
 	gapPending bool
 	gap        Gap
 	gapNacks   int // unanswered NACK rounds for the current head gap
@@ -771,7 +770,7 @@ type mcTarget struct {
 	// to the agreement protocol (or, without leases, skip heuristically
 	// once NACK rounds go unanswered).
 	heard     []bool
-	lastHeard []sim.Time
+	lastHeard []time.Duration
 	failedSrc []atomic.Bool // atomic: read by Target.FailedSources under scrape
 
 	// Control-plane membership (Options.LeaseTTL): the flow's record,
@@ -805,7 +804,7 @@ type mcTarget struct {
 	// failed, the counter's value is the exact global sequence-space
 	// size — the authoritative stream extent even when a source crashed
 	// mid-stream without an end marker (see seqSpaceSize).
-	seqQP         *fabric.QP
+	seqQP         transport.Queue
 	seqSpace      uint64
 	seqSpaceKnown bool
 
@@ -827,7 +826,7 @@ func (t *mcTarget) agreementEnabled() bool {
 
 // newMcTargetState builds the transport-independent part of an mcTarget:
 // buffers, per-source state, membership wiring.
-func newMcTargetState(reg *registry.Registry, meta *flowMeta, idx int, node *fabric.Node) *mcTarget {
+func newMcTargetState(reg Registry, meta *flowMeta, idx int, node transport.Endpoint) *mcTarget {
 	spec := &meta.spec
 	nSrc := len(spec.Sources)
 	R := spec.Options.SegmentsPerRing
@@ -845,7 +844,7 @@ func newMcTargetState(reg *registry.Registry, meta *flowMeta, idx int, node *fab
 		pending:   make(map[uint64][]byte),
 		tupleSize: spec.Schema.TupleSize(),
 		heard:     make([]bool, nSrc),
-		lastHeard: make([]sim.Time, nSrc),
+		lastHeard: make([]time.Duration, nSrc),
 		failedSrc: make([]atomic.Bool, nSrc),
 	}
 	if spec.Options.LeaseTTL > 0 {
@@ -858,7 +857,7 @@ func newMcTargetState(reg *registry.Registry, meta *flowMeta, idx int, node *fab
 		t.dhist = make(map[uint64][]byte)
 		t.skips = make(map[uint64]bool)
 		t.frozen = make(map[uint64]int)
-		t.seqQP, _ = meta.cluster.CreateQPPair(node, meta.seqMR.Node())
+		t.seqQP, _ = meta.cluster.Dial(node, meta.seqMR.Owner())
 	}
 	stride := mcHeaderBytes + spec.Options.SegmentSize
 	// One slab backs all receive buffers (registered for accounting). The
@@ -866,7 +865,7 @@ func newMcTargetState(reg *registry.Registry, meta *flowMeta, idx int, node *fab
 	// buffers at all times; pending reordering and the active segment hold
 	// at most as many again.
 	nBufs := 2*(nSrc*R+nSrc*(R+2)) + 8
-	t.poolMR = meta.cluster.RegisterMemory(t.node, nBufs*stride)
+	t.poolMR = meta.cluster.OpenRegion(t.node, nBufs*stride)
 	slab := t.poolMR.Bytes()
 	for i := 0; i < nBufs; i++ {
 		t.pool = append(t.pool, slab[i*stride:(i+1)*stride])
@@ -874,7 +873,7 @@ func newMcTargetState(reg *registry.Registry, meta *flowMeta, idx int, node *fab
 	return t
 }
 
-func newMcTarget(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (*mcTarget, error) {
+func newMcTarget(p transport.Ctx, reg Registry, meta *flowMeta, idx int) (*mcTarget, error) {
 	spec := &meta.spec
 	t := newMcTargetState(reg, meta, idx, spec.Targets[idx].Node)
 	t.ep = meta.group.Member(idx)
@@ -887,7 +886,7 @@ func newMcTarget(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (
 	}
 	// Reliable QPs from each source (retransmissions + end markers).
 	for i := 0; i < nSrc; i++ {
-		qp := reg.WaitFlow(p, mcQPName(spec.Name, i, idx, 0)).(*fabric.QP)
+		qp := reg.WaitFlow(p, mcQPName(spec.Name, i, idx, 0)).(transport.Queue)
 		t.tqps = append(t.tqps, qp)
 		for r := 0; r < R+2; r++ {
 			qp.PostRecv(t.takeBuf(), 0)
@@ -908,7 +907,7 @@ func newMcTarget(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int) (
 // Sources that already left the flow are folded as ended at their
 // snapshot counts: their tail segments have no retransmission history
 // and are not replayed (rejoin is meant for flows still streaming).
-func newMcTargetRejoin(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx int, node *fabric.Node) (*mcTarget, error) {
+func newMcTargetRejoin(p transport.Ctx, reg Registry, meta *flowMeta, idx int, node transport.Endpoint) (*mcTarget, error) {
 	spec := &meta.spec
 	name := spec.Name
 	t := newMcTargetState(reg, meta, idx, node)
@@ -925,7 +924,7 @@ func newMcTargetRejoin(p *sim.Proc, reg *registry.Registry, meta *flowMeta, idx 
 	}
 	inc := t.mem.Incarnation(registry.RoleTarget, idx) + 1
 	for i, src := range spec.Sources {
-		sq, tq := meta.cluster.CreateQPPair(src.Node, node)
+		sq, tq := meta.cluster.Dial(src.Node, node)
 		if err := reg.Publish(p, mcQPName(name, i, idx, inc), sq); err != nil {
 			return nil, err
 		}
@@ -1029,7 +1028,7 @@ func isGapCtrl(buf []byte, bytes int) bool {
 // ingest processes one received message. The posted-buffer the message
 // arrived in is immediately replaced on its origin queue so the receive
 // windows never shrink (losing posted receives would starve the flow).
-func (t *mcTarget) ingest(p *sim.Proc, buf []byte, bytes int, origin recvOrigin) {
+func (t *mcTarget) ingest(p transport.Ctx, buf []byte, bytes int, origin recvOrigin) {
 	origin.PostRecv(t.takeBuf(), 0)
 	if t.agreementEnabled() && isGapCtrl(buf, bytes) {
 		t.handleGapCtrl(p, buf)
@@ -1083,7 +1082,7 @@ func (t *mcTarget) ingest(p *sim.Proc, buf []byte, bytes int, origin recvOrigin)
 }
 
 // handleGapCtrl processes one agreement control message from a source.
-func (t *mcTarget) handleGapCtrl(p *sim.Proc, buf []byte) {
+func (t *mcTarget) handleGapCtrl(p transport.Ctx, buf []byte) {
 	kind := buf[0]
 	src := int(buf[1])
 	seq := binary.LittleEndian.Uint64(buf[8:16])
@@ -1109,7 +1108,7 @@ func (t *mcTarget) handleGapCtrl(p *sim.Proc, buf []byte) {
 // NoHave freezes the sequence — a late multicast arrival must not be
 // delivered past the round's verdict, or this target would keep a
 // segment its peers agreed to skip.
-func (t *mcTarget) answerProbe(p *sim.Proc, src int, seq uint64) {
+func (t *mcTarget) answerProbe(p transport.Ctx, src int, seq uint64) {
 	if src < 0 || src >= len(t.tqps) {
 		return
 	}
@@ -1133,7 +1132,7 @@ func (t *mcTarget) answerProbe(p *sim.Proc, src int, seq uint64) {
 
 // sendGapAnswer sends one agreement answer, with the segment copy
 // appended for Have.
-func (t *mcTarget) sendGapAnswer(p *sim.Proc, src int, kind byte, seq uint64, payload []byte) {
+func (t *mcTarget) sendGapAnswer(p transport.Ctx, src int, kind byte, seq uint64, payload []byte) {
 	msg := make([]byte, ctrlBytes+len(payload))
 	msg[0] = kind
 	msg[1] = byte(t.idx)
@@ -1161,7 +1160,7 @@ func (t *mcTarget) applySkip(seq uint64) {
 
 // sendGapQuery escalates a stuck head gap to the arbiter — the lowest
 // live source slot — which runs the agreement round.
-func (t *mcTarget) sendGapQuery(p *sim.Proc, seq uint64) {
+func (t *mcTarget) sendGapQuery(p transport.Ctx, seq uint64) {
 	leader := -1
 	for s := range t.failedSrc {
 		if !t.failedSrc[s].Load() {
@@ -1180,7 +1179,7 @@ func (t *mcTarget) sendGapQuery(p *sim.Proc, seq uint64) {
 }
 
 // poll drains all receive CQs without blocking, ingesting arrivals.
-func (t *mcTarget) poll(p *sim.Proc) bool {
+func (t *mcTarget) poll(p transport.Ctx) bool {
 	got := false
 	for t.ep.RecvCQ().Len() > 0 {
 		c, ok := t.ep.RecvCQ().Poll(p)
@@ -1205,7 +1204,7 @@ func (t *mcTarget) poll(p *sim.Proc) bool {
 
 // sendCredit reports cumulative consumption from src back to it, both as
 // flow-control credit and as the termination handshake.
-func (t *mcTarget) sendCredit(p *sim.Proc, src int, force bool) {
+func (t *mcTarget) sendCredit(p transport.Ctx, src int, force bool) {
 	batch := uint64(t.spec.Options.SegmentsPerRing / 4)
 	if batch == 0 {
 		batch = 1
@@ -1227,7 +1226,7 @@ func (t *mcTarget) sendCredit(p *sim.Proc, src int, force bool) {
 // broadcastProgress tells every source how far the target's global
 // sequence progressed (ordered flows): sources translate this into their
 // own credit, and skipped gaps count as progress.
-func (t *mcTarget) broadcastProgress(p *sim.Proc) {
+func (t *mcTarget) broadcastProgress(p transport.Ctx) {
 	for _, qp := range t.tqps {
 		msg := make([]byte, ctrlBytes)
 		msg[0] = ctrlCredit
@@ -1240,7 +1239,7 @@ func (t *mcTarget) broadcastProgress(p *sim.Proc) {
 // flows with application-level gap handling, skipped sequence numbers are
 // acknowledged as consumed so the source's termination handshake
 // completes.
-func (t *mcTarget) sendFinalCredit(p *sim.Proc, src int) {
+func (t *mcTarget) sendFinalCredit(p transport.Ctx, src int) {
 	if t.spec.Options.GlobalOrdering {
 		// Global progress (including ResolveGap skips) already covers the
 		// whole sequence space by the time the flow finishes; just
@@ -1262,7 +1261,7 @@ func (t *mcTarget) sendFinalCredit(p *sim.Proc, src int) {
 // sendNack requests retransmission of a missing sequence number. Ordered
 // flows cannot tell which source owns a global sequence number, so the
 // NACK goes to every source; only the owner finds it in its history.
-func (t *mcTarget) sendNack(p *sim.Proc, seq uint64, src int) {
+func (t *mcTarget) sendNack(p transport.Ctx, seq uint64, src int) {
 	t.nacksSent.Add(1)
 	msg := make([]byte, ctrlBytes)
 	msg[0] = ctrlNack
@@ -1362,15 +1361,15 @@ func (t *mcTarget) totalExpected() uint64 {
 // never multicast, which the agreement rounds then resolve to skips.
 // Returns false when the sequencer node itself is unreachable; callers
 // fall back to the folded per-source counts.
-func (t *mcTarget) seqSpaceSize(p *sim.Proc) (uint64, bool) {
+func (t *mcTarget) seqSpaceSize(p transport.Ctx) (uint64, bool) {
 	if t.seqQP == nil {
 		return 0, false
 	}
-	return t.seqQP.FetchAddChecked(p, fabric.Addr{MR: t.meta.seqMR}, 0)
+	return t.seqQP.FetchAddChecked(p, transport.Addr{MR: t.meta.seqMR}, 0)
 }
 
 // deliver activates a pending segment for consumption.
-func (t *mcTarget) deliver(p *sim.Proc, buf []byte, src int) {
+func (t *mcTarget) deliver(p transport.Ctx, buf []byte, src int) {
 	seq := binary.LittleEndian.Uint64(buf[8:16])
 	delete(t.pending, t.key(src, seq))
 	if t.spec.Options.GlobalOrdering {
@@ -1418,7 +1417,7 @@ func (t *mcTarget) retainDelivered(seq uint64, seg []byte) {
 // reportProgress periodically merges this target's delivery progress
 // into the registry's sequencer record (every R segments): the raw
 // material of the snapshot a rejoining target installs.
-func (t *mcTarget) reportProgress(p *sim.Proc) {
+func (t *mcTarget) reportProgress(p transport.Ctx) {
 	t.totalDelivered++
 	if t.totalDelivered < t.progressAt {
 		return
@@ -1435,7 +1434,7 @@ func (t *mcTarget) reportProgress(p *sim.Proc) {
 // treating them as ended at their delivered count. Undeliverable pending
 // segments of a failed unordered source are discarded (their predecessors
 // died with the source's retransmission history).
-func (t *mcTarget) detectFailures(p *sim.Proc) {
+func (t *mcTarget) detectFailures(p transport.Ctx) {
 	timeout := t.spec.Options.SourceTimeout
 	if timeout <= 0 {
 		return
@@ -1545,7 +1544,7 @@ func (t *mcTarget) failedSources() []int {
 
 // advanceSkips moves the head past consecutive agreed skips, counting
 // them as progress so source credit keeps flowing.
-func (t *mcTarget) advanceSkips(p *sim.Proc) {
+func (t *mcTarget) advanceSkips(p transport.Ctx) {
 	for t.skips[t.nextGlobal] {
 		t.nextGlobal++
 		t.totalDelivered++
@@ -1570,7 +1569,7 @@ func (t *mcTarget) advanceSkips(p *sim.Proc) {
 // agreed are unfillable — the same verdict every peer applies, which is
 // what keeps the global order identical across targets. NotifyGaps then
 // surfaces only agreed-unfillable sequences.
-func (t *mcTarget) nextSegment(p *sim.Proc) bool {
+func (t *mcTarget) nextSegment(p transport.Ctx) bool {
 	if t.active != nil {
 		t.recycle(t.active)
 		t.active = nil
@@ -1705,12 +1704,12 @@ func (t *mcTarget) frozenSeq(seq uint64) bool {
 // termination chain is: stuck requester keeps its arbiter's close
 // lingering, the responder serves the round, the requester finishes,
 // close returns, the sources release their leases, the responder exits.
-func (t *mcTarget) spawnGapResponder(p *sim.Proc) {
+func (t *mcTarget) spawnGapResponder(p transport.Ctx) {
 	if t.responderUp || t.mem == nil {
 		return
 	}
 	t.responderUp = true
-	p.Spawn(fmt.Sprintf("mc-gap-responder:%s:%d", t.spec.Name, t.idx), func(rp *sim.Proc) {
+	t.meta.cluster.Spawn(p, fmt.Sprintf("mc-gap-responder:%s:%d", t.spec.Name, t.idx), func(rp transport.Ctx) {
 		iv := t.spec.Options.GapTimeout
 		if iv <= 0 {
 			iv = 5 * time.Microsecond
@@ -1785,7 +1784,7 @@ func (t *mcTarget) headMissing() (seq uint64, src int) {
 }
 
 // waitArrival blocks briefly for the next message on any receive queue.
-func (t *mcTarget) waitArrival(p *sim.Proc) {
+func (t *mcTarget) waitArrival(p transport.Ctx) {
 	d := t.spec.Options.GapTimeout / 4
 	if d <= 0 {
 		d = 5 * time.Microsecond
@@ -1794,7 +1793,7 @@ func (t *mcTarget) waitArrival(p *sim.Proc) {
 }
 
 // consume returns the next tuple in flow order.
-func (t *mcTarget) consume(p *sim.Proc) (schema.Tuple, bool) {
+func (t *mcTarget) consume(p transport.Ctx) (schema.Tuple, bool) {
 	if t.done || t.evicted || t.gapPending {
 		return nil, false
 	}
@@ -1810,7 +1809,7 @@ func (t *mcTarget) consume(p *sim.Proc) (schema.Tuple, bool) {
 }
 
 // consumeSegment returns the next whole segment as a raw batch.
-func (t *mcTarget) consumeSegment(p *sim.Proc) ([]byte, int, bool) {
+func (t *mcTarget) consumeSegment(p transport.Ctx) ([]byte, int, bool) {
 	if t.done || t.evicted || t.gapPending {
 		return nil, 0, false
 	}
@@ -1840,7 +1839,7 @@ func (t *mcTarget) pendingGap() (Gap, bool) {
 // resolveGap skips past a surfaced gap: the application has agreed (e.g.
 // via NOPaxos gap agreement) to treat the sequence number as a no-op. The
 // skip counts as global progress so source credit keeps flowing.
-func (t *mcTarget) resolveGap(p *sim.Proc) {
+func (t *mcTarget) resolveGap(p transport.Ctx) {
 	if !t.gapPending {
 		return
 	}
@@ -1856,7 +1855,7 @@ func (t *mcTarget) resolveGap(p *sim.Proc) {
 
 // requestGapRetransmit asks the sources to resend a surfaced gap instead
 // of skipping it.
-func (t *mcTarget) requestGapRetransmit(p *sim.Proc) {
+func (t *mcTarget) requestGapRetransmit(p transport.Ctx) {
 	if !t.gapPending {
 		return
 	}

@@ -4,10 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"dfi/internal/fabric"
-	"dfi/internal/registry"
 	"dfi/internal/schema"
-	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
 // This file implements the paper's stated avenue of future work for
@@ -60,7 +58,7 @@ type SharpCombiner struct {
 	name   string
 	spec   SharpOptions
 	sch    *schema.Schema
-	engine *fabric.Node
+	engine transport.Endpoint
 }
 
 // aggTupleSchema is the flush-flow schema: group key, value, count.
@@ -73,7 +71,7 @@ var aggTupleSchema = schema.MustNew(
 // NewSharpCombiner initializes the two underlying flows and spawns the
 // switch reduction engine. Sources attach to the ingest flow (name
 // returned by IngestFlow) exactly like any combiner flow sources.
-func NewSharpCombiner(p *sim.Proc, reg *registry.Registry, cluster *fabric.Cluster,
+func NewSharpCombiner(p transport.Ctx, reg Registry, cluster transport.Transport,
 	name string, sources []Endpoint, target Endpoint, sch *schema.Schema, opt SharpOptions) (*SharpCombiner, error) {
 
 	if opt.FlushGroups == 0 {
@@ -85,7 +83,7 @@ func NewSharpCombiner(p *sim.Proc, reg *registry.Registry, cluster *fabric.Clust
 	if opt.Ports == 0 {
 		opt.Ports = len(sources)
 	}
-	sc := &SharpCombiner{name: name, spec: opt, sch: sch, engine: cluster.NewSwitchNode()}
+	sc := &SharpCombiner{name: name, spec: opt, sch: sch, engine: cluster.SwitchEndpoint()}
 
 	// One reduction engine per ingress port: SHARP reduces in parallel at
 	// line rate on every port of the switch.
@@ -118,7 +116,7 @@ func NewSharpCombiner(p *sim.Proc, reg *registry.Registry, cluster *fabric.Clust
 	}
 	for port := 0; port < opt.Ports; port++ {
 		port := port
-		p.Spawn(fmt.Sprintf("sharp-engine-%s-%d", name, port), func(ep *sim.Proc) {
+		cluster.Spawn(p, fmt.Sprintf("sharp-engine-%s-%d", name, port), func(ep transport.Ctx) {
 			sc.runEngine(ep, reg, cluster, port)
 		})
 	}
@@ -133,7 +131,7 @@ func (sc *SharpCombiner) flushFlow() string { return sc.name + "/flush" }
 // runEngine is one per-port reduction engine: it consumes its share of
 // the ingest flow, reduces tuples at the configured line rate, and
 // flushes partial aggregates to the target.
-func (sc *SharpCombiner) runEngine(p *sim.Proc, reg *registry.Registry, cluster *fabric.Cluster, port int) {
+func (sc *SharpCombiner) runEngine(p transport.Ctx, reg Registry, cluster transport.Transport, port int) {
 	in, err := TargetOpen(p, reg, sc.IngestFlow(), port)
 	if err != nil {
 		panic(err)
@@ -143,7 +141,7 @@ func (sc *SharpCombiner) runEngine(p *sim.Proc, reg *registry.Registry, cluster 
 		panic(err)
 	}
 	groups := make(map[uint64]*aggState, sc.spec.FlushGroups)
-	copyData := cluster.Config().CopyPayload
+	copyData := cluster.CopiesPayload()
 	ts := sc.sch.TupleSize()
 
 	flushAll := func() {
@@ -200,7 +198,7 @@ func (sc *SharpCombiner) runEngine(p *sim.Proc, reg *registry.Registry, cluster 
 
 // TargetOpenSharp attaches the final aggregation target: it merges the
 // engine's partial aggregates into exact totals.
-func (sc *SharpCombiner) TargetOpenSharp(p *sim.Proc, reg *registry.Registry) (*SharpTarget, error) {
+func (sc *SharpCombiner) TargetOpenSharp(p transport.Ctx, reg Registry) (*SharpTarget, error) {
 	t, err := TargetOpen(p, reg, sc.flushFlow(), 0)
 	if err != nil {
 		return nil, err
@@ -216,7 +214,7 @@ type SharpTarget struct {
 }
 
 // Run drains the flush flow, merging partials until flow end.
-func (st *SharpTarget) Run(p *sim.Proc) {
+func (st *SharpTarget) Run(p transport.Ctx) {
 	st.groups = make(map[uint64]*aggState)
 	for {
 		tup, ok := st.t.Consume(p)

@@ -8,10 +8,9 @@ import (
 	"time"
 
 	"dfi/internal/core/partition"
-	"dfi/internal/fabric"
 	"dfi/internal/registry"
 	"dfi/internal/schema"
-	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
 // chargeBatch is how many per-tuple CPU costs are accumulated before being
@@ -27,8 +26,8 @@ type Source struct {
 	meta *flowMeta
 	spec *FlowSpec
 	idx  int
-	node *fabric.Node
-	reg  *registry.Registry
+	node transport.Endpoint
+	reg  Registry
 
 	// writers holds one ring writer per target. An entry is nil only
 	// when its target was already evicted from the flow membership at
@@ -79,7 +78,7 @@ type Source struct {
 // retrieving the flow metadata from the registry and connecting to every
 // target's ring buffers. It blocks until the flow and all targets are
 // available.
-func SourceOpen(p *sim.Proc, reg *registry.Registry, name string, sourceIdx int) (*Source, error) {
+func SourceOpen(p transport.Ctx, reg Registry, name string, sourceIdx int) (*Source, error) {
 	meta := lookupFlow(p, reg, name)
 	spec := &meta.spec
 	if sourceIdx < 0 || sourceIdx >= len(spec.Sources) {
@@ -106,7 +105,7 @@ func SourceOpen(p *sim.Proc, reg *registry.Registry, name string, sourceIdx int)
 // connectAll connects one writer per target ring and initializes the
 // membership view — the shared tail of SourceOpen, AttachSource, and
 // Reattach.
-func (s *Source) connectAll(p *sim.Proc, name string) error {
+func (s *Source) connectAll(p transport.Ctx, name string) error {
 	s.mem = s.reg.MembershipOf(name)
 	for t := range s.spec.Targets {
 		inc := s.targetInc(t)
@@ -167,12 +166,12 @@ func (s *Source) Targets() int { return len(s.spec.Targets) }
 
 // chargePush accounts one tuple's CPU cost, batched for simulation
 // efficiency in bandwidth mode.
-func (s *Source) chargePush(p *sim.Proc) {
+func (s *Source) chargePush(p transport.Ctx) {
 	s.chargePushN(p, 1)
 }
 
 // settleCharge flushes any accumulated per-tuple CPU cost.
-func (s *Source) settleCharge(p *sim.Proc) {
+func (s *Source) settleCharge(p transport.Ctx) {
 	if s.pendingCharge > 0 {
 		s.node.Compute(p, time.Duration(s.pendingCharge)*s.spec.Options.PushCost)
 		s.pendingCharge = 0
@@ -183,7 +182,7 @@ func (s *Source) settleCharge(p *sim.Proc) {
 // route comes from the shuffle key hash or the flow's RoutingFunc; for
 // replicate flows the tuple goes to every target. Push is non-blocking
 // except for flow control (a saturated ring or exhausted credit).
-func (s *Source) Push(p *sim.Proc, t schema.Tuple) error {
+func (s *Source) Push(p transport.Ctx, t schema.Tuple) error {
 	if s.closed {
 		return fmt.Errorf("dfi: push on closed source of flow %q", s.spec.Name)
 	}
@@ -213,7 +212,7 @@ func (s *Source) Push(p *sim.Proc, t schema.Tuple) error {
 // leg whose target gets evicted mid-push is dropped: the survivors
 // carry their own complete copies, and the dead writer's buffered
 // window is discarded by syncEpoch rather than drained.
-func (s *Source) pushReplicate(p *sim.Proc, t schema.Tuple) error {
+func (s *Source) pushReplicate(p transport.Ctx, t schema.Tuple) error {
 	if err := s.syncEpoch(p); err != nil {
 		return err
 	}
@@ -239,7 +238,7 @@ func (s *Source) pushReplicate(p *sim.Proc, t schema.Tuple) error {
 // bypassing key routing (paper §4.2.1, routing option 3). When the named
 // target has been evicted from the flow membership the tuple is remapped
 // onto a survivor (see lifecycle.go).
-func (s *Source) PushTo(p *sim.Proc, t schema.Tuple, target int) error {
+func (s *Source) PushTo(p transport.Ctx, t schema.Tuple, target int) error {
 	if target < 0 || target >= len(s.writers) {
 		return fmt.Errorf("dfi: target %d out of range (%d targets)", target, len(s.writers))
 	}
@@ -266,7 +265,7 @@ func (s *Source) PushTo(p *sim.Proc, t schema.Tuple, target int) error {
 	}
 }
 
-func (s *Source) pushWriter(p *sim.Proc, w *ringWriter, t schema.Tuple) error {
+func (s *Source) pushWriter(p transport.Ctx, w *ringWriter, t schema.Tuple) error {
 	if s.spec.Options.Optimization == OptimizeLatency {
 		return w.pushImmediate(p, t)
 	}
@@ -277,7 +276,7 @@ func (s *Source) pushWriter(p *sim.Proc, w *ringWriter, t schema.Tuple) error {
 // already pushed become consumable at their targets even if segments were
 // not full. A non-nil error (ErrFlowBroken) means a target became
 // unreachable and bounded recovery gave up.
-func (s *Source) Flush(p *sim.Proc) error {
+func (s *Source) Flush(p transport.Ctx) error {
 	s.settleCharge(p)
 	if s.mc != nil {
 		return s.mc.flush(p)
@@ -311,7 +310,7 @@ func (s *Source) Flush(p *sim.Proc) error {
 // closed. With Options.RetransmitTimeout set, a nil return additionally
 // certifies that every target consumed the full stream; ErrFlowBroken
 // reports an unreachable or stuck target.
-func (s *Source) Close(p *sim.Proc) error {
+func (s *Source) Close(p transport.Ctx) error {
 	if s.closed {
 		return nil
 	}
@@ -419,22 +418,22 @@ func (s *Source) Pushed() uint64 { return s.pushed.Load() }
 
 // Stalls reports total virtual time the source spent blocked on remote
 // ring space and on local segment reuse (diagnostics).
-func (s *Source) Stalls() (remote, local sim.Time) {
+func (s *Source) Stalls() (remote, local time.Duration) {
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	for _, w := range s.writers {
 		if w == nil {
 			continue
 		}
-		remote += sim.Time(w.StallRemote.Load())
-		local += sim.Time(w.StallLocal.Load())
+		remote += time.Duration(w.StallRemote.Load())
+		local += time.Duration(w.StallLocal.Load())
 	}
 	return remote, local
 }
 
 // ProbeStats reports footer-read diagnostics: reads issued, reads that
 // found the probed slot unconsumed, and total randomized backoff time.
-func (s *Source) ProbeStats() (probes, misses int, backoff sim.Time) {
+func (s *Source) ProbeStats() (probes, misses int, backoff time.Duration) {
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	for _, w := range s.writers {
@@ -443,7 +442,7 @@ func (s *Source) ProbeStats() (probes, misses int, backoff sim.Time) {
 		}
 		probes += int(w.Probes.Load())
 		misses += int(w.ProbeMisses.Load())
-		backoff += sim.Time(w.BackoffTime.Load())
+		backoff += time.Duration(w.BackoffTime.Load())
 	}
 	return
 }
@@ -473,7 +472,7 @@ func (s *Source) Free() {
 // the boundary that turns the eviction's at-least-once window into
 // exactly-once for everything behind it. Requires delivery confirmation
 // (Options.RetransmitTimeout; set implicitly by LeaseTTL).
-func (s *Source) Checkpoint(p *sim.Proc) (uint64, error) {
+func (s *Source) Checkpoint(p transport.Ctx) (uint64, error) {
 	if s.mc != nil {
 		return 0, fmt.Errorf("%w: Checkpoint (multicast targets recover from sequencer snapshots instead)", ErrUnsupportedOnMulticast)
 	}
@@ -530,7 +529,7 @@ func (s *Source) Slot() int { return s.idx }
 // transfers to a fresh slot through the ordinary attach machinery
 // (slots are never recycled there). Requires Options.RetransmitTimeout:
 // a ring reset racing the new stream is healed by retransmission.
-func (s *Source) Reattach(p *sim.Proc) (*Source, uint64, error) {
+func (s *Source) Reattach(p transport.Ctx) (*Source, uint64, error) {
 	if s.mc != nil {
 		return nil, 0, fmt.Errorf("%w: Source.Reattach (an evicted multicast source's history dies with it; gap agreement reconciles the survivors)", ErrUnsupportedOnMulticast)
 	}

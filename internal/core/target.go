@@ -7,11 +7,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"dfi/internal/fabric"
 	"dfi/internal/metrics"
 	"dfi/internal/registry"
 	"dfi/internal/schema"
-	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
 // pollTimeout bounds one wait on the target's memory region before the
@@ -27,10 +26,10 @@ type Target struct {
 	meta *flowMeta
 	spec *FlowSpec
 	idx  int
-	node *fabric.Node
-	reg  *registry.Registry
+	node transport.Endpoint
+	reg  Registry
 
-	mr      *fabric.MemoryRegion
+	mr      transport.Region
 	geom    ringGeom
 	readers []*ringReader
 	cur     int
@@ -63,6 +62,11 @@ type Target struct {
 	// registry).
 	events metrics.EventSink
 	evNode string
+
+	// Scratch buffers for Region.Load/Store of footer and header bytes
+	// (kept on the struct so the hot consume path does not allocate).
+	footerScratch [footerBytes]byte
+	hdrScratch    [8]byte
 }
 
 // ringReader tracks consumption of one source's ring.
@@ -79,10 +83,10 @@ type ringReader struct {
 
 	// Failure detection (Options.SourceTimeout). hasActivity
 	// distinguishes "never heard from" (grace period pending) from a ring
-	// legitimately active at virtual time zero — sim.Time starts at 0, so
+	// legitimately active at virtual time zero — time.Duration starts at 0, so
 	// lastActivity alone cannot encode "unset".
 	hasActivity  bool
-	lastActivity sim.Time
+	lastActivity time.Duration
 	failed       atomic.Bool
 }
 
@@ -90,7 +94,7 @@ type ringReader struct {
 // allocates the target-side receive buffers (one ring per source) and
 // publishes their addresses for sources to connect. For combiner flows use
 // CombinerTargetOpen instead.
-func TargetOpen(p *sim.Proc, reg *registry.Registry, name string, targetIdx int) (*Target, error) {
+func TargetOpen(p transport.Ctx, reg Registry, name string, targetIdx int) (*Target, error) {
 	meta := lookupFlow(p, reg, name)
 	spec := &meta.spec
 	if targetIdx < 0 || targetIdx >= len(spec.Targets) {
@@ -139,7 +143,7 @@ func (t *Target) allocRings() *targetInfo {
 	if t.spec.Options.Elastic {
 		nSources = t.spec.Options.MaxSources
 	}
-	t.mr = t.meta.cluster.RegisterMemory(t.node, nSources*t.geom.ringLen())
+	t.mr = t.meta.cluster.OpenRegion(t.node, nSources*t.geom.ringLen())
 	info := &targetInfo{mr: t.mr, geom: t.geom}
 	for i := 0; i < nSources; i++ {
 		off := i * t.geom.ringLen()
@@ -194,10 +198,19 @@ func (t *Target) closeLeftRings(n int) {
 // Schema returns the flow's tuple schema.
 func (t *Target) Schema() *schema.Schema { return t.spec.Schema }
 
-// footer returns the footer bytes of reader r's current slot.
-func (t *Target) footer(r *ringReader) []byte {
-	off := r.ringOff + t.geom.segOff(r.rslot) + t.geom.segSize
-	return t.mr.Bytes()[off : off+footerBytes]
+// footerOff returns the region offset of reader r's current slot footer.
+func (t *Target) footerOff(r *ringReader) int {
+	return r.ringOff + t.geom.segOff(r.rslot) + t.geom.segSize
+}
+
+// loadFooter snapshots the footer bytes of reader r's current slot into
+// the target's scratch buffer. Footer bytes are written by remote WRITEs
+// while the target polls them, so the read goes through Region.Load,
+// which synchronizes with in-flight commits on concurrent backends (and
+// is a plain copy on the DES fabric).
+func (t *Target) loadFooter(r *ringReader) []byte {
+	t.mr.Load(t.footerOff(r), t.footerScratch[:])
+	return t.footerScratch[:]
 }
 
 // payload returns the payload bytes of reader r's current slot.
@@ -219,14 +232,12 @@ func (t *Target) resetRing(r *ringReader) {
 	r.consumed.Store(0)
 	r.rslot = 0
 	r.hasActivity = false
+	var zero [footerBytes]byte
 	for i := 0; i < t.geom.nSegs; i++ {
 		off := r.ringOff + t.geom.segOff(i) + t.geom.segSize
-		f := t.mr.Bytes()[off : off+footerBytes]
-		for j := range f {
-			f[j] = 0
-		}
+		t.mr.Store(off, zero[:])
 	}
-	binary.LittleEndian.PutUint64(t.mr.Bytes()[r.ringOff:r.ringOff+8], 0)
+	t.mr.Store(r.ringOff, zero[:8])
 }
 
 // release marks reader r's current slot writable again and advances the
@@ -234,17 +245,20 @@ func (t *Target) resetRing(r *ringReader) {
 // the ring-header consumed counter is bumped (latency-mode credit
 // back-channel). Local stores by the owning node are free.
 func (t *Target) release(r *ringReader) {
-	f := t.footer(r)
-	f[4] = 0
-	binary.LittleEndian.PutUint64(t.mr.Bytes()[r.ringOff:r.ringOff+8], r.consumed.Add(1))
+	// The footer flag is remotely READ by writer probes and the header
+	// counter by credit reads, so both stores go through Region.Store.
+	var clear [1]byte
+	t.mr.Store(t.footerOff(r)+4, clear[:])
+	binary.LittleEndian.PutUint64(t.hdrScratch[:], r.consumed.Add(1))
+	t.mr.Store(r.ringOff, t.hdrScratch[:])
 	r.rslot = (r.rslot + 1) % t.geom.nSegs
 }
 
 // loadSegment makes reader r's current slot the active segment if it is
 // consumable, releasing handled end-markers. It reports whether tuples
 // became available.
-func (t *Target) loadSegment(p *sim.Proc, r *ringReader) bool {
-	f := t.footer(r)
+func (t *Target) loadSegment(p transport.Ctx, r *ringReader) bool {
+	f := t.loadFooter(r)
 	if f[4]&flagConsumable == 0 {
 		return false
 	}
@@ -289,7 +303,7 @@ func (t *Target) loadSegment(p *sim.Proc, r *ringReader) bool {
 // nextSegment scans rings round-robin for a consumable segment, blocking
 // on the memory region while none is available. It returns false when all
 // sources have closed (flow end).
-func (t *Target) nextSegment(p *sim.Proc) bool {
+func (t *Target) nextSegment(p transport.Ctx) bool {
 	if t.active != nil {
 		t.release(t.active)
 		t.active = nil
@@ -349,7 +363,7 @@ func (t *Target) nextSegment(p *sim.Proc) bool {
 // source has closed (FLOW_END). The returned tuple is a zero-copy view
 // into the receive ring, valid until the segment is recycled on a later
 // Consume call — process or copy it before draining past the segment.
-func (t *Target) Consume(p *sim.Proc) (schema.Tuple, bool) {
+func (t *Target) Consume(p transport.Ctx) (schema.Tuple, bool) {
 	if t.mc != nil {
 		tup, ok := t.mc.consume(p)
 		if ok {
@@ -379,7 +393,7 @@ func (t *Target) Consume(p *sim.Proc) (schema.Tuple, bool) {
 // ConsumeSegment returns the next whole consumable segment as a raw tuple
 // batch (zero-copy), the higher-throughput interface used by the join
 // implementations. The previous segment is recycled.
-func (t *Target) ConsumeSegment(p *sim.Proc) (data []byte, count int, ok bool) {
+func (t *Target) ConsumeSegment(p transport.Ctx) (data []byte, count int, ok bool) {
 	if t.mc != nil {
 		data, count, ok := t.mc.consumeSegment(p)
 		if ok {
@@ -424,7 +438,7 @@ func (t *Target) PendingGap() (Gap, bool) {
 
 // detectFailures closes rings whose sources have been silent beyond the
 // configured SourceTimeout (failure detection; see Options.SourceTimeout).
-func (t *Target) detectFailures(p *sim.Proc, n int) {
+func (t *Target) detectFailures(p transport.Ctx, n int) {
 	timeout := t.spec.Options.SourceTimeout
 	if timeout <= 0 {
 		return
@@ -487,7 +501,7 @@ func (t *Target) Slot() int { return t.idx }
 // stream is complete across the gap at least-once (exactly-once behind
 // the sources' checkpointed watermarks). Rejoining a slot that was
 // never evicted is refused, as is re-attaching from a crashed node.
-func (t *Target) Reattach(p *sim.Proc) (*Target, error) {
+func (t *Target) Reattach(p transport.Ctx) (*Target, error) {
 	if t.mc != nil {
 		return t.reattachMulticast(p)
 	}
@@ -534,7 +548,7 @@ func (t *Target) Reattach(p *sim.Proc) (*Target, error) {
 // delivery from the high-water; see newMcTargetRejoin. Requires the
 // lease/epoch control plane: without GlobalOrdering there is no global
 // resume point, and without leases no snapshot was ever recorded.
-func (t *Target) reattachMulticast(p *sim.Proc) (*Target, error) {
+func (t *Target) reattachMulticast(p transport.Ctx) (*Target, error) {
 	if !t.spec.Options.GlobalOrdering || t.spec.Options.LeaseTTL <= 0 {
 		return nil, fmt.Errorf("%w: Reattach requires GlobalOrdering and LeaseTTL (no sequencer snapshot to rejoin from)", ErrUnsupportedOnMulticast)
 	}
@@ -576,7 +590,7 @@ func (t *Target) Free() {
 
 // ResolveGap skips a surfaced gap (the application agreed to treat the
 // missing sequence number as a no-op, e.g. after NOPaxos gap agreement).
-func (t *Target) ResolveGap(p *sim.Proc) {
+func (t *Target) ResolveGap(p transport.Ctx) {
 	if t.mc != nil {
 		t.mc.resolveGap(p)
 	}
@@ -584,7 +598,7 @@ func (t *Target) ResolveGap(p *sim.Proc) {
 
 // RequestGapRetransmit asks the sources to resend a surfaced gap instead
 // of skipping it; consumption resumes once the segment arrives.
-func (t *Target) RequestGapRetransmit(p *sim.Proc) {
+func (t *Target) RequestGapRetransmit(p transport.Ctx) {
 	if t.mc != nil {
 		t.mc.requestGapRetransmit(p)
 	}

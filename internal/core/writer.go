@@ -7,9 +7,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"dfi/internal/fabric"
 	"dfi/internal/metrics"
-	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
 // errEvicted reports that the writer's target was evicted from the flow
@@ -44,14 +43,15 @@ const (
 //     target's consumed counter when the local copy drops below the
 //     threshold.
 type ringWriter struct {
-	node    *fabric.Node
-	qp      *fabric.QP
-	remote  *fabric.MemoryRegion
+	tpt     transport.Transport
+	node    transport.Endpoint
+	qp      transport.Queue
+	remote  transport.Region
 	ringOff int
 	geom    ringGeom
 	opts    *Options
 
-	local   *fabric.MemoryRegion
+	local   transport.Region
 	srcSegs int
 	sslot   int
 	fill    int
@@ -112,9 +112,10 @@ type ringWriter struct {
 
 // newRingWriter connects a source thread on node to the ring at ringOff
 // inside the target's memory region.
-func newRingWriter(cluster *fabric.Cluster, node *fabric.Node, ti *targetInfo, ringOff int, opts *Options) *ringWriter {
-	qp, _ := cluster.CreateQPPair(node, ti.mr.Node())
+func newRingWriter(cluster transport.Transport, node transport.Endpoint, ti *targetInfo, ringOff int, opts *Options) *ringWriter {
+	qp, _ := cluster.Dial(node, ti.mr.Owner())
 	w := &ringWriter{
+		tpt:       cluster,
 		node:      node,
 		qp:        qp,
 		remote:    ti.mr,
@@ -127,7 +128,7 @@ func newRingWriter(cluster *fabric.Cluster, node *fabric.Node, ti *targetInfo, r
 		footerBuf: make([]byte, footerBytes),
 		creditBuf: make([]byte, 8),
 	}
-	w.local = cluster.RegisterMemory(node, w.srcSegs*w.geom.stride())
+	w.local = cluster.OpenRegion(node, w.srcSegs*w.geom.stride())
 	return w
 }
 
@@ -191,18 +192,18 @@ func (w *ringWriter) localSeg() []byte {
 }
 
 // remoteSlotAddr returns the address of remote ring slot i.
-func (w *ringWriter) remoteSlotAddr(i int) fabric.Addr {
-	return fabric.Addr{MR: w.remote, Off: w.ringOff + w.geom.segOff(i)}
+func (w *ringWriter) remoteSlotAddr(i int) transport.Addr {
+	return transport.Addr{MR: w.remote, Off: w.ringOff + w.geom.segOff(i)}
 }
 
 // remoteHeaderAddr returns the address of the ring's consumed counter.
-func (w *ringWriter) remoteHeaderAddr() fabric.Addr {
-	return fabric.Addr{MR: w.remote, Off: w.ringOff}
+func (w *ringWriter) remoteHeaderAddr() transport.Addr {
+	return transport.Addr{MR: w.remote, Off: w.ringOff}
 }
 
 // push appends one tuple to the current segment, flushing when full.
 // Bandwidth mode only; per-tuple CPU cost is charged in bulk at flush.
-func (w *ringWriter) push(p *sim.Proc, tuple []byte) error {
+func (w *ringWriter) push(p transport.Ctx, tuple []byte) error {
 	if err := w.checkAbort(); err != nil {
 		return err
 	}
@@ -211,7 +212,7 @@ func (w *ringWriter) push(p *sim.Proc, tuple []byte) error {
 			return err
 		}
 	}
-	if w.node.Cluster().Config().CopyPayload {
+	if w.tpt.CopiesPayload() {
 		copy(w.localSeg()[w.fill:], tuple)
 	}
 	w.fill += len(tuple)
@@ -224,8 +225,8 @@ func (w *ringWriter) push(p *sim.Proc, tuple []byte) error {
 // boundaries fall exactly where len(data)/tupleSize sequential push calls
 // would put them, so the resulting ring is byte-identical. Bandwidth mode
 // only; CPU cost is charged by the caller.
-func (w *ringWriter) pushRun(p *sim.Proc, data []byte, tupleSize int) error {
-	copyPayload := w.node.Cluster().Config().CopyPayload
+func (w *ringWriter) pushRun(p transport.Ctx, data []byte, tupleSize int) error {
+	copyPayload := w.tpt.CopiesPayload()
 	for len(data) > 0 {
 		if err := w.checkAbort(); err != nil {
 			return err
@@ -252,7 +253,7 @@ func (w *ringWriter) pushRun(p *sim.Proc, data []byte, tupleSize int) error {
 
 // pushImmediate transfers one tuple right away (latency mode): a full
 // segment write under credit flow control.
-func (w *ringWriter) pushImmediate(p *sim.Proc, tuple []byte) error {
+func (w *ringWriter) pushImmediate(p transport.Ctx, tuple []byte) error {
 	if err := w.checkAbort(); err != nil {
 		return err
 	}
@@ -265,7 +266,7 @@ func (w *ringWriter) pushImmediate(p *sim.Proc, tuple []byte) error {
 	}
 
 	seg := w.localSeg()
-	if w.node.Cluster().Config().CopyPayload {
+	if w.tpt.CopiesPayload() {
 		copy(seg, tuple)
 	}
 	w.writeSegment(p, len(tuple), flagConsumable)
@@ -282,7 +283,7 @@ func (w *ringWriter) pushImmediate(p *sim.Proc, tuple []byte) error {
 // target's consumed counter as needed. With RetransmitTimeout set, a stall
 // triggers resync-and-retransmit (the credit counter stalls exactly when a
 // segment the target needs next was lost).
-func (w *ringWriter) ensureCredit(p *sim.Proc) error {
+func (w *ringWriter) ensureCredit(p transport.Ctx) error {
 	rounds := 0
 	lastProgress := p.Now()
 	for w.credits <= 0 {
@@ -340,7 +341,7 @@ func (w *ringWriter) ensureCredit(p *sim.Proc) error {
 
 // flush transfers the current (possibly partial) segment; end marks the
 // flow-end segment. Bandwidth mode.
-func (w *ringWriter) flush(p *sim.Proc, end bool) error {
+func (w *ringWriter) flush(p transport.Ctx, end bool) error {
 	if w.fill == 0 && !end {
 		return nil
 	}
@@ -369,7 +370,7 @@ func (w *ringWriter) flush(p *sim.Proc, end bool) error {
 // writeSegment stamps the footer of the current local segment and issues
 // the RDMA WRITE(s) to the next remote slot, advancing ring positions.
 // fill is the valid payload size.
-func (w *ringWriter) writeSegment(p *sim.Proc, fill int, flags byte) {
+func (w *ringWriter) writeSegment(p transport.Ctx, fill int, flags byte) {
 	seg := w.localSeg()
 	footer := seg[w.geom.segSize:]
 	binary.LittleEndian.PutUint32(footer[0:4], uint32(fill))
@@ -393,7 +394,7 @@ func (w *ringWriter) writeSegment(p *sim.Proc, fill int, flags byte) {
 		// certifying exactly the payload it travelled with, and a split
 		// write could lose the payload yet land the footer, exposing a
 		// stale segment body as valid.
-		w.qp.Write(p, seg, w.remoteSlotAddr(slot), fabric.WriteOptions{
+		w.qp.Write(p, seg, w.remoteSlotAddr(slot), transport.WriteOptions{
 			Signaled: signaled, ID: id, CommitTail: footerBytes,
 		})
 	} else {
@@ -403,9 +404,9 @@ func (w *ringWriter) writeSegment(p *sim.Proc, fill int, flags byte) {
 		// footer strictly after the payload.
 		fAddr := w.remoteSlotAddr(slot)
 		fAddr.Off += w.geom.segSize
-		w.qp.WriteBatch(p, []fabric.WriteWR{
+		w.qp.WriteBatch(p, []transport.WriteWR{
 			{Src: seg[:fill], Dst: w.remoteSlotAddr(slot)},
-			{Src: footer, Dst: fAddr, Opts: fabric.WriteOptions{
+			{Src: footer, Dst: fAddr, Opts: transport.WriteOptions{
 				Signaled: signaled, ID: id, CommitTail: footerBytes,
 			}},
 		})
@@ -438,7 +439,7 @@ func (w *ringWriter) epochLabel() uint64 {
 // target lags (paper §5.2). With RetransmitTimeout set, a stalled probe
 // pipeline (lost probe, lost probe response, or a lost WRITE the target is
 // stuck waiting for) triggers resync-and-retransmit instead of a hang.
-func (w *ringWriter) ensureRemoteWritable(p *sim.Proc) error {
+func (w *ringWriter) ensureRemoteWritable(p transport.Ctx) error {
 	start := p.Now()
 	defer func() { w.StallRemote.Add(int64(p.Now() - start)) }()
 	rounds := 0
@@ -494,7 +495,7 @@ func (w *ringWriter) ensureRemoteWritable(p *sim.Proc) error {
 // outstanding segments were all consumed — so probing half a window ahead
 // reclaims many slots per round trip instead of one, keeping the source
 // pipelined even when the ring runs full.
-func (w *ringWriter) postFooterRead(p *sim.Proc) {
+func (w *ringWriter) postFooterRead(p transport.Ctx) {
 	outstanding := w.written - w.acked
 	ahead := uint64(w.geom.nSegs / 2)
 	if outstanding == 0 {
@@ -518,7 +519,7 @@ func (w *ringWriter) postFooterRead(p *sim.Proc) {
 // watermark advances through the periodic signaled completions (QP
 // completions are ordered, so completion of write k proves all writes
 // ≤ k are done).
-func (w *ringWriter) waitLocalSlot(p *sim.Proc) error {
+func (w *ringWriter) waitLocalSlot(p transport.Ctx) error {
 	if w.written < uint64(w.srcSegs) {
 		return nil
 	}
@@ -553,7 +554,7 @@ func (w *ringWriter) waitLocalSlot(p *sim.Proc) error {
 }
 
 // drainCQ consumes available completions without blocking.
-func (w *ringWriter) drainCQ(p *sim.Proc) {
+func (w *ringWriter) drainCQ(p transport.Ctx) {
 	for w.qp.SendCQ().Len() > 0 {
 		c, ok := w.qp.SendCQ().Poll(p)
 		if !ok {
@@ -564,7 +565,7 @@ func (w *ringWriter) drainCQ(p *sim.Proc) {
 }
 
 // handleCompletion dispatches one CQ entry.
-func (w *ringWriter) handleCompletion(p *sim.Proc, c fabric.Completion) {
+func (w *ringWriter) handleCompletion(p transport.Ctx, c transport.Completion) {
 	switch {
 	case c.ID&idFooterRead != 0:
 		w.footerPending = false
@@ -606,7 +607,7 @@ func (w *ringWriter) handleCompletion(p *sim.Proc, c fabric.Completion) {
 }
 
 // backoff sleeps a small randomized interval (0.5µs–2µs).
-func (w *ringWriter) backoff(p *sim.Proc) {
+func (w *ringWriter) backoff(p transport.Ctx) {
 	d := 500*time.Nanosecond + time.Duration(p.Rand().Int63n(int64(1500*time.Nanosecond)))
 	w.BackoffTime.Add(int64(d))
 	p.Sleep(d)
@@ -618,7 +619,7 @@ func (w *ringWriter) backoff(p *sim.Proc) {
 // target's footer sequence check ignores segments it already consumed, so
 // rewriting a merely-slow (rather than lost) segment is harmless. Only
 // called with RetransmitTimeout > 0.
-func (w *ringWriter) recover(p *sim.Proc) error {
+func (w *ringWriter) recover(p transport.Ctx) error {
 	// 1. Resync: read the consumed counter, bounded, retrying lost READs.
 	for attempt := 0; ; attempt++ {
 		if err := w.checkAbort(); err != nil {
@@ -656,7 +657,7 @@ func (w *ringWriter) recover(p *sim.Proc) error {
 	// Unsignaled rewrites to adjacent remote slots coalesce into one
 	// doorbell-batched post per non-wrapping run; each segment keeps its
 	// own CommitTail so every footer still lands after its payload.
-	var wrs []fabric.WriteWR
+	var wrs []transport.WriteWR
 	for n := w.acked; n < w.written; n++ {
 		lbase := int(n%uint64(w.srcSegs)) * w.geom.stride()
 		seg := w.local.Bytes()[lbase : lbase+w.geom.stride()]
@@ -665,9 +666,9 @@ func (w *ringWriter) recover(p *sim.Proc) error {
 			w.qp.WriteBatch(p, wrs)
 			wrs = wrs[:0]
 		}
-		wrs = append(wrs, fabric.WriteWR{
+		wrs = append(wrs, transport.WriteWR{
 			Src: seg, Dst: w.remoteSlotAddr(rslot),
-			Opts: fabric.WriteOptions{CommitTail: footerBytes},
+			Opts: transport.WriteOptions{CommitTail: footerBytes},
 		})
 		w.Retransmits.Add(1)
 	}
@@ -681,7 +682,7 @@ func (w *ringWriter) recover(p *sim.Proc) error {
 // (acked == written), recovering lost segments on the way. Called from
 // close when RetransmitTimeout is set, so a successful Close certifies
 // delivery of the whole stream including the end-of-flow marker.
-func (w *ringWriter) confirmDelivered(p *sim.Proc) error {
+func (w *ringWriter) confirmDelivered(p transport.Ctx) error {
 	rounds := 0
 	lastProgress := p.Now()
 	for w.acked < w.written {
@@ -727,7 +728,7 @@ func (w *ringWriter) confirmDelivered(p *sim.Proc) error {
 // close flushes remaining tuples and writes the end-of-flow marker. With
 // RetransmitTimeout set it additionally confirms the whole stream was
 // consumed, retransmitting losses.
-func (w *ringWriter) close(p *sim.Proc) error {
+func (w *ringWriter) close(p transport.Ctx) error {
 	if w.closed {
 		return nil
 	}
@@ -770,7 +771,7 @@ func (w *ringWriter) close(p *sim.Proc) error {
 // write the end marker yet. Splitting matters under eviction — the
 // harvest of a writer that dies during phase 1 is re-pushed to
 // survivors, which must therefore not have sent FLOW_END yet.
-func (w *ringWriter) finish(p *sim.Proc) error {
+func (w *ringWriter) finish(p transport.Ctx) error {
 	if err := w.checkAbort(); err != nil {
 		return err
 	}
@@ -793,7 +794,7 @@ func (w *ringWriter) finish(p *sim.Proc) error {
 // marker and confirm it. Only called once no live writer has anything
 // left to drain (finish reached quiescence), so a late eviction here
 // can no longer lose tuples.
-func (w *ringWriter) end(p *sim.Proc) error {
+func (w *ringWriter) end(p transport.Ctx) error {
 	if w.closed {
 		return nil
 	}

@@ -25,7 +25,19 @@ import (
 	"time"
 
 	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
+
+// proc asserts the DES execution context. The fabric's blocking waits park
+// on sim conds, so only *sim.Proc contexts (which satisfy transport.Ctx
+// structurally) can drive them.
+func proc(p transport.Ctx) *sim.Proc {
+	sp, ok := p.(*sim.Proc)
+	if !ok {
+		panic("fabric: context is not a *sim.Proc (the DES fabric runs only under the sim kernel)")
+	}
+	return sp
+}
 
 // Cluster is a set of simulated nodes connected through one switch.
 type Cluster struct {
@@ -119,7 +131,7 @@ func (n *Node) Cluster() *Cluster { return n.cluster }
 // Compute advances p's virtual time by d scaled by the node's CPU speed.
 // All application CPU work in experiments must be charged through Compute
 // so straggler scaling applies.
-func (n *Node) Compute(p *sim.Proc, d time.Duration) {
+func (n *Node) Compute(p transport.Ctx, d time.Duration) {
 	if n.CPUScale != 1.0 {
 		d = time.Duration(float64(d) / n.CPUScale)
 	}
@@ -224,6 +236,21 @@ func (mr *MemoryRegion) Len() int { return len(mr.buf) }
 // Node returns the owning node.
 func (mr *MemoryRegion) Node() *Node { return mr.node }
 
+// Owner returns the owning node as a transport endpoint.
+func (mr *MemoryRegion) Owner() transport.Endpoint { return mr.node }
+
+// Store copies src into the region at off. The DES kernel is
+// single-threaded, so a plain copy is already synchronized with remote
+// verbs; concurrent backends lock here.
+func (mr *MemoryRegion) Store(off int, src []byte) {
+	copy(mr.buf[off:off+len(src)], src)
+}
+
+// Load copies region bytes at off into dst (see Store).
+func (mr *MemoryRegion) Load(off int, dst []byte) {
+	copy(dst, mr.buf[off:off+len(dst)])
+}
+
 // CommitSeq returns the region's commit counter, incremented on every
 // remote commit. Pollers snapshot it before scanning and pass the
 // snapshot to WaitCommit, which makes the scan-then-wait sequence free of
@@ -233,18 +260,19 @@ func (mr *MemoryRegion) CommitSeq() uint64 { return mr.commitSeq }
 // WaitCommit parks p until the commit counter passes `since` or until d
 // elapses, reporting whether new commits arrived. On wake-up it charges
 // the configured polling-detection granularity.
-func (mr *MemoryRegion) WaitCommit(p *sim.Proc, since uint64, d time.Duration) bool {
-	deadline := p.Now() + d
+func (mr *MemoryRegion) WaitCommit(p transport.Ctx, since uint64, d time.Duration) bool {
+	sp := proc(p)
+	deadline := sp.Now() + d
 	for mr.commitSeq == since {
-		remain := deadline - p.Now()
+		remain := deadline - sp.Now()
 		if remain <= 0 {
 			return false
 		}
-		if !mr.cond.WaitTimeout(p, remain) && mr.commitSeq == since {
+		if !mr.cond.WaitTimeout(sp, remain) && mr.commitSeq == since {
 			return false
 		}
 	}
-	p.Sleep(mr.node.cluster.cfg.DetectDelay)
+	sp.Sleep(mr.node.cluster.cfg.DetectDelay)
 	return true
 }
 
@@ -252,7 +280,7 @@ func (mr *MemoryRegion) WaitCommit(p *sim.Proc, since uint64, d time.Duration) b
 // d elapses; it reports whether a commit occurred. A local memory poller
 // uses this as a simulation-efficient stand-in for spinning; prefer the
 // CommitSeq/WaitCommit pair when work happens between scan and wait.
-func (mr *MemoryRegion) WaitChange(p *sim.Proc, d time.Duration) bool {
+func (mr *MemoryRegion) WaitChange(p transport.Ctx, d time.Duration) bool {
 	return mr.WaitCommit(p, mr.commitSeq, d)
 }
 
@@ -262,16 +290,25 @@ func (mr *MemoryRegion) notify() {
 	mr.cond.Broadcast()
 }
 
-// Addr names a location inside a memory region for remote access.
-type Addr struct {
-	MR  *MemoryRegion
-	Off int
+// Addr names a location inside a memory region for remote access. The
+// struct is shared with the transport layer; the fabric's verbs assert
+// the region back to its concrete type with mrOf.
+type Addr = transport.Addr
+
+// mrOf asserts an address's region to the fabric's concrete type.
+func mrOf(a Addr) *MemoryRegion {
+	mr, ok := a.MR.(*MemoryRegion)
+	if !ok {
+		panic("fabric: Addr does not reference a fabric memory region")
+	}
+	return mr
 }
 
-// slice bounds-checks and returns the n-byte window at the address.
-func (a Addr) slice(n int) []byte {
-	if a.Off < 0 || a.Off+n > len(a.MR.buf) {
-		panic(fmt.Sprintf("fabric: remote access [%d,%d) outside MR of %d bytes", a.Off, a.Off+n, len(a.MR.buf)))
+// sliceOf bounds-checks and returns the n-byte window at the address.
+func sliceOf(a Addr, n int) []byte {
+	mr := mrOf(a)
+	if a.Off < 0 || a.Off+n > len(mr.buf) {
+		panic(fmt.Sprintf("fabric: remote access [%d,%d) outside MR of %d bytes", a.Off, a.Off+n, len(mr.buf)))
 	}
-	return a.MR.buf[a.Off : a.Off+n]
+	return mr.buf[a.Off : a.Off+n]
 }

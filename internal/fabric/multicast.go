@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
 // MulticastGroup models InfiniBand unreliable-datagram multicast with
@@ -90,17 +91,23 @@ func (ep *McEndpoint) PostRecv(buf []byte, id uint64) {
 }
 
 // RecvCQ returns the endpoint's receive completion queue.
-func (ep *McEndpoint) RecvCQ() *CQ { return ep.rcq }
+func (ep *McEndpoint) RecvCQ() transport.CompletionQueue { return ep.rcq }
 
 // Node returns the endpoint's node.
 func (ep *McEndpoint) Node() *Node { return ep.node }
+
+// Owner returns the endpoint's node as a transport endpoint.
+func (ep *McEndpoint) Owner() transport.Endpoint { return ep.node }
+
+// DropCount returns the number of messages lost at this endpoint.
+func (ep *McEndpoint) DropCount() int64 { return ep.Drops }
 
 // Send multicasts src from the given node to every member endpoint
 // (including the sender's own endpoint if it is a member, unless
 // excludeSelf). The sender's link is used exactly once; replication
 // happens in the switch, which is why replicate-flow bandwidth can exceed
 // the sender's link speed (Figure 8b in the paper).
-func (g *MulticastGroup) Send(p *sim.Proc, from *Node, src []byte, excludeSelf bool) {
+func (g *MulticastGroup) Send(p transport.Ctx, from *Node, src []byte, excludeSelf bool) {
 	cfg := &g.c.cfg
 	from.Compute(p, cfg.PostOverhead)
 

@@ -4,53 +4,33 @@ import (
 	"time"
 
 	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
+// The verb vocabulary (op kinds, completions, work requests) lives in
+// dfi/internal/transport so all backends share it; the fabric re-exports
+// the names for its callers and tests.
+
 // OpKind identifies the verb that produced a completion.
-type OpKind uint8
+type OpKind = transport.OpKind
 
 // Verb kinds reported in completions.
 const (
-	OpWrite OpKind = iota
-	OpRead
-	OpSend
-	OpRecv
-	OpFetchAdd
-	OpCompareSwap
+	OpWrite       = transport.OpWrite
+	OpRead        = transport.OpRead
+	OpSend        = transport.OpSend
+	OpRecv        = transport.OpRecv
+	OpFetchAdd    = transport.OpFetchAdd
+	OpCompareSwap = transport.OpCompareSwap
 )
 
-func (o OpKind) String() string {
-	switch o {
-	case OpWrite:
-		return "WRITE"
-	case OpRead:
-		return "READ"
-	case OpSend:
-		return "SEND"
-	case OpRecv:
-		return "RECV"
-	case OpFetchAdd:
-		return "FETCH_ADD"
-	case OpCompareSwap:
-		return "CMP_SWAP"
-	}
-	return "UNKNOWN"
-}
-
 // Completion is one completion-queue entry.
-type Completion struct {
-	ID    uint64
-	Op    OpKind
-	Bytes int
-	// Value carries the returned old value for atomics, or the sender's
-	// WR id for received messages.
-	Value uint64
-	// Buf is the posted receive buffer a RECV completion delivered into.
-	Buf []byte
-}
+type Completion = transport.Completion
 
 // CQ is a completion queue. Entries are appended by the fabric at
-// completion time; processes drain them with Poll or Wait.
+// completion time; processes drain them with Poll or Wait. CQ implements
+// transport.CompletionQueue; its blocking waits park on sim conds, so
+// only *sim.Proc contexts can drive them.
 type CQ struct {
 	cfg     *Config
 	entries []Completion
@@ -69,7 +49,7 @@ func (cq *CQ) push(e Completion) {
 }
 
 // Poll drains one completion without blocking, charging one poll cost.
-func (cq *CQ) Poll(p *sim.Proc) (Completion, bool) {
+func (cq *CQ) Poll(p transport.Ctx) (Completion, bool) {
 	p.Sleep(cq.cfg.PollCost)
 	if len(cq.entries) == 0 {
 		return Completion{}, false
@@ -80,11 +60,12 @@ func (cq *CQ) Poll(p *sim.Proc) (Completion, bool) {
 }
 
 // Wait blocks until a completion is available and returns it.
-func (cq *CQ) Wait(p *sim.Proc) Completion {
-	p.Sleep(cq.cfg.PollCost)
+func (cq *CQ) Wait(p transport.Ctx) Completion {
+	sp := proc(p)
+	sp.Sleep(cq.cfg.PollCost)
 	for len(cq.entries) == 0 {
-		cq.cond.Wait(p)
-		p.Sleep(cq.cfg.PollCost)
+		cq.cond.Wait(sp)
+		sp.Sleep(cq.cfg.PollCost)
 	}
 	e := cq.entries[0]
 	cq.entries = cq.entries[1:]
@@ -93,18 +74,19 @@ func (cq *CQ) Wait(p *sim.Proc) Completion {
 
 // WaitTimeout blocks until a completion is available or d elapses,
 // reporting whether a completion was returned.
-func (cq *CQ) WaitTimeout(p *sim.Proc, d time.Duration) (Completion, bool) {
-	p.Sleep(cq.cfg.PollCost)
-	deadline := p.Now() + d
+func (cq *CQ) WaitTimeout(p transport.Ctx, d time.Duration) (Completion, bool) {
+	sp := proc(p)
+	sp.Sleep(cq.cfg.PollCost)
+	deadline := sp.Now() + d
 	for len(cq.entries) == 0 {
-		remain := deadline - p.Now()
+		remain := deadline - sp.Now()
 		if remain <= 0 {
 			return Completion{}, false
 		}
-		if !cq.cond.WaitTimeout(p, remain) && len(cq.entries) == 0 {
+		if !cq.cond.WaitTimeout(sp, remain) && len(cq.entries) == 0 {
 			return Completion{}, false
 		}
-		p.Sleep(cq.cfg.PollCost)
+		sp.Sleep(cq.cfg.PollCost)
 	}
 	e := cq.entries[0]
 	cq.entries = cq.entries[1:]
@@ -114,18 +96,19 @@ func (cq *CQ) WaitTimeout(p *sim.Proc, d time.Duration) (Completion, bool) {
 // WaitNonEmpty blocks until the queue holds at least one completion or d
 // elapses, without consuming anything. It reports whether a completion is
 // available.
-func (cq *CQ) WaitNonEmpty(p *sim.Proc, d time.Duration) bool {
-	p.Sleep(cq.cfg.PollCost)
-	deadline := p.Now() + d
+func (cq *CQ) WaitNonEmpty(p transport.Ctx, d time.Duration) bool {
+	sp := proc(p)
+	sp.Sleep(cq.cfg.PollCost)
+	deadline := sp.Now() + d
 	for len(cq.entries) == 0 {
-		remain := deadline - p.Now()
+		remain := deadline - sp.Now()
 		if remain <= 0 {
 			return false
 		}
-		if !cq.cond.WaitTimeout(p, remain) && len(cq.entries) == 0 {
+		if !cq.cond.WaitTimeout(sp, remain) && len(cq.entries) == 0 {
 			return false
 		}
-		p.Sleep(cq.cfg.PollCost)
+		sp.Sleep(cq.cfg.PollCost)
 	}
 	return true
 }
@@ -134,10 +117,7 @@ func (cq *CQ) WaitNonEmpty(p *sim.Proc, d time.Duration) bool {
 func (cq *CQ) Len() int { return len(cq.entries) }
 
 // RecvWR is a posted receive buffer.
-type RecvWR struct {
-	Buf []byte
-	ID  uint64
-}
+type RecvWR = transport.RecvWR
 
 // arrival is a two-sided message that reached a QP before a receive was
 // posted (RC queues it rather than dropping).
@@ -148,7 +128,7 @@ type arrival struct {
 
 // QP is one endpoint of a reliable connection between two nodes. Verbs are
 // issued by processes running on the owner node; Peer returns the other
-// endpoint.
+// endpoint. QP implements transport.Queue.
 type QP struct {
 	c     *Cluster
 	owner *Node
@@ -185,42 +165,28 @@ func (q *QP) Owner() *Node { return q.owner }
 func (q *QP) Peer() *QP { return q.peer }
 
 // SendCQ returns the endpoint's send completion queue.
-func (q *QP) SendCQ() *CQ { return q.scq }
+func (q *QP) SendCQ() transport.CompletionQueue { return q.scq }
 
 // RecvCQ returns the endpoint's receive completion queue.
-func (q *QP) RecvCQ() *CQ { return q.rcq }
+func (q *QP) RecvCQ() transport.CompletionQueue { return q.rcq }
 
 // PostedRecvs returns the number of posted, unmatched receive buffers.
 func (q *QP) PostedRecvs() int { return len(q.recvq) }
 
 // WriteOptions controls an RDMA WRITE work request.
-type WriteOptions struct {
-	// Signaled requests a completion entry in the sender's CQ once the
-	// local buffer may be reused.
-	Signaled bool
-	// ID tags the completion.
-	ID uint64
-	// CommitTail is the number of trailing bytes committed strictly after
-	// the rest of the payload, modelling the NIC's increasing-address DMA
-	// order. DFI passes its footer size here.
-	CommitTail int
-}
+type WriteOptions = transport.WriteOptions
 
 // Write posts a one-sided RDMA WRITE of src into dst on the peer node. It
 // returns after the posting cost; the transfer proceeds asynchronously.
 // The source buffer must not be modified until a signaled completion for
 // this or a later WR on the same QP has been observed (exactly the
 // selective-signaling contract real verbs impose).
-func (q *QP) Write(p *sim.Proc, src []byte, dst Addr, opts WriteOptions) {
+func (q *QP) Write(p transport.Ctx, src []byte, dst Addr, opts WriteOptions) {
 	q.writeOne(p, src, dst, opts, nil, 0)
 }
 
 // WriteWR describes one work request in a doorbell-batched WriteBatch post.
-type WriteWR struct {
-	Src  []byte
-	Dst  Addr
-	Opts WriteOptions
-}
+type WriteWR = transport.WriteWR
 
 // WriteBatch posts the given WRITEs back-to-back with a single doorbell
 // ring. Virtual timing, fault injection, RC ordering clamps and statistics
@@ -235,7 +201,7 @@ type WriteWR struct {
 // Per-WR CommitTail is honored: each WR's tail bytes still commit strictly
 // last within that WR's address range, so footer-after-payload ordering is
 // preserved across a coalesced run of ring-segment writes.
-func (q *QP) WriteBatch(p *sim.Proc, wrs []WriteWR) {
+func (q *QP) WriteBatch(p transport.Ctx, wrs []WriteWR) {
 	if len(wrs) == 0 {
 		return
 	}
@@ -271,12 +237,13 @@ func (q *QP) WriteBatch(p *sim.Proc, wrs []WriteWR) {
 // it is the shared pre-staged buffer and off this WR's offset within it.
 // Each WR holds one reference on the batch, consumed by its final commit
 // event (or immediately if the WR is fault-dropped).
-func (q *QP) writeOne(p *sim.Proc, src []byte, dst Addr, opts WriteOptions, batch *stagedRef, off int) {
+func (q *QP) writeOne(p transport.Ctx, src []byte, dst Addr, opts WriteOptions, batch *stagedRef, off int) {
 	cfg := &q.c.cfg
-	if dst.MR.node != q.peer.owner {
+	mr := mrOf(dst)
+	if mr.node != q.peer.owner {
 		panic("fabric: WRITE destination MR not on peer node")
 	}
-	dst.slice(len(src)) // bounds-check now
+	sliceOf(dst, len(src)) // bounds-check now
 	q.owner.Compute(p, cfg.PostOverhead)
 
 	k := q.c.K
@@ -323,6 +290,7 @@ func (q *QP) writeOne(p *sim.Proc, src []byte, dst Addr, opts WriteOptions, batc
 	q.c.trace(OpWrite, q.owner, q.peer.owner, len(src), k.Now(), deliverAt, disp)
 
 	n := len(src)
+	dstOff := dst.Off
 	st := batch
 	if fv.drop {
 		// No commit will read the staging buffer: drop this WR's reference.
@@ -353,18 +321,18 @@ func (q *QP) writeOne(p *sim.Proc, src []byte, dst Addr, opts WriteOptions, batc
 				}
 				k.At(bodyAt, func() {
 					if q.c.cfg.CopyPayload {
-						copy(dst.slice(body), st.buf.b[off:off+body])
+						copy(mr.buf[dstOff:dstOff+body], st.buf.b[off:off+body])
 					}
 				})
 			}
 			k.At(at, func() {
 				if q.c.cfg.CopyPayload && body > 0 && tail == 0 {
-					copy(dst.slice(body), st.buf.b[off:off+body])
+					copy(mr.buf[dstOff:dstOff+body], st.buf.b[off:off+body])
 				}
 				if tail > 0 {
-					copy(dst.MR.buf[dst.Off+body:dst.Off+body+tail], st.buf.b[off+body:off+n])
+					copy(mr.buf[dstOff+body:dstOff+n], st.buf.b[off+body:off+n])
 				}
-				dst.MR.notify()
+				mr.notify()
 				st.release()
 			})
 		}
@@ -402,12 +370,12 @@ func (q *QP) writeOne(p *sim.Proc, src []byte, dst Addr, opts WriteOptions, batc
 // InfiniBand's service levels, they bypass the bulk-data FIFO so a footer
 // probe or credit refresh is not queued behind megabytes of in-flight
 // segments. Their (negligible) bytes still count toward the statistics.
-func (q *QP) Read(p *sim.Proc, dst []byte, src Addr, signaled bool, id uint64) {
+func (q *QP) Read(p transport.Ctx, dst []byte, src Addr, signaled bool, id uint64) {
 	cfg := &q.c.cfg
-	if src.MR.node != q.peer.owner {
+	if mrOf(src).node != q.peer.owner {
 		panic("fabric: READ source MR not on peer node")
 	}
-	src.slice(len(dst))
+	sliceOf(src, len(dst))
 	q.owner.Compute(p, cfg.PostOverhead)
 
 	k := q.c.K
@@ -448,7 +416,7 @@ func (q *QP) Read(p *sim.Proc, dst []byte, src Addr, signaled bool, id uint64) {
 	n := len(dst)
 	k.At(respStart, func() {
 		staged = stagedGet(n)
-		copy(staged.b, src.slice(n))
+		copy(staged.b, sliceOf(src, n))
 	})
 	k.At(deliverAt, func() {
 		copy(dst, staged.b)
@@ -464,7 +432,7 @@ func (q *QP) Read(p *sim.Proc, dst []byte, src Addr, signaled bool, id uint64) {
 // send CQ are drained to the caller via the discard list semantics; callers
 // that interleave ReadSync with other signaled WRs should use Read+Wait
 // directly.
-func (q *QP) ReadSync(p *sim.Proc, dst []byte, src Addr) time.Duration {
+func (q *QP) ReadSync(p transport.Ctx, dst []byte, src Addr) time.Duration {
 	start := p.Now()
 	q.nextID++
 	id := q.nextID | 1<<63
@@ -484,7 +452,7 @@ func (q *QP) ReadSync(p *sim.Proc, dst []byte, src Addr) time.Duration {
 // node and returns the previous value. It blocks the caller for the full
 // round trip (the paper's tuple sequencer uses it synchronously). Remote
 // atomics to the same NIC serialize, which models sequencer contention.
-func (q *QP) FetchAdd(p *sim.Proc, dst Addr, delta uint64) uint64 {
+func (q *QP) FetchAdd(p transport.Ctx, dst Addr, delta uint64) uint64 {
 	v, _ := q.FetchAddChecked(p, dst, delta)
 	return v
 }
@@ -494,12 +462,13 @@ func (q *QP) FetchAdd(p *sim.Proc, dst Addr, delta uint64) uint64 {
 // (the QP would surface an error completion). Callers that must
 // distinguish "previous value was 0" from "sequencer node is dead" — the
 // ordered-multicast source fetching sequence numbers — use this form.
-func (q *QP) FetchAddChecked(p *sim.Proc, dst Addr, delta uint64) (uint64, bool) {
+func (q *QP) FetchAddChecked(p transport.Ctx, dst Addr, delta uint64) (uint64, bool) {
 	cfg := &q.c.cfg
-	if dst.MR.node != q.peer.owner {
+	mr := mrOf(dst)
+	if mr.node != q.peer.owner {
 		panic("fabric: atomic destination MR not on peer node")
 	}
-	b := dst.slice(8)
+	b := sliceOf(dst, 8)
 	q.owner.Compute(p, cfg.PostOverhead)
 
 	k := q.c.K
@@ -540,22 +509,23 @@ func (q *QP) FetchAddChecked(p *sim.Proc, dst Addr, delta uint64) (uint64, bool)
 	k.At(execEnd, func() {
 		old = le64(b)
 		putLE64(b, old+delta)
-		dst.MR.notify()
+		mr.notify()
 	})
 	done := sim.NewCond(k)
 	k.At(arriveResp, done.Broadcast)
-	done.Wait(p)
+	done.Wait(proc(p))
 	return old, true
 }
 
 // CompareSwap atomically replaces the 8-byte value at dst with swap if it
 // equals expect, returning the previous value.
-func (q *QP) CompareSwap(p *sim.Proc, dst Addr, expect, swap uint64) uint64 {
+func (q *QP) CompareSwap(p transport.Ctx, dst Addr, expect, swap uint64) uint64 {
 	cfg := &q.c.cfg
-	if dst.MR.node != q.peer.owner {
+	mr := mrOf(dst)
+	if mr.node != q.peer.owner {
 		panic("fabric: atomic destination MR not on peer node")
 	}
-	b := dst.slice(8)
+	b := sliceOf(dst, 8)
 	q.owner.Compute(p, cfg.PostOverhead)
 
 	k := q.c.K
@@ -593,11 +563,11 @@ func (q *QP) CompareSwap(p *sim.Proc, dst Addr, expect, swap uint64) uint64 {
 		if old == expect {
 			putLE64(b, swap)
 		}
-		dst.MR.notify()
+		mr.notify()
 	})
 	done := sim.NewCond(k)
 	k.At(arriveResp, done.Broadcast)
-	done.Wait(p)
+	done.Wait(proc(p))
 	return old
 }
 
@@ -618,7 +588,7 @@ func (q *QP) PostRecv(buf []byte, id uint64) {
 // Send posts a two-sided SEND of src to the peer endpoint. The message is
 // delivered into the peer's next posted receive buffer; with reliable
 // connections an early message waits for a receive to be posted.
-func (q *QP) Send(p *sim.Proc, src []byte, signaled bool, id uint64) {
+func (q *QP) Send(p transport.Ctx, src []byte, signaled bool, id uint64) {
 	cfg := &q.c.cfg
 	q.owner.Compute(p, cfg.PostOverhead)
 

@@ -7,6 +7,7 @@ import (
 	"dfi/internal/core"
 	"dfi/internal/schema"
 	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
 // RunDFIRadix executes the distributed radix hash join over two
@@ -161,7 +162,7 @@ func slice(chunk []int64, wk, workers int) []int64 {
 
 // pushChunk streams keys into a flow, charging the scan cost in batches.
 func pushChunk(p *sim.Proc, node interface {
-	Compute(*sim.Proc, time.Duration)
+	Compute(transport.Ctx, time.Duration)
 }, src *core.Source, keys []int64, scanCost time.Duration) {
 	tup := TupleSchema.NewTuple()
 	const batch = 1024

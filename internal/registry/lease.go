@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"dfi/internal/metrics"
-	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
 // Lease-based flow membership (control-plane failure model).
@@ -241,7 +241,7 @@ func (r *Registry) MembershipOf(name string) *Membership {
 // On a replicated registry the acquisition is a logged command: it
 // commits through the consensus log before applying, so the lease
 // survives a master failover.
-func (r *Registry) AcquireLease(p *sim.Proc, flow string, role Role, idx int, ttl, grace time.Duration) error {
+func (r *Registry) AcquireLease(p transport.Ctx, flow string, role Role, idx int, ttl, grace time.Duration) error {
 	if ttl <= 0 {
 		return fmt.Errorf("registry: lease TTL must be positive")
 	}
@@ -280,7 +280,7 @@ func (r *Registry) AcquireLease(p *sim.Proc, flow string, role Role, idx int, tt
 // serves them as plain master RPCs — the explicit relaxation for
 // high-rate heartbeats (a renewal lost to a failover costs TTL budget,
 // never correctness: the slot still expires toward eviction, later).
-func (r *Registry) RenewLease(p *sim.Proc, flow string, role Role, idx int) error {
+func (r *Registry) RenewLease(p transport.Ctx, flow string, role Role, idx int) error {
 	return r.invokeRenew(p, func() error {
 		m, ok := r.membership(flow)
 		if !ok {
@@ -302,7 +302,7 @@ func (r *Registry) RenewLease(p *sim.Proc, flow string, role Role, idx int) erro
 
 // invokeRenew routes a renewal through the log, or — under the
 // UnloggedRenew relaxation — as a plain RPC against the master.
-func (r *Registry) invokeRenew(p *sim.Proc, op func() error) error {
+func (r *Registry) invokeRenew(p transport.Ctx, op func() error) error {
 	if r.repl != nil && r.repl.cfg.UnloggedRenew {
 		r.rpc(p)
 		err := op()
@@ -317,7 +317,7 @@ func (r *Registry) invokeRenew(p *sim.Proc, op func() error) error {
 // endpoint that finished its part of the flow protocol. Logged on a
 // replicated registry (a Left slot that flipped back to Active on
 // failover would stall target re-attach, which closes Left readers).
-func (r *Registry) ReleaseLease(p *sim.Proc, flow string, role Role, idx int) {
+func (r *Registry) ReleaseLease(p transport.Ctx, flow string, role Role, idx int) {
 	_ = r.invoke(p, func() error {
 		m, ok := r.membership(flow)
 		if !ok {
@@ -339,7 +339,7 @@ func (r *Registry) ReleaseLease(p *sim.Proc, flow string, role Role, idx int) {
 // epoch, without waiting out lease timers (operator action, or a peer
 // with out-of-band failure evidence). Idempotent. Replicated registries
 // commit the eviction through the consensus log like any mutation.
-func (r *Registry) Evict(p *sim.Proc, flow string, role Role, idx int) error {
+func (r *Registry) Evict(p transport.Ctx, flow string, role Role, idx int) error {
 	return r.invoke(p, func() error {
 		m, ok := r.membership(flow)
 		if !ok {
@@ -379,7 +379,7 @@ type Rejoined struct {
 // inherits the watermark. Rejoining a slot that is not evicted is an
 // error — there is nothing to re-admit, and callers (cmd/dfiflow) treat
 // it as a rejected rejoin.
-func (r *Registry) Rejoin(p *sim.Proc, flow string, role Role, idx, newIdx int) (Rejoined, error) {
+func (r *Registry) Rejoin(p transport.Ctx, flow string, role Role, idx, newIdx int) (Rejoined, error) {
 	var out Rejoined
 	err := r.invoke(p, func() error {
 		m, ok := r.membership(flow)
@@ -437,7 +437,7 @@ func (r *Registry) Rejoin(p *sim.Proc, flow string, role Role, idx, newIdx int) 
 // resumes there instead of from zero. Recording on an evicted slot is
 // refused: the fence also protects the watermark from a wedged
 // endpoint's late writes.
-func (r *Registry) SetWatermark(p *sim.Proc, flow string, role Role, idx int, watermark uint64) error {
+func (r *Registry) SetWatermark(p transport.Ctx, flow string, role Role, idx int, watermark uint64) error {
 	return r.invoke(p, func() error {
 		m, ok := r.membership(flow)
 		if !ok {

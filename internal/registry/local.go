@@ -1,0 +1,190 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dfi/internal/metrics"
+	"dfi/internal/transport"
+)
+
+// Local is a process-local, goroutine-safe flow-metadata store for
+// sim-free transports (dfi/internal/transport/chanloop). It offers the
+// same client surface as Registry — publish/lookup/wait for flow and
+// target metadata — without the sim kernel, RPC cost model, fault plan
+// or replication. Control-plane failure handling is DES-only: leases
+// acquire and renew as no-ops (nothing ever expires), MembershipOf
+// returns nil (no membership record), and rejoin/sequencer-snapshot
+// operations report errors.
+type Local struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	flows map[string]*localEntry
+
+	events metrics.EventSink
+}
+
+type localEntry struct {
+	meta    any
+	targets map[int]any
+}
+
+// NewLocal creates an empty local store.
+func NewLocal() *Local {
+	l := &Local{flows: make(map[string]*localEntry)}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Publish registers flow metadata under a unique name.
+func (l *Local) Publish(p transport.Ctx, name string, meta any) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.flows[name]; dup {
+		return fmt.Errorf("registry: flow %q already published", name)
+	}
+	l.flows[name] = &localEntry{meta: meta, targets: make(map[int]any)}
+	l.cond.Broadcast()
+	return nil
+}
+
+// Lookup returns the metadata for name without blocking.
+func (l *Local) Lookup(p transport.Ctx, name string) (any, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.flows[name]
+	if !ok {
+		return nil, false
+	}
+	return e.meta, true
+}
+
+// WaitFlow blocks until the named flow has been published.
+func (l *Local) WaitFlow(p transport.Ctx, name string) any {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if e, ok := l.flows[name]; ok {
+			return e.meta
+		}
+		l.cond.Wait()
+	}
+}
+
+// PublishTarget registers per-target connection info for target idx.
+func (l *Local) PublishTarget(p transport.Ctx, name string, idx int, info any) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.flows[name]
+	if !ok {
+		return fmt.Errorf("registry: flow %q not published", name)
+	}
+	if _, dup := e.targets[idx]; dup {
+		return fmt.Errorf("registry: flow %q target %d already published", name, idx)
+	}
+	e.targets[idx] = info
+	l.cond.Broadcast()
+	return nil
+}
+
+// RepublishTarget is rejoin-only and unsupported on a local store.
+func (l *Local) RepublishTarget(p transport.Ctx, name string, idx int, info any) error {
+	return fmt.Errorf("registry: local store has no membership; republish refused")
+}
+
+// TargetInfo returns target idx's published info without blocking.
+func (l *Local) TargetInfo(p transport.Ctx, name string, idx int) (any, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.flows[name]
+	if !ok {
+		return nil, false
+	}
+	info, ok := e.targets[idx]
+	return info, ok
+}
+
+// WaitTarget blocks until target idx has published its info.
+func (l *Local) WaitTarget(p transport.Ctx, name string, idx int) any {
+	info, _ := l.WaitTargetLive(p, name, idx)
+	return info
+}
+
+// WaitTargetLive blocks until target idx has published its info. Local
+// stores have no eviction, so the second result is always false.
+func (l *Local) WaitTargetLive(p transport.Ctx, name string, idx int) (any, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if e, ok := l.flows[name]; ok {
+			if info, ok := e.targets[idx]; ok {
+				return info, false
+			}
+		}
+		l.cond.Wait()
+	}
+}
+
+// Remove deletes a flow's metadata so the name can be reused.
+func (l *Local) Remove(p transport.Ctx, name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.flows, name)
+	l.cond.Broadcast()
+}
+
+// MembershipOf returns nil: local stores carry no membership record, and
+// callers treat a nil membership as "failure handling disabled".
+func (l *Local) MembershipOf(name string) *Membership { return nil }
+
+// AcquireLease succeeds as a no-op: without a failure detector nothing
+// ever expires, so a lease is pure bookkeeping.
+func (l *Local) AcquireLease(p transport.Ctx, flow string, role Role, idx int, ttl, grace time.Duration) error {
+	return nil
+}
+
+// RenewLease succeeds as a no-op (see AcquireLease).
+func (l *Local) RenewLease(p transport.Ctx, flow string, role Role, idx int) error { return nil }
+
+// ReleaseLease is a no-op.
+func (l *Local) ReleaseLease(p transport.Ctx, flow string, role Role, idx int) {}
+
+// Rejoin is DES-only: a local store has no eviction to rejoin from.
+func (l *Local) Rejoin(p transport.Ctx, flow string, role Role, idx, newIdx int) (Rejoined, error) {
+	return Rejoined{}, fmt.Errorf("registry: local store does not support rejoin")
+}
+
+// SetWatermark is accepted and discarded: checkpoint watermarks exist to
+// coordinate rejoin, which local stores do not support.
+func (l *Local) SetWatermark(p transport.Ctx, flow string, role Role, idx int, watermark uint64) error {
+	return nil
+}
+
+// RecordSeqProgress is DES-only (ordered multicast recovery state).
+func (l *Local) RecordSeqProgress(p transport.Ctx, flow string, tgt int, highWater uint64, perSource []uint64) error {
+	return fmt.Errorf("registry: local store does not track sequencer state")
+}
+
+// RecordSeqSkips is DES-only.
+func (l *Local) RecordSeqSkips(p transport.Ctx, flow string, epoch uint64, seqs ...uint64) error {
+	return fmt.Errorf("registry: local store does not track sequencer state")
+}
+
+// SeqSnapshot is DES-only.
+func (l *Local) SeqSnapshot(p transport.Ctx, flow string) (SeqSnapshot, bool) {
+	return SeqSnapshot{}, false
+}
+
+// SetEventSink installs a structured-event sink (nil disables).
+func (l *Local) SetEventSink(s metrics.EventSink) { l.events = s }
+
+// EventSink returns the installed event sink.
+func (l *Local) EventSink() metrics.EventSink { return l.events }
+
+// Flows returns the number of published flows.
+func (l *Local) Flows() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.flows)
+}

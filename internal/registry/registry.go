@@ -21,7 +21,19 @@ import (
 	"dfi/internal/fabric"
 	"dfi/internal/metrics"
 	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
+
+// simProc asserts a transport context to the sim kernel's process type.
+// Registry waits park on sim conds, so the DES-backed registry only runs
+// under the sim kernel; sim-free backends use Local instead.
+func simProc(p transport.Ctx) *sim.Proc {
+	sp, ok := p.(*sim.Proc)
+	if !ok {
+		panic("registry: context is not a *sim.Proc (use registry.Local on sim-free transports)")
+	}
+	return sp
+}
 
 // Registry is the client handle to the metadata store. One instance
 // serves a cluster; New builds a standalone (single-master, non-fault-
@@ -83,7 +95,7 @@ func (r *Registry) retryTimeout() time.Duration {
 // rpc charges one client↔registry round trip, honoring the registry
 // fault plan: extra delay and jitter stretch the trip, and a dropped
 // leg costs the client a retry timeout before it tries again.
-func (r *Registry) rpc(p *sim.Proc) {
+func (r *Registry) rpc(p transport.Ctx) {
 	if r.repl != nil {
 		r.repl.maybeCrashMaster(p)
 		if r.repl.crashed[r.repl.master] {
@@ -115,7 +127,7 @@ func (r *Registry) rpc(p *sim.Proc) {
 // committed to the Multi-Paxos log by the current master (electing a new
 // one when the master crashed), and retried idempotently when a reply is
 // lost.
-func (r *Registry) invoke(p *sim.Proc, op func() error) error {
+func (r *Registry) invoke(p transport.Ctx, op func() error) error {
 	var err error
 	if r.repl == nil {
 		r.rpc(p)
@@ -130,7 +142,7 @@ func (r *Registry) invoke(p *sim.Proc, op func() error) error {
 // Publish registers flow metadata under a unique name. Publishing a name
 // twice is an error (flow names identify flows cluster-wide). The flow's
 // membership record (see lease.go) is created here, at epoch 0.
-func (r *Registry) Publish(p *sim.Proc, name string, meta any) error {
+func (r *Registry) Publish(p transport.Ctx, name string, meta any) error {
 	return r.invoke(p, func() error {
 		if _, dup := r.flows[name]; dup {
 			return fmt.Errorf("registry: flow %q already published", name)
@@ -142,7 +154,7 @@ func (r *Registry) Publish(p *sim.Proc, name string, meta any) error {
 }
 
 // Lookup returns the metadata for name without blocking.
-func (r *Registry) Lookup(p *sim.Proc, name string) (any, bool) {
+func (r *Registry) Lookup(p transport.Ctx, name string) (any, bool) {
 	r.rpc(p)
 	e, ok := r.flows[name]
 	if !ok {
@@ -153,19 +165,20 @@ func (r *Registry) Lookup(p *sim.Proc, name string) (any, bool) {
 
 // WaitFlow blocks until the named flow has been published and returns its
 // metadata.
-func (r *Registry) WaitFlow(p *sim.Proc, name string) any {
-	r.rpc(p)
+func (r *Registry) WaitFlow(p transport.Ctx, name string) any {
+	sp := simProc(p)
+	r.rpc(sp)
 	for {
 		if e, ok := r.flows[name]; ok {
 			return e.meta
 		}
-		r.cond.Wait(p)
+		r.cond.Wait(sp)
 	}
 }
 
 // PublishTarget registers per-target connection info (e.g. ring-buffer
 // addresses) for target idx of the named flow. The flow must exist.
-func (r *Registry) PublishTarget(p *sim.Proc, name string, idx int, info any) error {
+func (r *Registry) PublishTarget(p transport.Ctx, name string, idx int, info any) error {
 	return r.invoke(p, func() error {
 		e, ok := r.flows[name]
 		if !ok {
@@ -186,7 +199,7 @@ func (r *Registry) PublishTarget(p *sim.Proc, name string, idx int, info any) er
 // folds the rejoin epoch finds the new rings. Only evicted slots may
 // republish: live info must never be clobbered from under connected
 // sources.
-func (r *Registry) RepublishTarget(p *sim.Proc, name string, idx int, info any) error {
+func (r *Registry) RepublishTarget(p transport.Ctx, name string, idx int, info any) error {
 	return r.invoke(p, func() error {
 		e, ok := r.flows[name]
 		if !ok {
@@ -204,7 +217,7 @@ func (r *Registry) RepublishTarget(p *sim.Proc, name string, idx int, info any) 
 // TargetInfo returns target idx's currently published info without
 // blocking — sources use it to reconnect to a rejoined target whose
 // info was republished.
-func (r *Registry) TargetInfo(p *sim.Proc, name string, idx int) (any, bool) {
+func (r *Registry) TargetInfo(p transport.Ctx, name string, idx int) (any, bool) {
 	r.rpc(p)
 	e, ok := r.flows[name]
 	if !ok {
@@ -216,7 +229,7 @@ func (r *Registry) TargetInfo(p *sim.Proc, name string, idx int) (any, bool) {
 
 // WaitTarget blocks until target idx of the named flow has published its
 // info and returns it.
-func (r *Registry) WaitTarget(p *sim.Proc, name string, idx int) any {
+func (r *Registry) WaitTarget(p transport.Ctx, name string, idx int) any {
 	info, _ := r.WaitTargetLive(p, name, idx)
 	return info
 }
@@ -225,8 +238,9 @@ func (r *Registry) WaitTarget(p *sim.Proc, name string, idx int) any {
 // its info (info, false) or was evicted from the flow membership
 // (nil, true) — a source must not wait forever on a target that will
 // never come up.
-func (r *Registry) WaitTargetLive(p *sim.Proc, name string, idx int) (info any, evicted bool) {
-	r.rpc(p)
+func (r *Registry) WaitTargetLive(p transport.Ctx, name string, idx int) (info any, evicted bool) {
+	sp := simProc(p)
+	r.rpc(sp)
 	for {
 		if e, ok := r.flows[name]; ok {
 			if e.mem != nil && e.mem.TargetEvicted(idx) {
@@ -236,7 +250,7 @@ func (r *Registry) WaitTargetLive(p *sim.Proc, name string, idx int) (info any, 
 				return info, false
 			}
 		}
-		r.cond.Wait(p)
+		r.cond.Wait(sp)
 	}
 }
 
@@ -244,7 +258,7 @@ func (r *Registry) WaitTargetLive(p *sim.Proc, name string, idx int) (info any, 
 // teardown). Like every registry mutation it is a remote RPC: it charges
 // the RPC cost and wakes waiters, so a WaitFlow racing a remove-then-
 // republish observes the republished flow rather than blocking forever.
-func (r *Registry) Remove(p *sim.Proc, name string) {
+func (r *Registry) Remove(p transport.Ctx, name string) {
 	_ = r.invoke(p, func() error {
 		delete(r.flows, name)
 		r.cond.Broadcast()

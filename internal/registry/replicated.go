@@ -8,6 +8,7 @@ import (
 	"dfi/internal/fabric"
 	"dfi/internal/metrics"
 	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
 // Replicated registry: the metadata store as a small replicated state
@@ -257,7 +258,7 @@ func (r *Registry) CrashReplica(i int) {
 // plus the size-proportional snapshot transfer. If the master is down,
 // the recovered replica takes part in the next election like any live
 // one (elections stay lazy — the next command triggers them).
-func (r *Registry) RecoverReplica(p *sim.Proc, i int) error {
+func (r *Registry) RecoverReplica(p transport.Ctx, i int) error {
 	g := r.repl
 	if g == nil {
 		return fmt.Errorf("registry: standalone registry has no replicas")
@@ -301,7 +302,7 @@ func (r *Registry) RecoverReplica(p *sim.Proc, i int) error {
 // virtual time has passed. Applied lazily on the next RPC — the effect
 // is indistinguishable from an asynchronous crash, and it leaves no
 // standing timer to keep an otherwise-finished simulation alive.
-func (g *replGroup) maybeCrashMaster(p *sim.Proc) {
+func (g *replGroup) maybeCrashMaster(p transport.Ctx) {
 	fp := g.cfg.Faults
 	if fp == nil || g.crashDone || fp.RegistryCrashMaster <= 0 {
 		return
@@ -314,7 +315,7 @@ func (g *replGroup) maybeCrashMaster(p *sim.Proc) {
 
 // legDelay is the one-way client↔replica / master↔replica latency under
 // the current fault plan (jitter drawn per call).
-func (g *replGroup) legDelay(p *sim.Proc) time.Duration {
+func (g *replGroup) legDelay(p transport.Ctx) time.Duration {
 	d := g.cfg.RPCDelay
 	if fp := g.cfg.Faults; fp != nil {
 		d += fp.RegistryDelay
@@ -326,14 +327,14 @@ func (g *replGroup) legDelay(p *sim.Proc) time.Duration {
 }
 
 // dropLeg draws whether one message leg is lost.
-func (g *replGroup) dropLeg(p *sim.Proc) bool {
+func (g *replGroup) dropLeg(p transport.Ctx) bool {
 	fp := g.cfg.Faults
 	return fp != nil && fp.RegistryDrop > 0 && p.Rand().Float64() < fp.RegistryDrop
 }
 
 // leg charges one round trip to replica i and reports whether it got
 // through; a failed leg costs the retry timeout.
-func (g *replGroup) leg(p *sim.Proc, i int) bool {
+func (g *replGroup) leg(p transport.Ctx, i int) bool {
 	p.Sleep(g.legDelay(p))
 	if g.crashed[i] || g.dropLeg(p) {
 		p.Sleep(g.r.retryTimeout())
@@ -344,7 +345,7 @@ func (g *replGroup) leg(p *sim.Proc, i int) bool {
 }
 
 // invoke commits one mutating command through the log and applies it.
-func (g *replGroup) invoke(p *sim.Proc, op func() error) error {
+func (g *replGroup) invoke(p transport.Ctx, op func() error) error {
 	g.maybeCrashMaster(p)
 	id := g.nextOp
 	g.nextOp++
@@ -389,7 +390,7 @@ func (g *replGroup) invoke(p *sim.Proc, op func() error) error {
 // invoke that minted the id has long returned. The round is charged to
 // the in-flight client like an election is: one master→replica round
 // trip plus the size-proportional transfer.
-func (g *replGroup) maybeSnapshot(p *sim.Proc) {
+func (g *replGroup) maybeSnapshot(p transport.Ctx) {
 	if g.snapEvery <= 0 || g.slot-g.snap.Index < g.snapEvery {
 		return
 	}
@@ -420,7 +421,7 @@ func (g *replGroup) maybeSnapshot(p *sim.Proc) {
 // ballot: all live replicas are asked in parallel (one round-trip
 // charge), and the slot commits when a majority of the full group —
 // master included — accepts.
-func (g *replGroup) commit(p *sim.Proc, cmd uint64) bool {
+func (g *replGroup) commit(p transport.Ctx, cmd uint64) bool {
 	slot := g.slot
 	acks := 0
 	for i, a := range g.acceptors {
@@ -447,7 +448,7 @@ func (g *replGroup) commit(p *sim.Proc, cmd uint64) bool {
 // promises (drops can defeat a round). The new master adopts the first
 // slot past every accepted entry a promiser reported, so it cannot
 // overwrite a command the deposed master already got majority-accepted.
-func (g *replGroup) elect(p *sim.Proc) {
+func (g *replGroup) elect(p transport.Ctx) {
 	cand, live := -1, 0
 	for i := range g.acceptors {
 		if !g.crashed[i] {

@@ -5,7 +5,7 @@ import (
 	"sort"
 
 	"dfi/internal/metrics"
-	"dfi/internal/sim"
+	"dfi/internal/transport"
 )
 
 // Sequencer recovery state for ordered multicast replicate flows.
@@ -39,7 +39,7 @@ type SeqSnapshot struct {
 // must stay mutually consistent, so they are not merged element-wise).
 // Reports from an evicted target slot are refused — the same fence that
 // protects watermarks from a wedged endpoint's late writes.
-func (r *Registry) RecordSeqProgress(p *sim.Proc, flow string, tgt int, highWater uint64, perSource []uint64) error {
+func (r *Registry) RecordSeqProgress(p transport.Ctx, flow string, tgt int, highWater uint64, perSource []uint64) error {
 	return r.invoke(p, func() error {
 		e, ok := r.flows[flow]
 		if !ok {
@@ -61,7 +61,7 @@ func (r *Registry) RecordSeqProgress(p *sim.Proc, flow string, tgt int, highWate
 // unfillable to the flow's skip set and emits one gap_agreement event
 // per newly recorded sequence. Idempotent per sequence number, so every
 // participant of an agreement round may record the verdict.
-func (r *Registry) RecordSeqSkips(p *sim.Proc, flow string, epoch uint64, seqs ...uint64) error {
+func (r *Registry) RecordSeqSkips(p transport.Ctx, flow string, epoch uint64, seqs ...uint64) error {
 	return r.invoke(p, func() error {
 		e, ok := r.flows[flow]
 		if !ok {
@@ -82,7 +82,7 @@ func (r *Registry) RecordSeqSkips(p *sim.Proc, flow string, epoch uint64, seqs .
 
 // SeqSnapshot returns a copy of the flow's current sequencer record. A
 // flow that never recorded progress returns the zero snapshot.
-func (r *Registry) SeqSnapshot(p *sim.Proc, flow string) (SeqSnapshot, bool) {
+func (r *Registry) SeqSnapshot(p transport.Ctx, flow string) (SeqSnapshot, bool) {
 	r.rpc(p)
 	e, ok := r.flows[flow]
 	if !ok || e.seq == nil {
