@@ -77,20 +77,26 @@ transport-race:
 # any virtual-time metric (GiB/s, mpi-over-dfi, ...) drifts at all —
 # virtual drift means the change altered simulated behavior — or when a
 # baseline benchmark is missing from the run (so a rename or pattern typo
-# cannot pass the gate vacuously). `bench-update` re-records the current
-# section of BENCH_PR4.json (the baseline stays frozen).
-BENCH_PATTERN ?= Fig7aShuffleBandwidth|Fig8aReplicateNaive|Fig8bReplicateMulticast|Fig11CollectiveShuffle
-BENCH_FILE ?= BENCH_PR4.json
+# cannot pass the gate vacuously), or when allocs/op grows against the
+# recorded baseline (allocation regressions are how the zero-alloc data
+# path decays). `bench-update` re-records the current section of the
+# baseline file (history stays frozen). All outputs land under the
+# ignored bench/ directory so a run can never dirty the tree.
+BENCH_PATTERN ?= Fig7aShuffleBandwidth|Fig8aReplicateNaive|Fig8bReplicateMulticast|Fig11CollectiveShuffle|ChanloopShuffle
+BENCH_FILE ?= BENCH_PR9.json
+BENCH_DIR ?= bench
 
 bench:
+	@mkdir -p $(BENCH_DIR)
 	$(GO) build -o bin/dfibench ./cmd/dfibench
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 . | tee bench.out
-	./bin/dfibench benchjson -compare $(BENCH_FILE) < bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 . | tee $(BENCH_DIR)/bench.out
+	./bin/dfibench benchjson -compare $(BENCH_FILE) < $(BENCH_DIR)/bench.out
 
 bench-update:
+	@mkdir -p $(BENCH_DIR)
 	$(GO) build -o bin/dfibench ./cmd/dfibench
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 . | tee bench.out
-	./bin/dfibench benchjson -update $(BENCH_FILE) < bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 . | tee $(BENCH_DIR)/bench.out
+	./bin/dfibench benchjson -update $(BENCH_FILE) < $(BENCH_DIR)/bench.out
 
 # Documentation hygiene: every package has a godoc package comment, and
 # every relative Markdown link/anchor resolves (GitHub slug rules;

@@ -12,11 +12,17 @@
 package dfi
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"dfi/internal/consensus"
+	"dfi/internal/core"
 	"dfi/internal/experiments"
 	"dfi/internal/join"
+	"dfi/internal/registry"
+	"dfi/internal/schema"
+	"dfi/internal/transport/chanloop"
 )
 
 const benchSeed = 1
@@ -268,5 +274,82 @@ func BenchmarkSharpCombiner(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(bw/(1<<30), "GiB/s")
+	}
+}
+
+// BenchmarkChanloopShuffle: the same shuffle data path (rings, footers,
+// credits) on the chanloop backend — real goroutines moving real bytes
+// under wall-clock time, no sim kernel. It reports no custom metrics on
+// purpose: chanloop has no virtual time, so the bench gate for this
+// benchmark is allocs/op (hard — allocation creep on the concurrent
+// backend) and ns/op (advisory cross-host), keeping both backends under
+// the regression harness.
+func BenchmarkChanloopShuffle(b *testing.B) {
+	sch := schema.MustNew(
+		schema.Column{Name: "key", Type: schema.Int64},
+		schema.Column{Name: "value", Type: schema.Int64},
+	)
+	const tuples = 5000
+	for i := 0; i < b.N; i++ {
+		net := chanloop.New()
+		eps := []*chanloop.Endpoint{net.NewEndpoint(), net.NewEndpoint(), net.NewEndpoint()}
+		reg := registry.NewLocal()
+		spec := core.FlowSpec{
+			Name:       "bench",
+			Sources:    []core.Endpoint{{Node: eps[0]}},
+			Targets:    []core.Endpoint{{Node: eps[1]}, {Node: eps[2]}},
+			Schema:     sch,
+			ShuffleKey: 0,
+		}
+		if err := core.FlowInit(net.NewCtx(), reg, net, spec); err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := net.NewCtx()
+			src, err := core.SourceOpen(p, reg, "bench", 0)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			tup := sch.NewTuple()
+			for j := int64(0); j < tuples; j++ {
+				sch.PutInt64(tup, 0, j)
+				sch.PutInt64(tup, 1, 10*j)
+				if err := src.Push(p, tup); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			src.Close(p)
+		}()
+		var consumed int64
+		for ti := 0; ti < 2; ti++ {
+			ti := ti
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p := net.NewCtx()
+				tgt, err := core.TargetOpen(p, reg, "bench", ti)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				n := int64(0)
+				for {
+					if _, ok := tgt.Consume(p); !ok {
+						break
+					}
+					n++
+				}
+				atomic.AddInt64(&consumed, n)
+			}()
+		}
+		wg.Wait()
+		if consumed != tuples {
+			b.Fatalf("consumed %d of %d tuples", consumed, tuples)
+		}
 	}
 }

@@ -24,9 +24,12 @@ import (
 // metric (GiB/s, mpi-over-dfi, ...) is a *virtual-time* result of the
 // deterministic simulation and must match the baseline exactly — a
 // virtual drift means the change altered simulated behavior, not just
-// host speed. A baseline benchmark missing from the run is always a hard
-// failure: a renamed or deleted benchmark (or a pattern typo) must not
-// let the gate pass vacuously.
+// host speed. allocs/op is also a hard gate: allocation counts don't
+// depend on host speed, and per-op allocation creep is exactly how the
+// zero-alloc steady-state data path decays (a small absolute slack
+// absorbs runtime warm-up jitter). A baseline benchmark missing from
+// the run is always a hard failure: a renamed or deleted benchmark (or
+// a pattern typo) must not let the gate pass vacuously.
 //
 // On hosts that differ from the one that recorded the baseline (shared
 // CI runners), wall-clock comparison is noise: -wallclock-advisory (or
@@ -219,6 +222,18 @@ func compareRuns(base, got map[string]benchResult, tolerance float64) (wall, har
 			wall = append(wall, fmt.Sprintf(
 				"%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%%",
 				name, g.NsOp, b.NsOp, tolerance*100))
+		}
+		// Allocation growth is host-independent and gated hard. The slack
+		// (1% relative, floor of 2 allocs/op) only absorbs warm-up noise —
+		// e.g. a map that grows once across all iterations.
+		allocSlack := b.AllocsOp * 0.01
+		if allocSlack < 2 {
+			allocSlack = 2
+		}
+		if g.AllocsOp > b.AllocsOp+allocSlack {
+			hard = append(hard, fmt.Sprintf(
+				"%s: %.0f allocs/op exceeds baseline %.0f allocs/op (allocation regression on the data path)",
+				name, g.AllocsOp, b.AllocsOp))
 		}
 		for _, unit := range sortedKeys(b.Metrics) {
 			bv := b.Metrics[unit]

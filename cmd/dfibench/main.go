@@ -10,8 +10,16 @@
 //
 // Flags:
 //
-//	-quick   run at reduced scale (seconds instead of minutes)
-//	-seed N  deterministic seed (default 1)
+//	-quick           run at reduced scale (seconds instead of minutes)
+//	-seed N          deterministic seed (default 1)
+//	-cpuprofile F    write a pprof CPU profile of the experiment run to F
+//	-memprofile F    write a pprof heap profile (after the run) to F
+//
+// The profile flags exist so a CI bench job can attach profiles as build
+// artifacts: a wall-clock or allocation regression flagged by the gate can
+// then be diagnosed offline from the artifact instead of rerunning the
+// workload locally. Profiles are flushed even when an experiment fails —
+// the failing runs are the ones worth profiling.
 //
 // All results are virtual-time measurements; see EXPERIMENTS.md for the
 // paper-vs-measured comparison.
@@ -21,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dfi/internal/experiments"
@@ -29,6 +39,8 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write heap profile to `file`")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -63,6 +75,43 @@ func main() {
 	}
 
 	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	// run is a separate function so its deferred profile writers execute
+	// before the process exits (os.Exit skips defers).
+	os.Exit(run(selected, opt, *cpuprofile, *memprofile))
+}
+
+func run(selected []experiments.Experiment, opt experiments.Options, cpuprofile, memprofile string) int {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfibench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dfibench: -cpuprofile: %v\n", err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dfibench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dfibench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	failed := false
 	for _, e := range selected {
 		start := time.Now()
@@ -78,14 +127,15 @@ func main() {
 		fmt.Printf("(%s completed in %.1fs wall time)\n\n", e.ID, time.Since(start).Seconds())
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `dfibench — regenerate the DFI paper's evaluation (SIGMOD 2021)
 
-usage: dfibench [-quick] [-seed N] <experiment-id>... | all | list
+usage: dfibench [-quick] [-seed N] [-cpuprofile F] [-memprofile F] <experiment-id>... | all | list
        dfibench benchjson [-update FILE] [-compare FILE] [-tolerance F]   (go test -bench output on stdin)
 `)
 	flag.PrintDefaults()

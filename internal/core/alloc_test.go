@@ -1,0 +1,70 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"dfi/internal/sim"
+)
+
+// TestSteadyStatePushConsumeZeroAlloc is the allocation gate for the data
+// path: once a flow reaches steady state, pushing and consuming tuples must
+// not allocate. Every moving part — the kernel's event heap, pooled
+// write/read ops, staging buffers, completion-queue rings, cond waiter
+// slices — reaches its high-water mark during warm-up; a nonzero delta
+// afterwards means a per-delivery allocation crept back in (the regression
+// this PR's burst path removed: closure captures in event posting,
+// per-segment header slices, completion reslicing).
+//
+// The measurement window is bracketed by the consumer: between tuple W and
+// tuple W+N it observes every consume and, by backpressure, essentially all
+// the pushes that produced them. A small fixed slack absorbs one-off
+// runtime-internal allocations; it is far below one allocation per segment,
+// let alone per tuple.
+func TestSteadyStatePushConsumeZeroAlloc(t *testing.T) {
+	const (
+		warmup  = 30_000
+		window  = 30_000
+		total   = warmup + 2*window
+		maxSlop = 8 // allocations tolerated across the whole window
+	)
+	e := newEnv(t, 2)
+	spec := FlowSpec{
+		Name:    "steady",
+		Sources: []Endpoint{{Node: e.c.Node(0)}},
+		Targets: []Endpoint{{Node: e.c.Node(1)}},
+		Schema:  kvSchema,
+	}
+	tup := mkTuple(7, 11) // reused: Push copies, it must not retain src
+	var before, after runtime.MemStats
+	e.k.Spawn("init", func(p *sim.Proc) { _ = FlowInit(p, e.reg, e.c, spec) })
+	e.k.Spawn("src", func(p *sim.Proc) {
+		src, _ := SourceOpen(p, e.reg, "steady", 0)
+		for i := 0; i < total; i++ {
+			_ = src.Push(p, tup)
+		}
+		src.Close(p)
+	})
+	e.k.Spawn("tgt", func(p *sim.Proc) {
+		tgt, _ := TargetOpen(p, e.reg, "steady", 0)
+		consumed := 0
+		for {
+			if consumed == warmup {
+				runtime.ReadMemStats(&before)
+			}
+			if consumed == warmup+window {
+				runtime.ReadMemStats(&after)
+			}
+			if _, ok := tgt.Consume(p); !ok {
+				return
+			}
+			consumed++
+		}
+	})
+	e.run(t)
+	allocs := after.Mallocs - before.Mallocs
+	if allocs > maxSlop {
+		t.Fatalf("steady-state push/consume allocated %d times over %d tuples (want 0, slack %d)",
+			allocs, window, maxSlop)
+	}
+}

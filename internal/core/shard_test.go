@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"dfi/internal/fabric"
+	"dfi/internal/registry"
+	"dfi/internal/sim"
+)
+
+// ringMetrics are the virtual metrics of one ring flow. Every field is a
+// pure function of the ring's own virtual timeline, so they must come out
+// byte-identical no matter how rings are packed onto shards.
+type ringMetrics struct {
+	Consumed int
+	KeySum   int64
+	SrcDone  sim.Time
+	TgtDone  sim.Time
+	BytesTx  int64
+}
+
+// runShardedRings simulates `rings` independent source→target ring flows
+// packed round-robin onto `shards` shard timelines and returns their
+// virtual metrics. Rings never talk across shards — each is a closed
+// two-node cluster — which is the "independent node timelines" regime the
+// sharded kernel parallelizes.
+func runShardedRings(t *testing.T, shards, rings, tuples int) []ringMetrics {
+	t.Helper()
+	const hop = 370 * time.Nanosecond // fabric propagation + switch delay
+	g := sim.NewShardGroup(shards, 12345, hop)
+	clusters := make([]*fabric.Cluster, rings)
+	ms := make([]ringMetrics, rings)
+	for r := 0; r < rings; r++ {
+		r := r
+		k := g.Shard(r % shards)
+		k.Deadline = 30 * time.Second
+		k.MaxEvents = 50_000_000
+		c := fabric.NewCluster(k, 2, fabric.DefaultConfig())
+		clusters[r] = c
+		reg := registry.New(k)
+		name := fmt.Sprintf("ring%d", r)
+		spec := FlowSpec{
+			Name:    name,
+			Sources: []Endpoint{{Node: c.Node(0)}},
+			Targets: []Endpoint{{Node: c.Node(1)}},
+			Schema:  kvSchema,
+		}
+		k.Spawn(name+"-init", func(p *sim.Proc) { _ = FlowInit(p, reg, c, spec) })
+		k.Spawn(name+"-src", func(p *sim.Proc) {
+			src, err := SourceOpen(p, reg, name, 0)
+			if err != nil {
+				t.Errorf("%s: source open: %v", name, err)
+				return
+			}
+			for i := 0; i < tuples; i++ {
+				_ = src.Push(p, mkTuple(int64(i), int64(r)))
+			}
+			src.Close(p)
+			ms[r].SrcDone = p.Now()
+		})
+		k.Spawn(name+"-tgt", func(p *sim.Proc) {
+			tgt, err := TargetOpen(p, reg, name, 0)
+			if err != nil {
+				t.Errorf("%s: target open: %v", name, err)
+				return
+			}
+			for {
+				tup, ok := tgt.Consume(p)
+				if !ok {
+					break
+				}
+				ms[r].Consumed++
+				ms[r].KeySum += kvSchema.Int64(tup, 0)
+			}
+			ms[r].TgtDone = p.Now()
+		})
+	}
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rings; r++ {
+		ms[r].BytesTx = clusters[r].Node(0).BytesTx()
+	}
+	return ms
+}
+
+// TestShardedRingIdentityVirtualMetrics is the determinism gate for the
+// parallel kernel: packing the same ring flows onto 1 shard (serial
+// baseline) or onto several shards executing windows on separate host
+// cores must produce byte-identical virtual metrics — delivery counts,
+// content checksums, completion times, wire bytes.
+func TestShardedRingIdentityVirtualMetrics(t *testing.T) {
+	const rings, tuples = 6, 3000
+	base := runShardedRings(t, 1, rings, tuples)
+	for r := range base {
+		if base[r].Consumed != tuples {
+			t.Fatalf("ring %d consumed %d of %d tuples", r, base[r].Consumed, tuples)
+		}
+		if want := int64(tuples) * int64(tuples-1) / 2; base[r].KeySum != want {
+			t.Fatalf("ring %d key checksum %d, want %d", r, base[r].KeySum, want)
+		}
+	}
+	for _, shards := range []int{2, 4} {
+		got := runShardedRings(t, shards, rings, tuples)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("virtual metrics diverge between 1 shard and %d shards:\n base: %+v\n got:  %+v",
+				shards, base, got)
+		}
+	}
+}

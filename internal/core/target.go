@@ -18,6 +18,10 @@ import (
 // directly).
 const pollTimeout = 100 * time.Microsecond
 
+// zeroFlag is the store source used to clear footer flags; package-level so
+// release stays allocation-free (Region.Store only reads it).
+var zeroFlag [1]byte
+
 // Target is a thread-level exit point of a flow. Each target owns one
 // private ring per source inside a single registered memory region; it
 // consumes segments in ring order per source and round-robins across
@@ -247,8 +251,7 @@ func (t *Target) resetRing(r *ringReader) {
 func (t *Target) release(r *ringReader) {
 	// The footer flag is remotely READ by writer probes and the header
 	// counter by credit reads, so both stores go through Region.Store.
-	var clear [1]byte
-	t.mr.Store(t.footerOff(r)+4, clear[:])
+	t.mr.Store(t.footerOff(r)+4, zeroFlag[:])
 	binary.LittleEndian.PutUint64(t.hdrScratch[:], r.consumed.Add(1))
 	t.mr.Store(r.ringOff, t.hdrScratch[:])
 	r.rslot = (r.rslot + 1) % t.geom.nSegs

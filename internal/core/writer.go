@@ -68,6 +68,7 @@ type ringWriter struct {
 	payloadBytes atomic.Uint64 // tuple payload volume transferred
 
 	footerBuf     []byte
+	cqBurst       [16]transport.Completion // drainCQ burst scratch
 	footerPending bool
 	probeWrite    uint64 // ring-write number the in-flight footer read probes
 	completedW    uint64 // writes known complete (from signaled completions)
@@ -553,14 +554,21 @@ func (w *ringWriter) waitLocalSlot(p transport.Ctx) error {
 	return nil
 }
 
-// drainCQ consumes available completions without blocking.
+// drainCQ consumes available completions without blocking, in bursts:
+// each PollBatch empties what is pending into the writer's scratch
+// array in one go (one wakeup, one lock hold on goroutine backends),
+// then the handlers run over the batch. The loop repeats only when the
+// batch came back full, i.e. more completions may be pending.
 func (w *ringWriter) drainCQ(p transport.Ctx) {
-	for w.qp.SendCQ().Len() > 0 {
-		c, ok := w.qp.SendCQ().Poll(p)
-		if !ok {
+	for {
+		n := w.qp.SendCQ().PollBatch(p, w.cqBurst[:])
+		for i := 0; i < n; i++ {
+			w.handleCompletion(p, w.cqBurst[i])
+			w.cqBurst[i] = transport.Completion{}
+		}
+		if n < len(w.cqBurst) {
 			return
 		}
-		w.handleCompletion(p, c)
 	}
 }
 

@@ -2,35 +2,36 @@ package fabric
 
 import (
 	"math/bits"
-	"sync"
 )
 
 // The fabric snapshots ("stages") the bytes a NIC would DMA-read for every
 // WRITE/READ in flight. Staging buffers are recycled through size-classed
-// sync.Pools instead of allocating per operation: a bandwidth flow stages
-// one 8 KiB segment per WRITE, so the data path would otherwise allocate at
-// wire rate.
+// per-cluster freelists instead of allocating per operation: a bandwidth
+// flow stages one 8 KiB segment per WRITE, so the data path would otherwise
+// allocate at wire rate. The freelists are plain slices, not sync.Pools:
+// the kernel serializes all access, and — unlike sync.Pool — a GC cycle
+// cannot empty them, which would silently reintroduce per-WRITE
+// allocations into the steady state.
 
-// stagedBuf boxes a pooled staging buffer; pooling the box (rather than the
-// slice) avoids an interface allocation on every Put.
+// stagedBuf boxes a recycled staging buffer; passing the box (rather than
+// the slice) around avoids re-boxing on every recycle.
 type stagedBuf struct{ b []byte }
 
-// stagedPools[i] serves buffers of capacity 1<<i.
-var stagedPools [28]sync.Pool
-
-// stagedGet returns a staging buffer of length n backed by a pooled
+// stagedGet returns a staging buffer of length n backed by a recycled
 // power-of-two allocation. Recycled buffers are not zeroed: callers must
 // only read back regions they wrote (stageInto documents the contract).
-func stagedGet(n int) *stagedBuf {
+func (c *Cluster) stagedGet(n int) *stagedBuf {
 	if n <= 0 {
 		return &stagedBuf{}
 	}
 	class := bits.Len(uint(n - 1))
-	if class >= len(stagedPools) {
+	if class >= len(c.stagedFree) {
 		return &stagedBuf{b: make([]byte, n)}
 	}
-	if v := stagedPools[class].Get(); v != nil {
-		sb := v.(*stagedBuf)
+	if fl := c.stagedFree[class]; len(fl) > 0 {
+		sb := fl[len(fl)-1]
+		fl[len(fl)-1] = nil
+		c.stagedFree[class] = fl[:len(fl)-1]
 		sb.b = sb.b[:n]
 		return sb
 	}
@@ -40,34 +41,57 @@ func stagedGet(n int) *stagedBuf {
 // stagedPut recycles a buffer obtained from stagedGet. Buffers whose
 // capacity is not an exact size class (oversized one-off allocations) are
 // dropped on the floor.
-func stagedPut(sb *stagedBuf) {
-	c := cap(sb.b)
-	if c == 0 || c&(c-1) != 0 {
+func (c *Cluster) stagedPut(sb *stagedBuf) {
+	cp := cap(sb.b)
+	if cp == 0 || cp&(cp-1) != 0 {
 		return
 	}
-	class := bits.Len(uint(c)) - 1
-	if class >= len(stagedPools) {
+	class := bits.Len(uint(cp)) - 1
+	if class >= len(c.stagedFree) {
 		return
 	}
-	sb.b = sb.b[:c]
-	stagedPools[class].Put(sb)
+	sb.b = sb.b[:cp]
+	c.stagedFree[class] = append(c.stagedFree[class], sb)
 }
 
 // stagedRef counts the scheduled commit events still reading a shared
-// staging buffer; the last release returns it to the pool. All accesses
-// happen in scheduler or process context of one kernel, which the baton-
-// passing handoff serializes.
+// staging buffer; the last release returns it to the cluster freelist. All
+// accesses happen in scheduler or process context of one kernel, which the
+// baton-passing handoff serializes.
 type stagedRef struct {
-	buf  *stagedBuf
-	refs int
+	buf    *stagedBuf
+	refs   int
+	pooled bool // obtained from the cluster freelist (vs embedded in a writeOp)
 }
 
-func (r *stagedRef) release() {
+func (r *stagedRef) release(c *Cluster) {
 	r.refs--
-	if r.refs == 0 && r.buf != nil {
-		stagedPut(r.buf)
-		r.buf = nil
+	if r.refs == 0 {
+		if r.buf != nil {
+			c.stagedPut(r.buf)
+			r.buf = nil
+		}
+		if r.pooled {
+			r.pooled = false
+			c.srefFree = append(c.srefFree, r)
+		}
 	}
+}
+
+// stagedRefGet returns a recycled reference holder initialized to refs
+// references; release recycles it when the count drains.
+func (c *Cluster) stagedRefGet(refs int) *stagedRef {
+	var r *stagedRef
+	if n := len(c.srefFree); n > 0 {
+		r = c.srefFree[n-1]
+		c.srefFree[n-1] = nil
+		c.srefFree = c.srefFree[:n-1]
+	} else {
+		r = new(stagedRef)
+	}
+	r.refs = refs
+	r.pooled = true
+	return r
 }
 
 // stageInto snapshots the bytes the NIC would DMA-read into dst. With

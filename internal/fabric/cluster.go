@@ -45,6 +45,15 @@ type Cluster struct {
 	cfg    Config
 	nodes  []*Node
 	tracer Tracer
+
+	// Freelists for the pooled op-events of the steady-state data path.
+	// They are plain slices, not sync.Pools: the kernel is single-threaded
+	// so no locking is needed, and — unlike sync.Pool — a GC cycle cannot
+	// empty them, which would silently reintroduce a per-WRITE allocation.
+	wopFree    []*writeOp
+	ropFree    []*readOp
+	srefFree   []*stagedRef
+	stagedFree [28][]*stagedBuf // staging buffers of capacity 1<<class
 }
 
 // NewCluster creates n nodes attached to k using the given cost model.

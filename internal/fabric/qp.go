@@ -31,9 +31,15 @@ type Completion = transport.Completion
 // completion time; processes drain them with Poll or Wait. CQ implements
 // transport.CompletionQueue; its blocking waits park on sim conds, so
 // only *sim.Proc contexts can drive them.
+//
+// Entries live in a head-indexed slice reused ring-style: pops advance
+// head instead of reslicing, and a push into an empty or exhausted queue
+// rewinds to the front, so steady-state push/drain cycles never
+// reallocate.
 type CQ struct {
 	cfg     *Config
 	entries []Completion
+	head    int
 	cond    *sim.Cond
 }
 
@@ -42,34 +48,74 @@ func (c *Cluster) NewCQ() *CQ {
 	return &CQ{cfg: &c.cfg, cond: sim.NewCond(c.K)}
 }
 
+// append adds an entry without waking waiters, reusing the slice's front
+// whenever the queue is empty (and compacting before a growing append
+// would otherwise abandon the popped prefix).
+func (cq *CQ) append(e Completion) {
+	if cq.head == len(cq.entries) {
+		cq.head = 0
+		cq.entries = cq.entries[:0]
+	} else if cq.head > 0 && len(cq.entries) == cap(cq.entries) {
+		n := copy(cq.entries, cq.entries[cq.head:])
+		clearCompletions(cq.entries[n:])
+		cq.entries = cq.entries[:n]
+		cq.head = 0
+	}
+	cq.entries = append(cq.entries, e)
+}
+
+func clearCompletions(cs []Completion) {
+	for i := range cs {
+		cs[i] = Completion{}
+	}
+}
+
 // push appends an entry and wakes waiters. Called from event context.
 func (cq *CQ) push(e Completion) {
-	cq.entries = append(cq.entries, e)
+	cq.append(e)
 	cq.cond.Broadcast()
+}
+
+// pop removes the head entry; the caller must have checked Len() > 0.
+// The vacated slot is zeroed so it retains no Buf reference.
+func (cq *CQ) pop() Completion {
+	e := cq.entries[cq.head]
+	cq.entries[cq.head] = Completion{}
+	cq.head++
+	return e
 }
 
 // Poll drains one completion without blocking, charging one poll cost.
 func (cq *CQ) Poll(p transport.Ctx) (Completion, bool) {
 	p.Sleep(cq.cfg.PollCost)
-	if len(cq.entries) == 0 {
+	if cq.Len() == 0 {
 		return Completion{}, false
 	}
-	e := cq.entries[0]
-	cq.entries = cq.entries[1:]
-	return e, true
+	return cq.pop(), true
+}
+
+// PollBatch drains up to len(out) completions into out, charging one poll
+// cost per drained entry — virtual-time-identical to a Poll loop — and
+// returns the count. An empty queue costs nothing.
+func (cq *CQ) PollBatch(p transport.Ctx, out []Completion) int {
+	n := 0
+	for n < len(out) && cq.Len() > 0 {
+		p.Sleep(cq.cfg.PollCost)
+		out[n] = cq.pop()
+		n++
+	}
+	return n
 }
 
 // Wait blocks until a completion is available and returns it.
 func (cq *CQ) Wait(p transport.Ctx) Completion {
 	sp := proc(p)
 	sp.Sleep(cq.cfg.PollCost)
-	for len(cq.entries) == 0 {
+	for cq.Len() == 0 {
 		cq.cond.Wait(sp)
 		sp.Sleep(cq.cfg.PollCost)
 	}
-	e := cq.entries[0]
-	cq.entries = cq.entries[1:]
-	return e
+	return cq.pop()
 }
 
 // WaitTimeout blocks until a completion is available or d elapses,
@@ -78,19 +124,17 @@ func (cq *CQ) WaitTimeout(p transport.Ctx, d time.Duration) (Completion, bool) {
 	sp := proc(p)
 	sp.Sleep(cq.cfg.PollCost)
 	deadline := sp.Now() + d
-	for len(cq.entries) == 0 {
+	for cq.Len() == 0 {
 		remain := deadline - sp.Now()
 		if remain <= 0 {
 			return Completion{}, false
 		}
-		if !cq.cond.WaitTimeout(sp, remain) && len(cq.entries) == 0 {
+		if !cq.cond.WaitTimeout(sp, remain) && cq.Len() == 0 {
 			return Completion{}, false
 		}
 		sp.Sleep(cq.cfg.PollCost)
 	}
-	e := cq.entries[0]
-	cq.entries = cq.entries[1:]
-	return e, true
+	return cq.pop(), true
 }
 
 // WaitNonEmpty blocks until the queue holds at least one completion or d
@@ -100,12 +144,12 @@ func (cq *CQ) WaitNonEmpty(p transport.Ctx, d time.Duration) bool {
 	sp := proc(p)
 	sp.Sleep(cq.cfg.PollCost)
 	deadline := sp.Now() + d
-	for len(cq.entries) == 0 {
+	for cq.Len() == 0 {
 		remain := deadline - sp.Now()
 		if remain <= 0 {
 			return false
 		}
-		if !cq.cond.WaitTimeout(sp, remain) && len(cq.entries) == 0 {
+		if !cq.cond.WaitTimeout(sp, remain) && cq.Len() == 0 {
 			return false
 		}
 		sp.Sleep(cq.cfg.PollCost)
@@ -114,7 +158,7 @@ func (cq *CQ) WaitNonEmpty(p transport.Ctx, d time.Duration) bool {
 }
 
 // Len returns the number of pending completions.
-func (cq *CQ) Len() int { return len(cq.entries) }
+func (cq *CQ) Len() int { return len(cq.entries) - cq.head }
 
 // RecvWR is a posted receive buffer.
 type RecvWR = transport.RecvWR
@@ -213,7 +257,8 @@ func (q *QP) WriteBatch(p transport.Ctx, wrs []WriteWR) {
 	for i := range wrs {
 		total += len(wrs[i].Src)
 	}
-	st := &stagedRef{refs: len(wrs), buf: stagedGet(total)}
+	st := q.c.stagedRefGet(len(wrs))
+	st.buf = q.c.stagedGet(total)
 	copyPayload := q.c.cfg.CopyPayload
 	off := 0
 	for i := range wrs {
@@ -291,11 +336,57 @@ func (q *QP) writeOne(p transport.Ctx, src []byte, dst Addr, opts WriteOptions, 
 
 	n := len(src)
 	dstOff := dst.Off
+	if !fv.drop && !fv.duplicate {
+		// Steady-state path (no fault touches this WR): the whole stage/
+		// body/commit/ack pipeline rides one pooled op, so posting a WRITE
+		// allocates nothing. Event push order matches the closure path
+		// below exactly — stage, body, commit, ack — keeping (at, seq)
+		// dispatch order byte-identical.
+		w := q.c.getWriteOp()
+		w.q, w.mr = q, mr
+		w.off, w.dstOff = off, dstOff
+		w.n, w.body, w.tail = n, body, tail
+		w.copyPayload = cfg.CopyPayload
+		w.id = opts.ID
+		if batch == nil {
+			// The NIC finishes DMA-reading the source at txEnd: snapshot
+			// then, into a pooled staging buffer. (Post-time snapshots are
+			// tempting but wrong in both directions: they erase the
+			// reuse-before-completion hazard real verbs have, and a commit
+			// delayed by receiver RX queueing may fire after the writer has
+			// lawfully restamped the slot for a later lap.)
+			w.src = src
+			w.own = stagedRef{refs: 1}
+			w.st = &w.own
+			k.AtOp(txEnd, w, wopStage)
+		} else {
+			w.st = batch
+		}
+		if tail > 0 && body > 0 && cfg.CopyPayload {
+			// Body commits just before the tail, after staging completed.
+			bodyAt := deliverAt - cfg.serialization(tail)
+			if bodyAt <= txEnd {
+				bodyAt = txEnd + 1
+			}
+			k.AtOp(bodyAt, w, wopBody)
+		}
+		k.AtOp(deliverAt, w, wopCommit)
+		q.lastCommit = deliverAt
+		signaled := opts.Signaled && !fv.dropCompletion
+		w.freeAtCommit = !signaled
+		if signaled {
+			// RC semantics: the completion is generated once the responder's
+			// ACK returns, i.e. after remote delivery plus the return hop.
+			ackAt := deliverAt + cfg.Propagation + cfg.SwitchDelay + cfg.CompletionDelay
+			k.AtOp(ackAt, w, wopAck)
+		}
+		return
+	}
 	st := batch
 	if fv.drop {
 		// No commit will read the staging buffer: drop this WR's reference.
 		if st != nil {
-			st.release()
+			st.release(q.c)
 		}
 	} else {
 		if st == nil {
@@ -304,7 +395,7 @@ func (q *QP) writeOne(p transport.Ctx, src []byte, dst Addr, opts WriteOptions, 
 			// then, into a pooled staging buffer.
 			copyPayload := cfg.CopyPayload
 			k.At(txEnd, func() {
-				st.buf = stagedGet(n)
+				st.buf = q.c.stagedGet(n)
 				stageInto(st.buf.b, src, body, copyPayload)
 			})
 		}
@@ -333,7 +424,7 @@ func (q *QP) writeOne(p transport.Ctx, src []byte, dst Addr, opts WriteOptions, 
 					copy(mr.buf[dstOff+body:dstOff+n], st.buf.b[off+body:off+n])
 				}
 				mr.notify()
-				st.release()
+				st.release(q.c)
 			})
 		}
 		commit(deliverAt)
@@ -360,6 +451,72 @@ func (q *QP) writeOne(p transport.Ctx, src []byte, dst Addr, opts WriteOptions, 
 			q.scq.push(Completion{ID: opts.ID, Op: OpWrite, Bytes: n})
 		})
 	}
+}
+
+// writeOp is the pooled event payload driving the steady-state WRITE
+// pipeline (see writeOne). Steps fire in scheduler context via sim.Op.
+type writeOp struct {
+	q   *QP
+	mr  *MemoryRegion
+	st  *stagedRef
+	own stagedRef // standalone WRITEs point st here (one ref, no alloc)
+	src []byte    // standalone WRITEs: snapshot source, read at txEnd
+
+	off, dstOff   int
+	n, body, tail int
+	id            uint64
+	copyPayload   bool
+	freeAtCommit  bool // unsignaled: commit is the last step
+}
+
+// writeOp pipeline steps (scheduled through Kernel.AtOp).
+const (
+	wopStage  uint8 = iota // snapshot src into the staging buffer (txEnd)
+	wopBody                // commit the payload body (bodyAt, CopyPayload only)
+	wopCommit              // commit tail/body, notify, release staging (deliverAt)
+	wopAck                 // push the signaled completion (ackAt)
+)
+
+func (w *writeOp) RunOp(step uint8) {
+	switch step {
+	case wopStage:
+		w.st.buf = w.q.c.stagedGet(w.n)
+		stageInto(w.st.buf.b, w.src, w.body, w.copyPayload)
+	case wopBody:
+		copy(w.mr.buf[w.dstOff:w.dstOff+w.body], w.st.buf.b[w.off:w.off+w.body])
+	case wopCommit:
+		b := w.st.buf.b
+		if w.copyPayload && w.body > 0 && w.tail == 0 {
+			copy(w.mr.buf[w.dstOff:w.dstOff+w.body], b[w.off:w.off+w.body])
+		}
+		if w.tail > 0 {
+			copy(w.mr.buf[w.dstOff+w.body:w.dstOff+w.n], b[w.off+w.body:w.off+w.n])
+		}
+		w.mr.notify()
+		w.st.release(w.q.c)
+		if w.freeAtCommit {
+			putWriteOp(w)
+		}
+	case wopAck:
+		w.q.scq.push(Completion{ID: w.id, Op: OpWrite, Bytes: w.n})
+		putWriteOp(w)
+	}
+}
+
+func (c *Cluster) getWriteOp() *writeOp {
+	if n := len(c.wopFree); n > 0 {
+		w := c.wopFree[n-1]
+		c.wopFree[n-1] = nil
+		c.wopFree = c.wopFree[:n-1]
+		return w
+	}
+	return new(writeOp)
+}
+
+func putWriteOp(w *writeOp) {
+	c := w.q.c
+	*w = writeOp{}
+	c.wopFree = append(c.wopFree, w)
 }
 
 // Read posts a one-sided RDMA READ of len(dst) bytes from src on the peer
@@ -412,19 +569,57 @@ func (q *QP) Read(p transport.Ctx, dst []byte, src Addr, signaled bool, id uint6
 	if fv.drop {
 		return
 	}
-	var staged *stagedBuf
-	n := len(dst)
-	k.At(respStart, func() {
-		staged = stagedGet(n)
-		copy(staged.b, sliceOf(src, n))
-	})
-	k.At(deliverAt, func() {
-		copy(dst, staged.b)
-		stagedPut(staged)
-		if signaled {
-			q.scq.push(Completion{ID: id, Op: OpRead, Bytes: n})
-		}
-	})
+	r := q.c.getReadOp()
+	r.q, r.dst, r.src = q, dst, sliceOf(src, len(dst))
+	r.id, r.signaled = id, signaled
+	k.AtOp(respStart, r, ropStage)
+	k.AtOp(deliverAt, r, ropDeliver)
+}
+
+// readOp is the pooled event payload driving the READ response pipeline:
+// the remote NIC snapshots the source at respStart, and the response
+// lands (data copy, completion) at deliverAt.
+type readOp struct {
+	q        *QP
+	dst, src []byte
+	staged   *stagedBuf
+	id       uint64
+	signaled bool
+}
+
+const (
+	ropStage   uint8 = iota // snapshot the remote source (respStart)
+	ropDeliver              // deliver the response into dst (deliverAt)
+)
+
+func (r *readOp) RunOp(step uint8) {
+	if step == ropStage {
+		r.staged = r.q.c.stagedGet(len(r.dst))
+		copy(r.staged.b, r.src)
+		return
+	}
+	copy(r.dst, r.staged.b)
+	r.q.c.stagedPut(r.staged)
+	if r.signaled {
+		r.q.scq.push(Completion{ID: r.id, Op: OpRead, Bytes: len(r.dst)})
+	}
+	putReadOp(r)
+}
+
+func (c *Cluster) getReadOp() *readOp {
+	if n := len(c.ropFree); n > 0 {
+		r := c.ropFree[n-1]
+		c.ropFree[n-1] = nil
+		c.ropFree = c.ropFree[:n-1]
+		return r
+	}
+	return new(readOp)
+}
+
+func putReadOp(r *readOp) {
+	c := r.q.c
+	*r = readOp{}
+	c.ropFree = append(c.ropFree, r)
 }
 
 // ReadSync performs a signaled READ and blocks until it completes,
@@ -443,7 +638,7 @@ func (q *QP) ReadSync(p transport.Ctx, dst []byte, src Addr) time.Duration {
 			break
 		}
 		// Preserve unrelated completions (e.g. signaled writes).
-		q.scq.entries = append(q.scq.entries, c)
+		q.scq.append(c)
 	}
 	return p.Now() - start
 }

@@ -37,7 +37,15 @@ const (
 	evTimer                // park timer fired: request a wake at the current instant
 	evWake                 // resume p if still parked in generation gen
 	evTimeout              // WaitTimeout deadline: mark p timed out, then request a wake
+	evOp                   // run op.RunOp(step) in scheduler context (step rides in gen)
 )
+
+// Op is a pooled event payload. RunOp fires in scheduler context with the
+// step the event was scheduled under (see Kernel.AtOp). Backends use one
+// Op value to drive a multi-step pipeline — stage, deliver, commit, ack —
+// without allocating a closure per step, which is what makes the
+// steady-state data path alloc-free.
+type Op interface{ RunOp(step uint8) }
 
 // event is a scheduled callback or process transition. Events with equal
 // timestamps fire in the order they were scheduled (seq breaks ties), which
@@ -49,6 +57,7 @@ type event struct {
 	gen  uint64
 	p    *Proc
 	fn   func()
+	op   Op
 	kind uint8
 }
 
@@ -61,11 +70,26 @@ func (e *event) before(o *event) bool {
 	return e.seq < o.seq
 }
 
+// timeout is a pending WaitTimeout deadline. Timeouts live in their own
+// indexed min-heap — ordered by the same (at, seq) keys as events, so
+// firing order is exactly what a shared heap would give — because a wake
+// that wins the race can then delete its timeout in O(log n). Leaving
+// dead timeouts to lazy-expire in the main heap (the old scheme) kept
+// ~one stale entry per in-flight timed wait, inflating every heap
+// operation on the hot path.
+type timeout struct {
+	at  Time
+	seq uint64
+	gen uint64
+	p   *Proc
+}
+
 // Kernel is a discrete-event simulation instance. Create one with New, spawn
 // processes with Spawn, then call Run.
 type Kernel struct {
 	now     Time
-	events  []event // value-based binary min-heap ordered by (at, seq)
+	events  []event   // value-based binary min-heap ordered by (at, seq)
+	tmos    []timeout // indexed min-heap of pending WaitTimeout deadlines
 	seq     uint64
 	yield   chan struct{} // process -> scheduler handoff
 	running *Proc
@@ -83,6 +107,17 @@ type Kernel struct {
 	Deadline Time
 
 	nevents uint64
+
+	// horizon bounds how far this kernel may advance on its own when it is
+	// one shard of a ShardGroup: events at or past the horizon wait for the
+	// next window, and the Sleep fast path declines to cross it. Zero means
+	// unbounded (the classic single-kernel mode).
+	horizon Time
+
+	// group/shardID identify this kernel's place in a ShardGroup (group is
+	// nil for a classic standalone kernel).
+	group   *ShardGroup
+	shardID int
 }
 
 // New returns a kernel whose random source is seeded with seed. Two kernels
@@ -116,15 +151,20 @@ func (k *Kernel) push(e event) {
 	k.seq++
 	e.seq = k.seq
 	h := append(k.events, e)
+	// Bubble a hole from the tail toward the root: parents shift down and
+	// e is written once at its final slot. Events are 64 bytes, so doing
+	// one copy per level instead of a swap halves the memory traffic of
+	// the hottest function in the scheduler.
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h[i].before(&h[parent]) {
+		if !e.before(&h[parent]) {
 			break
 		}
-		h[i], h[parent] = h[parent], h[i]
+		h[i] = h[parent]
 		i = parent
 	}
+	h[i] = e
 	k.events = h
 }
 
@@ -134,27 +174,99 @@ func (k *Kernel) pop() event {
 	h := k.events
 	top := h[0]
 	n := len(h) - 1
-	h[0] = h[n]
+	last := h[n]
 	h[n] = event{}
 	h = h[:n]
+	k.events = h
+	if n == 0 {
+		return top
+	}
+	// Sift a hole down from the root: the smaller child shifts up and the
+	// displaced tail element is written once at its final slot (same
+	// one-copy-per-level trick as push).
 	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r].before(&h[l]) {
+			l = r
+		}
+		if !h[l].before(&last) {
+			break
+		}
+		h[i] = h[l]
+		i = l
+	}
+	h[i] = last
+	return top
+}
+
+// tmoPush registers a WaitTimeout deadline for t.p, assigning the next
+// sequence number from the shared counter (so cross-heap ordering is the
+// total (at, seq) order a single heap would produce).
+func (k *Kernel) tmoPush(t timeout) {
+	if t.at < k.now {
+		t.at = k.now
+	}
+	k.seq++
+	t.seq = k.seq
+	k.tmos = append(k.tmos, t)
+	k.tmoUp(len(k.tmos) - 1)
+}
+
+func (k *Kernel) tmoUp(i int) {
+	h := k.tmos
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[i].at > h[parent].at || (h[i].at == h[parent].at && h[i].seq > h[parent].seq) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].p.tmoIdx = i
+		i = parent
+	}
+	h[i].p.tmoIdx = i
+}
+
+func (k *Kernel) tmoDown(i int) {
+	h := k.tmos
+	n := len(h)
 	for {
 		l, r := 2*i+1, 2*i+2
 		s := i
-		if l < n && h[l].before(&h[s]) {
+		if l < n && (h[l].at < h[s].at || (h[l].at == h[s].at && h[l].seq < h[s].seq)) {
 			s = l
 		}
-		if r < n && h[r].before(&h[s]) {
+		if r < n && (h[r].at < h[s].at || (h[r].at == h[s].at && h[r].seq < h[s].seq)) {
 			s = r
 		}
 		if s == i {
 			break
 		}
 		h[i], h[s] = h[s], h[i]
+		h[i].p.tmoIdx = i
 		i = s
 	}
-	k.events = h
-	return top
+	h[i].p.tmoIdx = i
+}
+
+// tmoRemove deletes the timeout at heap index i (a wake won the race, or
+// the deadline just popped).
+func (k *Kernel) tmoRemove(i int) {
+	h := k.tmos
+	n := len(h) - 1
+	h[i].p.tmoIdx = -1
+	if i != n {
+		h[i] = h[n]
+	}
+	h[n] = timeout{}
+	k.tmos = h[:n]
+	if i < n {
+		k.tmoDown(i)
+		k.tmoUp(i)
+	}
 }
 
 // at schedules fn to run in scheduler context at time t (clamped to now).
@@ -175,11 +287,18 @@ func (k *Kernel) At(t Time, fn func()) {
 	k.at(t, fn)
 }
 
+// AtOp schedules op.RunOp(step) to run in scheduler context at absolute
+// virtual time t (clamped to the present). The step rides in the event's
+// gen field, so scheduling allocates nothing beyond heap growth.
+func (k *Kernel) AtOp(t Time, op Op, step uint8) {
+	k.push(event{at: t, kind: evOp, op: op, gen: uint64(step)})
+}
+
 // Spawn creates a new process executing fn and schedules it to start at the
 // current virtual time. It may be called before Run or from a running
 // process or event callback.
 func (k *Kernel) Spawn(name string, fn func(*Proc)) {
-	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	p := &Proc{k: k, name: name, resume: make(chan struct{}), tmoIdx: -1}
 	k.nlive++
 	go func() {
 		<-p.resume // wait for first scheduling
@@ -217,6 +336,22 @@ func (k *Kernel) ready(p *Proc, gen uint64) {
 	k.push(event{at: k.now, kind: evWake, p: p, gen: gen})
 }
 
+// next pops whichever of the event heap and the timeout heap holds the
+// earlier (at, seq) entry, returning it as an event. A popped timeout
+// becomes an evTimeout, exactly as if it had lived in the main heap.
+func (k *Kernel) next() event {
+	if len(k.tmos) > 0 {
+		t := &k.tmos[0]
+		if len(k.events) == 0 || t.at < k.events[0].at ||
+			(t.at == k.events[0].at && t.seq < k.events[0].seq) {
+			e := event{at: t.at, seq: t.seq, gen: t.gen, p: t.p, kind: evTimeout}
+			k.tmoRemove(0)
+			return e
+		}
+	}
+	return k.pop()
+}
+
 // dispatch fires one event in scheduler context.
 func (k *Kernel) dispatch(e *event) {
 	switch e.kind {
@@ -243,6 +378,53 @@ func (k *Kernel) dispatch(e *event) {
 			p.timedOut = true
 			k.ready(p, e.gen)
 		}
+	case evOp:
+		e.op.RunOp(uint8(e.gen))
+	}
+}
+
+// nextAt peeks the earliest pending instant across the event and timeout
+// heaps without popping. ok is false when both are empty.
+func (k *Kernel) nextAt() (Time, bool) {
+	switch {
+	case len(k.events) == 0 && len(k.tmos) == 0:
+		return 0, false
+	case len(k.events) == 0:
+		return k.tmos[0].at, true
+	case len(k.tmos) == 0:
+		return k.events[0].at, true
+	case k.tmos[0].at < k.events[0].at:
+		return k.tmos[0].at, true
+	default:
+		return k.events[0].at, true
+	}
+}
+
+// runUntil processes events strictly before horizon w (0 means unbounded)
+// and returns nil when the heaps drain or every remaining entry is at or
+// past w. The horizon is also installed for the Sleep fast path, so a
+// shard's clock can never overrun its window.
+func (k *Kernel) runUntil(w Time) error {
+	k.horizon = w
+	defer func() { k.horizon = 0 }()
+	for {
+		if k.failure != nil {
+			return k.failure
+		}
+		at, ok := k.nextAt()
+		if !ok || (w > 0 && at >= w) {
+			return nil
+		}
+		if k.MaxEvents > 0 && k.nevents >= k.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v (possible livelock)", k.MaxEvents, k.now)
+		}
+		e := k.next()
+		if k.Deadline > 0 && e.at > k.Deadline {
+			return fmt.Errorf("sim: deadline %v exceeded (t=%v)", k.Deadline, e.at)
+		}
+		k.now = e.at
+		k.nevents++
+		k.dispatch(&e)
 	}
 }
 
@@ -251,33 +433,26 @@ func (k *Kernel) dispatch(e *event) {
 // termination; a deadlock (live processes parked with no pending events) is
 // reported with the parked process names.
 func (k *Kernel) Run() error {
-	for len(k.events) > 0 {
-		if k.failure != nil {
-			return k.failure
-		}
-		if k.MaxEvents > 0 && k.nevents >= k.MaxEvents {
-			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v (possible livelock)", k.MaxEvents, k.now)
-		}
-		e := k.pop()
-		if k.Deadline > 0 && e.at > k.Deadline {
-			return fmt.Errorf("sim: deadline %v exceeded (t=%v)", k.Deadline, e.at)
-		}
-		k.now = e.at
-		k.nevents++
-		k.dispatch(&e)
+	if err := k.runUntil(0); err != nil {
+		return err
 	}
 	if k.failure != nil {
 		return k.failure
 	}
 	if k.nlive > 0 {
-		names := make([]string, 0, len(k.parked))
-		for p := range k.parked {
-			names = append(names, p.name)
-		}
-		sort.Strings(names)
-		return fmt.Errorf("sim: deadlock at t=%v: %d live processes, parked: %v", k.now, k.nlive, names)
+		return k.deadlockErr()
 	}
 	return nil
+}
+
+// deadlockErr describes live-but-parked processes once the heaps drained.
+func (k *Kernel) deadlockErr() error {
+	names := make([]string, 0, len(k.parked))
+	for p := range k.parked {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return fmt.Errorf("sim: deadlock at t=%v: %d live processes, parked: %v", k.now, k.nlive, names)
 }
 
 // Proc is a simulated process (the unit of thread-centric execution). All
@@ -292,6 +467,7 @@ type Proc struct {
 	parkGen    uint64
 	exited     bool
 	timedOut   bool // set by an evTimeout event matching the current park
+	tmoIdx     int  // index of the pending timeout in Kernel.tmos, -1 if none
 }
 
 // Name returns the process name given at Spawn.
@@ -339,7 +515,63 @@ func (p *Proc) Sleep(d Time) {
 	if d <= 0 {
 		return
 	}
-	p.k.push(event{at: p.k.now + d, kind: evTimer, p: p, gen: p.nextGen()})
+	k := p.k
+	t := k.now + d
+	// Run-to-completion fast paths. Parking costs two events and four
+	// channel handoffs, so avoid it whenever doing so is observably
+	// identical to the park/dispatch/resume dance:
+	//
+	//  1. If nothing can run before the wake-up time, advance the clock in
+	//     place (the timer and wake would have been the next two events in
+	//     (at, seq) order anyway).
+	//  2. If the globally next pending item is a scheduler callback (evFn
+	//     or evOp — code that never blocks and has no process identity),
+	//     dispatch it inline on this process's stack and loop. This is
+	//     what lets a writer's flush absorb the commit/ack pipeline of
+	//     prior segments without a single goroutine switch.
+	//
+	// Anything else — a process transition (start/timer/wake/timeout), a
+	// tie at exactly t, the deadline, the event budget, a shard horizon —
+	// parks, so Run (or the shard window loop) keeps control of
+	// termination and (at, seq) dispatch order stays byte-identical.
+	for {
+		if (len(k.events) == 0 || t < k.events[0].at) &&
+			(len(k.tmos) == 0 || t < k.tmos[0].at) &&
+			(k.Deadline <= 0 || t <= k.Deadline) &&
+			(k.MaxEvents <= 0 || k.nevents+2 < k.MaxEvents) &&
+			(k.horizon <= 0 || t < k.horizon) {
+			k.now = t
+			k.nevents += 2 // the timer+wake pair this replaces
+			return
+		}
+		if len(k.events) == 0 {
+			break
+		}
+		e := &k.events[0]
+		if (e.kind != evFn && e.kind != evOp) || e.at > t {
+			break
+		}
+		if len(k.tmos) > 0 {
+			tm := &k.tmos[0]
+			if tm.at < e.at || (tm.at == e.at && tm.seq < e.seq) {
+				break
+			}
+		}
+		if (k.Deadline > 0 && e.at > k.Deadline) ||
+			(k.MaxEvents > 0 && k.nevents >= k.MaxEvents) ||
+			(k.horizon > 0 && e.at >= k.horizon) {
+			break
+		}
+		ev := k.pop()
+		k.now = ev.at
+		k.nevents++
+		if ev.kind == evFn {
+			ev.fn()
+		} else {
+			ev.op.RunOp(uint8(ev.gen))
+		}
+	}
+	k.push(event{at: t, kind: evTimer, p: p, gen: p.nextGen()})
 	p.park()
 }
 

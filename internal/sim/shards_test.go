@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const la = 370 * time.Nanosecond // a hop's propagation+switch delay
+
+// TestShardGroupSingleShardIdenticalToKernel: a one-shard group must
+// execute event-for-event like a standalone kernel — same virtual
+// timestamps, same event count, same final clock.
+func TestShardGroupSingleShardIdenticalToKernel(t *testing.T) {
+	run := func(k *Kernel, log *[]string) {
+		k.Spawn("a", func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				p.Sleep(100 * time.Nanosecond)
+				*log = append(*log, fmt.Sprintf("a@%v", p.Now()))
+			}
+		})
+		k.Spawn("b", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(170 * time.Nanosecond)
+				*log = append(*log, fmt.Sprintf("b@%v", p.Now()))
+			}
+		})
+		k.After(250*time.Nanosecond, func() { *log = append(*log, fmt.Sprintf("fn@%v", k.Now())) })
+	}
+	var solo, sharded []string
+	ks := New(42)
+	run(ks, &solo)
+	if err := ks.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g := NewShardGroup(1, 42, la)
+	run(g.Shard(0), &sharded)
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(solo, " ") != strings.Join(sharded, " ") {
+		t.Fatalf("divergence:\n solo:    %v\n sharded: %v", solo, sharded)
+	}
+	if ks.Events() != g.Shard(0).Events() {
+		t.Fatalf("event counts differ: solo %d, sharded %d", ks.Events(), g.Shard(0).Events())
+	}
+}
+
+// TestShardGroupCrossShardPostTiming: a cross-shard callback fires on the
+// destination timeline at exactly the virtual instant it was posted for,
+// and a destination process sleeping far past that instant (fast-path
+// tempting) still observes it in order — the horizon keeps a shard's clock
+// from overrunning a window and skipping a merge.
+func TestShardGroupCrossShardPostTiming(t *testing.T) {
+	g := NewShardGroup(2, 7, la)
+	var firedAt Time
+	var seen bool
+	g.Shard(0).Spawn("poster", func(p *Proc) {
+		p.Sleep(30 * time.Nanosecond)
+		p.Kernel().PostShard(1, p.Now()+la, func() {
+			firedAt = g.Shard(1).Now()
+		})
+	})
+	g.Shard(1).Spawn("sleeper", func(p *Proc) {
+		p.Sleep(time.Millisecond) // far past the post's arrival
+		seen = firedAt != 0
+	})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Time(30*time.Nanosecond) + la; firedAt != want {
+		t.Fatalf("cross-shard fn fired at %v, want %v", firedAt, want)
+	}
+	if !seen {
+		t.Fatal("sleeper woke without observing the earlier cross-shard event")
+	}
+}
+
+// TestShardGroupEventAtHorizonDefersToNextWindow: a wake-up at exactly the
+// lookahead horizon must not run inside the current window — the Sleep
+// fast path has to decline there, park, and resume in the next window at
+// an unchanged virtual time, AFTER the window-boundary merge has delivered
+// any cross-shard event due at that same instant. If the fast path crossed
+// the horizon, the sleeper's clock would overrun the window and it would
+// wake without ever seeing the merged event.
+func TestShardGroupEventAtHorizonDefersToNextWindow(t *testing.T) {
+	g := NewShardGroup(2, 3, la)
+	var crossAt, wokeAt Time
+	var sawCross bool
+	// Both shards start at t=0, so the first window is [0, la).
+	g.Shard(0).Spawn("poster", func(p *Proc) {
+		// Arrival at exactly now+lookahead is the tightest legal post.
+		p.Kernel().PostShard(1, p.Now()+la, func() { crossAt = g.Shard(1).Now() })
+	})
+	g.Shard(1).Spawn("sleeper", func(p *Proc) {
+		p.Sleep(la) // wake at exactly the first window's horizon
+		wokeAt = p.Now()
+		sawCross = crossAt != 0
+	})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if crossAt != Time(la) {
+		t.Fatalf("cross-shard event ran at %v, want %v", crossAt, Time(la))
+	}
+	if wokeAt != Time(la) {
+		t.Fatalf("sleeper woke at %v, want %v", wokeAt, Time(la))
+	}
+	if !sawCross {
+		t.Fatal("sleeper at the horizon woke before the cross-shard event due at the same instant")
+	}
+}
+
+// TestShardGroupEqualTimestampTiebreak: when a locally scheduled event and
+// a cross-shard delivery share a virtual timestamp, the local event — which
+// drew its sequence number first, before the window-boundary merge — fires
+// first, matching the kernel's (at, seq) total order.
+func TestShardGroupEqualTimestampTiebreak(t *testing.T) {
+	g := NewShardGroup(2, 11, la)
+	target := Time(2 * la)
+	var order []string
+	g.Shard(1).Spawn("local", func(p *Proc) {
+		// Schedule a local callback at the collision instant, well before
+		// the cross-shard post can be merged (merge happens at a window
+		// boundary, after this push already took a sequence number).
+		p.Kernel().At(target, func() { order = append(order, "local") })
+	})
+	g.Shard(0).Spawn("remote", func(p *Proc) {
+		p.Sleep(la)
+		p.Kernel().PostShard(1, target, func() { order = append(order, "cross") })
+	})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ","); got != "local,cross" {
+		t.Fatalf("equal-timestamp order = %q, want %q (local seq precedes merged seq)", got, "local,cross")
+	}
+}
+
+// TestShardGroupLookaheadViolationPanics: posting below the lookahead bound
+// would require a rollback; the kernel must refuse loudly.
+func TestShardGroupLookaheadViolationPanics(t *testing.T) {
+	g := NewShardGroup(2, 5, la)
+	g.Shard(0).Spawn("bad", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("PostShard below lookahead did not panic")
+			}
+		}()
+		p.Kernel().PostShard(1, p.Now()+la/2, func() {})
+	})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardGroupParallelWindowsRace: many shards exchanging timed messages
+// for many windows, run under -race with real parallelism — the shard
+// barrier and mailbox locking must make the whole exchange race-clean and
+// the message times deterministic.
+func TestShardGroupParallelWindowsRace(t *testing.T) {
+	const shards = 4
+	const rounds = 200
+	run := func() ([]Time, error) {
+		g := NewShardGroup(shards, 99, la)
+		times := make([][]Time, shards)
+		var mu sync.Mutex
+		for s := 0; s < shards; s++ {
+			s := s
+			g.Shard(s).Spawn(fmt.Sprintf("node%d", s), func(p *Proc) {
+				for r := 0; r < rounds; r++ {
+					p.Sleep(time.Duration(10+s) * time.Nanosecond)
+					dst := (s + 1) % shards
+					at := p.Now() + la
+					p.Kernel().PostShard(dst, at, func() {
+						mu.Lock()
+						times[dst] = append(times[dst], g.Shard(dst).Now())
+						mu.Unlock()
+					})
+				}
+			})
+		}
+		err := g.Run()
+		var flat []Time
+		for _, ts := range times {
+			flat = append(flat, ts...)
+		}
+		return flat, err
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != shards*rounds || len(b) != len(a) {
+		t.Fatalf("delivery counts: %d and %d, want %d", len(a), len(b), shards*rounds)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d at %v in one run, %v in another: sharded run not deterministic", i, a[i], b[i])
+		}
+	}
+}
+
+// TestShardGroupDeadlockReportsShards: a process parked forever on one
+// shard must surface as a group-wide deadlock naming the shard.
+func TestShardGroupDeadlockReportsShards(t *testing.T) {
+	g := NewShardGroup(2, 1, la)
+	g.Shard(1).Spawn("stuck", func(p *Proc) {
+		NewCond(p.Kernel()).Wait(p)
+	})
+	err := g.Run()
+	if err == nil || !strings.Contains(err.Error(), "shard 1") || !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("want shard deadlock naming shard 1 and process, got: %v", err)
+	}
+}

@@ -39,13 +39,18 @@ func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
 	p.checkRunning()
 	gen := p.nextGen()
 	c.waiters = append(c.waiters, condWaiter{p: p, gen: gen})
-	p.k.push(event{at: p.k.now + d, kind: evTimeout, p: p, gen: gen})
+	p.k.tmoPush(timeout{at: p.k.now + d, gen: gen, p: p})
 	p.timedOut = false
 	p.park()
 	if p.timedOut {
 		p.timedOut = false
 		c.remove(p)
 		return false
+	}
+	if p.tmoIdx >= 0 {
+		// Signal won the race: cancel the pending deadline so it does not
+		// linger in the heap until it would have expired.
+		p.k.tmoRemove(p.tmoIdx)
 	}
 	return true
 }
@@ -59,23 +64,31 @@ func (c *Cond) remove(p *Proc) {
 	}
 }
 
-// Signal wakes one waiting process, if any.
+// Signal wakes one waiting process, if any. The waiter slice keeps its
+// capacity (copy-down rather than reslice) so wait/wake cycles in steady
+// state never reallocate it.
 func (c *Cond) Signal() {
 	if len(c.waiters) == 0 {
 		return
 	}
 	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
+	n := copy(c.waiters, c.waiters[1:])
+	c.waiters[n] = condWaiter{}
+	c.waiters = c.waiters[:n]
 	c.k.ready(w.p, w.gen)
 }
 
-// Broadcast wakes all waiting processes.
+// Broadcast wakes all waiting processes. The waiter slice is truncated in
+// place, keeping its capacity for the next wait cycle. Safe to iterate
+// while waking: ready only pushes a heap event, it cannot re-enter the
+// condition.
 func (c *Cond) Broadcast() {
 	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
-		c.k.ready(w.p, w.gen)
+	for i := range ws {
+		c.k.ready(ws[i].p, ws[i].gen)
+		ws[i] = condWaiter{}
 	}
+	c.waiters = ws[:0]
 }
 
 // Waiters returns the number of processes currently blocked on the

@@ -332,6 +332,20 @@ func (cq *CQ) Poll(p transport.Ctx) (transport.Completion, bool) {
 	return e, true
 }
 
+// PollBatch drains up to len(out) completions in one lock hold — the
+// burst win on this backend: one acquisition per batch instead of one
+// per entry, with completion order preserved.
+func (cq *CQ) PollBatch(p transport.Ctx, out []transport.Completion) int {
+	cq.mu.Lock()
+	n := copy(out, cq.entries)
+	if n > 0 {
+		rest := copy(cq.entries, cq.entries[n:])
+		cq.entries = cq.entries[:rest]
+	}
+	cq.mu.Unlock()
+	return n
+}
+
 // Wait blocks until a completion is available and removes it.
 func (cq *CQ) Wait(p transport.Ctx) transport.Completion {
 	for {

@@ -165,6 +165,12 @@ type RecvWR struct {
 type CompletionQueue interface {
 	// Poll removes one completion without blocking (ok=false when empty).
 	Poll(p Ctx) (Completion, bool)
+	// PollBatch drains up to len(out) available completions into out
+	// without blocking and returns how many it wrote. Completion order is
+	// preserved. Backends charge the same per-completion poll cost as
+	// repeated Poll calls, so burst draining never alters simulated
+	// timing; it only removes per-entry wakeups and interface churn.
+	PollBatch(p Ctx, out []Completion) int
 	// Wait blocks until a completion is available and removes it.
 	Wait(p Ctx) Completion
 	// WaitTimeout is Wait bounded by d.

@@ -49,6 +49,7 @@ func Run(t *testing.T, newEnv NewEnv) {
 		{"CompareSwap", testCompareSwap},
 		{"SendRecvReliable", testSendRecv},
 		{"SignaledOnlyCompletions", testSignaledOnly},
+		{"BurstPollOrdering", testBurstPoll},
 		{"ReadBack", testReadBack},
 		{"MulticastDropWithoutRecv", testMulticastDrop},
 	}
@@ -273,6 +274,62 @@ func testSignaledOnly(t *testing.T, env Env) {
 		p.Sleep(5 * time.Millisecond)
 		if n := qa.SendCQ().Len(); n != 0 {
 			t.Errorf("%d spurious completions from unsignaled writes", n)
+		}
+	})
+	env.Run()
+}
+
+// testBurstPoll pins burst draining: completions drained with PollBatch
+// come back in per-queue posting order — across batch boundaries, on
+// partial batches (queue shorter than the burst buffer), and when burst
+// drains interleave with single Polls. Burst size deliberately does not
+// divide the completion count, so the final drain is partial.
+func testBurstPoll(t *testing.T, env Env) {
+	const n = 45
+	mr := env.T.OpenRegion(env.EP[1], n*8)
+	qa, _ := env.T.Dial(env.EP[0], env.EP[1])
+
+	env.Go("writer", func(p transport.Ctx) {
+		src := make([]byte, n*8)
+		cq := qa.SendCQ()
+		burst := make([]transport.Completion, 7)
+		got := make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(src[i*8:], uint64(i)+1)
+			qa.Write(p, src[i*8:(i+1)*8], transport.Addr{MR: mr, Off: i * 8},
+				transport.WriteOptions{Signaled: true, ID: uint64(i) + 1})
+		}
+		deadline := p.Now() + waitFor
+		for len(got) < n {
+			if p.Now() > deadline {
+				t.Errorf("drained only %d/%d completions before deadline", len(got), n)
+				return
+			}
+			k := cq.PollBatch(p, burst)
+			if k > len(burst) {
+				t.Errorf("PollBatch wrote %d entries into a buffer of %d", k, len(burst))
+				return
+			}
+			for i := 0; i < k; i++ {
+				got = append(got, burst[i].ID)
+			}
+			// Interleave a single poll after each burst: mixing drain
+			// styles must not reorder or duplicate.
+			if c, ok := cq.Poll(p); ok {
+				got = append(got, c.ID)
+			}
+			if k == 0 && len(got) < n {
+				cq.WaitNonEmpty(p, waitFor)
+			}
+		}
+		for i, id := range got {
+			if id != uint64(i)+1 {
+				t.Errorf("completion %d: got ID %d, want %d (burst drain broke RC order)", i, id, i+1)
+				return
+			}
+		}
+		if cq.PollBatch(p, burst) != 0 {
+			t.Errorf("PollBatch on a drained CQ returned entries")
 		}
 	})
 	env.Run()
