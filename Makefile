@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos chaos-mc partition-race metrics-smoke transport-race bench bench-update docs-lint
+.PHONY: all build vet test race check chaos chaos-mc chaos-scale partition-race metrics-smoke transport-race bench bench-update docs-lint
 
 all: check
 
@@ -43,6 +43,25 @@ chaos-mc:
 			-run 'TestChaosOrderedMulticast|TestOrderedReplicate|TestReplicateMulticast|TestMulticastUnsupportedOps|TestGapNackLimitValidation' \
 			./internal/core/ || exit 1; \
 	done
+
+# Connection-scaling matrix: the shared-ring suites — core mux
+# (shuffle over shared rings, many flows on one node pair, eviction
+# reroute, batched lease keepalive, admission), the sharedring
+# credit-conservation property tests, and the O(1000)-flow scale sweep
+# (throughput within 10% of the 100-flow baseline, sublinear lease
+# traffic) — under the race detector across the chaos seeds. -short
+# keeps the sweep at 256 flows per seed; one full-scale seed runs the
+# acceptance geometry (1000 flows, 100k tuples).
+chaos-scale:
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "== chaos-scale seed $$seed =="; \
+		DFI_CHAOS_SEED=$$seed $(GO) test -race -count=1 -short \
+			-run 'TestChaosScaleSharedFlows|TestSharedRing' \
+			./internal/core/ ./internal/transport/sharedring/ || exit 1; \
+	done
+	@echo "== chaos-scale full (seed 1) =="
+	DFI_CHAOS_SEED=1 $(GO) test -race -count=1 -timeout 600s \
+		-run 'TestChaosScaleSharedFlows' ./internal/core/
 
 # Partitioner + membership focus: the packages behind consistent-hash
 # routing, rebalance and endpoint re-attach, under the race detector
@@ -98,10 +117,12 @@ bench-update:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 . | tee $(BENCH_DIR)/bench.out
 	./bin/dfibench benchjson -update $(BENCH_FILE) < $(BENCH_DIR)/bench.out
 
-# Documentation hygiene: every package has a godoc package comment, and
+# Documentation hygiene: every package has a godoc package comment,
 # every relative Markdown link/anchor resolves (GitHub slug rules;
-# external URLs are not fetched, so the check is offline-deterministic).
+# external URLs are not fetched, so the check is offline-deterministic),
+# the transport packages document every exported symbol, and
+# docs/OPERATIONS.md covers every dfiflow/dfibench flag.
 docs-lint:
 	$(GO) run ./cmd/docslint
 
-check: build vet race chaos-mc metrics-smoke transport-race docs-lint
+check: build vet race chaos-mc chaos-scale metrics-smoke transport-race docs-lint

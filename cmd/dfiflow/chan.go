@@ -11,47 +11,54 @@ import (
 	"dfi/internal/schema"
 	"dfi/internal/transport"
 	"dfi/internal/transport/chanloop"
+	"dfi/internal/transport/sharedring"
 )
 
-// desOnlyFlags are the dfiflow flags whose machinery lives in the DES:
-// virtual time (seeds, fault plans, timeouts calibrated in simulated
-// microseconds), the sim-backed registry (leases, eviction, rejoin,
-// consensus replication) and the ops plane wired to it. -transport=chan
-// rejects them instead of silently ignoring them.
-var desOnlyFlags = map[string]bool{
-	"faults":         true,
-	"retransmit":     true,
-	"srctimeout":     true,
-	"lease":          true,
-	"evict":          true,
-	"rejoin":         true,
-	"replicas":       true,
-	"snapshot-every": true,
-	"unlogged-renew": true,
-	"loss":           true,
-	"multicast":      true,
-	"ordered":        true,
-	"gap-nacks":      true,
-	"seed":           true,
-	"copy":           true,
-	"partition":      true,
-	"metrics-addr":   true,
-	"linger":         true,
-	"events":         true,
-	"events-out":     true,
+// desOnlyFlags maps the dfiflow flags whose machinery lives in the DES
+// to the reason each needs it: virtual time (seeds, fault plans,
+// timeouts calibrated in simulated microseconds), the sim-backed
+// registry (leases, eviction, rejoin, consensus replication, sharding)
+// and the ops plane wired to it. -transport=chan rejects each one by
+// name instead of silently ignoring it.
+var desOnlyFlags = map[string]string{
+	"faults":         "fault injection hooks into the simulated fabric",
+	"retransmit":     "loss recovery timeouts are calibrated in virtual time",
+	"srctimeout":     "failure detection timeouts are calibrated in virtual time",
+	"lease":          "lease TTLs tick on the simulated clock",
+	"evict":          "eviction schedules run on the simulated clock",
+	"rejoin":         "rejoin schedules run on the simulated clock",
+	"replicas":       "consensus replicas are simulated registry processes",
+	"snapshot-every": "log snapshots belong to the replicated registry",
+	"unlogged-renew": "heartbeat relaxation belongs to the replicated registry",
+	"reg-shards":     "registry shards are simulated registry processes",
+	"flows":          "concurrent-fleet orchestration runs on the simulated kernel",
+	"loss":           "multicast loss is injected by the simulated switch",
+	"multicast":      "switch multicast is a fabric primitive",
+	"ordered":        "global ordering rides the simulated multicast group",
+	"gap-nacks":      "gap recovery rides the simulated multicast group",
+	"seed":           "the chan backend runs on wall clock, not a seeded DES",
+	"copy":           "the chan backend always moves real bytes",
+	"partition":      "rebalance schemes are exercised via simulated evictions",
+	"metrics-addr":   "the ops plane scrapes sim-backed registries",
+	"linger":         "the ops plane scrapes sim-backed registries",
+	"events":         "the event trace is emitted by sim-backed registries",
+	"events-out":     "the event trace is emitted by sim-backed registries",
 }
 
 // chanConfig is the flag subset -transport=chan supports.
 type chanConfig struct {
-	flowType  string
-	nSources  int
-	nTargets  int
-	tupleSize int
-	megabytes int
-	latency   bool
-	segments  int
-	segSize   int
-	traceOps  int
+	flowType     string
+	nSources     int
+	nTargets     int
+	tupleSize    int
+	megabytes    int
+	latency      bool
+	segments     int
+	segSize      int
+	traceOps     int
+	shared       bool
+	tenant       string
+	tenantWeight int
 }
 
 // runChan runs the flow over the chanloop backend: real goroutines and
@@ -71,6 +78,9 @@ func runChan(cfg chanConfig, stdout, stderr io.Writer) int {
 	spec := core.FlowSpec{Name: "dfiflow", Schema: sch, Options: core.Options{
 		SegmentsPerRing: cfg.segments,
 		SegmentSize:     cfg.segSize,
+		SharedRings:     cfg.shared,
+		Tenant:          cfg.tenant,
+		TenantWeight:    cfg.tenantWeight,
 	}}
 	if cfg.latency {
 		spec.Options.Optimization = core.OptimizeLatency
@@ -168,8 +178,12 @@ func runChan(cfg chanConfig, stdout, stderr io.Writer) int {
 	for _, s := range tgtStats {
 		consumed += s.TuplesConsumed
 	}
-	fmt.Fprintf(stdout, "flow: %s %s over chan transport, %d sources → %d targets, %s tuples, %d MiB/source\n",
-		cfg.flowType, spec.Options.Optimization, cfg.nSources, cfg.nTargets, fmtBytes(sch.TupleSize()), cfg.megabytes)
+	mode := ""
+	if cfg.shared {
+		mode = " over shared rings"
+	}
+	fmt.Fprintf(stdout, "flow: %s %s%s over chan transport, %d sources → %d targets, %s tuples, %d MiB/source\n",
+		cfg.flowType, spec.Options.Optimization, mode, cfg.nSources, cfg.nTargets, fmtBytes(sch.TupleSize()), cfg.megabytes)
 	fmt.Fprintf(stdout, "wall runtime: %v\n", wall.Round(time.Microsecond))
 	fmt.Fprintf(stdout, "tuples pushed:   %d  (consumed: %d)\n", pushed, consumed)
 	fmt.Fprintf(stdout, "aggregate sender bandwidth: %.2f GiB/s (in-process memory copies)\n",
@@ -179,6 +193,19 @@ func runChan(cfg chanConfig, stdout, stderr io.Writer) int {
 	}
 	for ti, s := range tgtStats {
 		fmt.Fprintf(stdout, "  target %d: %s\n", ti, s)
+	}
+	if cfg.shared {
+		pool := sharedring.PoolOf(net, sharedring.Config{})
+		links := pool.Links()
+		fmt.Fprintf(stdout, "shared rings: %d links, %d slots × %s payload each\n",
+			len(links), pool.Config().Slots, fmtBytes(pool.Config().SlotPayload))
+		tname := cfg.tenant
+		if tname == "" {
+			tname = "default"
+		}
+		tc := pool.Tenant(tname)
+		fmt.Fprintf(stdout, "tenant %q: credits acquired=%d refunded=%d\n",
+			tname, tc.Acquired.Load(), tc.Refunded.Load())
 	}
 	if rec != nil {
 		fmt.Fprintln(stdout)

@@ -20,6 +20,10 @@
 //	dfiflow -replicas 5 -lease 50us -unlogged-renew -faults reg-crash-master=300us -mb 1
 //	dfiflow -metrics-addr 127.0.0.1:0 -linger 30s -mb 4
 //	dfiflow -lease 100us -evict 1@300us -events-out events.jsonl -mb 2
+//	dfiflow -shared -sources 2 -targets 4 -tuple 64 -mb 4
+//	dfiflow -shared -flows 500 -lease 100us -reg-shards 4 -mb 8
+//	dfiflow -shared -tenant batch -tenant-weight 4 -mb 4
+//	dfiflow -transport chan -shared -targets 4 -mb 16
 //
 // With -metrics-addr the process serves live introspection over HTTP
 // while the flow runs: /metrics (Prometheus text exposition of the
@@ -28,9 +32,16 @@
 // (JSONL dump of the structured event trace). -linger keeps the
 // endpoint up after the run so the final counters can be scraped.
 //
+// With -shared the flow multiplexes over the transport's shared
+// per-node-pair rings (connection scaling: memory and queue pairs per
+// node pair, not per flow), -flows N runs N such flows concurrently,
+// and -tenant/-tenant-weight feed the weighted credit scheduler that
+// keeps one hot flow from starving its ring neighbors.
+//
 // The process exits non-zero when any endpoint reports ErrFlowBroken
 // (a flow that could not be completed or repaired) or when a scheduled
-// -rejoin is rejected, so fault scenarios are scriptable.
+// -rejoin is rejected, so fault scenarios are scriptable. Flag and
+// configuration errors exit 2.
 package main
 
 import (
@@ -52,7 +63,60 @@ import (
 	"dfi/internal/schema"
 	"dfi/internal/sim"
 	"dfi/internal/transport"
+	"dfi/internal/transport/sharedring"
 )
+
+// simRegistry is the slice of the registry surface dfiflow drives beyond
+// core.Registry: administrative eviction, ops-plane wiring, and the
+// lease-traffic counter. Satisfied by *registry.Registry (standalone or
+// replicated) and *registry.Sharded.
+type simRegistry interface {
+	core.Registry
+	Evict(p transport.Ctx, flow string, role registry.Role, idx int) error
+	SetEventSink(metrics.EventSink)
+	PublishMetrics(*metrics.Registry)
+	Status() *registry.ClusterStatus
+	LeaseRenewRPCs() uint64
+}
+
+// sharedIncompatible lists flags that configure per-flow machinery the
+// shared-ring data path does not provide; the reasons mirror the core
+// admission checks (internal/core/flow.go) so the CLI fails fast with
+// the same story the library would tell.
+var sharedIncompatible = map[string]string{
+	"latency":    "shared rings batch slots for bandwidth; latency-optimized flows keep private rings",
+	"multicast":  "switch multicast addresses per-flow multicast groups, not shared rings",
+	"ordered":    "global ordering sequences a private multicast group",
+	"gap-nacks":  "gap recovery belongs to the ordered multicast path",
+	"retransmit": "loss recovery tracks private per-(source,target) rings",
+	"srctimeout": "per-source silence detection reads private ring footers",
+	"rejoin":     "evicted endpoints cannot re-attach to a shared ring (no private window to replay)",
+}
+
+// sharedOnly lists flags meaningless without -shared.
+var sharedOnly = map[string]bool{"flows": true, "tenant": true, "tenant-weight": true}
+
+// validateShared cross-checks the -shared flag family before any
+// machinery spins up, naming each offending flag.
+func validateShared(fs *flag.FlagSet, shared bool, flows int) error {
+	var bad []string
+	fs.Visit(func(f *flag.Flag) {
+		if shared {
+			if why, ok := sharedIncompatible[f.Name]; ok {
+				bad = append(bad, fmt.Sprintf("-shared does not support -%s: %s", f.Name, why))
+			}
+		} else if sharedOnly[f.Name] {
+			bad = append(bad, fmt.Sprintf("-%s requires -shared (it configures the shared-ring credit scheduler)", f.Name))
+		}
+	})
+	if len(bad) > 0 {
+		return errors.New(strings.Join(bad, "\n\t"))
+	}
+	if flows < 1 {
+		return fmt.Errorf("-flows %d: want at least 1", flows)
+	}
+	return nil
+}
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
@@ -92,6 +156,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		snapEvery = fs.Int("snapshot-every", 0, "replicated registry: snapshot+compact the log every N committed commands (0 = default cadence, <0 = never)")
 		unlogRen  = fs.Bool("unlogged-renew", false, "replicated registry: serve lease renewals without a log round (explicit heartbeat relaxation)")
 
+		shared    = fs.Bool("shared", false, "multiplex the flow over shared per-node-pair rings instead of private per-(source,target) rings (connection scaling; see docs/OPERATIONS.md)")
+		nFlows    = fs.Int("flows", 1, "run this many identical concurrent flows (requires -shared; total -mb volume splits across them)")
+		tenant    = fs.String("tenant", "", "shared rings: attribute credit usage to this named tenant (default \"default\"; requires -shared)")
+		tenWeight = fs.Int("tenant-weight", 0, "shared rings: credit-scheduler weight, slots divide among streams in proportion (default 1; requires -shared)")
+		regShards = fs.Int("reg-shards", 0, "shard the registry's flow table over this many independent registries by flow-name hash (0/1 = unsharded)")
+
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /status and /events over HTTP on this address while the flow runs (e.g. 127.0.0.1:0)")
 		linger      = fs.Duration("linger", 0, "keep the metrics endpoint up this long after the run (requires -metrics-addr)")
 		eventsCap   = fs.Int("events", 0, "per-node event ring capacity for the structured trace (0 = default 1024)")
@@ -101,18 +171,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if err := validateShared(fs, *shared, *nFlows); err != nil {
+		fmt.Fprintf(stderr, "dfiflow: %v\n", err)
+		return 2
+	}
 	switch *transportF {
 	case "fabric":
 	case "chan":
-		var bad []string
+		rejected := false
 		fs.Visit(func(f *flag.Flag) {
-			if desOnlyFlags[f.Name] {
-				bad = append(bad, "-"+f.Name)
+			if why, ok := desOnlyFlags[f.Name]; ok {
+				fmt.Fprintf(stderr, "dfiflow: -transport=chan does not support -%s: %s (see docs/ARCHITECTURE.md, transport backend matrix)\n", f.Name, why)
+				rejected = true
 			}
 		})
-		if len(bad) > 0 {
-			fmt.Fprintf(stderr, "dfiflow: -transport=chan does not support %s: virtual time, fault injection and the sim-backed registry/ops plane are fabric-only (see docs/ARCHITECTURE.md, transport backend matrix)\n",
-				strings.Join(bad, " "))
+		if rejected {
 			return 2
 		}
 		if *flowType != "shuffle" && *flowType != "replicate" {
@@ -123,6 +196,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			flowType: *flowType, nSources: *nSources, nTargets: *nTargets,
 			tupleSize: *tupleSize, megabytes: *megabytes, latency: *latency,
 			segments: *segments, segSize: *segSize, traceOps: *traceOps,
+			shared: *shared, tenant: *tenant, tenantWeight: *tenWeight,
 		}, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "dfiflow: unknown transport %q (want fabric or chan)\n", *transportF)
@@ -151,22 +225,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// the "wire bytes" line.
 		rec.WireOverheadBytes = fcfg.WireOverheadBytes
 	}
-	var reg *registry.Registry
-	if *replicas > 0 {
+	// The registry behind simRegistry: standalone, replicated, sharded,
+	// or sharded-over-replicated-groups. regRepl keeps the concrete
+	// replicated handle for the consensus summary line.
+	var reg simRegistry
+	var regRepl *registry.Registry
+	rcfg := registry.ReplicaConfig{
+		Replicas:      *replicas,
+		Faults:        fcfg.Faults,
+		SnapshotEvery: *snapEvery,
+		UnloggedRenew: *unlogRen,
+	}
+	switch {
+	case *regShards > 1 && *replicas > 0:
+		sharded, err := registry.NewShardedReplicated(k, *regShards, rcfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "dfiflow: -reg-shards/-replicas: %v\n", err)
+			return 2
+		}
+		reg = sharded
+	case *regShards > 1:
+		sharded := registry.NewSharded(k, *regShards)
+		sharded.UseFaults(fcfg.Faults)
+		reg = sharded
+	case *replicas > 0:
 		var err error
-		reg, err = registry.NewReplicated(k, registry.ReplicaConfig{
-			Replicas:      *replicas,
-			Faults:        fcfg.Faults,
-			SnapshotEvery: *snapEvery,
-			UnloggedRenew: *unlogRen,
-		})
+		regRepl, err = registry.NewReplicated(k, rcfg)
 		if err != nil {
 			fmt.Fprintf(stderr, "dfiflow: -replicas: %v\n", err)
 			return 2
 		}
-	} else {
-		reg = registry.New(k)
-		reg.UseFaults(fcfg.Faults)
+		reg = regRepl
+	default:
+		r := registry.New(k)
+		r.UseFaults(fcfg.Faults)
+		reg = r
 	}
 
 	// Ops plane: the metrics registry collects every layer's counters;
@@ -229,6 +322,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		LeaseTTL:          *lease,
 		GapNackLimit:      *gapNacks,
 		Partitioning:      scheme,
+		SharedRings:       *shared,
+		Tenant:            *tenant,
+		TenantWeight:      *tenWeight,
 	}}
 	if *latency {
 		spec.Options.Optimization = core.OptimizeLatency
@@ -240,6 +336,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		spec.Options.Multicast = *multicast || *ordered
 		spec.Options.GlobalOrdering = *ordered
 	case "combiner":
+		if *shared {
+			fmt.Fprintln(stderr, "dfiflow: -shared does not support -type combiner: in-network aggregation rides private combiner trees")
+			return 2
+		}
 		spec.Type = core.CombinerFlow
 		spec.Options.Aggregation = core.AggSum
 	default:
@@ -261,9 +361,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		spec.Targets = append(spec.Targets, core.Endpoint{Node: node, Thread: i})
 	}
 
-	perSource := (*megabytes << 20) / sch.TupleSize()
-	srcStats := make([]core.SourceStats, *nSources)
-	tgtStats := make([]core.TargetStats, *nTargets)
+	// With -flows N the same topology runs N times concurrently (the
+	// shared rings multiplex all of them over one link per node pair);
+	// the -mb volume splits across the fleet so totals stay comparable.
+	flowName := func(f int) string {
+		if *nFlows == 1 {
+			return "dfiflow"
+		}
+		return fmt.Sprintf("dfiflow-%d", f)
+	}
+	specs := make([]core.FlowSpec, *nFlows)
+	for f := range specs {
+		specs[f] = spec
+		specs[f].Name = flowName(f)
+	}
+
+	perSource := (*megabytes << 20) / sch.TupleSize() / *nFlows
+	srcStats := make([]core.SourceStats, *nFlows**nSources)
+	tgtStats := make([]core.TargetStats, *nFlows**nTargets)
 	var end sim.Time
 	// Endpoint errors stop the endpoint but not the run when faults or
 	// evictions were injected; ErrFlowBroken turns into a non-zero exit.
@@ -281,96 +396,113 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	k.Spawn("init", func(p *sim.Proc) {
-		if err := core.FlowInit(p, reg, cluster, spec); err != nil {
-			log.Fatal(err)
+		for f := range specs {
+			if err := core.FlowInit(p, reg, cluster, specs[f]); err != nil {
+				log.Fatal(err)
+			}
 		}
 	})
 	for _, ev := range evictions {
 		ev := ev
 		k.Spawn(fmt.Sprintf("evict%d", ev.target), func(p *sim.Proc) {
 			p.Sleep(ev.at)
-			if err := reg.Evict(p, "dfiflow", registry.RoleTarget, ev.target); err != nil {
-				fmt.Fprintf(stdout, "evict target %d: %v\n", ev.target, err)
+			// With -flows the strike hits the slot in every flow.
+			for f := 0; f < *nFlows; f++ {
+				if err := reg.Evict(p, flowName(f), registry.RoleTarget, ev.target); err != nil {
+					fmt.Fprintf(stdout, "evict target %d: %v\n", ev.target, err)
+				}
 			}
 		})
 	}
-	for si := 0; si < *nSources; si++ {
-		si := si
-		k.Spawn(fmt.Sprintf("src%d", si), func(p *sim.Proc) {
-			src, err := core.SourceOpen(p, reg, "dfiflow", si)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if m != nil {
-				src.PublishMetrics(m)
-			}
-			tup := sch.NewTuple()
-			rng := p.Rand()
-			for i := 0; i < perSource; i++ {
-				sch.PutInt64(tup, 0, rng.Int63())
-				if err := src.Push(p, tup); err != nil {
-					// Expected under an injected crash: report, stop pushing.
-					epDied("source", si, fmt.Errorf("push: %w", err))
-					break
-				}
-			}
-			if err := src.Close(p); err != nil {
-				epDied("source", si, fmt.Errorf("close: %w", err))
-			}
-			srcStats[si] = src.Stats()
-		})
-	}
-	for ti := 0; ti < *nTargets; ti++ {
-		ti := ti
-		k.Spawn(fmt.Sprintf("tgt%d", ti), func(p *sim.Proc) {
-			if spec.Type == core.CombinerFlow {
-				ct, err := core.CombinerTargetOpen(p, reg, "dfiflow", ti)
-				if err != nil {
-					log.Fatal(err)
-				}
-				ct.Run(p)
-			} else {
-				tgt, err := core.TargetOpen(p, reg, "dfiflow", ti)
+	for fi := 0; fi < *nFlows; fi++ {
+		fi := fi
+		for si := 0; si < *nSources; si++ {
+			si := si
+			k.Spawn(fmt.Sprintf("src%d.%d", fi, si), func(p *sim.Proc) {
+				src, err := core.SourceOpen(p, reg, flowName(fi), si)
 				if err != nil {
 					log.Fatal(err)
 				}
 				if m != nil {
-					tgt.PublishMetrics(m)
+					src.PublishMetrics(m)
+					if *shared {
+						// Idempotent: registers ring/tenant series as links
+						// come into existence.
+						sharedring.PoolOf(cluster, sharedring.Config{}).PublishMetrics(m)
+					}
 				}
-				consume := func(tgt *core.Target) {
-					for {
-						if _, _, ok := tgt.ConsumeSegment(p); !ok {
-							break
+				tup := sch.NewTuple()
+				rng := p.Rand()
+				for i := 0; i < perSource; i++ {
+					sch.PutInt64(tup, 0, rng.Int63())
+					if err := src.Push(p, tup); err != nil {
+						// Expected under an injected crash: report, stop pushing.
+						epDied("source", si, fmt.Errorf("push: %w", err))
+						break
+					}
+				}
+				if err := src.Close(p); err != nil {
+					epDied("source", si, fmt.Errorf("close: %w", err))
+				}
+				srcStats[fi**nSources+si] = src.Stats()
+			})
+		}
+		for ti := 0; ti < *nTargets; ti++ {
+			ti := ti
+			k.Spawn(fmt.Sprintf("tgt%d.%d", fi, ti), func(p *sim.Proc) {
+				if spec.Type == core.CombinerFlow {
+					ct, err := core.CombinerTargetOpen(p, reg, flowName(fi), ti)
+					if err != nil {
+						log.Fatal(err)
+					}
+					ct.Run(p)
+				} else {
+					tgt, err := core.TargetOpen(p, reg, flowName(fi), ti)
+					if err != nil {
+						log.Fatal(err)
+					}
+					if m != nil {
+						tgt.PublishMetrics(m)
+					}
+					consume := func(tgt *core.Target) {
+						for {
+							if _, _, ok := tgt.ConsumeSegment(p); !ok {
+								break
+							}
 						}
 					}
-				}
-				consume(tgt)
-				if tgt.Evicted() {
-					fmt.Fprintf(stdout, "target %d: evicted from the flow membership\n", ti)
-				}
-				if at, ok := rejoinAt[ti]; ok {
-					if at > p.Now() {
-						p.Sleep(at - p.Now())
+					consume(tgt)
+					if tgt.Evicted() {
+						if *nFlows == 1 {
+							fmt.Fprintf(stdout, "target %d: evicted from the flow membership\n", ti)
+						} else {
+							fmt.Fprintf(stdout, "target %d (%s): evicted from the flow membership\n", ti, flowName(fi))
+						}
 					}
-					nt, err := tgt.Reattach(p)
-					if err != nil {
-						fmt.Fprintf(stdout, "target %d: rejoin rejected: %v\n", ti, err)
-						rejoinFailed = true
-					} else {
-						fmt.Fprintf(stdout, "target %d: rejoined at %v, resumed from %d consumed tuples\n", ti, p.Now(), nt.ResumedFrom())
-						consume(nt)
-						tgt = nt
+					if at, ok := rejoinAt[ti]; ok {
+						if at > p.Now() {
+							p.Sleep(at - p.Now())
+						}
+						nt, err := tgt.Reattach(p)
+						if err != nil {
+							fmt.Fprintf(stdout, "target %d: rejoin rejected: %v\n", ti, err)
+							rejoinFailed = true
+						} else {
+							fmt.Fprintf(stdout, "target %d: rejoined at %v, resumed from %d consumed tuples\n", ti, p.Now(), nt.ResumedFrom())
+							consume(nt)
+							tgt = nt
+						}
 					}
+					if failed := tgt.FailedSources(); len(failed) > 0 {
+						fmt.Fprintf(stdout, "target %d: sources declared failed: %v\n", ti, failed)
+					}
+					tgtStats[fi**nTargets+ti] = tgt.Stats()
 				}
-				if failed := tgt.FailedSources(); len(failed) > 0 {
-					fmt.Fprintf(stdout, "target %d: sources declared failed: %v\n", ti, failed)
+				if p.Now() > end {
+					end = p.Now()
 				}
-				tgtStats[ti] = tgt.Stats()
-			}
-			if p.Now() > end {
-				end = p.Now()
-			}
-		})
+			})
+		}
 	}
 	if err := k.Run(); err != nil {
 		log.Fatal(err)
@@ -384,25 +516,65 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, s := range tgtStats {
 		consumed += s.TuplesConsumed
 	}
-	fmt.Fprintf(stdout, "flow: %s %s, %s partitioning, %d sources → %d targets, %s tuples, %d MiB/source\n",
-		*flowType, spec.Options.Optimization, scheme, *nSources, *nTargets, fmtBytes(sch.TupleSize()), *megabytes)
+	mode := ""
+	if *shared {
+		mode = " over shared rings"
+	}
+	if *nFlows == 1 {
+		fmt.Fprintf(stdout, "flow: %s %s%s, %s partitioning, %d sources → %d targets, %s tuples, %d MiB/source\n",
+			*flowType, spec.Options.Optimization, mode, scheme, *nSources, *nTargets, fmtBytes(sch.TupleSize()), *megabytes)
+	} else {
+		fmt.Fprintf(stdout, "fleet: %d %s flows%s, %d sources → %d targets each, %s tuples, %d MiB total\n",
+			*nFlows, *flowType, mode, *nSources, *nTargets, fmtBytes(sch.TupleSize()), *megabytes)
+	}
 	fmt.Fprintf(stdout, "virtual runtime: %v\n", end)
 	fmt.Fprintf(stdout, "tuples pushed:   %d  (consumed: %d)\n", pushed, consumed)
 	bw := float64(payload) / end.Seconds() / (1 << 30)
 	fmt.Fprintf(stdout, "aggregate sender bandwidth: %.2f GiB/s (link speed %.2f GiB/s)\n",
 		bw, fcfg.LinkBandwidth/(1<<30))
-	for si, s := range srcStats {
-		fmt.Fprintf(stdout, "  source %d: %s\n", si, s)
-	}
-	for ti, s := range tgtStats {
-		if spec.Type != core.CombinerFlow {
-			fmt.Fprintf(stdout, "  target %d: %s\n", ti, s)
+	if *nFlows == 1 {
+		for si, s := range srcStats {
+			fmt.Fprintf(stdout, "  source %d: %s\n", si, s)
+		}
+		for ti, s := range tgtStats {
+			if spec.Type != core.CombinerFlow {
+				fmt.Fprintf(stdout, "  target %d: %s\n", ti, s)
+			}
 		}
 	}
-	if *replicas > 0 {
+	if *shared {
+		// Shared-ring accounting. Residual occupancy after a drain is
+		// normal: the sender's release mirror refreshes lazily on Send, so
+		// the last consumed slots still count as held; CheckConservation
+		// proves every held slot is attributed to a live stream.
+		pool := sharedring.PoolOf(cluster, sharedring.Config{})
+		pcfg := pool.Config()
+		links := pool.Links()
+		fmt.Fprintf(stdout, "shared rings: %d links, %d slots × %s payload each\n",
+			len(links), pcfg.Slots, fmtBytes(pcfg.SlotPayload))
+		for _, l := range links {
+			conserved := "conserved"
+			if err := l.CheckConservation(); err != nil {
+				conserved = fmt.Sprintf("CONSERVATION VIOLATED: %v", err)
+			}
+			fmt.Fprintf(stdout, "  ring %d→%d: occupancy=%d released=%d credits %s\n",
+				l.Src().ID(), l.Dst().ID(), l.Occupancy(), l.Released(), conserved)
+		}
+		tname := *tenant
+		if tname == "" {
+			tname = "default"
+		}
+		tc := pool.Tenant(tname)
+		fmt.Fprintf(stdout, "tenant %q: credits acquired=%d refunded=%d\n",
+			tname, tc.Acquired.Load(), tc.Refunded.Load())
+	}
+	if *lease > 0 {
+		fmt.Fprintf(stdout, "lease renewals: %d registry round trips\n", reg.LeaseRenewRPCs())
+	}
+	if regRepl != nil {
 		fmt.Fprintf(stdout, "registry: %d replicas, master=%d ballot=%d elections=%d snapshots=%d snap-index=%d log-len=%d applied=%d\n",
-			reg.Replicas(), reg.Master(), reg.Ballot(), reg.Elections(),
-			reg.Snapshots(), reg.SnapshotIndex(), reg.LogLen(), reg.AppliedSize())
+			regRepl.Replicas(), regRepl.Master(), regRepl.Ballot(), regRepl.Elections(),
+			regRepl.Snapshots(), regRepl.SnapshotIndex(), regRepl.LogLen(), regRepl.AppliedSize())
 	}
 	if events != nil {
 		fmt.Fprintf(stdout, "events: %d emitted\n", events.Total())

@@ -7,7 +7,13 @@
 //  2. every relative link in the repository's Markdown files resolves
 //     to an existing file, and every fragment (#anchor, same-file or
 //     cross-file) matches a heading of the linked document, using
-//     GitHub's heading-to-anchor slug rules.
+//     GitHub's heading-to-anchor slug rules;
+//  3. the audited packages (internal/transport and its backends —
+//     the surface a future verbs backend must implement against)
+//     carry a doc comment on every exported top-level declaration;
+//  4. docs/OPERATIONS.md mentions every flag the CLIs register
+//     (`cmd/dfiflow`, `cmd/dfibench`), so the operator's handbook
+//     cannot silently fall behind a new flag.
 //
 // External links (http/https/mailto) are not fetched — the checker is
 // offline and deterministic, suitable for CI (`make docs-lint`).
@@ -17,6 +23,7 @@ package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
@@ -33,6 +40,8 @@ func main() {
 	var problems []string
 	problems = append(problems, checkPackageComments(root)...)
 	problems = append(problems, checkMarkdownLinks(root)...)
+	problems = append(problems, checkExportedDocs(root)...)
+	problems = append(problems, checkFlagManifest(root)...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, "docslint:", p)
@@ -84,6 +93,148 @@ func checkPackageComments(root string) []string {
 		}
 		if !documented {
 			problems = append(problems, fmt.Sprintf("%s: package has no package comment (add one, e.g. in doc.go)", dir))
+		}
+	}
+	return problems
+}
+
+// auditedPackages are the directories whose exported surface is a
+// contract (the transport layer a future verbs backend implements
+// against): every exported top-level declaration must carry a doc
+// comment, stating at minimum its concurrency contract.
+var auditedPackages = []string{
+	"internal/transport",
+	"internal/transport/chanloop",
+	"internal/transport/sharedring",
+	"internal/transport/transporttest",
+}
+
+// checkExportedDocs verifies every exported top-level declaration in
+// the audited packages is documented. Grouped declarations (a var/const
+// block, or multiple names in one spec) are covered by a group comment.
+func checkExportedDocs(root string) []string {
+	var problems []string
+	for _, pkg := range auditedPackages {
+		dir := filepath.Join(root, pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: audited package missing: %v", pkg, err))
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			fset := token.NewFileSet()
+			af, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: %v", path, err))
+				continue
+			}
+			for _, decl := range af.Decls {
+				for _, name := range undocumentedExports(decl) {
+					pos := fset.Position(decl.Pos())
+					problems = append(problems, fmt.Sprintf(
+						"%s:%d: exported %s has no doc comment (audited package: document it, including its concurrency contract)",
+						path, pos.Line, name))
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// undocumentedExports returns the exported names a top-level
+// declaration introduces without any covering doc comment.
+func undocumentedExports(decl ast.Decl) []string {
+	var out []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil && !isExportedMethodOfUnexported(d) {
+			out = append(out, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					out = append(out, s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						out = append(out, n.Name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isExportedMethodOfUnexported reports an exported method whose
+// receiver type is unexported — interface satisfaction plumbing, not
+// public surface.
+func isExportedMethodOfUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && !id.IsExported()
+}
+
+// flagRe matches a flag registration: fs.Bool("name", ... or
+// flag.String("name", ... — any receiver identifier, any flag kind.
+var flagRe = regexp.MustCompile(`\b\w+\.(?:Bool|Int|Int64|Uint|Uint64|Float64|String|Duration)\(\s*"([^"]+)"`)
+
+// flagCLIs are the commands whose registered flags docs/OPERATIONS.md
+// must document.
+var flagCLIs = []string{"cmd/dfiflow", "cmd/dfibench"}
+
+// checkFlagManifest extracts every flag name registered by the CLI
+// sources and requires a literal `-name` mention in
+// docs/OPERATIONS.md.
+func checkFlagManifest(root string) []string {
+	opsPath := filepath.Join(root, "docs", "OPERATIONS.md")
+	ops, err := os.ReadFile(opsPath)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: operator's handbook missing: %v", opsPath, err)}
+	}
+	text := string(ops)
+	var problems []string
+	for _, cli := range flagCLIs {
+		dir := filepath.Join(root, cli)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", cli, err))
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: %v", path, err))
+				continue
+			}
+			for _, m := range flagRe.FindAllStringSubmatch(string(data), -1) {
+				name := m[1]
+				if !strings.Contains(text, "`-"+name+"`") {
+					problems = append(problems, fmt.Sprintf(
+						"%s: flag -%s registered in %s is not documented in %s (mention `-%s`)",
+						opsPath, name, path, opsPath, name))
+				}
+			}
 		}
 	}
 	return problems

@@ -74,10 +74,11 @@ func (s *Source) PushBatch(p transport.Ctx, tuples []schema.Tuple) error {
 	if len(tuples) == 0 {
 		return nil
 	}
-	// Latency mode transfers per tuple by design and the multicast
-	// transport sequences per tuple — those paths keep their per-tuple
-	// semantics and gain only the amortized entry point.
-	if s.spec.Options.Optimization == OptimizeLatency || s.mc != nil {
+	// Latency mode transfers per tuple by design, the multicast transport
+	// sequences per tuple, and the shared-ring path stages per tuple —
+	// those paths keep their per-tuple semantics and gain only the
+	// amortized entry point.
+	if s.spec.Options.Optimization == OptimizeLatency || s.mc != nil || s.mux != nil {
 		for _, t := range tuples {
 			if err := s.Push(p, t); err != nil {
 				return err
@@ -253,6 +254,9 @@ func (s *Source) Reserve(p transport.Ctx, n int) (*Batch, error) {
 	if s.mc != nil {
 		return nil, fmt.Errorf("%w: Reserve (the multicast transport owns its segment buffers)", ErrUnsupportedOnMulticast)
 	}
+	if s.mux != nil {
+		return nil, fmt.Errorf("%w: Reserve (shared-ring segments are staged locally, not reserved in a remote ring)", ErrUnsupportedOnShared)
+	}
 	if len(s.writers) != 1 {
 		return nil, fmt.Errorf("dfi: Reserve on a %d-target flow; use ReserveTo", len(s.writers))
 	}
@@ -267,6 +271,9 @@ func (s *Source) ReserveTo(p transport.Ctx, target, n int) (*Batch, error) {
 	}
 	if s.mc != nil {
 		return nil, fmt.Errorf("%w: Reserve (the multicast transport owns its segment buffers)", ErrUnsupportedOnMulticast)
+	}
+	if s.mux != nil {
+		return nil, fmt.Errorf("%w: Reserve (shared-ring segments are staged locally, not reserved in a remote ring)", ErrUnsupportedOnShared)
 	}
 	if s.spec.Options.Optimization != OptimizeBandwidth {
 		return nil, errors.New("dfi: Reserve requires a bandwidth-optimized flow (latency mode transfers per tuple)")

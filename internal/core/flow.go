@@ -35,6 +35,7 @@ import (
 	"dfi/internal/core/partition"
 	"dfi/internal/schema"
 	"dfi/internal/transport"
+	"dfi/internal/transport/sharedring"
 )
 
 // FlowType selects one of DFI's three flow types.
@@ -247,6 +248,35 @@ type Options struct {
 	PushCost    time.Duration
 	ConsumeCost time.Duration
 	AggCost     time.Duration
+
+	// SharedRings multiplexes the flow over the cluster's shared
+	// per-node-pair rings (dfi/internal/transport/sharedring) instead of
+	// private per-(source,target) rings: all shared flows between two
+	// nodes ride one fixed-size ring, with per-flow credit accounting and
+	// flow-tagged segments demultiplexed at the target. Memory and queue
+	// pairs then scale with node pairs, not with flows — the knob for
+	// O(1000) concurrent flows (docs/ARCHITECTURE.md, "Flow multiplexing
+	// and QoS"). Shared flows are bandwidth-optimized shuffle or
+	// replicate flows; latency optimization, multicast, global ordering,
+	// elastic membership, combiner aggregation, SourceTimeout detection
+	// and per-flow retransmission are per-ring machinery and are
+	// rejected by FlowInit. With LeaseTTL set, evictions re-route staged
+	// tuples over the survivors, but the in-flight shared-ring window is
+	// lost (at-most-once across an eviction — see docs/PROTOCOL.md,
+	// "Connection scaling"). Lease heartbeats of shared flows are
+	// batched per node (one renewal RPC per tick per node, not per
+	// flow).
+	SharedRings bool
+
+	// Tenant attributes the flow's shared-ring credit usage to a named
+	// tenant for the ops plane (default "default"). Requires SharedRings.
+	Tenant string
+
+	// TenantWeight is the flow's scheduling weight on its shared rings
+	// (default 1): each ring's slots divide among its open streams in
+	// proportion to weight, so one hot flow cannot starve its neighbors
+	// below their share. Requires SharedRings.
+	TenantWeight int
 }
 
 // ErrFlowBroken reports that a flow endpoint gave up after bounded
@@ -262,6 +292,14 @@ var ErrFlowBroken = errors.New("dfi: flow broken")
 // through the multicast staging buffer, not reserved in a remote ring).
 // Returned wrapped, so test with errors.Is.
 var ErrUnsupportedOnMulticast = errors.New("dfi: operation not supported on multicast replicate flows")
+
+// ErrUnsupportedOnShared reports an operation that has no meaning on a
+// shared-ring flow (Options.SharedRings): Reserve/ReserveTo (segments
+// are staged locally, not reserved in a remote ring), Checkpoint and
+// Reattach (shared mode has no per-flow retransmit window to resume
+// from — an evicted endpoint's in-flight segments are gone). Returned
+// wrapped, so test with errors.Is.
+var ErrUnsupportedOnShared = errors.New("dfi: operation not supported on shared-ring flows")
 
 // footerBytes is the per-segment footer: 4B fill count, 1B flags,
 // 3B reserved, 8B sequence number. The footer lies after the payload so the
@@ -334,6 +372,10 @@ type flowMeta struct {
 	// seqMR holds the global tuple-sequencer counter of an ordered
 	// replicate flow (hosted on the first target's node).
 	seqMR transport.Region
+
+	// pool is the transport's shared-ring pool (SharedRings flows only):
+	// the flow's streams multiplex over its per-node-pair rings.
+	pool *sharedring.Pool
 }
 
 // targetInfo is published by TargetOpen for sources to connect to.
@@ -420,11 +462,49 @@ func (s *FlowSpec) normalize() error {
 	if o.GapNackLimit == 0 {
 		o.GapNackLimit = 3
 	}
+	if !o.SharedRings {
+		if o.Tenant != "" || o.TenantWeight != 0 {
+			return errors.New("dfi: Tenant/TenantWeight require Options.SharedRings")
+		}
+	} else {
+		// Shared-ring admission: everything that depends on private
+		// per-pair rings — tuple-granular credit loops, multicast groups,
+		// per-slot ring provisioning, per-ring silence detection, and the
+		// per-flow retransmit window — is rejected up front rather than
+		// silently degraded.
+		if o.Optimization == OptimizeLatency {
+			return errors.New("dfi: SharedRings requires a bandwidth-optimized flow (latency mode needs a private ring per pair)")
+		}
+		if o.Multicast || o.GlobalOrdering {
+			return errors.New("dfi: SharedRings cannot combine with multicast/global ordering")
+		}
+		if o.Elastic {
+			return errors.New("dfi: SharedRings cannot combine with Elastic membership")
+		}
+		if s.Type == CombinerFlow {
+			return errors.New("dfi: SharedRings does not support combiner flows")
+		}
+		if o.SourceTimeout > 0 {
+			return errors.New("dfi: SharedRings has no per-ring silence detection; use LeaseTTL for failure handling")
+		}
+		if o.RetransmitTimeout > 0 {
+			return errors.New("dfi: SharedRings has no per-flow retransmit window")
+		}
+		if o.TenantWeight < 0 {
+			return errors.New("dfi: TenantWeight must be non-negative")
+		}
+		if o.Tenant == "" {
+			o.Tenant = "default"
+		}
+		if o.TenantWeight == 0 {
+			o.TenantWeight = 1
+		}
+	}
 	if o.LeaseTTL > 0 {
 		if o.SuspectGrace <= 0 {
 			o.SuspectGrace = o.LeaseTTL
 		}
-		if o.RetransmitTimeout <= 0 {
+		if o.RetransmitTimeout <= 0 && !o.SharedRings {
 			// Rerouting rides on the recovery machinery: bounded waits to
 			// escape a dead target, and a resident local window to drain
 			// its unconsumed segments from. Half the TTL keeps recovery
@@ -518,6 +598,12 @@ func FlowInit(p transport.Ctx, reg Registry, cluster transport.Transport, spec F
 		return err
 	}
 	meta := &flowMeta{spec: spec, cluster: cluster}
+	if spec.Options.SharedRings {
+		meta.pool = sharedring.PoolOf(cluster, sharedring.Config{})
+		if sp := meta.pool.Config().SlotPayload; spec.Options.SegmentSize > sp {
+			return fmt.Errorf("dfi: segment size %d exceeds the shared-ring slot payload %d", spec.Options.SegmentSize, sp)
+		}
+	}
 	if spec.Options.Elastic {
 		meta.elastic = &elasticState{attached: len(spec.Sources), cond: cluster.NewCond()}
 	}

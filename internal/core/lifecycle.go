@@ -85,6 +85,13 @@ func (s *Source) acquireSourceLease(p transport.Ctx, reg Registry, name string) 
 	if err := reg.AcquireLease(p, name, registry.RoleSource, s.idx, o.LeaseTTL, o.SuspectGrace); err != nil {
 		return err
 	}
+	if o.SharedRings {
+		// Shared flows have no rejoin (no incarnation fencing needed) and
+		// batch their heartbeats per node — see the lease agent in mux.go.
+		enrollLease(p, s.meta.cluster, reg, s.node, name, registry.RoleSource, s.idx, o.LeaseTTL,
+			func() bool { return s.closed })
+		return nil
+	}
 	inc := uint64(0)
 	if m := reg.MembershipOf(name); m != nil {
 		inc = m.Incarnation(registry.RoleSource, s.idx)
@@ -300,6 +307,11 @@ func (t *Target) acquireTargetLease(p transport.Ctx, reg Registry, name string) 
 	}
 	if err := reg.AcquireLease(p, name, registry.RoleTarget, t.idx, o.LeaseTTL, o.SuspectGrace); err != nil {
 		return err
+	}
+	if o.SharedRings {
+		enrollLease(p, t.meta.cluster, reg, t.node, name, registry.RoleTarget, t.idx, o.LeaseTTL,
+			func() bool { return t.done.Load() || t.evicted })
+		return nil
 	}
 	inc := uint64(0)
 	if m := reg.MembershipOf(name); m != nil {

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dfi/internal/registry"
+	"dfi/internal/sim"
+	"dfi/internal/transport/sharedring"
+)
+
+// Shared-ring flow tests (Options.SharedRings): the connection-scaling
+// data path of mux.go over the pool in transport/sharedring. The
+// O(1000)-flow sweep lives in chaos_scale_test.go; these cover the
+// basic semantics one flow at a time.
+
+func sharedSpec(e *env, name string, srcNodes, tgtNodes []int, opt Options) FlowSpec {
+	opt.SharedRings = true
+	spec := FlowSpec{Name: name, Schema: kvSchema, Options: opt}
+	for _, n := range srcNodes {
+		spec.Sources = append(spec.Sources, Endpoint{Node: e.c.Node(n)})
+	}
+	for _, n := range tgtNodes {
+		spec.Targets = append(spec.Targets, Endpoint{Node: e.c.Node(n)})
+	}
+	return spec
+}
+
+func TestSharedRingsShuffle(t *testing.T) {
+	// Many-to-many shuffle over shared rings: same delivery contract as
+	// the private-ring path (every key exactly once, correct bytes).
+	e := newEnv(t, 4)
+	spec := sharedSpec(e, "shared-nm", []int{0, 1}, []int{2, 3}, Options{SegmentSize: 256})
+	const n = 2000
+	res := runShuffle(t, e, spec, n)
+	checkAllDelivered(t, res, 2*n)
+}
+
+func TestSharedRingsManyFlowsOneNodePair(t *testing.T) {
+	// Several flows between one node pair multiplex over ONE shared ring:
+	// all deliver fully, the pool holds a single link for the pair, and
+	// credit accounting conserves across the co-resident streams.
+	e := newEnv(t, 2)
+	const flows, n = 6, 500
+	results := make([]map[int64]int64, flows)
+	specs := make([]FlowSpec, flows)
+	for f := 0; f < flows; f++ {
+		specs[f] = sharedSpec(e, fmt.Sprintf("shared-f%d", f), []int{0}, []int{1}, Options{
+			SegmentSize:  128,
+			Tenant:       fmt.Sprintf("tenant%d", f%3),
+			TenantWeight: 1 + f%3,
+		})
+	}
+	e.k.Spawn("init", func(p *sim.Proc) {
+		for f := range specs {
+			if err := FlowInit(p, e.reg, e.c, specs[f]); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	for f := 0; f < flows; f++ {
+		f := f
+		results[f] = make(map[int64]int64)
+		e.k.Spawn(fmt.Sprintf("src%d", f), func(p *sim.Proc) {
+			src, err := SourceOpen(p, e.reg, specs[f].Name, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				key := int64(f*n + i)
+				if err := src.Push(p, mkTuple(key, 2*key)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := src.Close(p); err != nil {
+				t.Error(err)
+			}
+		})
+		e.k.Spawn(fmt.Sprintf("tgt%d", f), func(p *sim.Proc) {
+			tgt, err := TargetOpen(p, e.reg, specs[f].Name, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				tup, ok := tgt.Consume(p)
+				if !ok {
+					break
+				}
+				results[f][kvSchema.Int64(tup, 0)] = kvSchema.Int64(tup, 1)
+			}
+			if st := tgt.Stats(); !st.Done {
+				t.Errorf("flow %d: target stopped before flow end", f)
+			}
+		})
+	}
+	e.run(t)
+	for f := 0; f < flows; f++ {
+		if len(results[f]) != n {
+			t.Errorf("flow %d delivered %d tuples, want %d", f, len(results[f]), n)
+		}
+		for k, v := range results[f] {
+			if v != 2*k {
+				t.Errorf("flow %d: key %d has value %d, want %d", f, k, v, 2*k)
+			}
+		}
+	}
+	pool := sharedring.PoolOf(e.c, sharedring.Config{})
+	links := pool.Links()
+	if len(links) != 1 {
+		t.Fatalf("pool holds %d links for one node pair, want 1", len(links))
+	}
+	if err := links[0].CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedRingsEvictionReroute(t *testing.T) {
+	// Administrative eviction of one target mid-burst: the source folds
+	// the epoch in, re-routes its *staged* tuples over the survivor, and
+	// completes cleanly. The in-flight shared-ring window is lost by
+	// design (at-most-once across eviction), but the loss is bounded by
+	// the ring geometry and nothing is ever duplicated.
+	e := newEnv(t, 3)
+	spec := sharedSpec(e, "shared-evict", []int{0}, []int{1, 2}, Options{
+		SegmentSize: 128,
+		LeaseTTL:    300 * time.Microsecond,
+	})
+	const n = 6000
+	e.k.Spawn("init", func(p *sim.Proc) {
+		if err := FlowInit(p, e.reg, e.c, spec); err != nil {
+			t.Error(err)
+		}
+	})
+	var srcStats SourceStats
+	e.k.Spawn("src", func(p *sim.Proc) {
+		src, err := SourceOpen(p, e.reg, spec.Name, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < n; i++ {
+			key := int64(i)
+			if err := src.Push(p, mkTuple(key, 2*key)); err != nil {
+				t.Errorf("push %d: %v", i, err)
+				return
+			}
+			p.Sleep(100 * time.Nanosecond)
+		}
+		if err := src.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		srcStats = src.Stats()
+	})
+	e.k.Spawn("chaos", func(p *sim.Proc) {
+		p.Sleep(150 * time.Microsecond)
+		if err := e.reg.Evict(p, spec.Name, registry.RoleTarget, 1); err != nil {
+			t.Errorf("evict: %v", err)
+		}
+	})
+	results := make([]map[int64]int64, 2)
+	for ti := 0; ti < 2; ti++ {
+		ti := ti
+		results[ti] = make(map[int64]int64)
+		e.k.Spawn(fmt.Sprintf("tgt%d", ti), func(p *sim.Proc) {
+			tgt, err := TargetOpen(p, e.reg, spec.Name, ti)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				tup, ok := tgt.Consume(p)
+				if !ok {
+					break
+				}
+				results[ti][kvSchema.Int64(tup, 0)] = kvSchema.Int64(tup, 1)
+			}
+			if ti == 0 {
+				if st := tgt.Stats(); !st.Done {
+					t.Error("survivor target stopped before flow end")
+				}
+			}
+		})
+	}
+	e.run(t)
+	seen := make(map[int64]bool)
+	for ti, m := range results {
+		for k, v := range m {
+			if v != 2*k {
+				t.Errorf("target %d: key %d has value %d, want %d", ti, k, v, 2*k)
+			}
+			if seen[k] {
+				t.Errorf("key %d delivered twice across targets", k)
+			}
+			seen[k] = true
+		}
+	}
+	// Loss bound: only segments in flight on the shared ring at eviction
+	// time can vanish — at most Slots committed plus StagingCap staged at
+	// the receiver (pool defaults), plus the segment being loaded, each
+	// carrying SegmentSize/tupleSize tuples.
+	cfg := sharedring.PoolOf(e.c, sharedring.Config{}).Config()
+	perSeg := spec.Options.SegmentSize / kvSchema.TupleSize()
+	bound := (cfg.Slots + cfg.StagingCap + 1) * perSeg
+	if len(seen) < n-bound {
+		t.Fatalf("delivered %d of %d tuples; lost more than the in-flight bound %d", len(seen), n, bound)
+	}
+	if len(results[0]) == 0 {
+		t.Fatal("survivor target received nothing")
+	}
+	if srcStats.Rerouted == 0 && srcStats.Moved == 0 {
+		t.Error("source recorded no rerouted or moved tuples despite mid-burst eviction")
+	}
+}
+
+func TestSharedRingsLeaseAgentKeepsFlowsAlive(t *testing.T) {
+	// Flows spanning many lease intervals stay alive on the batched
+	// per-node renewals (no spurious expiry eviction), the registry sees
+	// batched round trips, and the agent self-terminates (the kernel run
+	// ending at all proves no immortal ticker is left).
+	e := newEnv(t, 2)
+	const flows, n = 4, 800
+	specs := make([]FlowSpec, flows)
+	for f := 0; f < flows; f++ {
+		specs[f] = sharedSpec(e, fmt.Sprintf("leased-f%d", f), []int{0}, []int{1}, Options{
+			SegmentSize: 128,
+			LeaseTTL:    150 * time.Microsecond,
+		})
+	}
+	delivered := make([]int, flows)
+	e.k.Spawn("init", func(p *sim.Proc) {
+		for f := range specs {
+			if err := FlowInit(p, e.reg, e.c, specs[f]); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	for f := 0; f < flows; f++ {
+		f := f
+		e.k.Spawn(fmt.Sprintf("src%d", f), func(p *sim.Proc) {
+			src, err := SourceOpen(p, e.reg, specs[f].Name, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				if err := src.Push(p, mkTuple(int64(i), int64(2*i))); err != nil {
+					t.Errorf("flow %d push: %v", f, err)
+					return
+				}
+				// Stretch the flow across many lease ticks.
+				p.Sleep(500 * time.Nanosecond)
+			}
+			if err := src.Close(p); err != nil {
+				t.Errorf("flow %d close: %v", f, err)
+			}
+		})
+		e.k.Spawn(fmt.Sprintf("tgt%d", f), func(p *sim.Proc) {
+			tgt, err := TargetOpen(p, e.reg, specs[f].Name, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				if _, ok := tgt.Consume(p); !ok {
+					break
+				}
+				delivered[f]++
+			}
+			if st := tgt.Stats(); !st.Done {
+				t.Errorf("flow %d: target evicted or stalled instead of reaching flow end", f)
+			}
+		})
+	}
+	e.run(t)
+	for f := 0; f < flows; f++ {
+		if delivered[f] != n {
+			t.Errorf("flow %d delivered %d tuples, want %d", f, delivered[f], n)
+		}
+	}
+	if e.reg.LeaseRenewRPCs() == 0 {
+		t.Fatal("no batched lease-renewal RPCs recorded despite LeaseTTL flows")
+	}
+}
+
+func TestSharedRingsAdmission(t *testing.T) {
+	// normalize rejects every private-ring feature up front, and tenant
+	// attribution requires shared mode.
+	base := func() FlowSpec {
+		return FlowSpec{
+			Name:    "adm",
+			Sources: []Endpoint{{}},
+			Targets: []Endpoint{{}},
+			Schema:  kvSchema,
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*FlowSpec)
+	}{
+		{"tenant without shared", func(s *FlowSpec) { s.Options.Tenant = "x" }},
+		{"weight without shared", func(s *FlowSpec) { s.Options.TenantWeight = 2 }},
+		{"latency mode", func(s *FlowSpec) { s.Options.SharedRings = true; s.Options.Optimization = OptimizeLatency }},
+		{"multicast", func(s *FlowSpec) {
+			s.Options.SharedRings = true
+			s.Type = ReplicateFlow
+			s.Options.Multicast = true
+		}},
+		{"elastic", func(s *FlowSpec) { s.Options.SharedRings = true; s.Options.Elastic = true }},
+		{"combiner", func(s *FlowSpec) {
+			s.Options.SharedRings = true
+			s.Type = CombinerFlow
+			s.ShuffleKey = 0
+		}},
+		{"source timeout", func(s *FlowSpec) { s.Options.SharedRings = true; s.Options.SourceTimeout = time.Millisecond }},
+		{"retransmit window", func(s *FlowSpec) { s.Options.SharedRings = true; s.Options.RetransmitTimeout = time.Millisecond }},
+		{"negative weight", func(s *FlowSpec) { s.Options.SharedRings = true; s.Options.TenantWeight = -1 }},
+	}
+	for _, tc := range cases {
+		spec := base()
+		tc.mut(&spec)
+		if err := spec.normalize(); err == nil {
+			t.Errorf("%s: normalize accepted an invalid shared-ring spec", tc.name)
+		}
+	}
+	// The happy path defaults tenant attribution.
+	spec := base()
+	spec.Options.SharedRings = true
+	if err := spec.normalize(); err != nil {
+		t.Fatalf("valid shared spec rejected: %v", err)
+	}
+	if spec.Options.Tenant != "default" || spec.Options.TenantWeight != 1 {
+		t.Fatalf("tenant defaults = %q/%d, want default/1", spec.Options.Tenant, spec.Options.TenantWeight)
+	}
+}
+
+func TestSharedRingsUnsupportedOps(t *testing.T) {
+	// Reserve/Checkpoint/Reattach have no meaning without a private ring
+	// or a retransmit window; they must fail fast with the typed sentinel.
+	e := newEnv(t, 2)
+	spec := sharedSpec(e, "shared-unsup", []int{0}, []int{1}, Options{SegmentSize: 256})
+	const n = 100
+	e.k.Spawn("init", func(p *sim.Proc) {
+		if err := FlowInit(p, e.reg, e.c, spec); err != nil {
+			t.Error(err)
+		}
+	})
+	e.k.Spawn("src", func(p *sim.Proc) {
+		src, err := SourceOpen(p, e.reg, spec.Name, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := src.Reserve(p, 4); !errors.Is(err, ErrUnsupportedOnShared) {
+			t.Errorf("Reserve error %v, want ErrUnsupportedOnShared", err)
+		}
+		if _, err := src.ReserveTo(p, 0, 4); !errors.Is(err, ErrUnsupportedOnShared) {
+			t.Errorf("ReserveTo error %v, want ErrUnsupportedOnShared", err)
+		}
+		if _, err := src.Checkpoint(p); !errors.Is(err, ErrUnsupportedOnShared) {
+			t.Errorf("Checkpoint error %v, want ErrUnsupportedOnShared", err)
+		}
+		if _, _, err := src.Reattach(p); !errors.Is(err, ErrUnsupportedOnShared) {
+			t.Errorf("Source.Reattach error %v, want ErrUnsupportedOnShared", err)
+		}
+		for i := 0; i < n; i++ {
+			if err := src.Push(p, mkTuple(int64(i), int64(2*i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := src.Close(p); err != nil {
+			t.Error(err)
+		}
+	})
+	got := 0
+	e.k.Spawn("tgt", func(p *sim.Proc) {
+		tgt, err := TargetOpen(p, e.reg, spec.Name, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := tgt.Reattach(p); !errors.Is(err, ErrUnsupportedOnShared) {
+			t.Errorf("Target.Reattach error %v, want ErrUnsupportedOnShared", err)
+		}
+		for {
+			if _, ok := tgt.Consume(p); !ok {
+				break
+			}
+			got++
+		}
+	})
+	e.run(t)
+	if got != n {
+		t.Fatalf("delivered %d tuples, want %d", got, n)
+	}
+}

@@ -29,6 +29,9 @@ type Registry interface {
 	MembershipOf(name string) *registry.Membership
 	AcquireLease(p transport.Ctx, flow string, role registry.Role, idx int, ttl, grace time.Duration) error
 	RenewLease(p transport.Ctx, flow string, role registry.Role, idx int) error
+	// RenewLeaseBatch renews many slots in one round trip (the batched
+	// heartbeat path); it returns the refs that could not be renewed.
+	RenewLeaseBatch(p transport.Ctx, refs []registry.LeaseRef) []registry.LeaseRef
 	ReleaseLease(p transport.Ctx, flow string, role registry.Role, idx int)
 	Rejoin(p transport.Ctx, flow string, role registry.Role, idx, newIdx int) (registry.Rejoined, error)
 	SetWatermark(p transport.Ctx, flow string, role registry.Role, idx int, watermark uint64) error
@@ -45,4 +48,5 @@ type Registry interface {
 var (
 	_ Registry = (*registry.Registry)(nil)
 	_ Registry = (*registry.Local)(nil)
+	_ Registry = (*registry.Sharded)(nil)
 )

@@ -40,7 +40,8 @@ type Source struct {
 	writers []*ringWriter
 	winc    []uint64
 	retired []*ringWriter
-	mc      *mcSource // multicast replicate transport, if enabled
+	mc      *mcSource  // multicast replicate transport, if enabled
+	mux     *muxSource // shared-ring transport (Options.SharedRings), if enabled
 
 	// statsMu guards the writers/retired slice headers against a
 	// concurrent scraper walking Stats()/Stalls()/ProbeStats() while the
@@ -91,6 +92,17 @@ func SourceOpen(p transport.Ctx, reg Registry, name string, sourceIdx int) (*Sou
 			return nil, err
 		}
 		s.mc = mc
+		if err := s.acquireSourceLease(p, reg, name); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	if spec.Options.SharedRings {
+		mux, err := newMuxSource(p, reg, meta, s)
+		if err != nil {
+			return nil, err
+		}
+		s.mux = mux
 		if err := s.acquireSourceLease(p, reg, name); err != nil {
 			return nil, err
 		}
@@ -196,6 +208,9 @@ func (s *Source) Push(p transport.Ctx, t schema.Tuple) error {
 		if s.mc != nil {
 			return s.mc.push(p, t)
 		}
+		if s.mux != nil {
+			return s.mux.pushReplicate(p, t)
+		}
 		return s.pushReplicate(p, t)
 	default:
 		if s.spec.Routing == nil && s.spec.ShuffleKey < 0 {
@@ -239,6 +254,9 @@ func (s *Source) pushReplicate(p transport.Ctx, t schema.Tuple) error {
 // target has been evicted from the flow membership the tuple is remapped
 // onto a survivor (see lifecycle.go).
 func (s *Source) PushTo(p transport.Ctx, t schema.Tuple, target int) error {
+	if s.mux != nil {
+		return s.mux.pushTo(p, t, target)
+	}
 	if target < 0 || target >= len(s.writers) {
 		return fmt.Errorf("dfi: target %d out of range (%d targets)", target, len(s.writers))
 	}
@@ -280,6 +298,9 @@ func (s *Source) Flush(p transport.Ctx) error {
 	s.settleCharge(p)
 	if s.mc != nil {
 		return s.mc.flush(p)
+	}
+	if s.mux != nil {
+		return s.mux.flush(p)
 	}
 	for {
 		if err := s.syncEpoch(p); err != nil {
@@ -323,6 +344,11 @@ func (s *Source) Close(p transport.Ctx) error {
 	}
 	if s.mc != nil {
 		record(s.mc.close(p))
+		s.closed = true
+		return firstErr
+	}
+	if s.mux != nil {
+		record(s.mux.close(p))
 		s.closed = true
 		return firstErr
 	}
@@ -462,6 +488,9 @@ func (s *Source) Free() {
 	if s.mc != nil {
 		s.mc.free()
 	}
+	if s.mux != nil {
+		s.mux.free()
+	}
 }
 
 // Checkpoint flushes the source, waits until every tuple pushed so far
@@ -475,6 +504,9 @@ func (s *Source) Free() {
 func (s *Source) Checkpoint(p transport.Ctx) (uint64, error) {
 	if s.mc != nil {
 		return 0, fmt.Errorf("%w: Checkpoint (multicast targets recover from sequencer snapshots instead)", ErrUnsupportedOnMulticast)
+	}
+	if s.mux != nil {
+		return 0, fmt.Errorf("%w: Checkpoint (shared rings carry no delivery confirmation)", ErrUnsupportedOnShared)
 	}
 	if s.spec.Options.RetransmitTimeout <= 0 {
 		return 0, errors.New("dfi: Checkpoint requires Options.RetransmitTimeout for delivery confirmation")
@@ -532,6 +564,9 @@ func (s *Source) Slot() int { return s.idx }
 func (s *Source) Reattach(p transport.Ctx) (*Source, uint64, error) {
 	if s.mc != nil {
 		return nil, 0, fmt.Errorf("%w: Source.Reattach (an evicted multicast source's history dies with it; gap agreement reconciles the survivors)", ErrUnsupportedOnMulticast)
+	}
+	if s.mux != nil {
+		return nil, 0, fmt.Errorf("%w: Source.Reattach (an evicted shared-ring source's in-flight window dies with it)", ErrUnsupportedOnShared)
 	}
 	if s.spec.Options.RetransmitTimeout <= 0 {
 		return nil, 0, errors.New("dfi: Reattach requires Options.RetransmitTimeout")

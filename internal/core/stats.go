@@ -106,6 +106,10 @@ func (s *Source) Stats() SourceStats {
 		st.McGapRounds = s.mc.gapRoundsRun.Load()
 		st.McCreditStalls = s.mc.creditStalls.Load()
 	}
+	if s.mux != nil {
+		st.SegmentsWritten += s.mux.segsWritten.Load()
+		st.PayloadBytes += s.mux.payloadBytes.Load()
+	}
 	return st
 }
 
@@ -154,6 +158,9 @@ func (t *Target) Stats() TargetStats {
 		}
 		st.McNacksSent = t.mc.nacksSent.Load()
 		st.McGapsSkipped = t.mc.gapsSkipped.Load()
+	}
+	if t.mux != nil {
+		st.SegmentsConsumed += t.mux.segsConsumed.Load()
 	}
 	return st
 }

@@ -45,7 +45,8 @@ type Target struct {
 	remaining int
 	tupleSize int
 
-	mc *mcTarget // multicast replicate transport, if enabled
+	mc  *mcTarget  // multicast replicate transport, if enabled
+	mux *muxTarget // shared-ring transport (Options.SharedRings), if enabled
 
 	// Control-plane membership (see lifecycle.go): the flow's record,
 	// the last epoch folded in, and whether this target was evicted.
@@ -126,6 +127,20 @@ func TargetOpen(p transport.Ctx, reg Registry, name string, targetIdx int) (*Tar
 	if sink := reg.EventSink(); sink != nil {
 		t.events = sink
 		t.evNode = fmt.Sprintf("node%d", t.node.ID())
+	}
+	if spec.Options.SharedRings {
+		mux, err := newMuxTarget(p, reg, meta, t)
+		if err != nil {
+			return nil, err
+		}
+		t.mux = mux
+		if err := t.acquireTargetLease(p, reg, name); err != nil {
+			return nil, err
+		}
+		if err := reg.PublishTarget(p, name, targetIdx, &muxTargetInfo{}); err != nil {
+			return nil, err
+		}
+		return t, nil
 	}
 	t.geom = spec.Options.ringGeometry()
 	info := t.allocRings()
@@ -378,6 +393,17 @@ func (t *Target) Consume(p transport.Ctx) (schema.Tuple, bool) {
 		}
 		return tup, ok
 	}
+	if t.mux != nil {
+		tup, ok := t.mux.consume(p)
+		if ok {
+			t.consumed.Add(1)
+		} else if t.mux.evicted {
+			t.evicted = true
+		} else if t.mux.done {
+			t.done.Store(true)
+		}
+		return tup, ok
+	}
 	if t.done.Load() {
 		return nil, false
 	}
@@ -404,6 +430,17 @@ func (t *Target) ConsumeSegment(p transport.Ctx) (data []byte, count int, ok boo
 		} else if t.mc.evicted {
 			t.evicted = true
 		} else if t.mc.done {
+			t.done.Store(true)
+		}
+		return data, count, ok
+	}
+	if t.mux != nil {
+		data, count, ok := t.mux.consumeSegment(p)
+		if ok {
+			t.consumed.Add(uint64(count))
+		} else if t.mux.evicted {
+			t.evicted = true
+		} else if t.mux.done {
 			t.done.Store(true)
 		}
 		return data, count, ok
@@ -473,6 +510,9 @@ func (t *Target) FailedSources() []int {
 	if t.mc != nil {
 		return t.mc.failedSources()
 	}
+	if t.mux != nil {
+		return t.mux.failedSources()
+	}
 	var out []int
 	for i, r := range t.readers {
 		if r.failed.Load() {
@@ -507,6 +547,9 @@ func (t *Target) Slot() int { return t.idx }
 func (t *Target) Reattach(p transport.Ctx) (*Target, error) {
 	if t.mc != nil {
 		return t.reattachMulticast(p)
+	}
+	if t.mux != nil {
+		return nil, fmt.Errorf("%w: Target.Reattach (shared-ring evictions re-route over the survivors instead)", ErrUnsupportedOnShared)
 	}
 	if t.spec.Options.RetransmitTimeout <= 0 {
 		return nil, errors.New("dfi: Reattach requires Options.RetransmitTimeout")
@@ -588,6 +631,11 @@ func (t *Target) Free() {
 	}
 	if t.mc != nil {
 		t.mc.free()
+	}
+	if t.mux != nil {
+		// The pool owns the ring regions; just ensure this target's tags
+		// can never head-of-line-block co-resident flows after it is gone.
+		t.mux.dropAll()
 	}
 }
 

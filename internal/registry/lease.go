@@ -301,8 +301,13 @@ func (r *Registry) RenewLease(p transport.Ctx, flow string, role Role, idx int) 
 }
 
 // invokeRenew routes a renewal through the log, or — under the
-// UnloggedRenew relaxation — as a plain RPC against the master.
+// UnloggedRenew relaxation — as a plain RPC against the master. Every
+// call is one renewal round trip whatever it carries, which is what the
+// dfi_registry_lease_renew_rpcs_total counter measures: a batch of N
+// slots renewed through RenewLeaseBatch costs one, the per-endpoint
+// heartbeat path costs one per slot per tick.
 func (r *Registry) invokeRenew(p transport.Ctx, op func() error) error {
+	r.renewRPCs.Add(1)
 	if r.repl != nil && r.repl.cfg.UnloggedRenew {
 		r.rpc(p)
 		err := op()
@@ -310,6 +315,43 @@ func (r *Registry) invokeRenew(p transport.Ctx, op func() error) error {
 		return err
 	}
 	return r.invoke(p, op)
+}
+
+// LeaseRef names one leased endpoint slot for batched renewal.
+type LeaseRef struct {
+	Flow string
+	Role Role
+	Idx  int
+}
+
+// RenewLeaseBatch refreshes many leases in one renewal RPC (one logged
+// command, or one master round trip under UnloggedRenew) — the
+// control-plane half of connection scaling: a node heartbeating on
+// behalf of all its flow endpoints sends O(ticks) renewals instead of
+// O(flows·ticks). Slots that cannot be renewed — unpublished flow, no
+// lease, or fenced by eviction — are returned so the caller can drop
+// them from future batches; the rest renew normally.
+func (r *Registry) RenewLeaseBatch(p transport.Ctx, refs []LeaseRef) []LeaseRef {
+	var failed []LeaseRef
+	_ = r.invokeRenew(p, func() error {
+		for _, ref := range refs {
+			m, ok := r.membership(ref.Flow)
+			if !ok {
+				failed = append(failed, ref)
+				continue
+			}
+			k := epKey{ref.Role, ref.Idx}
+			l := m.eps[k]
+			if l == nil || l.state == StateLeft || l.state == StateEvicted {
+				failed = append(failed, ref)
+				continue
+			}
+			l.state = StateActive
+			m.arm(k, l)
+		}
+		return nil
+	})
+	return failed
 }
 
 // ReleaseLease gives the lease up voluntarily (graceful close). The slot

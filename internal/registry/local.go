@@ -147,6 +147,10 @@ func (l *Local) AcquireLease(p transport.Ctx, flow string, role Role, idx int, t
 // RenewLease succeeds as a no-op (see AcquireLease).
 func (l *Local) RenewLease(p transport.Ctx, flow string, role Role, idx int) error { return nil }
 
+// RenewLeaseBatch renews nothing: Local flows have no leases to keep
+// alive, so every ref trivially succeeds.
+func (l *Local) RenewLeaseBatch(p transport.Ctx, refs []LeaseRef) []LeaseRef { return nil }
+
 // ReleaseLease is a no-op.
 func (l *Local) ReleaseLease(p transport.Ctx, flow string, role Role, idx int) {}
 

@@ -58,7 +58,16 @@ type Registry struct {
 	// after every mutation (see status.go).
 	events metrics.EventSink
 	status atomic.Pointer[ClusterStatus]
+
+	// renewRPCs counts lease-renewal round trips (batched renewals count
+	// once) — the lease-traffic measure the connection-scaling tests
+	// assert stays sublinear in flow count.
+	renewRPCs atomic.Uint64
 }
+
+// LeaseRenewRPCs returns the number of lease-renewal round trips served
+// so far (a RenewLeaseBatch counts one whatever it carries).
+func (r *Registry) LeaseRenewRPCs() uint64 { return r.renewRPCs.Load() }
 
 type entry struct {
 	meta    any

@@ -151,9 +151,29 @@ func leaseCount(st *ClusterStatus, state string) (n int) {
 // published snapshot, so scraping is race-free by construction. Fixed
 // cardinality: lease counts are aggregated per state, not per flow.
 func (r *Registry) PublishMetrics(m *metrics.Registry) {
-	m.RegisterGaugeFunc("dfi_registry_flows", "Published flows.", nil,
+	r.PublishMetricsLabeled(m, nil)
+}
+
+// PublishMetricsLabeled is PublishMetrics with base labels attached to
+// every series — how a sharded registry distinguishes its shards
+// (label "shard") without colliding series names.
+func (r *Registry) PublishMetricsLabeled(m *metrics.Registry, base metrics.Labels) {
+	with := func(extra metrics.Labels) metrics.Labels {
+		if len(base) == 0 {
+			return extra
+		}
+		out := metrics.Labels{}
+		for k, v := range base {
+			out[k] = v
+		}
+		for k, v := range extra {
+			out[k] = v
+		}
+		return out
+	}
+	m.RegisterGaugeFunc("dfi_registry_flows", "Published flows.", with(nil),
 		func() float64 { return float64(len(r.Status().Flows)) })
-	m.RegisterGaugeFunc("dfi_registry_epoch_max", "Highest membership epoch across flows.", nil,
+	m.RegisterGaugeFunc("dfi_registry_epoch_max", "Highest membership epoch across flows.", with(nil),
 		func() float64 {
 			var max uint64
 			for _, f := range r.Status().Flows {
@@ -166,7 +186,7 @@ func (r *Registry) PublishMetrics(m *metrics.Registry) {
 	for _, state := range []string{"active", "suspect", "evicted", "left"} {
 		state := state
 		m.RegisterGaugeFunc("dfi_registry_leases", "Endpoint slots by lease state.",
-			metrics.Labels{"state": state},
+			with(metrics.Labels{"state": state}),
 			func() float64 { return float64(leaseCount(r.Status(), state)) })
 	}
 	repl := func(f func(*ReplStatus) float64) func() float64 {
@@ -177,20 +197,23 @@ func (r *Registry) PublishMetrics(m *metrics.Registry) {
 			return 0
 		}
 	}
-	m.RegisterGaugeFunc("dfi_registry_replicas", "Replication group size (0 standalone).", nil,
+	m.RegisterGaugeFunc("dfi_registry_replicas", "Replication group size (0 standalone).", with(nil),
 		repl(func(g *ReplStatus) float64 { return float64(g.Replicas) }))
-	m.RegisterGaugeFunc("dfi_registry_master", "Current master replica index.", nil,
+	m.RegisterGaugeFunc("dfi_registry_master", "Current master replica index.", with(nil),
 		repl(func(g *ReplStatus) float64 { return float64(g.Master) }))
-	m.RegisterGaugeFunc("dfi_registry_ballot", "Current master ballot.", nil,
+	m.RegisterGaugeFunc("dfi_registry_ballot", "Current master ballot.", with(nil),
 		repl(func(g *ReplStatus) float64 { return float64(g.Ballot) }))
-	m.RegisterCounterFunc("dfi_registry_elections_total", "Completed failover elections.", nil,
+	m.RegisterCounterFunc("dfi_registry_elections_total", "Completed failover elections.", with(nil),
 		repl(func(g *ReplStatus) float64 { return float64(g.Elections) }))
-	m.RegisterCounterFunc("dfi_registry_snapshots_total", "State-machine snapshots taken.", nil,
+	m.RegisterCounterFunc("dfi_registry_snapshots_total", "State-machine snapshots taken.", with(nil),
 		repl(func(g *ReplStatus) float64 { return float64(g.Snapshots) }))
-	m.RegisterGaugeFunc("dfi_registry_snapshot_index", "Applied index covered by the latest snapshot.", nil,
+	m.RegisterGaugeFunc("dfi_registry_snapshot_index", "Applied index covered by the latest snapshot.", with(nil),
 		repl(func(g *ReplStatus) float64 { return float64(g.SnapshotIndex) }))
-	m.RegisterGaugeFunc("dfi_registry_log_len", "Largest retained acceptor log among live replicas.", nil,
+	m.RegisterGaugeFunc("dfi_registry_log_len", "Largest retained acceptor log among live replicas.", with(nil),
 		repl(func(g *ReplStatus) float64 { return float64(g.LogLen) }))
-	m.RegisterGaugeFunc("dfi_registry_applied_entries", "Retained applied-table entries.", nil,
+	m.RegisterGaugeFunc("dfi_registry_applied_entries", "Retained applied-table entries.", with(nil),
 		repl(func(g *ReplStatus) float64 { return float64(g.AppliedSize) }))
+	m.RegisterCounterFunc("dfi_registry_lease_renew_rpcs_total",
+		"Lease-renewal round trips served (a batched renewal counts one).", with(nil),
+		func() float64 { return float64(r.LeaseRenewRPCs()) })
 }

@@ -1,0 +1,387 @@
+package sharedring_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dfi/internal/fabric"
+	"dfi/internal/sim"
+	"dfi/internal/transport"
+	"dfi/internal/transport/chanloop"
+	"dfi/internal/transport/sharedring"
+)
+
+// env mirrors the conformance-suite harness: one fresh backend, n
+// endpoints, actor spawning and a run-to-completion driver, so every
+// test here executes on both the DES fabric and chanloop.
+type env struct {
+	t   transport.Transport
+	ep  []transport.Endpoint
+	gof func(name string, fn func(transport.Ctx))
+	run func()
+}
+
+func backends(n int) map[string]func() env {
+	return map[string]func() env{
+		"fabric": func() env {
+			k := sim.New(1)
+			c := fabric.NewCluster(k, n, fabric.DefaultConfig())
+			e := env{
+				t: c,
+				gof: func(name string, fn func(transport.Ctx)) {
+					k.Spawn(name, func(p *sim.Proc) { fn(p) })
+				},
+				run: func() { k.Run() },
+			}
+			for i := 0; i < n; i++ {
+				e.ep = append(e.ep, c.Node(i))
+			}
+			return e
+		},
+		"chanloop": func() env {
+			net := chanloop.New()
+			var wg sync.WaitGroup
+			e := env{
+				t: net,
+				gof: func(name string, fn func(transport.Ctx)) {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						fn(net.NewCtx())
+					}()
+				},
+				run: func() { wg.Wait() },
+			}
+			for i := 0; i < n; i++ {
+				e.ep = append(e.ep, net.NewEndpoint())
+			}
+			return e
+		},
+	}
+}
+
+const waitFor = 5 * time.Second
+
+// seedList returns the property-test seed sweep; DFI_CHAOS_SEED (the
+// chaos make targets' knob) prepends an externally chosen seed.
+func seedList() []int64 {
+	seeds := []int64{1, 7, 42}
+	if s := os.Getenv("DFI_CHAOS_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			seeds = append([]int64{v}, seeds...)
+		}
+	}
+	return seeds
+}
+
+// segByte is the deterministic payload pattern for stream s, segment k.
+func segByte(s, k int) byte { return byte(s*31 + k*7 + 1) }
+
+// TestSharedRingDelivery drives several flows from one source node over
+// a single shared ring and checks each consumer gets exactly its own
+// stream back, in order, with intact payload bytes (on the byte-moving
+// backend) — the demultiplexing contract.
+func TestSharedRingDelivery(t *testing.T) {
+	for name, mk := range backends(2) {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			pool := sharedring.PoolOf(e.t, sharedring.Config{SlotPayload: 256, Slots: 8})
+			defer sharedring.DropPool(e.t)
+
+			const nStreams = 6
+			const nSegs = 20
+			copies := e.t.CopiesPayload()
+
+			type result struct {
+				segs    int
+				sendErr string
+				recvErr string
+				ended   bool
+			}
+			results := make([]result, nStreams)
+
+			for s := 0; s < nStreams; s++ {
+				s := s
+				key := fmt.Sprintf("flow%d/0/0", s)
+				tenant := fmt.Sprintf("tenant%d", s%2)
+				e.gof(fmt.Sprintf("send%d", s), func(p transport.Ctx) {
+					st, err := pool.OpenStream(e.ep[0], e.ep[1], key, tenant, 1+s%3)
+					if err != nil {
+						results[s].sendErr = err.Error()
+						return
+					}
+					buf := make([]byte, 256)
+					for k := 0; k < nSegs; k++ {
+						fill := 32 + (s*13+k*29)%(256-32)
+						for i := 0; i < fill; i++ {
+							buf[i] = segByte(s, k)
+						}
+						if err := st.Send(p, buf[:fill], false); err != nil {
+							results[s].sendErr = err.Error()
+							return
+						}
+					}
+					if err := st.Close(p); err != nil {
+						results[s].sendErr = err.Error()
+					}
+				})
+				e.gof(fmt.Sprintf("recv%d", s), func(p transport.Ctx) {
+					rcv := pool.Receiver(e.ep[0], e.ep[1])
+					tag := pool.Tag(key)
+					for {
+						seg, stc := rcv.Recv(p, tag, waitFor)
+						switch stc {
+						case sharedring.RecvSeg:
+							k := results[s].segs
+							wantFill := 32 + (s*13+k*29)%(256-32)
+							if seg.Fill != wantFill {
+								results[s].recvErr = fmt.Sprintf("seg %d fill=%d want %d", k, seg.Fill, wantFill)
+								return
+							}
+							if copies {
+								for i, b := range seg.Data {
+									if b != segByte(s, k) {
+										results[s].recvErr = fmt.Sprintf("seg %d byte %d = %d want %d", k, i, b, segByte(s, k))
+										return
+									}
+								}
+							}
+							results[s].segs++
+						case sharedring.RecvEnd:
+							results[s].ended = true
+							return
+						default:
+							results[s].recvErr = fmt.Sprintf("unexpected recv status %d", stc)
+							return
+						}
+					}
+				})
+			}
+			e.run()
+
+			for s, r := range results {
+				if r.sendErr != "" || r.recvErr != "" {
+					t.Fatalf("stream %d: send=%q recv=%q", s, r.sendErr, r.recvErr)
+				}
+				if r.segs != nSegs || !r.ended {
+					t.Fatalf("stream %d: segs=%d ended=%v want %d,true", s, r.segs, r.ended, nSegs)
+				}
+			}
+		})
+	}
+}
+
+// TestSharedRingWeightedBounds pins the weighted credit scheduler: with
+// static weights 3:1 on the link, the hot stream's in-flight bound is
+// three times the cold one's, the bound is never exceeded at any
+// acquisition, and the cold stream still completes while the hot one
+// floods — no starvation.
+func TestSharedRingWeightedBounds(t *testing.T) {
+	for name, mk := range backends(2) {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			pool := sharedring.PoolOf(e.t, sharedring.Config{SlotPayload: 64, Slots: 16})
+			defer sharedring.DropPool(e.t)
+
+			var hot, cold *sharedring.Stream
+			var openErr error
+			hot, openErr = pool.OpenStream(e.ep[0], e.ep[1], "hot/0/0", "gold", 3)
+			if openErr != nil {
+				t.Fatal(openErr)
+			}
+			cold, openErr = pool.OpenStream(e.ep[0], e.ep[1], "cold/0/0", "bronze", 1)
+			if openErr != nil {
+				t.Fatal(openErr)
+			}
+			if hot.Bound() != 12 || cold.Bound() != 4 {
+				t.Fatalf("bounds hot=%d cold=%d want 12,4", hot.Bound(), cold.Bound())
+			}
+
+			var hotMax, coldDone int
+			var hotFin atomic.Bool
+			e.gof("hot", func(p transport.Ctx) {
+				buf := make([]byte, 64)
+				for k := 0; k < 200; k++ {
+					if err := hot.Send(p, buf, false); err != nil {
+						t.Error(err)
+						return
+					}
+					if n := int(hot.Inflight()); n > hotMax {
+						hotMax = n
+					}
+				}
+				hot.Close(p)
+				hotFin.Store(true)
+			})
+			e.gof("cold", func(p transport.Ctx) {
+				buf := make([]byte, 32)
+				for k := 0; k < 50; k++ {
+					if err := cold.Send(p, buf, false); err != nil {
+						t.Error(err)
+						return
+					}
+					coldDone++
+				}
+				// Hold the cold stream open until the hot sender finishes:
+				// closing would retire its weight and legitimately grow the
+				// hot bound, which is exactly what this test pins against.
+				for !hotFin.Load() {
+					p.Sleep(time.Millisecond)
+				}
+				cold.Close(p)
+			})
+			for _, nm := range []string{"hot/0/0", "cold/0/0"} {
+				nm := nm
+				e.gof("recv-"+nm, func(p transport.Ctx) {
+					rcv := pool.Receiver(e.ep[0], e.ep[1])
+					tag := pool.Tag(nm)
+					for {
+						if _, stc := rcv.Recv(p, tag, waitFor); stc != sharedring.RecvSeg {
+							return
+						}
+					}
+				})
+			}
+			e.run()
+
+			if hotMax > 12 {
+				t.Fatalf("hot stream exceeded its credit bound: max inflight %d > 12", hotMax)
+			}
+			if coldDone != 50 {
+				t.Fatalf("cold stream starved: sent %d/50", coldDone)
+			}
+		})
+	}
+}
+
+// TestSharedRingCreditConservation is the property test: a seed-swept
+// random schedule of streams sending bursts while some are abandoned
+// mid-burst (sender Abandon + receiver Drop) must conserve credits —
+// every acquired slot refunded exactly once, no leak, no double refund
+// — verified by Link.CheckConservation mid-run and after Settle, plus
+// per-tenant acquired==refunded after the drain. Run under -race: the
+// chanloop leg exercises real concurrency.
+func TestSharedRingCreditConservation(t *testing.T) {
+	for _, seed := range seedList() {
+		seed := seed
+		for name, mk := range backends(2) {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				e := mk()
+				pool := sharedring.PoolOf(e.t, sharedring.Config{SlotPayload: 128, Slots: 8})
+				defer sharedring.DropPool(e.t)
+
+				plan := rand.New(rand.NewSource(seed))
+				const nStreams = 10
+				type sPlan struct {
+					segs    int
+					abortAt int // -1: run to completion
+					tenant  string
+					weight  int
+					slow    time.Duration // consumer pacing, drawn pre-run
+				}
+				plans := make([]sPlan, nStreams)
+				for s := range plans {
+					plans[s] = sPlan{
+						segs:    5 + plan.Intn(40),
+						abortAt: -1,
+						tenant:  fmt.Sprintf("t%d", plan.Intn(3)),
+						weight:  1 + plan.Intn(4),
+						slow:    time.Duration(plan.Intn(3)) * time.Microsecond,
+					}
+					if plan.Intn(3) == 0 {
+						plans[s].abortAt = plan.Intn(plans[s].segs)
+					}
+				}
+
+				link := pool.Receiver(e.ep[0], e.ep[1]).Link()
+				errs := make([]error, nStreams)
+				var done atomic.Int32
+				for s := 0; s < nStreams; s++ {
+					s := s
+					pl := plans[s]
+					key := fmt.Sprintf("f%d/0/0", s)
+					e.gof(fmt.Sprintf("send%d", s), func(p transport.Ctx) {
+						defer done.Add(1)
+						st, err := pool.OpenStream(e.ep[0], e.ep[1], key, pl.tenant, pl.weight)
+						if err != nil {
+							errs[s] = err
+							return
+						}
+						buf := make([]byte, 128)
+						for k := 0; k < pl.segs; k++ {
+							if pl.abortAt == k {
+								// Eviction mid-burst: no end marker, and the
+								// receiver side is condemned to discard.
+								st.Abandon()
+								pool.Receiver(e.ep[0], e.ep[1]).Drop(st.Tag())
+								return
+							}
+							if err := st.Send(p, buf[:1+(s+k)%128], false); err != nil {
+								errs[s] = err
+								return
+							}
+							if err := link.CheckConservation(); err != nil {
+								errs[s] = err
+								return
+							}
+						}
+						errs[s] = st.Close(p)
+					})
+					e.gof(fmt.Sprintf("recv%d", s), func(p transport.Ctx) {
+						defer done.Add(1)
+						// Short waits with bounded retries: a Drop for this tag
+						// can land while we are parked, and only re-entering
+						// Recv observes it.
+						for idle := 0; idle < 500; {
+							_, stc := pool.Receiver(e.ep[0], e.ep[1]).Recv(p, pool.Tag(key), 10*time.Millisecond)
+							switch stc {
+							case sharedring.RecvSeg:
+								idle = 0
+								if pl.slow > 0 {
+									p.Sleep(pl.slow)
+								}
+							case sharedring.RecvIdle:
+								idle++
+							default:
+								return
+							}
+						}
+					})
+				}
+				e.gof("settle", func(p transport.Ctx) {
+					// Wait for every sender and consumer to finish, then pull
+					// the release counter until the credit books close.
+					for done.Load() < int32(2*nStreams) {
+						p.Sleep(2 * time.Millisecond)
+					}
+					link.Settle(p)
+				})
+				e.run()
+
+				for s, err := range errs {
+					if err != nil {
+						t.Fatalf("seed %d stream %d: %v", seed, s, err)
+					}
+				}
+				if err := link.CheckConservation(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if occ := link.Occupancy(); occ != 0 {
+					t.Fatalf("seed %d: %d slots never refunded", seed, occ)
+				}
+				for _, tn := range []string{"t0", "t1", "t2"} {
+					tc := pool.Tenant(tn)
+					if a, r := tc.Acquired.Load(), tc.Refunded.Load(); a != r {
+						t.Fatalf("seed %d tenant %s: acquired=%d refunded=%d (leak or double refund)", seed, tn, a, r)
+					}
+				}
+			})
+		}
+	}
+}

@@ -32,6 +32,8 @@ const (
 	Injected
 )
 
+// String renders the disposition for trace output (dropped deliveries
+// shout, so they stand out in a log).
 func (d Disposition) String() string {
 	switch d {
 	case Delivered:

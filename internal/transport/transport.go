@@ -105,6 +105,7 @@ const (
 	OpCompareSwap
 )
 
+// String renders the op kind in verbs-spec spelling (WRITE, READ, ...).
 func (k OpKind) String() string {
 	switch k {
 	case OpWrite:
